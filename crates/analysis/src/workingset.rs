@@ -1,0 +1,135 @@
+//! Working-set-size profiles: unique bytes touched per time window — the
+//! quantity behind the paper's "active bytes" cache-sizing argument (§2,
+//! footnote 2) and Denning's classic working-set model.
+
+use lhr_trace::{Time, Trace};
+use std::collections::HashMap;
+
+/// One profile point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkingSetPoint {
+    /// Window start (trace clock, seconds).
+    pub start_secs: f64,
+    /// Distinct objects requested in the window.
+    pub unique_objects: usize,
+    /// Unique bytes requested in the window.
+    pub unique_bytes: u64,
+    /// Total requests in the window.
+    pub requests: u64,
+}
+
+/// Splits the trace into consecutive windows of `window_secs` and reports
+/// the working set of each.
+pub fn working_set_profile(trace: &Trace, window_secs: f64) -> Vec<WorkingSetPoint> {
+    assert!(window_secs > 0.0, "window must be positive");
+    if trace.is_empty() {
+        return Vec::new();
+    }
+    let window = Time::from_secs_f64(window_secs);
+    let origin = trace.requests[0].ts;
+    let mut points = Vec::new();
+    let mut seen: HashMap<u64, ()> = HashMap::new();
+    let mut current = WorkingSetPoint {
+        start_secs: origin.as_secs_f64(),
+        unique_objects: 0,
+        unique_bytes: 0,
+        requests: 0,
+    };
+    let mut window_end = origin + window;
+
+    for req in trace.iter() {
+        while req.ts >= window_end {
+            points.push(current);
+            seen.clear();
+            current = WorkingSetPoint {
+                start_secs: window_end.as_secs_f64(),
+                unique_objects: 0,
+                unique_bytes: 0,
+                requests: 0,
+            };
+            window_end += window;
+        }
+        current.requests += 1;
+        if seen.insert(req.id, ()).is_none() {
+            current.unique_objects += 1;
+            current.unique_bytes += req.size;
+        }
+    }
+    points.push(current);
+    points
+}
+
+/// The maximum windowed working set — a practical cache-sizing heuristic
+/// ("size the cache to the peak τ-second working set").
+pub fn peak_working_set_bytes(trace: &Trace, window_secs: f64) -> u64 {
+    working_set_profile(trace, window_secs)
+        .iter()
+        .map(|p| p.unique_bytes)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_trace::Request;
+
+    fn trace() -> Trace {
+        Trace::from_requests(
+            "t",
+            vec![
+                Request::new(Time::from_secs(0), 1, 100),
+                Request::new(Time::from_secs(1), 1, 100),
+                Request::new(Time::from_secs(2), 2, 200),
+                // window boundary at t=10
+                Request::new(Time::from_secs(11), 3, 50),
+                Request::new(Time::from_secs(12), 1, 100),
+            ],
+        )
+    }
+
+    #[test]
+    fn windows_partition_the_trace() {
+        let profile = working_set_profile(&trace(), 10.0);
+        assert_eq!(profile.len(), 2);
+        assert_eq!(profile[0].requests, 3);
+        assert_eq!(profile[0].unique_objects, 2);
+        assert_eq!(profile[0].unique_bytes, 300);
+        assert_eq!(profile[1].requests, 2);
+        assert_eq!(profile[1].unique_bytes, 150);
+    }
+
+    #[test]
+    fn repeats_do_not_inflate_unique_bytes() {
+        let profile = working_set_profile(&trace(), 100.0);
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].unique_bytes, 350);
+        assert_eq!(profile[0].requests, 5);
+    }
+
+    #[test]
+    fn empty_gap_windows_are_emitted() {
+        let t = Trace::from_requests(
+            "t",
+            vec![
+                Request::new(Time::from_secs(0), 1, 10),
+                Request::new(Time::from_secs(25), 2, 20),
+            ],
+        );
+        let profile = working_set_profile(&t, 10.0);
+        assert_eq!(profile.len(), 3);
+        assert_eq!(profile[1].requests, 0);
+        assert_eq!(profile[2].unique_bytes, 20);
+    }
+
+    #[test]
+    fn peak_is_max_over_windows() {
+        assert_eq!(peak_working_set_bytes(&trace(), 10.0), 300);
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert!(working_set_profile(&Trace::new("e"), 5.0).is_empty());
+        assert_eq!(peak_working_set_bytes(&Trace::new("e"), 5.0), 0);
+    }
+}

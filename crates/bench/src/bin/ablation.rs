@@ -1,0 +1,9 @@
+//! Ablations beyond the paper's Figure 10: the §5.2.5 eviction-rule choice
+//! and the HRO bound's window-size sensitivity.
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    println!("{}", lhr_bench::experiments::ablation_eviction_rule(&options));
+    println!("{}", lhr_bench::experiments::ablation_loss(&options));
+    println!("{}", lhr_bench::experiments::ablation_hro_window(&options));
+    println!("{}", lhr_bench::experiments::ablation_hro_burstiness(&options));
+}

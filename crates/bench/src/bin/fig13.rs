@@ -1,0 +1,6 @@
+//! Reproduces Figure 13 (Appendix A.3): LHR vs Caffeine over time.
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    let (fig13, _table4) = lhr_bench::experiments::prototype_vs_caffeine(&options);
+    println!("{fig13}");
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's Fig2 (see DESIGN.md experiment index).
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    println!("{}", lhr_bench::experiments::fig2(&options));
+}

@@ -1,0 +1,7 @@
+//! Reproduces Figure 7: LHR prototype vs unmodified ATS, hit probability
+//! over time.
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    let (fig7, _table2) = lhr_bench::experiments::prototype_vs_ats(&options);
+    println!("{fig7}");
+}

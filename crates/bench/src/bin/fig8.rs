@@ -1,0 +1,7 @@
+//! Reproduces Figure 8: hit probability and WAN traffic of LHR vs the
+//! seven SOTAs across traces and cache sizes.
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    let (fig8, _fig9) = lhr_bench::experiments::sota_comparison(&options);
+    println!("{fig8}");
+}

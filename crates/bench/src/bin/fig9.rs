@@ -1,0 +1,7 @@
+//! Reproduces Figure 9: peak memory and running time of the learned
+//! caching algorithms.
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    let (_fig8, fig9) = lhr_bench::experiments::sota_comparison(&options);
+    println!("{fig9}");
+}

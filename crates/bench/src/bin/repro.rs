@@ -1,0 +1,17 @@
+//! Runs every table/figure reproduction in sequence and prints the full
+//! report (pipe to a file to archive a run):
+//!
+//! ```text
+//! cargo run -p lhr-bench --release --bin repro -- --scale small
+//! ```
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    let start = std::time::Instant::now();
+    println!("{}", lhr_bench::experiments::run_all(&options));
+    println!(
+        "repro complete: scale {:?}, seed {}, {:.1}s wall",
+        options.scale,
+        options.seed,
+        start.elapsed().as_secs_f64()
+    );
+}

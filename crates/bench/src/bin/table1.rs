@@ -1,0 +1,5 @@
+//! Reproduces the paper's Table1 (see DESIGN.md experiment index).
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    println!("{}", lhr_bench::experiments::table1(&options));
+}

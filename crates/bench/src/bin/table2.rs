@@ -1,0 +1,6 @@
+//! Reproduces Table 2: resource usage of the LHR prototype vs ATS.
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    let (_fig7, table2) = lhr_bench::experiments::prototype_vs_ats(&options);
+    println!("{table2}");
+}

@@ -1,0 +1,6 @@
+//! Reproduces Table 4 (Appendix A.3): resource usage of LHR vs Caffeine.
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    let (_fig13, table4) = lhr_bench::experiments::prototype_vs_caffeine(&options);
+    println!("{table4}");
+}

@@ -1,0 +1,223 @@
+//! Shared experiment infrastructure: CLI options, trace construction, the
+//! policy registry, and table formatting.
+
+use lhr::cache::{LhrCache, LhrConfig};
+use lhr_policies::{AdaptSize, BLru, Hawkeye, LfuDa, Lrb, Lru, LruK};
+use lhr_sim::sweep::PolicyFactory;
+use lhr_trace::synth::{production, ProductionScale};
+use lhr_trace::Trace;
+
+/// Parsed harness options (every experiment binary accepts the same set).
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Trace scale; defaults to [`ProductionScale::Small`].
+    pub scale: ProductionScale,
+    /// Base PRNG seed.
+    pub seed: u64,
+    /// Worker threads for sweeps.
+    pub threads: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: ProductionScale::Small,
+            seed: 42,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()).min(16),
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--scale {tiny|small|medium|full}`, `--seed N`,
+    /// `--threads N` from the process arguments. Unknown arguments abort
+    /// with a usage message.
+    pub fn from_args() -> Options {
+        let mut options = Options::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value = |i: &mut usize| -> String {
+                *i += 1;
+                args.get(*i).unwrap_or_else(|| usage()).clone()
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    options.scale = match value(&mut i).as_str() {
+                        "tiny" => ProductionScale::Tiny,
+                        "small" => ProductionScale::Small,
+                        "medium" => ProductionScale::Medium,
+                        "full" => ProductionScale::Full,
+                        _ => usage(),
+                    }
+                }
+                "--seed" => options.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+                "--threads" => {
+                    options.threads = value(&mut i).parse().unwrap_or_else(|_| usage())
+                }
+                _ => usage(),
+            }
+            i += 1;
+        }
+        options
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: <bin> [--scale tiny|small|medium|full] [--seed N] [--threads N]");
+    std::process::exit(2)
+}
+
+/// The four production-like traces at the chosen scale.
+pub fn production_traces(options: &Options) -> Vec<Trace> {
+    production::all_production(options.scale, options.seed)
+}
+
+/// The paper's per-trace default simulator cache size (Figure 2 / 7
+/// setting), scaled by the *cache-to-unique-bytes ratio* so reduced-scale
+/// traces keep the full-scale experiment's cache pressure.
+pub fn default_capacity(trace: &Trace, _options: &Options) -> u64 {
+    let unique = lhr_trace::TraceStats::compute(trace).unique_bytes_requested as f64;
+    ((unique * production::cache_to_unique_ratio(&trace.name)) as u64).max(1)
+}
+
+/// The appendix's Caffeine-experiment cache size, same ratio-based scaling.
+pub fn caffeine_capacity(trace: &Trace) -> u64 {
+    let unique = lhr_trace::TraceStats::compute(trace).unique_bytes_requested as f64;
+    ((unique * production::caffeine_cache_to_unique_ratio(&trace.name)) as u64).max(1)
+}
+
+/// Per-trace memory window for LRB: a quarter of the trace duration.
+pub fn lrb_window_secs(trace: &Trace) -> f64 {
+    (trace.duration().as_secs_f64() / 4.0).max(60.0)
+}
+
+/// Expected distinct objects (sizes B-LRU's Bloom filter and TinyLFU's
+/// sketch).
+pub fn expected_objects(trace: &Trace) -> u64 {
+    (lhr_trace::TraceStats::compute(trace).unique_contents as u64).max(1_024)
+}
+
+/// The paper's seven best-performing SOTAs (§6.2): LRB, Hawkeye, LRU,
+/// LRU-4, LFU-DA, AdaptSize, B-LRU.
+pub fn sota_factories(trace: &Trace, seed: u64) -> Vec<PolicyFactory> {
+    let window = lrb_window_secs(trace);
+    let objects = expected_objects(trace);
+    // LRB retrains per batch of labeled samples; scale the batch with the
+    // trace so reduced-scale runs still exercise the learned path.
+    let lrb_batch = (trace.len() / 16).clamp(1_024, 8_192);
+    vec![
+        PolicyFactory::new("LRU", |c| Box::new(Lru::new(c))),
+        PolicyFactory::new("LRU-4", |c| Box::new(LruK::new(c, 4))),
+        PolicyFactory::new("LFU-DA", |c| Box::new(LfuDa::new(c))),
+        PolicyFactory::new("AdaptSize", move |c| Box::new(AdaptSize::new(c, seed))),
+        PolicyFactory::new("B-LRU", move |c| Box::new(BLru::new(c, objects))),
+        PolicyFactory::new("LRB", move |c| {
+            let mut lrb = Lrb::new(c, window, seed);
+            lrb.train_batch = lrb_batch;
+            Box::new(lrb)
+        }),
+        PolicyFactory::new("Hawkeye", |c| Box::new(Hawkeye::new(c))),
+    ]
+}
+
+/// LHR with the default configuration.
+pub fn lhr_factory(seed: u64) -> PolicyFactory {
+    PolicyFactory::new("LHR", move |c| {
+        Box::new(LhrCache::new(c, LhrConfig { seed, ..LhrConfig::default() }))
+    })
+}
+
+/// All policies for the headline comparisons: the SOTAs plus LHR (LHR
+/// first, as every figure leads with it).
+pub fn all_factories(trace: &Trace, seed: u64) -> Vec<PolicyFactory> {
+    let mut factories = vec![lhr_factory(seed)];
+    factories.extend(sota_factories(trace, seed));
+    factories
+}
+
+/// Renders an aligned text table: `header` then one row per entry.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let mut out = render(&head);
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a byte count as GB with one decimal.
+pub fn gb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1e9)
+}
+
+/// Formats a ratio as a percentage with two decimals.
+pub fn pct(ratio: f64) -> String {
+    format!("{:.2}", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_sim::CachePolicy;
+
+    #[test]
+    fn factories_cover_the_papers_seven_sotas() {
+        let trace = lhr_trace::synth::IrmConfig::new(10, 100).generate();
+        let names: Vec<String> =
+            sota_factories(&trace, 0).iter().map(|f| f.name.clone()).collect();
+        assert_eq!(
+            names,
+            vec!["LRU", "LRU-4", "LFU-DA", "AdaptSize", "B-LRU", "LRB", "Hawkeye"]
+        );
+    }
+
+    #[test]
+    fn factories_build_policies_with_requested_capacity() {
+        let trace = lhr_trace::synth::IrmConfig::new(10, 100).generate();
+        for factory in all_factories(&trace, 0) {
+            let policy = (factory.build)(12_345);
+            assert_eq!(policy.capacity(), 12_345, "{}", factory.name);
+        }
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("a          "));
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(gb(1_500_000_000), "1.5");
+        assert_eq!(pct(0.12345), "12.35");
+    }
+}

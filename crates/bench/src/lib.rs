@@ -1,0 +1,15 @@
+//! Experiment harness for the LHR reproduction: one function per paper
+//! table/figure (in [`experiments`]), shared infrastructure in
+//! [`harness`], and thin binaries in `src/bin/` that print each
+//! experiment's output.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p lhr-bench --release --bin repro -- --scale small
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod harness;

@@ -1,0 +1,72 @@
+//! Future-request indexing shared by the offline bounds.
+
+use lhr_trace::Trace;
+use std::collections::HashMap;
+
+/// Sentinel meaning "never requested again".
+pub const NEVER: u64 = u64::MAX;
+
+/// For each request index `i`, the index of the *next* request for the same
+/// object, or [`NEVER`]. Computed in one backward pass.
+pub fn next_use_indices(trace: &Trace) -> Vec<u64> {
+    let mut next = vec![NEVER; trace.len()];
+    let mut last_seen: HashMap<u64, u64> = HashMap::new();
+    for (i, req) in trace.iter().enumerate().rev() {
+        if let Some(&later) = last_seen.get(&req.id) {
+            next[i] = later;
+        }
+        last_seen.insert(req.id, i as u64);
+    }
+    next
+}
+
+/// All reuse intervals of a trace: `(start index, end index, size)` for each
+/// consecutive pair of requests to the same object. Caching the object over
+/// `[start, end)` turns request `end` into a hit.
+pub fn reuse_intervals(trace: &Trace) -> Vec<(u64, u64, u64)> {
+    let next = next_use_indices(trace);
+    let mut intervals = Vec::new();
+    for (i, req) in trace.iter().enumerate() {
+        if next[i] != NEVER {
+            intervals.push((i as u64, next[i], req.size));
+        }
+    }
+    intervals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_trace::{Request, Time};
+
+    fn trace() -> Trace {
+        // ids: a b a c b a
+        let ids = [1u64, 2, 1, 3, 2, 1];
+        Trace::from_requests(
+            "t",
+            ids.iter()
+                .enumerate()
+                .map(|(i, &id)| Request::new(Time::from_secs(i as u64), id, 10 * id))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn next_use_is_correct() {
+        let next = next_use_indices(&trace());
+        assert_eq!(next, vec![2, 4, 5, NEVER, NEVER, NEVER]);
+    }
+
+    #[test]
+    fn reuse_intervals_cover_every_rerequest() {
+        let intervals = reuse_intervals(&trace());
+        assert_eq!(intervals, vec![(0, 2, 10), (1, 4, 20), (2, 5, 10)]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new("e");
+        assert!(next_use_indices(&t).is_empty());
+        assert!(reuse_intervals(&t).is_empty());
+    }
+}

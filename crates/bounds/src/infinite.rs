@@ -1,0 +1,65 @@
+//! The infinite-capacity bound: only compulsory (first-touch) misses.
+
+use lhr_sim::bound::{base_metrics, OfflineBound};
+use lhr_sim::SimMetrics;
+use lhr_trace::Trace;
+use std::collections::HashSet;
+
+/// InfiniteCap (Abrams et al. '95): every request after an object's first is
+/// a hit. The loosest classical upper bound on OPT.
+#[derive(Debug, Clone, Default)]
+pub struct InfiniteCap;
+
+impl OfflineBound for InfiniteCap {
+    fn name(&self) -> &str {
+        "InfiniteCap"
+    }
+
+    fn evaluate(&self, trace: &Trace, _capacity: u64) -> SimMetrics {
+        let mut metrics = base_metrics(trace);
+        let mut seen = HashSet::new();
+        for req in trace.iter() {
+            if seen.insert(req.id) {
+                metrics.misses_admitted += 1;
+            } else {
+                metrics.hits += 1;
+                metrics.bytes_hit += req.size as u128;
+            }
+        }
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_trace::{Request, Time};
+
+    #[test]
+    fn only_first_touches_miss() {
+        let ids = [1u64, 2, 1, 3, 2, 1];
+        let t = Trace::from_requests(
+            "t",
+            ids.iter()
+                .enumerate()
+                .map(|(i, &id)| Request::new(Time::from_secs(i as u64), id, 5))
+                .collect(),
+        );
+        let m = InfiniteCap.evaluate(&t, 1);
+        assert_eq!(m.misses(), 3);
+        assert_eq!(m.hits, 3);
+        assert_eq!(m.bytes_hit, 15);
+    }
+
+    #[test]
+    fn capacity_is_ignored() {
+        let t = Trace::from_requests(
+            "t",
+            vec![
+                Request::new(Time::from_secs(0), 1, 1_000_000),
+                Request::new(Time::from_secs(1), 1, 1_000_000),
+            ],
+        );
+        assert_eq!(InfiniteCap.evaluate(&t, 1).hits, 1);
+    }
+}

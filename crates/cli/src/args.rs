@@ -1,0 +1,124 @@
+//! Minimal `--flag value` argument parsing (the allowed dependency set has
+//! no CLI crate, and the surface is small enough not to need one).
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parsed arguments: `--key value` pairs plus positional arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    /// Non-flag arguments in order (trace paths).
+    pub positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the command word).
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            if let Some(key) = token.strip_prefix("--") {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} expects a value"))?;
+                if value.starts_with("--") {
+                    return Err(format!("--{key} expects a value, got `{value}`"));
+                }
+                args.flags.insert(key.to_string(), value.clone());
+                i += 2;
+            } else {
+                args.positional.push(token.clone());
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    /// Raw flag value.
+    pub fn get(&self, key: &str) -> Option<&String> {
+        self.flags.get(key)
+    }
+
+    /// Parsed flag value, `Ok(None)` when absent.
+    pub fn get_parse<T: FromStr>(&self, key: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("--{key} {raw}: {e}")),
+        }
+    }
+}
+
+/// Parses a byte size: raw integer or `KB`/`MB`/`GB`/`TB` suffix (powers of
+/// 10, case-insensitive, optional fractional part like `1.5GB`).
+pub fn parse_size(raw: &str) -> Result<u64, String> {
+    let lower = raw.trim().to_ascii_lowercase();
+    let (digits, multiplier) = if let Some(d) = lower.strip_suffix("tb") {
+        (d, 1e12)
+    } else if let Some(d) = lower.strip_suffix("gb") {
+        (d, 1e9)
+    } else if let Some(d) = lower.strip_suffix("mb") {
+        (d, 1e6)
+    } else if let Some(d) = lower.strip_suffix("kb") {
+        (d, 1e3)
+    } else {
+        (lower.as_str(), 1.0)
+    };
+    let value: f64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad size `{raw}`"))?;
+    // NaN must be rejected alongside non-positive values.
+    if value.is_nan() || value <= 0.0 {
+        return Err(format!("size must be positive: `{raw}`"));
+    }
+    Ok((value * multiplier) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(&argv(&["--capacity", "1GB", "trace.csv", "--seed", "7"])).unwrap();
+        assert_eq!(a.get("capacity").unwrap(), "1GB");
+        assert_eq!(a.get_parse::<u64>("seed").unwrap(), Some(7));
+        assert_eq!(a.positional, vec!["trace.csv"]);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv(&["--seed"])).is_err());
+        assert!(Args::parse(&argv(&["--seed", "--out"])).is_err());
+    }
+
+    #[test]
+    fn absent_flag_parses_to_none() {
+        let a = Args::parse(&argv(&[])).unwrap();
+        assert_eq!(a.get_parse::<u64>("seed").unwrap(), None);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(parse_size("1024").unwrap(), 1024);
+        assert_eq!(parse_size("1KB").unwrap(), 1_000);
+        assert_eq!(parse_size("512mb").unwrap(), 512_000_000);
+        assert_eq!(parse_size("1.5GB").unwrap(), 1_500_000_000);
+        assert_eq!(parse_size("2TB").unwrap(), 2_000_000_000_000);
+        assert!(parse_size("abc").is_err());
+        assert!(parse_size("-1GB").is_err());
+        assert!(parse_size("0").is_err());
+    }
+}

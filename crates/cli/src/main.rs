@@ -1,0 +1,272 @@
+//! `lhr-cache` — command-line front end for the LHR reproduction.
+//!
+//! ```text
+//! lhr-cache generate --kind zipf --objects 2000 --requests 100000 --out t.csv
+//! lhr-cache stats t.csv
+//! lhr-cache simulate --policy LHR --capacity 512MB t.csv
+//! lhr-cache compare --capacity 512MB t.csv
+//! lhr-cache bound --capacity 512MB t.csv
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod args;
+mod registry;
+
+use args::{parse_size, Args};
+use lhr_sim::{OfflineBound, SimConfig, Simulator};
+use lhr_trace::stats::one_hit_wonder_ratio;
+use lhr_trace::{io, Trace, TraceStats};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return usage();
+    }
+    let command = argv.remove(0);
+    let args = match Args::parse(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "stats" => cmd_stats(&args),
+        "simulate" => cmd_simulate(&args),
+        "compare" => cmd_compare(&args),
+        "bound" => cmd_bound(&args),
+        "mrc" => cmd_mrc(&args),
+        "server" => cmd_server(&args),
+        "--help" | "-h" | "help" => return usage(),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "lhr-cache — trace-driven CDN cache simulation (LHR, CoNEXT '21 reproduction)
+
+USAGE:
+  lhr-cache generate --kind KIND [--objects N] [--requests N] [--alpha A]
+                     [--seed S] --out PATH        synthesize a trace
+      KIND: zipf | cdn-a | cdn-b | cdn-c | wiki | syn-one | syn-two
+      PATH ending in .bin writes the compact binary format, else CSV
+  lhr-cache stats PATH                             Table-1 characteristics
+  lhr-cache simulate --policy NAME --capacity SIZE [--warmup N] [--seed S] PATH
+  lhr-cache compare --capacity SIZE [--warmup N] [--seed S] PATH
+  lhr-cache bound --capacity SIZE PATH             offline/online bounds
+  lhr-cache mrc [--points N] [--sample R] PATH     LRU miss-ratio curve +
+                                                   Che-approximation prediction
+  lhr-cache server --policy NAME --capacity SIZE PATH
+                                                   replay through the simulated
+                                                   CDN serving path (latency,
+                                                   throughput, WAN)
+
+  SIZE accepts raw bytes or suffixes KB/MB/GB/TB (powers of 10).
+  Policies: {}",
+        registry::policy_names().join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn load_trace(args: &Args) -> Result<Trace, String> {
+    let path = args.positional.first().ok_or("missing trace path")?;
+    let trace = if path.ends_with(".bin") {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        io::read_binary(file, path_stem(path)).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        io::read_csv_file(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    trace.validate().map_err(|e| format!("{path}: invalid trace: {e}"))?;
+    Ok(trace)
+}
+
+fn path_stem(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let kind = args.get("kind").ok_or("--kind is required")?;
+    let out = args.get("out").ok_or("--out is required")?;
+    let seed = args.get_parse("seed")?.unwrap_or(42u64);
+    let objects = args.get_parse("objects")?.unwrap_or(10_000usize);
+    let requests = args.get_parse("requests")?.unwrap_or(100_000usize);
+    let alpha = args.get_parse("alpha")?.unwrap_or(0.9f64);
+
+    use lhr_trace::synth::{markov, production, IrmConfig, ProductionScale, SizeModel};
+    let trace = match kind.as_str() {
+        "zipf" => IrmConfig::new(objects, requests)
+            .zipf_alpha(alpha)
+            .size_model(SizeModel::BoundedPareto { alpha: 1.2, min: 10_000, max: 100_000_000 })
+            .seed(seed)
+            .generate(),
+        "cdn-a" => production::cdn_a(ProductionScale::Small, seed),
+        "cdn-b" => production::cdn_b(ProductionScale::Small, seed),
+        "cdn-c" => production::cdn_c(ProductionScale::Small, seed),
+        "wiki" => production::wiki(ProductionScale::Small, seed),
+        "syn-one" => markov::syn_one(objects.min(100_000), requests, requests / 5, alpha, seed),
+        "syn-two" => markov::syn_two(objects.min(100_000), requests, requests / 5, seed),
+        other => return Err(format!("unknown trace kind `{other}`")),
+    };
+    let file = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+    if out.ends_with(".bin") {
+        io::write_binary(&trace, file).map_err(|e| format!("{out}: {e}"))?;
+    } else {
+        io::write_csv(&trace, file).map_err(|e| format!("{out}: {e}"))?;
+    }
+    println!("wrote {} requests to {out}", trace.len());
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let s = TraceStats::compute(&trace);
+    println!("trace:            {}", s.name);
+    println!("requests:         {}", s.total_requests);
+    println!("unique contents:  {}", s.unique_contents);
+    println!("duration:         {:.2} h", s.duration_hours);
+    println!("total bytes:      {:.3} TB", s.total_bytes_requested as f64 / 1e12);
+    println!("unique bytes:     {:.1} GB", s.unique_bytes_requested as f64 / 1e9);
+    println!("peak active:      {:.1} GB", s.peak_active_bytes as f64 / 1e9);
+    println!("mean size:        {:.2} MB", s.mean_content_size / 1e6);
+    println!("max size:         {:.1} MB", s.max_content_size as f64 / 1e6);
+    println!("one-hit wonders:  {:.1} %", one_hit_wonder_ratio(&trace) * 100.0);
+    Ok(())
+}
+
+fn sim_config(args: &Args) -> Result<SimConfig, String> {
+    Ok(SimConfig { warmup_requests: args.get_parse("warmup")?.unwrap_or(0usize), series_every: None })
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let name = args.get("policy").ok_or("--policy is required")?;
+    let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
+    let seed = args.get_parse("seed")?.unwrap_or(42u64);
+    let mut policy = registry::build(name, capacity, seed, &trace)
+        .ok_or_else(|| format!("unknown policy `{name}` (try: {})", registry::policy_names().join(", ")))?;
+    let result = Simulator::new(sim_config(args)?).run(&mut policy, &trace);
+    println!(
+        "{} @ {:.2} GB on {}: hit {:.2}%  byte-hit {:.2}%  WAN {:.3} Gbps  \
+         evictions {}  wall {:.2}s",
+        result.policy,
+        capacity as f64 / 1e9,
+        result.trace,
+        result.metrics.object_hit_ratio() * 100.0,
+        result.metrics.byte_hit_ratio() * 100.0,
+        result.metrics.wan_gbps(),
+        result.evictions,
+        result.wall_secs,
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
+    let seed = args.get_parse("seed")?.unwrap_or(42u64);
+    let config = sim_config(args)?;
+    println!("{:<11} {:>8} {:>9} {:>10} {:>9}", "policy", "hit%", "byte-hit%", "WAN(Gbps)", "wall(s)");
+    for name in registry::policy_names() {
+        let mut policy =
+            registry::build(name, capacity, seed, &trace).expect("registry name");
+        let result = Simulator::new(config.clone()).run(&mut policy, &trace);
+        println!(
+            "{:<11} {:>8.2} {:>9.2} {:>10.3} {:>9.2}",
+            result.policy,
+            result.metrics.object_hit_ratio() * 100.0,
+            result.metrics.byte_hit_ratio() * 100.0,
+            result.metrics.wan_gbps(),
+            result.wall_secs,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_mrc(args: &Args) -> Result<(), String> {
+    use lhr_analysis::che::CheModel;
+    use lhr_analysis::mrc::{lru_mrc, MrcConfig};
+    let trace = load_trace(args)?;
+    let stats = TraceStats::compute(&trace);
+    let n_points: usize = args.get_parse("points")?.unwrap_or(10);
+    let sample: f64 = args.get_parse("sample")?.unwrap_or(1.0);
+    let unique = stats.unique_bytes_requested as u64;
+    let capacities: Vec<u64> =
+        (1..=n_points as u64).map(|k| (unique * k / n_points as u64).max(1)).collect();
+    let config = if sample >= 1.0 {
+        MrcConfig::exact(capacities)
+    } else {
+        MrcConfig::sampled(capacities, sample)
+    };
+    let curve = lru_mrc(&trace, &config);
+    let che = CheModel::from_trace(&trace);
+    println!("{:<14} {:>12} {:>10}", "capacity(GB)", "LRU hit%", "Che hit%");
+    for &(capacity, hit) in &curve.points {
+        println!(
+            "{:<14.3} {:>12.2} {:>10.2}",
+            capacity as f64 / 1e9,
+            hit * 100.0,
+            che.lru_hit_ratio(capacity) * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_server(args: &Args) -> Result<(), String> {
+    use lhr_proto::{CdnServer, ServerConfig};
+    let trace = load_trace(args)?;
+    let name = args.get("policy").ok_or("--policy is required")?;
+    let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
+    let seed = args.get_parse("seed")?.unwrap_or(42u64);
+    let policy = registry::build(name, capacity, seed, &trace)
+        .ok_or_else(|| format!("unknown policy `{name}`"))?;
+    let mut server = CdnServer::new(policy, ServerConfig::default());
+    let r = server.replay(&trace);
+    println!("policy:          {}", r.name);
+    println!("content hit:     {:.2} %", r.content_hit_pct);
+    println!("throughput:      {:.2} Gbps", r.throughput_gbps);
+    println!("mean latency:    {:.1} ms", r.mean_latency_ms);
+    println!("P90 latency:     {:.1} ms", r.p90_latency_ms);
+    println!("P99 latency:     {:.1} ms", r.p99_latency_ms);
+    println!("WAN traffic:     {:.3} Gbps", r.wan_gbps);
+    println!("peak metadata:   {:.2} MB", r.peak_mem_gb * 1e3);
+    println!("replay wall:     {:.2} s", r.replay_wall_secs);
+    Ok(())
+}
+
+fn cmd_bound(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
+    let bounds: Vec<Box<dyn OfflineBound>> = vec![
+        Box::new(lhr_bounds::InfiniteCap),
+        Box::new(lhr_bounds::Belady),
+        Box::new(lhr_bounds::BeladySize),
+        Box::new(lhr_bounds::PfooUpper),
+        Box::new(lhr_bounds::PfooLower),
+        Box::<lhr::Hro>::default(),
+    ];
+    println!("{:<12} {:>8} {:>10}", "bound", "hit%", "byte-hit%");
+    for bound in bounds {
+        let m = bound.evaluate(&trace, capacity);
+        println!(
+            "{:<12} {:>8.2} {:>10.2}",
+            bound.name(),
+            m.object_hit_ratio() * 100.0,
+            m.byte_hit_ratio() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Name → policy constructor registry for the CLI.
+
+use lhr::cache::{LhrCache, LhrConfig};
+use lhr_policies::{
+    s4lru, slru, AdaptSize, Arc, BLru, Fifo, Gdsf, Hawkeye, Hyperbolic, Lfo, LfuDa, Lhd,
+    Lrb, Lru, LruK, PopCache, RandomEviction, RlCache, TinyLfu, WTinyLfu,
+};
+use lhr_sim::CachePolicy;
+use lhr_trace::Trace;
+
+/// Every policy name accepted by `--policy` / iterated by `compare`.
+pub fn policy_names() -> &'static [&'static str] {
+    &[
+        "LHR", "D-LHR", "N-LHR", "LRU", "FIFO", "Random", "LRU-4", "LFU-DA", "GDSF", "ARC",
+        "SLRU", "S4LRU", "AdaptSize", "B-LRU", "TinyLFU", "W-TinyLFU", "Hyperbolic", "LHD",
+        "LFO", "LRB", "Hawkeye",
+    ]
+}
+
+/// Builds a policy by (case-insensitive) name.
+pub fn build(
+    name: &str,
+    capacity: u64,
+    seed: u64,
+    trace: &Trace,
+) -> Option<Box<dyn CachePolicy>> {
+    let objects = 1u64 << 16;
+    let lrb_window = (trace.duration().as_secs_f64() / 4.0).max(60.0);
+    Some(match name.to_ascii_uppercase().as_str() {
+        "LHR" => Box::new(LhrCache::new(capacity, LhrConfig { seed, ..LhrConfig::default() })),
+        "D-LHR" => {
+            Box::new(LhrCache::new(capacity, LhrConfig { seed, ..LhrConfig::d_lhr() }))
+        }
+        "N-LHR" => {
+            Box::new(LhrCache::new(capacity, LhrConfig { seed, ..LhrConfig::n_lhr() }))
+        }
+        "LRU" => Box::new(Lru::new(capacity)),
+        "FIFO" => Box::new(Fifo::new(capacity)),
+        "RANDOM" => Box::new(RandomEviction::new(capacity, seed)),
+        "LRU-4" => Box::new(LruK::new(capacity, 4)),
+        "LFU-DA" => Box::new(LfuDa::new(capacity)),
+        "GDSF" => Box::new(Gdsf::new(capacity)),
+        "ARC" => Box::new(Arc::new(capacity)),
+        "SLRU" => Box::new(slru(capacity)),
+        "S4LRU" => Box::new(s4lru(capacity)),
+        "ADAPTSIZE" => Box::new(AdaptSize::new(capacity, seed)),
+        "B-LRU" => Box::new(BLru::new(capacity, objects)),
+        "TINYLFU" => Box::new(TinyLfu::new(capacity, objects)),
+        "W-TINYLFU" => Box::new(WTinyLfu::new(capacity, objects)),
+        "HYPERBOLIC" => Box::new(Hyperbolic::new(capacity, seed)),
+        "LHD" => Box::new(Lhd::new(capacity, seed)),
+        "LFO" => Box::new(Lfo::new(capacity, 8_192)),
+        "RL-CACHE" => Box::new(RlCache::new(capacity, lrb_window, seed)),
+        "POPCACHE" => Box::new(PopCache::new(capacity, lrb_window, seed)),
+        "LRB" => Box::new(Lrb::new(capacity, lrb_window, seed)),
+        "HAWKEYE" => Box::new(Hawkeye::new(capacity)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_trace::synth::IrmConfig;
+
+    #[test]
+    fn every_listed_name_builds() {
+        let trace = IrmConfig::new(10, 100).generate();
+        for name in policy_names() {
+            let policy = build(name, 10_000, 1, &trace);
+            assert!(policy.is_some(), "{name} did not build");
+            assert_eq!(policy.unwrap().capacity(), 10_000);
+        }
+    }
+
+    #[test]
+    fn names_are_case_insensitive() {
+        let trace = IrmConfig::new(10, 100).generate();
+        assert!(build("lru", 1_000, 1, &trace).is_some());
+        assert!(build("hawkeye", 1_000, 1, &trace).is_some());
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        let trace = IrmConfig::new(10, 100).generate();
+        assert!(build("NOPE", 1_000, 1, &trace).is_none());
+    }
+}

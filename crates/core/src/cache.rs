@@ -1,0 +1,575 @@
+//! The LHR cache (§4, §5): admission and eviction driven by a learned
+//! admission probability that imitates HRO.
+
+use crate::detect::ZipfDetector;
+use crate::features::FeatureStore;
+use crate::hazard::hro_top_set;
+use crate::threshold::{ShadowRequest, ThresholdEstimator};
+use crate::window::{WindowData, WindowTracker};
+use lhr_gbm::{Dataset, Gbm, GbmParams};
+use lhr_sim::{CachePolicy, Outcome};
+use lhr_trace::{ObjectId, Request, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Which eviction rule LHR applies (§5.2.5 discusses both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionRule {
+    /// The paper's full rule: evict the smallest `q_i = p_i / (s_i · IRT₁)`.
+    QSizeIrt,
+    /// The "straightforward" baseline rule: evict the smallest `p_i`.
+    MinP,
+}
+
+/// Configuration for [`LhrCache`]. Defaults follow the paper's §7.1
+/// settings; the `d_lhr`/`n_lhr` presets build the §7.4 ablations.
+#[derive(Debug, Clone)]
+pub struct LhrConfig {
+    /// Sliding-window size as a multiple of the cache capacity in unique
+    /// bytes (paper default: 4×, swept in Figure 5).
+    pub window_multiplier: f64,
+    /// Number of inter-request-time features (paper default: 20, swept in
+    /// Figure 6).
+    pub n_irts: usize,
+    /// Detection threshold ε on the window-to-window Zipf-α shift.
+    pub epsilon: f64,
+    /// Threshold-adoption margin β (paper default 0.2%).
+    pub beta: f64,
+    /// `Some(δ)` pins the admission threshold (D-LHR uses 0.5); `None`
+    /// enables the auto-tuned estimator.
+    pub fixed_threshold: Option<f64>,
+    /// When false, the model retrains after *every* window (N-LHR).
+    pub detection: bool,
+    /// Gradient-boosting hyperparameters.
+    pub gbm: GbmParams,
+    /// Eviction candidate sample size.
+    pub eviction_sample: usize,
+    /// Eviction rule (the full `q` rule by default).
+    pub eviction_rule: EvictionRule,
+    /// Cap on training rows per retraining (windows larger than this are
+    /// subsampled uniformly — §5.2.3 observes half the window suffices).
+    pub max_train_rows: usize,
+    /// Number of recent completed windows whose labeled samples feed a
+    /// retraining (newest first, truncated at `max_train_rows`). More than
+    /// one window matters when windows are small relative to the feature
+    /// space; the labels are still HRO's per-window decisions.
+    pub train_window_history: usize,
+    /// Minimum requests per sliding window. The unique-bytes rule alone
+    /// produces windows of tens of thousands of requests at the paper's
+    /// full scale; this floor keeps reduced-scale windows trainable.
+    pub min_window_requests: usize,
+    /// PRNG seed (sampled eviction).
+    pub seed: u64,
+    /// Display-name override (the ablation presets set this).
+    pub name: Option<&'static str>,
+}
+
+impl Default for LhrConfig {
+    fn default() -> Self {
+        LhrConfig {
+            window_multiplier: 4.0,
+            n_irts: 20,
+            epsilon: 0.05,
+            beta: 0.002,
+            fixed_threshold: None,
+            detection: true,
+            gbm: GbmParams { n_trees: 25, max_depth: 6, ..GbmParams::default() },
+            eviction_sample: 64,
+            eviction_rule: EvictionRule::QSizeIrt,
+            max_train_rows: 32_768,
+            train_window_history: 2,
+            min_window_requests: 4_096,
+            seed: 0,
+            name: None,
+        }
+    }
+}
+
+impl LhrConfig {
+    /// D-LHR (§7.4): LHR with the threshold fixed at 0.5 — isolates the
+    /// contribution of the estimation algorithm.
+    pub fn d_lhr() -> Self {
+        LhrConfig { fixed_threshold: Some(0.5), name: Some("D-LHR"), ..LhrConfig::default() }
+    }
+
+    /// N-LHR (§7.4): D-LHR without the detection mechanism (retrains every
+    /// window) — isolates the contribution of detection.
+    pub fn n_lhr() -> Self {
+        LhrConfig {
+            fixed_threshold: Some(0.5),
+            detection: false,
+            name: Some("N-LHR"),
+            ..LhrConfig::default()
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CachedEntry {
+    size: u64,
+    /// Learned admission probability — the paper's ℒ vector entry.
+    prob: f64,
+    last_access: Time,
+}
+
+/// Counters exposed for the §7.4 ablation study (Figure 10) and Figure 9.
+#[derive(Debug, Clone, Default)]
+pub struct LhrStats {
+    /// Model retrainings performed.
+    pub trainings: u64,
+    /// Windows observed.
+    pub windows: u64,
+    /// Wall-clock seconds spent inside `Gbm::fit`.
+    pub train_wall_secs: f64,
+    /// Threshold updates adopted by the estimator.
+    pub threshold_updates: u64,
+    /// Final admission threshold δ.
+    pub final_threshold: f64,
+}
+
+/// The LHR cache policy.
+pub struct LhrCache {
+    capacity: u64,
+    used: u64,
+    config: LhrConfig,
+    display_name: &'static str,
+
+    entries: HashMap<ObjectId, CachedEntry>,
+    dense: Vec<ObjectId>,
+    positions: HashMap<ObjectId, usize>,
+
+    features: FeatureStore,
+    window: WindowTracker,
+    /// Feature rows aligned one-to-one with the in-progress window's
+    /// requests (training inputs).
+    window_rows: Vec<Vec<f32>>,
+    /// Learned probabilities aligned with the window's requests (threshold
+    /// estimation inputs).
+    window_probs: Vec<f64>,
+    /// Labeled samples of recently completed windows, newest last:
+    /// `(rows, labels)` per window.
+    labeled_history: std::collections::VecDeque<(Vec<Vec<f32>>, Vec<f32>)>,
+    model: Option<Gbm>,
+    detector: ZipfDetector,
+    threshold: ThresholdEstimator,
+    rng: SmallRng,
+
+    evictions: u64,
+    stats: LhrStats,
+}
+
+impl LhrCache {
+    /// A fresh LHR cache of `capacity` bytes.
+    pub fn new(capacity: u64, config: LhrConfig) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let target = ((capacity as f64 * config.window_multiplier) as u64).max(1);
+        let mut threshold = ThresholdEstimator::new(config.beta);
+        if let Some(delta) = config.fixed_threshold {
+            threshold.delta = delta;
+        }
+        LhrCache {
+            capacity,
+            used: 0,
+            display_name: config.name.unwrap_or("LHR"),
+            features: FeatureStore::new(config.n_irts),
+            window: WindowTracker::with_min_requests(target, config.min_window_requests),
+            window_rows: Vec::new(),
+            window_probs: Vec::new(),
+            labeled_history: std::collections::VecDeque::new(),
+            model: None,
+            detector: ZipfDetector::new(config.epsilon),
+            threshold,
+            rng: SmallRng::seed_from_u64(config.seed ^ 0x1117),
+            entries: HashMap::new(),
+            dense: Vec::new(),
+            positions: HashMap::new(),
+            evictions: 0,
+            stats: LhrStats::default(),
+            config,
+        }
+    }
+
+    /// Ablation / experiment counters.
+    pub fn stats(&self) -> LhrStats {
+        let mut s = self.stats.clone();
+        s.threshold_updates = self.threshold.updates;
+        s.final_threshold = self.threshold.delta;
+        s
+    }
+
+    /// Current admission threshold δ.
+    pub fn delta(&self) -> f64 {
+        self.threshold.delta
+    }
+
+    /// Feature row for a request: the recorded history as of `req.ts`, or a
+    /// cold row (size + zero count/age, missing IRTs) for first sightings.
+    fn row_for(&self, req: &Request) -> Vec<f32> {
+        self.features.features(req.id, req.ts).unwrap_or_else(|| {
+            let mut row = vec![f32::NAN; self.features.n_features()];
+            row[0] = (req.size.max(1) as f32).ln();
+            row[1] = 0.0; // ln(1 + 0 prior requests)
+            row[2] = (1e-6f32).ln(); // zero age
+            row
+        })
+    }
+
+    fn predict(&self, row: &[f32]) -> f64 {
+        match &self.model {
+            Some(model) => model.predict_probability(row),
+            // Before the first training window completes LHR admits
+            // everything (§5.1: the algorithm executes from the second
+            // window onwards).
+            None => 1.0,
+        }
+    }
+
+    /// Sampled min-`q` eviction: `q_i = p_i / (s_i · IRT₁)` (§5.2.5).
+    /// Contents whose stored probability fell below δ (the paper's
+    /// *eviction candidates*) are preferred when present in the sample.
+    fn evict_one(&mut self, now: Time) {
+        debug_assert!(!self.dense.is_empty());
+        let n = self.dense.len();
+        let k = self.config.eviction_sample.min(n).max(1);
+        let delta = self.threshold.delta;
+        let mut best_candidate: Option<(f64, ObjectId)> = None;
+        let mut best_any: Option<(f64, ObjectId)> = None;
+        for _ in 0..k {
+            let id = self.dense[self.rng.gen_range(0..n)];
+            let e = &self.entries[&id];
+            let q = match self.config.eviction_rule {
+                EvictionRule::QSizeIrt => {
+                    let irt1 = now.saturating_sub(e.last_access).as_secs_f64().max(1e-6);
+                    e.prob / (e.size as f64 * irt1)
+                }
+                EvictionRule::MinP => e.prob,
+            };
+            if e.prob < delta && best_candidate.is_none_or(|(bq, _)| q < bq) {
+                best_candidate = Some((q, id));
+            }
+            if best_any.is_none_or(|(bq, _)| q < bq) {
+                best_any = Some((q, id));
+            }
+        }
+        let victim = best_candidate.or(best_any).expect("k >= 1").1;
+        let entry = self.entries.remove(&victim).expect("sampled from cache");
+        self.used -= entry.size;
+        let pos = self.positions.remove(&victim).expect("indexed");
+        self.dense.swap_remove(pos);
+        if pos < self.dense.len() {
+            self.positions.insert(self.dense[pos], pos);
+        }
+        self.evictions += 1;
+    }
+
+    fn admit(&mut self, req: &Request, prob: f64) {
+        while self.used + req.size > self.capacity {
+            self.evict_one(req.ts);
+        }
+        self.entries
+            .insert(req.id, CachedEntry { size: req.size, prob, last_access: req.ts });
+        self.positions.insert(req.id, self.dense.len());
+        self.dense.push(req.id);
+        self.used += req.size;
+    }
+
+    /// Window finalization: detection → (re)training → threshold update
+    /// (Algorithm 1).
+    fn finalize_window(&mut self, done: WindowData) {
+        self.stats.windows += 1;
+        let detection = self.detector.observe(&done);
+        let retrain = self.model.is_none()
+            || (if self.config.detection { detection.retrain } else { true });
+
+        // Label the window with HRO's decisions regardless of whether we
+        // retrain now — later retrains draw on it. Stored rows are
+        // subsampled so the retained history never exceeds
+        // `max_train_rows` rows in total.
+        debug_assert_eq!(done.requests.len(), self.window_rows.len());
+        let top = hro_top_set(&done, self.capacity);
+        let rows = std::mem::take(&mut self.window_rows);
+        let per_window_cap =
+            (self.config.max_train_rows / self.config.train_window_history.max(1)).max(1);
+        let stride = (rows.len() / per_window_cap).max(1);
+        let mut kept_rows = Vec::with_capacity(rows.len() / stride + 1);
+        let mut kept_labels = Vec::with_capacity(rows.len() / stride + 1);
+        for (i, (row, &(_, id, _))) in rows.iter().zip(done.requests.iter()).enumerate() {
+            if i % stride == 0 {
+                kept_labels.push(if top.contains(&id) { 1.0 } else { 0.0 });
+                kept_rows.push(row.clone());
+            }
+        }
+        self.labeled_history.push_back((kept_rows, kept_labels));
+        while self.labeled_history.len() > self.config.train_window_history.max(1) {
+            self.labeled_history.pop_front();
+        }
+
+        if retrain {
+            self.train();
+            if self.config.fixed_threshold.is_none() {
+                // The shadow evaluation pairs *every* window request with
+                // its feature row (the full `rows`, not the subsampled
+                // training copy) and the fresh model's probabilities.
+                let shadow: Vec<ShadowRequest> = done
+                    .requests
+                    .iter()
+                    .zip(rows.iter())
+                    .map(|(&(ts, id, size), row)| ShadowRequest {
+                        ts,
+                        id,
+                        size,
+                        prob: self.predict(row),
+                    })
+                    .collect();
+                let mut snapshot: Vec<(ObjectId, f64, u64, Time)> = self
+                    .entries
+                    .iter()
+                    .map(|(&id, e)| (id, e.prob, e.size, e.last_access))
+                    .collect();
+                // HashMap iteration order is randomized; the shadow's
+                // truncation-at-capacity depends on order, so sort for
+                // determinism.
+                snapshot.sort_unstable_by_key(|&(id, ..)| id);
+                self.threshold.update(&shadow, self.capacity, &snapshot);
+            }
+        }
+
+        self.window_probs.clear();
+        // Keep feature history for a few windows back (§5.1).
+        self.features.prune_before(done.index.saturating_sub(3));
+    }
+
+    /// Trains the admission model on HRO's decisions over the recent
+    /// windows (§5.2.4: squared-error regression on the 0/1 HRO labels),
+    /// newest window first, truncated at `max_train_rows`.
+    fn train(&mut self) {
+        let total: usize = self.labeled_history.iter().map(|(rows, _)| rows.len()).sum();
+        if total == 0 {
+            return;
+        }
+        let stride = (total / self.config.max_train_rows.max(1)).max(1);
+        let mut data = Dataset::new(self.features.n_features());
+        data.reserve(total / stride + 1);
+        let mut i = 0usize;
+        for (rows, labels) in self.labeled_history.iter().rev() {
+            for (row, &label) in rows.iter().zip(labels.iter()) {
+                if i.is_multiple_of(stride) {
+                    data.push_row(row, label);
+                }
+                i += 1;
+            }
+        }
+        if data.is_empty() {
+            return;
+        }
+        let t0 = std::time::Instant::now();
+        self.model = Some(Gbm::fit(&data, &self.config.gbm));
+        self.stats.train_wall_secs += t0.elapsed().as_secs_f64();
+        self.stats.trainings += 1;
+    }
+}
+
+impl CachePolicy for LhrCache {
+    fn name(&self) -> &str {
+        self.display_name
+    }
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+    fn contains(&self, id: ObjectId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    fn handle(&mut self, req: &Request) -> Outcome {
+        // 1. Features as of this request (IRT₁ = time since previous one).
+        let row = self.row_for(req);
+        let prob = self.predict(&row);
+
+        // 2. Window bookkeeping (the rows feed training if this window
+        //    triggers a retrain).
+        self.window_rows.push(row);
+        self.window_probs.push(prob);
+        let completed = self.window.observe(req);
+        let window_idx = self.window.current_index();
+        self.features.record(req.id, req.size, req.ts, window_idx);
+
+        // 3. Cache decision (§4.1's four cases).
+        let delta = self.threshold.delta;
+        let outcome = if let Some(entry) = self.entries.get_mut(&req.id) {
+            // Cases (i)/(ii): update ℒ; candidacy (p < δ) is re-derived at
+            // eviction time from the stored probability.
+            entry.prob = prob;
+            entry.last_access = req.ts;
+            Outcome::Hit
+        } else if prob >= delta && req.size <= self.capacity {
+            // Case (iii): admit.
+            self.admit(req, prob);
+            Outcome::MissAdmitted
+        } else {
+            // Case (iv): discard.
+            Outcome::MissBypassed
+        };
+
+        // 4. End-of-window work happens after the request is served.
+        if let Some(done) = completed {
+            self.finalize_window(done);
+        }
+        outcome
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn metadata_overhead_bytes(&self) -> u64 {
+        let model = self.model.as_ref().map_or(0, |m| m.approx_size_bytes() as u64);
+        let row_bytes = self.features.n_features() * 4 + 8;
+        let history_rows: usize =
+            self.labeled_history.iter().map(|(rows, _)| rows.len()).sum();
+        self.entries.len() as u64 * 64
+            + self.features.overhead_bytes()
+            + self.window.overhead_bytes()
+            + ((self.window_rows.len() + history_rows) * row_bytes) as u64
+            + model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_sim::{SimConfig, Simulator};
+    use lhr_trace::synth::{IrmConfig, SizeModel};
+    use lhr_trace::Trace;
+
+    fn zipf_trace(seed: u64) -> Trace {
+        IrmConfig::new(400, 30_000)
+            .zipf_alpha(1.0)
+            .size_model(SizeModel::BoundedPareto { alpha: 1.2, min: 1_000, max: 100_000 })
+            .seed(seed)
+            .generate()
+    }
+
+    #[test]
+    fn runs_and_trains_on_a_zipf_trace() {
+        let trace = zipf_trace(1);
+        // Capacity a small fraction of the working set (the paper's regime:
+        // cache ≈ 6% of unique bytes) so several windows complete.
+        let mut cache = LhrCache::new(120_000, LhrConfig::default());
+        let result = Simulator::new(SimConfig::default()).run(&mut cache, &trace);
+        assert!(cache.stats().trainings >= 1, "model never trained");
+        assert!(result.metrics.object_hit_ratio() > 0.1, "{}", result.metrics.object_hit_ratio());
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let trace = zipf_trace(2);
+        let mut cache = LhrCache::new(150_000, LhrConfig::default());
+        for req in trace.iter() {
+            cache.handle(req);
+            assert!(cache.used_bytes() <= cache.capacity());
+        }
+        assert!(cache.evictions() > 0);
+    }
+
+    #[test]
+    #[allow(clippy::explicit_counter_loop)]
+    fn beats_unpopular_admission_of_plain_lru_on_one_hit_heavy_trace() {
+        use lhr_policies::Lru;
+        // Trace with a hot set + a flood of one-hit wonders: LHR's learned
+        // admission should outperform admit-all LRU.
+        let mut reqs = Vec::new();
+        let mut t = 0u64;
+        let mut cold = 10_000u64;
+        for round in 0..4_000u64 {
+            for hot in 0..6u64 {
+                reqs.push(Request::new(Time::from_secs(t), hot, 20_000));
+                t += 1;
+            }
+            let _ = round;
+            reqs.push(Request::new(Time::from_secs(t), cold, 20_000));
+            cold += 1;
+            t += 1;
+        }
+        let trace = Trace::from_requests("hot+cold", reqs);
+        let capacity = 100_000; // fits the 6-object hot set (120 KB > cap ⇒ 5 of 6)
+        let cfg = SimConfig { warmup_requests: 7_000, series_every: None };
+        let mut lhr = LhrCache::new(capacity, LhrConfig::default());
+        let lhr_result = Simulator::new(cfg.clone()).run(&mut lhr, &trace);
+        let mut lru = Lru::new(capacity);
+        let lru_result = Simulator::new(cfg).run(&mut lru, &trace);
+        assert!(
+            lhr_result.metrics.object_hit_ratio() > lru_result.metrics.object_hit_ratio(),
+            "LHR {} ≤ LRU {}",
+            lhr_result.metrics.object_hit_ratio(),
+            lru_result.metrics.object_hit_ratio()
+        );
+    }
+
+    #[test]
+    fn d_lhr_keeps_fixed_threshold() {
+        let trace = zipf_trace(3);
+        let mut cache = LhrCache::new(300_000, LhrConfig::d_lhr());
+        Simulator::new(SimConfig::default()).run(&mut cache, &trace);
+        assert_eq!(cache.delta(), 0.5);
+        assert_eq!(cache.stats().threshold_updates, 0);
+        assert_eq!(cache.name(), "D-LHR");
+    }
+
+    #[test]
+    fn n_lhr_retrains_every_window() {
+        let trace = zipf_trace(4);
+        let mut d = LhrCache::new(200_000, LhrConfig::d_lhr());
+        Simulator::new(SimConfig::default()).run(&mut d, &trace);
+        let mut n = LhrCache::new(200_000, LhrConfig::n_lhr());
+        Simulator::new(SimConfig::default()).run(&mut n, &trace);
+        let (ds, ns) = (d.stats(), n.stats());
+        assert_eq!(ns.trainings, ns.windows, "N-LHR must retrain every window");
+        assert!(
+            ds.trainings <= ns.trainings,
+            "detection should not increase trainings: {} vs {}",
+            ds.trainings,
+            ns.trainings
+        );
+        assert_eq!(n.name(), "N-LHR");
+    }
+
+    #[test]
+    fn first_window_admits_everything() {
+        let mut cache = LhrCache::new(1 << 30, LhrConfig::default());
+        let r = Request::new(Time::from_secs(0), 1, 100);
+        assert_eq!(cache.handle(&r), Outcome::MissAdmitted);
+    }
+
+    #[test]
+    fn oversized_objects_bypassed() {
+        let mut cache = LhrCache::new(1_000, LhrConfig::default());
+        let r = Request::new(Time::from_secs(0), 1, 2_000);
+        assert_eq!(cache.handle(&r), Outcome::MissBypassed);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let trace = zipf_trace(5);
+        let run = |seed| {
+            let mut cache =
+                LhrCache::new(250_000, LhrConfig { seed, ..LhrConfig::default() });
+            let r = Simulator::new(SimConfig::default()).run(&mut cache, &trace);
+            (r.metrics.hits, cache.stats().trainings)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn stats_report_threshold() {
+        let trace = zipf_trace(6);
+        let mut cache = LhrCache::new(250_000, LhrConfig::default());
+        Simulator::new(SimConfig::default()).run(&mut cache, &trace);
+        let s = cache.stats();
+        assert!((0.0..=1.0).contains(&s.final_threshold));
+        assert!(s.windows > 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! The detection mechanism (§5.2.2, Appendix A.2): a least-squares estimate
+//! of the window's Zipf exponent α; the learning model is retrained only
+//! when α shifts by at least ε between consecutive windows.
+
+use crate::window::WindowData;
+
+/// Least-squares fit of `log p_i = log A − α log i` over a window's
+/// rank-frequency data. Returns `(alpha, log_a)`; `alpha` is the estimated
+/// Zipf exponent. Complexity O(N log N) for the rank sort, O(N) for the
+/// fit (the paper quotes O(N) assuming counts are already ranked).
+pub fn estimate_zipf_alpha(counts: &mut Vec<u32>) -> (f64, f64) {
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    if counts.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let total: f64 = counts.iter().map(|&c| c as f64).sum();
+    // Empirical counts in the tail are dominated by sampling noise (ranks
+    // whose expected count is below ~3 observe 0/1/2 essentially at
+    // random), which both biases the slope and inflates its window-to-
+    // window variance — fatal for a change detector. Fit only the head
+    // where counts are statistically meaningful, unless that leaves too
+    // few points.
+    let head = counts.partition_point(|&c| c >= 3);
+    let fit = if head >= 10 { &counts[..head] } else { &counts[..] };
+    // x = ln(rank), y = ln(share).
+    let n = fit.len() as f64;
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (i, &c) in fit.iter().enumerate() {
+        let x = ((i + 1) as f64).ln();
+        let y = (c as f64 / total).ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return (0.0, 0.0);
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    (-slope, intercept)
+}
+
+/// The detector: holds the previous window's α and decides when the model
+/// must be retrained.
+#[derive(Debug, Clone)]
+pub struct ZipfDetector {
+    /// Retraining threshold ε on |α_k − α_{k−1}|.
+    pub epsilon: f64,
+    prev_alpha: Option<f64>,
+    /// Number of windows flagged for retraining.
+    pub detections: u64,
+    /// Number of windows examined.
+    pub windows: u64,
+}
+
+impl ZipfDetector {
+    /// A detector with threshold `epsilon`.
+    pub fn new(epsilon: f64) -> Self {
+        ZipfDetector { epsilon, prev_alpha: None, detections: 0, windows: 0 }
+    }
+
+    /// Estimates α for `window` and reports whether the request pattern
+    /// changed enough to warrant retraining. The first window always
+    /// triggers (there is no model yet).
+    pub fn observe(&mut self, window: &WindowData) -> DetectOutcome {
+        let mut counts: Vec<u32> = window.counts.values().copied().collect();
+        let (alpha, _) = estimate_zipf_alpha(&mut counts);
+        self.windows += 1;
+        let changed = match self.prev_alpha {
+            None => true,
+            Some(prev) => (alpha - prev).abs() >= self.epsilon,
+        };
+        self.prev_alpha = Some(alpha);
+        if changed {
+            self.detections += 1;
+        }
+        DetectOutcome { alpha, retrain: changed }
+    }
+}
+
+/// Result of examining one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectOutcome {
+    /// Estimated Zipf exponent of the window.
+    pub alpha: f64,
+    /// Whether the model should be retrained.
+    pub retrain: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_trace::synth::zipf::zipf_pmf;
+    use lhr_trace::Time;
+    use std::collections::HashMap;
+
+    fn window_with_counts(counts: &[u32]) -> WindowData {
+        let mut map = HashMap::new();
+        for (i, &c) in counts.iter().enumerate() {
+            map.insert(i as u64, c);
+        }
+        WindowData {
+            index: 0,
+            requests: Vec::new(),
+            counts: map,
+            unique_bytes: 0,
+            span: (Time::ZERO, Time::from_secs(1)),
+        }
+    }
+
+    /// Ideal Zipf counts for n contents and R requests.
+    fn ideal_counts(n: usize, alpha: f64, requests: f64) -> Vec<u32> {
+        zipf_pmf(n, alpha).iter().map(|p| (p * requests).round().max(1.0) as u32).collect()
+    }
+
+    #[test]
+    fn recovers_alpha_on_ideal_data() {
+        for &alpha in &[0.5, 0.8, 1.1] {
+            let mut counts = ideal_counts(500, alpha, 1e6);
+            let (est, _) = estimate_zipf_alpha(&mut counts);
+            assert!((est - alpha).abs() < 0.05, "alpha {alpha}: estimated {est}");
+        }
+    }
+
+    #[test]
+    fn uniform_counts_give_zero_alpha() {
+        let mut counts = vec![10u32; 100];
+        let (est, _) = estimate_zipf_alpha(&mut counts);
+        assert!(est.abs() < 1e-9, "estimated {est}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(estimate_zipf_alpha(&mut vec![]), (0.0, 0.0));
+        assert_eq!(estimate_zipf_alpha(&mut vec![5]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn first_window_always_retrains() {
+        let mut d = ZipfDetector::new(0.05);
+        let out = d.observe(&window_with_counts(&ideal_counts(100, 0.8, 1e5)));
+        assert!(out.retrain);
+        assert_eq!(d.detections, 1);
+    }
+
+    #[test]
+    fn stable_alpha_suppresses_retraining() {
+        let mut d = ZipfDetector::new(0.05);
+        let counts = ideal_counts(200, 0.9, 1e5);
+        d.observe(&window_with_counts(&counts));
+        let out = d.observe(&window_with_counts(&counts));
+        assert!(!out.retrain, "identical window triggered retraining");
+        assert_eq!(d.detections, 1);
+    }
+
+    #[test]
+    fn alpha_shift_triggers_retraining() {
+        let mut d = ZipfDetector::new(0.05);
+        d.observe(&window_with_counts(&ideal_counts(200, 0.7, 1e5)));
+        let out = d.observe(&window_with_counts(&ideal_counts(200, 1.1, 1e5)));
+        assert!(out.retrain, "α 0.7 → 1.1 went undetected");
+        assert!((out.alpha - 1.1).abs() < 0.1);
+    }
+
+    #[test]
+    fn detection_accuracy_on_noisy_synthetic_shifts() {
+        // Appendix A.2-style check: alternate α between 0.7 and 1.1 with
+        // sampled (noisy) counts; the detector must flag ≥ 90% of true
+        // shifts and not fire on repeats of the same α.
+        use lhr_trace::synth::ZipfSampler;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample_counts = |alpha: f64, rng: &mut StdRng| {
+            let s = ZipfSampler::new(300, alpha);
+            let mut counts = vec![0u32; 300];
+            for _ in 0..50_000 {
+                counts[s.sample(rng)] += 1;
+            }
+            counts.retain(|&c| c > 0);
+            counts
+        };
+        let mut d = ZipfDetector::new(0.1);
+        let alphas = [0.7, 0.7, 1.1, 1.1, 0.7, 1.1, 0.7, 0.7, 1.1];
+        let mut correct = 0;
+        let mut total = 0;
+        let mut prev: Option<f64> = None;
+        for &a in &alphas {
+            let out = d.observe(&window_with_counts(&sample_counts(a, &mut rng)));
+            if let Some(p) = prev {
+                let truly_changed = (a - p).abs() > 1e-9;
+                total += 1;
+                if out.retrain == truly_changed {
+                    correct += 1;
+                }
+            }
+            prev = Some(a);
+        }
+        assert!(correct as f64 / total as f64 >= 0.85, "accuracy {correct}/{total}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Content feature extraction (§5.2.1): up to 20 inter-request times plus
+//! static features.
+//!
+//! The feature vector layout is:
+//!
+//! | index | feature |
+//! |-------|---------|
+//! | 0     | ln(size in bytes) |
+//! | 1     | ln(1 + requests seen so far) |
+//! | 2     | ln(age since first request, seconds) |
+//! | 3..3+K | ln(IRT₁..IRT_K in seconds); `NaN` where history is shorter |
+//!
+//! IRT₁ is the time since the last request, IRT₂ the gap between the two
+//! previous requests, and so on — exactly the paper's definition. Missing
+//! IRTs are `NaN`, which the GBM routes through learned default directions.
+
+use lhr_trace::{ObjectId, Time};
+use std::collections::HashMap;
+
+/// Number of static features preceding the IRTs.
+pub const N_STATIC: usize = 3;
+
+/// Per-object request history sufficient to produce features.
+#[derive(Debug, Clone)]
+pub struct ObjectHistory {
+    /// Object size in bytes.
+    pub size: u64,
+    /// Time of the object's first observed request.
+    pub first_seen: Time,
+    /// Total requests observed.
+    pub count: u64,
+    /// Recent request timestamps, newest last; at most `irts + 1` retained.
+    times: Vec<Time>,
+    /// Window index of the most recent request (for pruning).
+    pub last_window: u64,
+}
+
+/// Tracks histories for all recently active objects and renders feature
+/// rows.
+#[derive(Debug)]
+pub struct FeatureStore {
+    /// Number of IRT features (the paper settles on 20; Figure 6 sweeps
+    /// 10/20/30).
+    pub n_irts: usize,
+    objects: HashMap<ObjectId, ObjectHistory>,
+}
+
+impl FeatureStore {
+    /// A store producing `n_irts` IRT features.
+    pub fn new(n_irts: usize) -> Self {
+        assert!(n_irts >= 1);
+        FeatureStore { n_irts, objects: HashMap::new() }
+    }
+
+    /// Width of feature rows produced by [`FeatureStore::features`].
+    pub fn n_features(&self) -> usize {
+        N_STATIC + self.n_irts
+    }
+
+    /// Records a request, updating the object's history.
+    pub fn record(&mut self, id: ObjectId, size: u64, ts: Time, window: u64) {
+        let keep = self.n_irts + 1;
+        let entry = self.objects.entry(id).or_insert_with(|| ObjectHistory {
+            size,
+            first_seen: ts,
+            count: 0,
+            times: Vec::with_capacity(keep),
+            last_window: window,
+        });
+        entry.count += 1;
+        entry.last_window = window;
+        entry.times.push(ts);
+        if entry.times.len() > keep {
+            entry.times.remove(0);
+        }
+    }
+
+    /// Renders the feature row for `id` *as of time `now`*, or `None` if the
+    /// object has never been recorded.
+    pub fn features(&self, id: ObjectId, now: Time) -> Option<Vec<f32>> {
+        let h = self.objects.get(&id)?;
+        let mut row = vec![f32::NAN; self.n_features()];
+        row[0] = (h.size.max(1) as f32).ln();
+        row[1] = (h.count as f32).ln_1p();
+        row[2] = ln_secs(now.saturating_sub(h.first_seen));
+        // IRT₁ = now − most recent request; IRT_{j>1} = gaps of history.
+        let times = &h.times;
+        if let Some(&last) = times.last() {
+            row[N_STATIC] = ln_secs(now.saturating_sub(last));
+        }
+        for j in 1..self.n_irts {
+            // IRT_{j+1} spans times[len-j-1] .. times[len-j].
+            if times.len() > j {
+                let a = times[times.len() - j - 1];
+                let b = times[times.len() - j];
+                row[N_STATIC + j] = ln_secs(b.saturating_sub(a));
+            } else {
+                break;
+            }
+        }
+        Some(row)
+    }
+
+    /// Per-object history, if tracked.
+    pub fn history(&self, id: ObjectId) -> Option<&ObjectHistory> {
+        self.objects.get(&id)
+    }
+
+    /// Drops objects last requested before `horizon_window` (keeps the
+    /// store bounded to a few windows of state, mirroring §5.1's "only use
+    /// data within the window").
+    pub fn prune_before(&mut self, horizon_window: u64) {
+        self.objects.retain(|_, h| h.last_window >= horizon_window);
+    }
+
+    /// Number of tracked objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Approximate metadata footprint in bytes.
+    pub fn overhead_bytes(&self) -> u64 {
+        (self.objects.len() * (48 + (self.n_irts + 1) * 8)) as u64
+    }
+}
+
+fn ln_secs(t: Time) -> f32 {
+    (t.as_secs_f64().max(1e-6) as f32).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_have_expected_width_and_statics() {
+        let mut fs = FeatureStore::new(20);
+        fs.record(7, 1 << 20, Time::from_secs(10), 0);
+        let row = fs.features(7, Time::from_secs(15)).expect("recorded");
+        assert_eq!(row.len(), 23);
+        assert!((row[0] - (1024.0f32 * 1024.0).ln()).abs() < 1e-4);
+        assert!((row[1] - 1.0f32.ln_1p()).abs() < 1e-6);
+        assert!((row[2] - 5.0f32.ln()).abs() < 1e-4); // age = 5 s
+    }
+
+    #[test]
+    fn irt1_is_time_since_last_request() {
+        let mut fs = FeatureStore::new(5);
+        fs.record(1, 100, Time::from_secs(0), 0);
+        fs.record(1, 100, Time::from_secs(4), 0);
+        let row = fs.features(1, Time::from_secs(10)).expect("recorded");
+        assert!((row[N_STATIC] - 6.0f32.ln()).abs() < 1e-4);
+        // IRT₂ = 4 − 0.
+        assert!((row[N_STATIC + 1] - 4.0f32.ln()).abs() < 1e-4);
+        // IRT₃ missing.
+        assert!(row[N_STATIC + 2].is_nan());
+    }
+
+    #[test]
+    fn history_is_bounded_to_n_irts_plus_one() {
+        let mut fs = FeatureStore::new(3);
+        for t in 0..50 {
+            fs.record(1, 100, Time::from_secs(t), 0);
+        }
+        assert_eq!(fs.history(1).expect("tracked").times.len(), 4);
+        let row = fs.features(1, Time::from_secs(50)).expect("tracked");
+        // All three IRTs present, each equal to 1 s.
+        for j in 0..3 {
+            assert!((row[N_STATIC + j] - 1.0f32.ln()).abs() < 1e-4, "irt {j}");
+        }
+    }
+
+    #[test]
+    fn unknown_object_yields_none() {
+        let fs = FeatureStore::new(4);
+        assert!(fs.features(99, Time::ZERO).is_none());
+    }
+
+    #[test]
+    fn pruning_drops_stale_objects() {
+        let mut fs = FeatureStore::new(4);
+        fs.record(1, 100, Time::from_secs(0), 0);
+        fs.record(2, 100, Time::from_secs(1), 5);
+        fs.prune_before(3);
+        assert!(fs.features(1, Time::from_secs(2)).is_none());
+        assert!(fs.features(2, Time::from_secs(2)).is_some());
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn count_accumulates_across_windows() {
+        let mut fs = FeatureStore::new(2);
+        for w in 0..5u64 {
+            fs.record(1, 100, Time::from_secs(w), w);
+        }
+        assert_eq!(fs.history(1).expect("tracked").count, 5);
+    }
+}

@@ -1,0 +1,524 @@
+//! The gradient-boosting ensemble.
+
+use crate::dataset::{Binned, Dataset};
+use crate::tree::Tree;
+use serde::{Deserialize, Serialize};
+
+/// Training loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error — the paper's choice for LHR (§5.2.4: "the mean
+    /// squared error … achieves the best performance … compared to other
+    /// loss functions that we explored").
+    SquaredError,
+    /// Logistic (binary cross-entropy) on raw scores — the natural
+    /// alternative for 0/1 HRO labels; kept so the paper's loss-function
+    /// comparison is reproducible.
+    Logistic,
+}
+
+/// Hyperparameters for [`Gbm::fit`].
+///
+/// The defaults are tuned for LHR's setting — a few thousand rows per
+/// sliding window, ~25 features, binary HRO labels regressed with squared
+/// error — and favour fast training over the last fraction of a percent of
+/// accuracy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbmParams {
+    /// Number of boosting rounds (trees).
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f32,
+    /// L2 regularization on leaf weights (XGBoost's `lambda`).
+    pub lambda: f64,
+    /// Minimum number of samples in each child of a split.
+    pub min_child_count: usize,
+    /// Minimum gain for a split to be accepted.
+    pub min_split_gain: f64,
+    /// Initial prediction before any tree (squared error ⇒ usually the
+    /// label mean; `None` computes the mean from the training labels).
+    pub base_score: Option<f32>,
+    /// Row subsampling rate per tree (stochastic gradient boosting); 1.0
+    /// disables.
+    pub subsample: f64,
+    /// Feature subsampling rate per tree (XGBoost's `colsample_bytree`);
+    /// 1.0 disables.
+    pub colsample: f64,
+    /// Fraction of rows held out for validation-based early stopping; 0.0
+    /// disables. With early stopping, boosting halts once the held-out MSE
+    /// fails to improve for [`GbmParams::patience`] consecutive rounds.
+    pub validation_fraction: f64,
+    /// Early-stopping patience (rounds without validation improvement).
+    pub patience: usize,
+    /// PRNG seed for the stochastic options.
+    pub seed: u64,
+    /// Training loss.
+    pub loss: Loss,
+}
+
+impl Default for GbmParams {
+    fn default() -> Self {
+        GbmParams {
+            n_trees: 30,
+            max_depth: 6,
+            learning_rate: 0.3,
+            lambda: 1.0,
+            min_child_count: 8,
+            min_split_gain: 1e-6,
+            base_score: None,
+            subsample: 1.0,
+            colsample: 1.0,
+            validation_fraction: 0.0,
+            patience: 5,
+            seed: 0,
+            loss: Loss::SquaredError,
+        }
+    }
+}
+
+/// A trained gradient-boosted regression ensemble.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gbm {
+    base_score: f32,
+    trees: Vec<Tree>,
+    /// Total split gain credited to each feature during training.
+    feature_gain: Vec<f64>,
+    n_features: usize,
+    loss: Loss,
+}
+
+#[inline]
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl Gbm {
+    /// Fits an ensemble to `data` with squared-error loss.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    #[allow(clippy::needless_range_loop)] // gradient updates index parallel arrays
+    pub fn fit(data: &Dataset, params: &GbmParams) -> Gbm {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        assert!(params.subsample > 0.0 && params.subsample <= 1.0, "bad subsample");
+        assert!(params.colsample > 0.0 && params.colsample <= 1.0, "bad colsample");
+        assert!(
+            (0.0..1.0).contains(&params.validation_fraction),
+            "bad validation_fraction"
+        );
+        let binned = Binned::build(data);
+        let labels = data.labels();
+        let mean = (labels.iter().map(|&y| y as f64).sum::<f64>() / labels.len() as f64) as f32;
+        let base_score = params.base_score.unwrap_or(match params.loss {
+            Loss::SquaredError => mean,
+            // Raw-score space: logit of the mean, clamped away from ±∞.
+            Loss::Logistic => {
+                let p = mean.clamp(1e-4, 1.0 - 1e-4);
+                (p / (1.0 - p)).ln()
+            }
+        });
+        let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x6B8);
+
+        // Validation split: a deterministic hash-free tail split keeps the
+        // train set contiguous (rows are already in arbitrary order for
+        // LHR's use case).
+        let n_valid = if params.validation_fraction > 0.0 && data.n_rows() >= 20 {
+            ((data.n_rows() as f64 * params.validation_fraction) as usize)
+                .clamp(1, data.n_rows() - 1)
+        } else {
+            0
+        };
+        let n_train = data.n_rows() - n_valid;
+
+        let mut preds = vec![base_score; data.n_rows()];
+        let mut gradients = vec![0f32; n_train];
+        let mut hessians = match params.loss {
+            Loss::SquaredError => None,
+            Loss::Logistic => Some(vec![0f32; n_train]),
+        };
+        let mut trees: Vec<Tree> = Vec::with_capacity(params.n_trees);
+        let mut feature_gain = vec![0f64; data.n_features()];
+        let mut best_valid = f64::INFINITY;
+        let mut best_len = 0usize;
+        let mut stall = 0usize;
+
+        for _round in 0..params.n_trees {
+            match (&params.loss, &mut hessians) {
+                (Loss::SquaredError, _) => {
+                    for i in 0..n_train {
+                        gradients[i] = labels[i] - preds[i];
+                    }
+                }
+                (Loss::Logistic, Some(h)) => {
+                    for i in 0..n_train {
+                        let p = sigmoid(preds[i]);
+                        gradients[i] = labels[i] - p;
+                        h[i] = (p * (1.0 - p)).max(1e-6);
+                    }
+                }
+                (Loss::Logistic, None) => unreachable!("allocated above"),
+            }
+            // Row subsample for this tree.
+            let root_rows: Vec<u32> = if params.subsample < 1.0 {
+                let sampled: Vec<u32> = (0..n_train as u32)
+                    .filter(|_| rng.gen::<f64>() < params.subsample)
+                    .collect();
+                if sampled.is_empty() {
+                    (0..n_train as u32).collect()
+                } else {
+                    sampled
+                }
+            } else {
+                (0..n_train as u32).collect()
+            };
+            // Feature mask for this tree.
+            let feature_mask: Vec<bool> = if params.colsample < 1.0 {
+                let mask: Vec<bool> = (0..data.n_features())
+                    .map(|_| rng.gen::<f64>() < params.colsample)
+                    .collect();
+                if mask.iter().any(|&m| m) {
+                    mask
+                } else {
+                    vec![true; data.n_features()]
+                }
+            } else {
+                vec![true; data.n_features()]
+            };
+
+            let tree = Tree::grow_on(
+                &binned,
+                &gradients,
+                hessians.as_deref(),
+                root_rows,
+                &feature_mask,
+                params,
+                &mut feature_gain,
+            );
+            if tree.n_nodes() == 1 && trees.is_empty() && params.subsample >= 1.0 {
+                // Even the first tree is a bare leaf: labels are (nearly)
+                // constant, further rounds cannot change anything material.
+                trees.push(tree);
+                best_len = trees.len();
+                break;
+            }
+            for i in 0..data.n_rows() {
+                preds[i] += tree.predict(data.row(i));
+            }
+            trees.push(tree);
+            best_len = trees.len();
+
+            // Early stopping on the held-out tail (MSE in the output
+            // space, which for logistic means after the sigmoid).
+            if n_valid > 0 {
+                let mse: f64 = (n_train..data.n_rows())
+                    .map(|i| {
+                        let y = match params.loss {
+                            Loss::SquaredError => preds[i],
+                            Loss::Logistic => sigmoid(preds[i]),
+                        };
+                        let e = (y - labels[i]) as f64;
+                        e * e
+                    })
+                    .sum::<f64>()
+                    / n_valid as f64;
+                if mse + 1e-12 < best_valid {
+                    best_valid = mse;
+                    best_len = trees.len();
+                    stall = 0;
+                } else {
+                    stall += 1;
+                    if stall >= params.patience {
+                        break;
+                    }
+                }
+            }
+        }
+        trees.truncate(best_len.max(1));
+
+        Gbm { base_score, trees, feature_gain, n_features: data.n_features(), loss: params.loss }
+    }
+
+    /// Predicts the output value for one raw feature row (NaN = missing):
+    /// the regression value for squared error, the probability (post-
+    /// sigmoid) for logistic loss.
+    ///
+    /// # Panics
+    /// Panics (in debug) if the row width differs from the training data.
+    pub fn predict(&self, row: &[f32]) -> f32 {
+        debug_assert_eq!(row.len(), self.n_features, "feature width mismatch");
+        let mut score = self.base_score;
+        for tree in &self.trees {
+            score += tree.predict(row);
+        }
+        match self.loss {
+            Loss::SquaredError => score,
+            Loss::Logistic => sigmoid(score),
+        }
+    }
+
+    /// [`Gbm::predict`] clamped to `[0, 1]` — the admission-probability
+    /// convention used by LHR (a no-op clamp under logistic loss).
+    pub fn predict_probability(&self, row: &[f32]) -> f64 {
+        self.predict(row).clamp(0.0, 1.0) as f64
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Width of feature rows this model expects.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Total split gain per feature — a standard importance measure.
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.feature_gain
+    }
+
+    /// Mean squared error of the model on a dataset.
+    pub fn mse(&self, data: &Dataset) -> f64 {
+        assert!(!data.is_empty());
+        let mut sum = 0.0f64;
+        for i in 0..data.n_rows() {
+            let err = (self.predict(data.row(i)) - data.labels()[i]) as f64;
+            sum += err * err;
+        }
+        sum / data.n_rows() as f64
+    }
+
+    /// Rough in-memory footprint in bytes (for the Figure 9 memory
+    /// accounting): nodes are 24 bytes each in the arena.
+    pub fn approx_size_bytes(&self) -> usize {
+        self.trees.iter().map(|t| t.n_nodes() * 24).sum::<usize>()
+            + self.feature_gain.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_linear(n: usize) -> Dataset {
+        // y = 0.7·x0 − 0.2·x1 + 0.1, x ∈ [0,1]².
+        let mut d = Dataset::new(2);
+        for i in 0..n {
+            let x0 = (i % 97) as f32 / 97.0;
+            let x1 = (i % 89) as f32 / 89.0;
+            d.push_row(&[x0, x1], 0.7 * x0 - 0.2 * x1 + 0.1);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_linear_function_well() {
+        let d = make_linear(2_000);
+        let model = Gbm::fit(&d, &GbmParams::default());
+        assert!(model.mse(&d) < 1e-3, "mse {}", model.mse(&d));
+    }
+
+    #[test]
+    fn boosting_reduces_training_error() {
+        let d = make_linear(1_000);
+        let weak = Gbm::fit(&d, &GbmParams { n_trees: 1, ..GbmParams::default() });
+        let strong = Gbm::fit(&d, &GbmParams { n_trees: 40, ..GbmParams::default() });
+        assert!(strong.mse(&d) < weak.mse(&d) / 2.0);
+    }
+
+    #[test]
+    fn constant_labels_short_circuit() {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            d.push_row(&[i as f32], 0.5);
+        }
+        let model = Gbm::fit(&d, &GbmParams::default());
+        assert_eq!(model.n_trees(), 1);
+        assert!((model.predict(&[3.0]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            d.push_row(&[i as f32], if i < 50 { -3.0 } else { 4.0 });
+        }
+        let model = Gbm::fit(&d, &GbmParams::default());
+        for x in [0.0f32, 25.0, 75.0, 99.0] {
+            let p = model.predict_probability(&[x]);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn importance_identifies_informative_feature() {
+        // Only x1 matters.
+        let mut d = Dataset::new(3);
+        for i in 0..1_000 {
+            let x0 = (i % 11) as f32;
+            let x1 = (i % 13) as f32;
+            let x2 = (i % 7) as f32;
+            d.push_row(&[x0, x1, x2], if x1 > 6.0 { 1.0 } else { 0.0 });
+        }
+        let model = Gbm::fit(&d, &GbmParams::default());
+        let imp = model.feature_importance();
+        assert!(imp[1] > 10.0 * imp[0].max(imp[2]), "{imp:?}");
+    }
+
+    #[test]
+    fn predictions_are_finite_with_missing_features() {
+        let mut d = Dataset::new(2);
+        for i in 0..500 {
+            let x0 = if i % 3 == 0 { f32::NAN } else { i as f32 };
+            d.push_row(&[x0, (i % 5) as f32], (i % 2) as f32);
+        }
+        let model = Gbm::fit(&d, &GbmParams::default());
+        assert!(model.predict(&[f32::NAN, f32::NAN]).is_finite());
+        assert!(model.predict(&[1.0, 2.0]).is_finite());
+    }
+
+    #[test]
+    fn model_is_serializable() {
+        // No serialization format crate is in the allowed dependency set;
+        // assert the Serialize/Deserialize bounds hold so downstream users
+        // can pick any serde format.
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<Gbm>();
+        assert_serde::<GbmParams>();
+    }
+
+    #[test]
+    fn stochastic_boosting_still_fits() {
+        let d = make_linear(2_000);
+        let params = GbmParams {
+            subsample: 0.5,
+            colsample: 0.7,
+            seed: 3,
+            n_trees: 60,
+            ..GbmParams::default()
+        };
+        let model = Gbm::fit(&d, &params);
+        assert!(model.mse(&d) < 5e-3, "mse {}", model.mse(&d));
+    }
+
+    #[test]
+    fn stochastic_boosting_is_deterministic_per_seed() {
+        let d = make_linear(500);
+        let fit = |seed| {
+            let params =
+                GbmParams { subsample: 0.6, colsample: 0.6, seed, ..GbmParams::default() };
+            Gbm::fit(&d, &params).predict(&[0.3, 0.7])
+        };
+        assert_eq!(fit(1), fit(1));
+        // Different seeds should (overwhelmingly) differ.
+        assert_ne!(fit(1), fit(2));
+    }
+
+    #[test]
+    fn early_stopping_truncates_on_noise() {
+        // Pure-noise labels: validation MSE cannot improve, so early
+        // stopping must cut the ensemble far below n_trees.
+        let mut d = Dataset::new(1);
+        let mut state = 0x12345u64;
+        for i in 0..2_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            d.push_row(&[(i % 37) as f32], (state % 1_000) as f32 / 1_000.0);
+        }
+        let params = GbmParams {
+            n_trees: 100,
+            validation_fraction: 0.2,
+            patience: 3,
+            ..GbmParams::default()
+        };
+        let model = Gbm::fit(&d, &params);
+        assert!(model.n_trees() < 50, "{} trees on pure noise", model.n_trees());
+    }
+
+    #[test]
+    fn early_stopping_keeps_useful_trees() {
+        let d = make_linear(2_000);
+        let params = GbmParams {
+            n_trees: 40,
+            validation_fraction: 0.2,
+            patience: 5,
+            ..GbmParams::default()
+        };
+        let model = Gbm::fit(&d, &params);
+        assert!(model.mse(&d) < 5e-3, "mse {}", model.mse(&d));
+        assert!(model.n_trees() >= 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_subsample_rejected() {
+        let d = make_linear(100);
+        Gbm::fit(&d, &GbmParams { subsample: 0.0, ..GbmParams::default() });
+    }
+
+    #[test]
+    fn logistic_loss_separates_classes() {
+        // y = 1 iff x0 > 0.5.
+        let mut d = Dataset::new(2);
+        for i in 0..2_000 {
+            let x0 = (i % 101) as f32 / 101.0;
+            let x1 = (i % 89) as f32 / 89.0;
+            d.push_row(&[x0, x1], if x0 > 0.5 { 1.0 } else { 0.0 });
+        }
+        let params = GbmParams { loss: Loss::Logistic, ..GbmParams::default() };
+        let model = Gbm::fit(&d, &params);
+        assert!(model.predict(&[0.9, 0.5]) > 0.85, "{}", model.predict(&[0.9, 0.5]));
+        assert!(model.predict(&[0.1, 0.5]) < 0.15, "{}", model.predict(&[0.1, 0.5]));
+        // Probabilities by construction.
+        for x in [0.0f32, 0.3, 0.6, 1.0] {
+            let p = model.predict(&[x, 0.0]);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn logistic_and_squared_agree_on_easy_classification() {
+        let mut d = Dataset::new(1);
+        for i in 0..1_000 {
+            let x = (i % 50) as f32;
+            d.push_row(&[x], if x >= 25.0 { 1.0 } else { 0.0 });
+        }
+        let sq = Gbm::fit(&d, &GbmParams::default());
+        let lg = Gbm::fit(&d, &GbmParams { loss: Loss::Logistic, ..GbmParams::default() });
+        for x in [5.0f32, 20.0, 30.0, 45.0] {
+            let a = sq.predict_probability(&[x]);
+            let b = lg.predict_probability(&[x]);
+            assert!((a - b).abs() < 0.2, "x {x}: squared {a} vs logistic {b}");
+        }
+    }
+
+    #[test]
+    fn mse_of_perfect_model_is_zero_like() {
+        let mut d = Dataset::new(1);
+        for _ in 0..10 {
+            d.push_row(&[1.0], 2.0);
+        }
+        let model =
+            Gbm::fit(&d, &GbmParams { base_score: Some(2.0), ..GbmParams::default() });
+        assert!(model.mse(&d) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dataset_panics() {
+        Gbm::fit(&Dataset::new(1), &GbmParams::default());
+    }
+
+    #[test]
+    fn approx_size_is_positive() {
+        let d = make_linear(200);
+        let model = Gbm::fit(&d, &GbmParams::default());
+        assert!(model.approx_size_bytes() > 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Training data container and quantile binning.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major training set. Missing feature values are `f32::NAN`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    n_features: usize,
+    /// Row-major feature matrix, `n_rows × n_features`.
+    features: Vec<f32>,
+    /// Regression targets, one per row.
+    labels: Vec<f32>,
+}
+
+impl Dataset {
+    /// An empty dataset whose rows will have `n_features` columns.
+    pub fn new(n_features: usize) -> Self {
+        assert!(n_features > 0, "need at least one feature");
+        Dataset { n_features, features: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Reserves room for `rows` additional rows.
+    pub fn reserve(&mut self, rows: usize) {
+        self.features.reserve(rows * self.n_features);
+        self.labels.reserve(rows);
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != n_features` or the label is not finite.
+    pub fn push_row(&mut self, row: &[f32], label: f32) {
+        assert_eq!(row.len(), self.n_features, "row width mismatch");
+        assert!(label.is_finite(), "labels must be finite");
+        self.features.extend_from_slice(row);
+        self.labels.push(label);
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The `i`-th row's features.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[f32] {
+        &self.labels
+    }
+
+    /// Drops all rows, keeping the allocation (used when a sliding window
+    /// rebuilds its training set).
+    pub fn clear(&mut self) {
+        self.features.clear();
+        self.labels.clear();
+    }
+}
+
+/// Per-feature quantile bin edges plus the prebinned (u8) feature matrix.
+///
+/// Bin index `MISSING_BIN` marks a missing (NaN) value. A value `v` falls
+/// into bin `j` where `j` is the number of edges `< v` — i.e. edges are
+/// *lower-exclusive* cut points, so `tree::SplitCandidate` thresholds can be
+/// reconstructed as real feature values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Binned {
+    pub n_features: usize,
+    /// `edges[f]` — ascending cut values for feature `f` (may be empty when
+    /// the feature is constant).
+    pub edges: Vec<Vec<f32>>,
+    /// Row-major bin indices, same shape as the dataset.
+    pub codes: Vec<u8>,
+    pub n_rows: usize,
+}
+
+/// Bin code reserved for missing values.
+pub(crate) const MISSING_BIN: u8 = u8::MAX;
+/// Maximum number of real bins per feature (exclusive of the missing bin).
+pub(crate) const MAX_BINS: usize = 64;
+
+impl Binned {
+    /// Builds quantile bins from the dataset and encodes every value.
+    pub fn build(data: &Dataset) -> Binned {
+        let n_features = data.n_features();
+        let n_rows = data.n_rows();
+        let mut edges: Vec<Vec<f32>> = Vec::with_capacity(n_features);
+        let mut scratch: Vec<f32> = Vec::with_capacity(n_rows);
+        for f in 0..n_features {
+            scratch.clear();
+            for r in 0..n_rows {
+                let v = data.row(r)[f];
+                if v.is_finite() {
+                    scratch.push(v);
+                }
+            }
+            scratch.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+            scratch.dedup();
+            let mut cuts = Vec::new();
+            if scratch.len() > 1 {
+                let want = MAX_BINS.min(scratch.len());
+                // Quantile cut points. A cut at value `e` separates
+                // `v ≤ e` from `v > e`, so cuts are drawn from all distinct
+                // values except the largest (a cut at the max separates
+                // nothing).
+                for k in 1..=want.saturating_sub(1) {
+                    let idx = (k * scratch.len() / want).max(1) - 1;
+                    let cut = scratch[idx.min(scratch.len() - 2)];
+                    if cuts.last() != Some(&cut) {
+                        cuts.push(cut);
+                    }
+                }
+            }
+            edges.push(cuts);
+        }
+
+        let mut codes = vec![0u8; n_rows * n_features];
+        for r in 0..n_rows {
+            let row = data.row(r);
+            for f in 0..n_features {
+                let v = row[f];
+                codes[r * n_features + f] = if v.is_finite() {
+                    bin_of(&edges[f], v)
+                } else {
+                    MISSING_BIN
+                };
+            }
+        }
+        Binned { n_features, edges, codes, n_rows }
+    }
+
+    /// Bin index for row `r`, feature `f`.
+    #[inline]
+    pub fn code(&self, r: usize, f: usize) -> u8 {
+        self.codes[r * self.n_features + f]
+    }
+
+    /// Number of real bins for feature `f` (edges + 1).
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.edges[f].len() + 1
+    }
+
+    /// The real-valued threshold "value ≤ edges\[f\]\[bin\]" that separates
+    /// bins `0..=bin` from the rest.
+    pub fn threshold(&self, f: usize, bin: u8) -> f32 {
+        self.edges[f][bin as usize]
+    }
+}
+
+/// Number of edges strictly less than `v` — the bin index.
+#[inline]
+pub(crate) fn bin_of(edges: &[f32], v: f32) -> u8 {
+    edges.partition_point(|&e| e < v) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut d = Dataset::new(3);
+        d.push_row(&[1.0, 2.0, 3.0], 0.5);
+        d.push_row(&[4.0, f32::NAN, 6.0], 1.0);
+        assert_eq!(d.n_rows(), 2);
+        assert_eq!(d.row(0), &[1.0, 2.0, 3.0]);
+        assert!(d.row(1)[1].is_nan());
+        assert_eq!(d.labels(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_width_panics() {
+        let mut d = Dataset::new(2);
+        d.push_row(&[1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_label_panics() {
+        let mut d = Dataset::new(1);
+        d.push_row(&[1.0], f32::NAN);
+    }
+
+    #[test]
+    fn binning_separates_values() {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            d.push_row(&[i as f32], 0.0);
+        }
+        let b = Binned::build(&d);
+        assert!(b.n_bins(0) > 10);
+        // Codes are monotone in the underlying value.
+        for r in 1..100 {
+            assert!(b.code(r, 0) >= b.code(r - 1, 0));
+        }
+    }
+
+    #[test]
+    fn binning_handles_constant_feature() {
+        let mut d = Dataset::new(2);
+        for i in 0..10 {
+            d.push_row(&[5.0, i as f32], 0.0);
+        }
+        let b = Binned::build(&d);
+        assert_eq!(b.n_bins(0), 1);
+        assert!((0..10).all(|r| b.code(r, 0) == 0));
+    }
+
+    #[test]
+    fn binning_marks_missing() {
+        let mut d = Dataset::new(1);
+        d.push_row(&[1.0], 0.0);
+        d.push_row(&[f32::NAN], 0.0);
+        d.push_row(&[2.0], 0.0);
+        let b = Binned::build(&d);
+        assert_eq!(b.code(1, 0), MISSING_BIN);
+        assert_ne!(b.code(0, 0), MISSING_BIN);
+    }
+
+    #[test]
+    fn threshold_reconstruction_respects_encoding() {
+        let mut d = Dataset::new(1);
+        for v in [1.0f32, 2.0, 3.0, 4.0, 5.0] {
+            d.push_row(&[v], 0.0);
+        }
+        let b = Binned::build(&d);
+        // For every (bin, value) pair: value's bin ≤ bin iff value ≤ threshold(bin).
+        for bin in 0..(b.n_bins(0) - 1) as u8 {
+            let thr = b.threshold(0, bin);
+            for v in [1.0f32, 2.0, 3.0, 4.0, 5.0] {
+                let code = bin_of(&b.edges[0], v);
+                assert_eq!(code <= bin, v <= thr, "bin {bin} thr {thr} v {v} code {code}");
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_repeated_values() {
+        let mut d = Dataset::new(1);
+        for _ in 0..50 {
+            d.push_row(&[7.0], 0.0);
+            d.push_row(&[9.0], 0.0);
+        }
+        let b = Binned::build(&d);
+        assert_eq!(b.n_bins(0), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Gradient-boosted regression trees (XGBM-style), implemented from scratch.
+//!
+//! The LHR cache (paper §5.2.4) trains an "XGBoosting Machine" on HRO's
+//! caching decisions with a squared-error loss. XGBoost itself is a large
+//! C++ dependency unavailable offline, so this crate provides the same model
+//! class natively:
+//!
+//! - histogram-based split finding (quantile bins, like
+//!   LightGBM/XGBoost-hist),
+//! - second-order boosting specialized to squared error (hessian = 1, so
+//!   gradients are plain residuals),
+//! - L2 leaf regularization (`lambda`), depth / leaf-weight constraints,
+//! - native *missing value* handling (`f32::NAN` routes to a learned
+//!   default side per split, as CDN features like "20th inter-request time"
+//!   are frequently absent),
+//! - gain-based feature importance and serde model serialization.
+//!
+//! # Example
+//!
+//! ```
+//! use lhr_gbm::{Dataset, GbmParams, Gbm};
+//!
+//! // y = 1 if x0 > 0.5 else 0 — learnable by a single stump.
+//! let mut data = Dataset::new(1);
+//! for i in 0..200 {
+//!     let x = i as f32 / 200.0;
+//!     data.push_row(&[x], if x > 0.5 { 1.0 } else { 0.0 });
+//! }
+//! let model = Gbm::fit(&data, &GbmParams::default());
+//! assert!(model.predict(&[0.9]) > 0.8);
+//! assert!(model.predict(&[0.1]) < 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod booster;
+mod dataset;
+mod tree;
+
+pub use booster::{Gbm, GbmParams, Loss};
+pub use dataset::Dataset;
+pub use tree::Tree;

@@ -1,0 +1,405 @@
+//! A single regression tree grown on binned gradients.
+
+use crate::booster::GbmParams;
+use crate::dataset::{Binned, MISSING_BIN};
+use serde::{Deserialize, Serialize};
+
+/// A node in the flat tree arena. Leaves have `feature == u32::MAX`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    /// Split feature index, or `u32::MAX` for a leaf.
+    feature: u32,
+    /// Real-valued cut: samples with `value ≤ threshold` go left.
+    threshold: f32,
+    /// Arena index of the left child (valid only for internal nodes).
+    left: u32,
+    /// Arena index of the right child (valid only for internal nodes).
+    right: u32,
+    /// Where missing (NaN) values go.
+    default_left: bool,
+    /// Prediction for a leaf (weight already includes the learning rate).
+    value: f32,
+}
+
+/// A trained regression tree. Prediction consumes raw (unbinned) feature
+/// rows, so a serialized model is self-contained.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+/// Shared, immutable context for one tree's growth.
+struct GrowCtx<'a> {
+    binned: &'a Binned,
+    gradients: &'a [f32],
+    hessians: Option<&'a [f32]>,
+    feature_mask: &'a [bool],
+    params: &'a GbmParams,
+}
+
+impl GrowCtx<'_> {
+    #[inline]
+    fn hessian(&self, i: usize) -> f64 {
+        match self.hessians {
+            Some(h) => h[i] as f64,
+            None => 1.0,
+        }
+    }
+
+    fn hessian_sum(&self, indices: &[u32]) -> f64 {
+        match self.hessians {
+            Some(h) => indices.iter().map(|&i| h[i as usize] as f64).sum(),
+            None => indices.len() as f64,
+        }
+    }
+}
+
+/// Result of a split search over one node.
+struct BestSplit {
+    gain: f64,
+    feature: usize,
+    bin: u8,
+    default_left: bool,
+}
+
+impl Tree {
+    /// Grows a tree on `residuals` (negative gradients of squared error)
+    /// over the binned matrix, scaling leaf values by
+    /// `params.learning_rate`. Also accumulates split gains per feature
+    /// into `gains` (feature-importance bookkeeping).
+    #[cfg(test)]
+    pub(crate) fn grow(
+        binned: &Binned,
+        gradients: &[f32],
+        params: &GbmParams,
+        gains: &mut [f64],
+    ) -> Tree {
+        let indices: Vec<u32> = (0..binned.n_rows as u32).collect();
+        let mask = vec![true; binned.n_features];
+        Self::grow_on(binned, gradients, None, indices, &mask, params, gains)
+    }
+
+    /// [`Tree::grow`] restricted to `root_rows` (stochastic-boosting row
+    /// subsample) and to the features whose `feature_mask` entry is true.
+    /// `hessians` is `None` for squared error (hessian ≡ 1) and per-sample
+    /// second derivatives otherwise (second-order boosting, XGBoost-style).
+    pub(crate) fn grow_on(
+        binned: &Binned,
+        gradients: &[f32],
+        hessians: Option<&[f32]>,
+        mut root_rows: Vec<u32>,
+        feature_mask: &[bool],
+        params: &GbmParams,
+        gains: &mut [f64],
+    ) -> Tree {
+        debug_assert_eq!(feature_mask.len(), binned.n_features);
+        let mut tree = Tree { nodes: Vec::new() };
+        let ctx = GrowCtx { binned, gradients, hessians, feature_mask, params };
+        tree.grow_node2(&ctx, &mut root_rows, 0, gains);
+        tree
+    }
+
+    /// Recursively grows the subtree over `indices`, returning its arena id.
+    fn grow_node2(&mut self, ctx: &GrowCtx<'_>, indices: &mut [u32], depth: usize, gains: &mut [f64]) -> u32 {
+        let params = ctx.params;
+        let g_sum: f64 = indices.iter().map(|&i| ctx.gradients[i as usize] as f64).sum();
+        let h_sum: f64 = ctx.hessian_sum(indices);
+        let leaf_value =
+            || (g_sum / (h_sum + params.lambda)) as f32 * params.learning_rate;
+
+        if depth >= params.max_depth || indices.len() < 2 * params.min_child_count {
+            return self.push_leaf(leaf_value());
+        }
+
+        let best = self.find_best_split(ctx, indices, g_sum, h_sum);
+        let Some(best) = best else {
+            return self.push_leaf(leaf_value());
+        };
+
+        gains[best.feature] += best.gain;
+
+        // Partition indices in place: left = code ≤ bin, or missing when
+        // default_left.
+        let goes_left = |i: u32| {
+            let code = ctx.binned.code(i as usize, best.feature);
+            if code == MISSING_BIN {
+                best.default_left
+            } else {
+                code <= best.bin
+            }
+        };
+        let split_at = partition_in_place(indices, goes_left);
+        debug_assert!(split_at > 0 && split_at < indices.len());
+
+        let node_id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            feature: best.feature as u32,
+            threshold: ctx.binned.threshold(best.feature, best.bin),
+            left: 0,
+            right: 0,
+            default_left: best.default_left,
+            value: 0.0,
+        });
+        let (left_idx, right_idx) = indices.split_at_mut(split_at);
+        let left = self.grow_node2(ctx, left_idx, depth + 1, gains);
+        let right = self.grow_node2(ctx, right_idx, depth + 1, gains);
+        self.nodes[node_id as usize].left = left;
+        self.nodes[node_id as usize].right = right;
+        node_id
+    }
+
+    fn push_leaf(&mut self, value: f32) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            feature: u32::MAX,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            default_left: false,
+            value,
+        });
+        id
+    }
+
+    /// Histogram scan over every unmasked feature for the best
+    /// second-order-gain split:
+    /// `gain = GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ)` (H = N for squared
+    /// error, where every hessian is 1).
+    fn find_best_split(
+        &self,
+        ctx: &GrowCtx<'_>,
+        indices: &[u32],
+        g_total: f64,
+        h_total: f64,
+    ) -> Option<BestSplit> {
+        let params = ctx.params;
+        let parent_score = g_total * g_total / (h_total + params.lambda);
+        let mut best: Option<BestSplit> = None;
+
+        let mut hist_g = [0f64; 256];
+        let mut hist_h = [0f64; 256];
+        let mut hist_n = [0u32; 256];
+        for feature in 0..ctx.binned.n_features {
+            if !ctx.feature_mask[feature] {
+                continue;
+            }
+            let n_bins = ctx.binned.n_bins(feature);
+            if n_bins < 2 {
+                continue;
+            }
+            hist_g[..n_bins].fill(0.0);
+            hist_h[..n_bins].fill(0.0);
+            hist_n[..n_bins].fill(0);
+            let mut miss_g = 0f64;
+            let mut miss_h = 0f64;
+            let mut miss_n = 0u32;
+            for &i in indices {
+                let code = ctx.binned.code(i as usize, feature);
+                let g = ctx.gradients[i as usize] as f64;
+                let h = ctx.hessian(i as usize);
+                if code == MISSING_BIN {
+                    miss_g += g;
+                    miss_h += h;
+                    miss_n += 1;
+                } else {
+                    hist_g[code as usize] += g;
+                    hist_h[code as usize] += h;
+                    hist_n[code as usize] += 1;
+                }
+            }
+
+            // Prefix scan: left gets bins 0..=b; missing tries both sides.
+            let mut left_g = 0f64;
+            let mut left_h = 0f64;
+            let mut left_n = 0u32;
+            for b in 0..(n_bins - 1) {
+                left_g += hist_g[b];
+                left_h += hist_h[b];
+                left_n += hist_n[b];
+                for &default_left in &[true, false] {
+                    let (lg, lh, ln) = if default_left {
+                        (left_g + miss_g, left_h + miss_h, left_n + miss_n)
+                    } else {
+                        (left_g, left_h, left_n)
+                    };
+                    let (rg, rh, rn) =
+                        (g_total - lg, h_total - lh, indices.len() as u32 - ln);
+                    if (ln as usize) < params.min_child_count
+                        || (rn as usize) < params.min_child_count
+                    {
+                        continue;
+                    }
+                    let score =
+                        lg * lg / (lh + params.lambda) + rg * rg / (rh + params.lambda);
+                    let gain = score - parent_score;
+                    if gain > params.min_split_gain
+                        && best.as_ref().is_none_or(|b| gain > b.gain)
+                    {
+                        best = Some(BestSplit { gain, feature, bin: b as u8, default_left });
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicts the tree's contribution for one raw feature row.
+    pub fn predict(&self, row: &[f32]) -> f32 {
+        let mut node = &self.nodes[0];
+        loop {
+            if node.feature == u32::MAX {
+                return node.value;
+            }
+            let v = row[node.feature as usize];
+            let left = if v.is_nan() { node.default_left } else { v <= node.threshold };
+            node = if left {
+                &self.nodes[node.left as usize]
+            } else {
+                &self.nodes[node.right as usize]
+            };
+        }
+    }
+
+    /// Number of nodes (leaves + internal).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Stable-order in-place partition; returns the number of elements for which
+/// `pred` holds (they end up first).
+fn partition_in_place(xs: &mut [u32], pred: impl Fn(u32) -> bool) -> usize {
+    // Simple two-buffer partition preserving relative order; allocation is
+    // proportional to the node size, which keeps recursion predictable.
+    let mut left = Vec::with_capacity(xs.len());
+    let mut right = Vec::with_capacity(xs.len());
+    for &x in xs.iter() {
+        if pred(x) {
+            left.push(x);
+        } else {
+            right.push(x);
+        }
+    }
+    let split = left.len();
+    xs[..split].copy_from_slice(&left);
+    xs[split..].copy_from_slice(&right);
+    split
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn grow_on(data: &Dataset, params: &GbmParams) -> Tree {
+        let binned = Binned::build(data);
+        let residuals: Vec<f32> = data.labels().to_vec();
+        let mut gains = vec![0.0; data.n_features()];
+        Tree::grow(&binned, &residuals, params, &mut gains)
+    }
+
+    #[test]
+    fn single_split_learns_step_function() {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            let x = i as f32;
+            d.push_row(&[x], if x < 50.0 { 0.0 } else { 1.0 });
+        }
+        let params = GbmParams { learning_rate: 1.0, ..GbmParams::default() };
+        let tree = grow_on(&d, &params);
+        assert!(tree.predict(&[10.0]) < 0.1);
+        assert!(tree.predict(&[90.0]) > 0.9);
+    }
+
+    #[test]
+    fn constant_labels_give_single_leaf() {
+        let mut d = Dataset::new(2);
+        for i in 0..50 {
+            d.push_row(&[i as f32, (i * 7 % 13) as f32], 3.0);
+        }
+        let params = GbmParams { learning_rate: 1.0, lambda: 0.0, ..GbmParams::default() };
+        let tree = grow_on(&d, &params);
+        assert_eq!(tree.n_nodes(), 1);
+        assert!((tree.predict(&[0.0, 0.0]) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_values_follow_learned_default() {
+        // x0 missing ⇒ label 1; x0 present (any value) ⇒ label 0.
+        let mut d = Dataset::new(1);
+        for i in 0..50 {
+            d.push_row(&[i as f32], 0.0);
+            d.push_row(&[f32::NAN], 1.0);
+        }
+        let params = GbmParams { learning_rate: 1.0, max_depth: 3, ..GbmParams::default() };
+        let tree = grow_on(&d, &params);
+        assert!(tree.predict(&[f32::NAN]) > 0.7, "{}", tree.predict(&[f32::NAN]));
+        assert!(tree.predict(&[25.0]) < 0.3);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut d = Dataset::new(1);
+        for i in 0..256 {
+            d.push_row(&[i as f32], (i % 2) as f32); // max-entropy labels
+        }
+        let params =
+            GbmParams { max_depth: 2, min_child_count: 1, ..GbmParams::default() };
+        let tree = grow_on(&d, &params);
+        // Depth-2 binary tree has at most 3 internal + 4 leaf nodes.
+        assert!(tree.n_nodes() <= 7, "{} nodes", tree.n_nodes());
+    }
+
+    #[test]
+    fn min_child_count_blocks_tiny_leaves() {
+        let mut d = Dataset::new(1);
+        for i in 0..10 {
+            d.push_row(&[i as f32], if i == 0 { 1.0 } else { 0.0 });
+        }
+        let params = GbmParams {
+            min_child_count: 5,
+            learning_rate: 1.0,
+            lambda: 0.0,
+            ..GbmParams::default()
+        };
+        let tree = grow_on(&d, &params);
+        // No leaf may isolate the single positive sample: every leaf holds
+        // ≥ 5 samples of which at most one is positive, so its value ≤ 1/5.
+        assert!(tree.predict(&[0.0]) <= 0.2 + 1e-6, "{}", tree.predict(&[0.0]));
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        // label = 1 iff x0 > 5 && x1 > 5 — needs depth 2.
+        let mut d = Dataset::new(2);
+        for a in 0..10 {
+            for b in 0..10 {
+                let y = if a > 5 && b > 5 { 1.0 } else { 0.0 };
+                d.push_row(&[a as f32, b as f32], y);
+            }
+        }
+        let params = GbmParams {
+            learning_rate: 1.0,
+            max_depth: 3,
+            min_child_count: 1,
+            lambda: 0.0,
+            ..GbmParams::default()
+        };
+        let tree = grow_on(&d, &params);
+        assert!(tree.predict(&[9.0, 9.0]) > 0.8);
+        assert!(tree.predict(&[9.0, 1.0]) < 0.2);
+        assert!(tree.predict(&[1.0, 9.0]) < 0.2);
+    }
+
+    #[test]
+    fn partition_preserves_all_elements() {
+        let mut xs: Vec<u32> = (0..100).collect();
+        let split = partition_in_place(&mut xs, |x| x % 3 == 0);
+        assert_eq!(split, 34);
+        assert!(xs[..split].iter().all(|x| x % 3 == 0));
+        assert!(xs[split..].iter().all(|x| x % 3 != 0));
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,210 @@
+//! FIFO and Random eviction — the classic strawmen (§8).
+
+use lhr_sim::{CachePolicy, Outcome};
+use lhr_trace::{ObjectId, Request};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// First-in first-out eviction, admit-all.
+#[derive(Debug)]
+pub struct Fifo {
+    capacity: u64,
+    used: u64,
+    queue: VecDeque<(ObjectId, u64)>,
+    cached: HashMap<ObjectId, u64>,
+    evictions: u64,
+}
+
+impl Fifo {
+    /// An empty FIFO cache of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Fifo { capacity, used: 0, queue: VecDeque::new(), cached: HashMap::new(), evictions: 0 }
+    }
+}
+
+impl CachePolicy for Fifo {
+    fn name(&self) -> &str {
+        "FIFO"
+    }
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+    fn contains(&self, id: ObjectId) -> bool {
+        self.cached.contains_key(&id)
+    }
+
+    fn handle(&mut self, req: &Request) -> Outcome {
+        if self.cached.contains_key(&req.id) {
+            return Outcome::Hit;
+        }
+        if req.size > self.capacity {
+            return Outcome::MissBypassed;
+        }
+        while self.used + req.size > self.capacity {
+            let (id, size) = self.queue.pop_front().expect("non-empty");
+            self.cached.remove(&id);
+            self.used -= size;
+            self.evictions += 1;
+        }
+        self.queue.push_back((req.id, req.size));
+        self.cached.insert(req.id, req.size);
+        self.used += req.size;
+        Outcome::MissAdmitted
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn metadata_overhead_bytes(&self) -> u64 {
+        self.cached.len() as u64 * 40
+    }
+}
+
+/// Uniform-random eviction, admit-all. Deterministic given the seed.
+#[derive(Debug)]
+pub struct RandomEviction {
+    capacity: u64,
+    used: u64,
+    /// Dense vector of cached entries for O(1) random removal.
+    entries: Vec<(ObjectId, u64)>,
+    /// id → index into `entries`.
+    index: HashMap<ObjectId, usize>,
+    rng: SmallRng,
+    evictions: u64,
+}
+
+impl RandomEviction {
+    /// An empty cache of `capacity` bytes with the given RNG seed.
+    pub fn new(capacity: u64, seed: u64) -> Self {
+        RandomEviction {
+            capacity,
+            used: 0,
+            entries: Vec::new(),
+            index: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            evictions: 0,
+        }
+    }
+
+    fn evict_one(&mut self) {
+        let victim = self.rng.gen_range(0..self.entries.len());
+        let (id, size) = self.entries.swap_remove(victim);
+        self.index.remove(&id);
+        if victim < self.entries.len() {
+            // Fix the index of the entry swapped into `victim`'s slot.
+            let moved = self.entries[victim].0;
+            self.index.insert(moved, victim);
+        }
+        self.used -= size;
+        self.evictions += 1;
+    }
+}
+
+impl CachePolicy for RandomEviction {
+    fn name(&self) -> &str {
+        "Random"
+    }
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+    fn contains(&self, id: ObjectId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    fn handle(&mut self, req: &Request) -> Outcome {
+        if self.index.contains_key(&req.id) {
+            return Outcome::Hit;
+        }
+        if req.size > self.capacity {
+            return Outcome::MissBypassed;
+        }
+        while self.used + req.size > self.capacity {
+            self.evict_one();
+        }
+        self.index.insert(req.id, self.entries.len());
+        self.entries.push((req.id, req.size));
+        self.used += req.size;
+        Outcome::MissAdmitted
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn metadata_overhead_bytes(&self) -> u64 {
+        self.entries.len() as u64 * 40
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_trace::Time;
+
+    fn req(t: u64, id: ObjectId, size: u64) -> Request {
+        Request::new(Time::from_secs(t), id, size)
+    }
+
+    #[test]
+    fn fifo_evicts_in_insertion_order() {
+        let mut f = Fifo::new(200);
+        f.handle(&req(0, 1, 100));
+        f.handle(&req(1, 2, 100));
+        f.handle(&req(2, 1, 100)); // hit — does NOT refresh FIFO order
+        f.handle(&req(3, 3, 100)); // evicts 1 (oldest insertion)
+        assert!(!f.contains(1));
+        assert!(f.contains(2) && f.contains(3));
+    }
+
+    #[test]
+    fn fifo_oversized_bypassed() {
+        let mut f = Fifo::new(50);
+        assert_eq!(f.handle(&req(0, 1, 100)), Outcome::MissBypassed);
+    }
+
+    #[test]
+    fn random_stays_within_capacity() {
+        let mut r = RandomEviction::new(500, 42);
+        for i in 0..100 {
+            r.handle(&req(i, i, 80));
+            assert!(r.used_bytes() <= 500);
+        }
+        assert!(r.evictions() > 0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut r = RandomEviction::new(300, seed);
+            let mut hits = 0;
+            for i in 0..200u64 {
+                if r.handle(&req(i, i % 7, 100)).is_hit() {
+                    hits += 1;
+                }
+            }
+            hits
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn random_index_stays_consistent_after_swap_remove() {
+        let mut r = RandomEviction::new(300, 7);
+        for i in 0..50u64 {
+            r.handle(&req(i, i, 100));
+        }
+        // Every cached id must report a hit.
+        for (id, _) in r.entries.clone() {
+            assert!(r.contains(id));
+            assert!(r.handle(&req(100, id, 100)).is_hit());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! B-LRU — Bloom-filter LRU (the paper's footnote 6): an LRU cache whose
+//! admission requires the object to have been seen before, filtering
+//! one-hit wonders. This is Akamai's "cache on second hit" rule
+//! (Maggs & Sitaraman 2015) realized with a rotating Bloom filter.
+
+use crate::util::{BloomFilter, Handle, LruList};
+use lhr_sim::{CachePolicy, Outcome};
+use lhr_trace::{ObjectId, Request};
+use std::collections::HashMap;
+
+/// The B-LRU policy.
+#[derive(Debug)]
+pub struct BLru {
+    capacity: u64,
+    used: u64,
+    list: LruList<(ObjectId, u64)>,
+    map: HashMap<ObjectId, Handle>,
+    seen: BloomFilter,
+    evictions: u64,
+}
+
+impl BLru {
+    /// A B-LRU cache of `capacity` bytes. `expected_objects` sizes the Bloom
+    /// filter epoch (≈ distinct objects per filter rotation).
+    pub fn new(capacity: u64, expected_objects: u64) -> Self {
+        BLru {
+            capacity,
+            used: 0,
+            list: LruList::new(),
+            map: HashMap::new(),
+            seen: BloomFilter::new(expected_objects),
+            evictions: 0,
+        }
+    }
+}
+
+impl CachePolicy for BLru {
+    fn name(&self) -> &str {
+        "B-LRU"
+    }
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+    fn contains(&self, id: ObjectId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    fn handle(&mut self, req: &Request) -> Outcome {
+        if let Some(&handle) = self.map.get(&req.id) {
+            self.list.move_to_front(handle);
+            return Outcome::Hit;
+        }
+        if req.size > self.capacity {
+            return Outcome::MissBypassed;
+        }
+        if !self.seen.contains(req.id) {
+            // First sighting: remember it, do not admit.
+            self.seen.insert(req.id);
+            return Outcome::MissBypassed;
+        }
+        while self.used + req.size > self.capacity {
+            let (id, size) = self.list.pop_back().expect("full but empty");
+            self.map.remove(&id);
+            self.used -= size;
+            self.evictions += 1;
+        }
+        let handle = self.list.push_front((req.id, req.size));
+        self.map.insert(req.id, handle);
+        self.used += req.size;
+        Outcome::MissAdmitted
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn metadata_overhead_bytes(&self) -> u64 {
+        self.map.len() as u64 * 48 + self.seen.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_trace::Time;
+
+    fn req(t: u64, id: ObjectId, size: u64) -> Request {
+        Request::new(Time::from_secs(t), id, size)
+    }
+
+    #[test]
+    fn first_request_is_never_admitted() {
+        let mut c = BLru::new(1_000, 1_000);
+        assert_eq!(c.handle(&req(0, 1, 100)), Outcome::MissBypassed);
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn second_request_is_admitted() {
+        let mut c = BLru::new(1_000, 1_000);
+        c.handle(&req(0, 1, 100));
+        assert_eq!(c.handle(&req(1, 1, 100)), Outcome::MissAdmitted);
+        assert!(c.handle(&req(2, 1, 100)).is_hit());
+    }
+
+    #[test]
+    fn one_hit_wonders_never_occupy_space() {
+        let mut c = BLru::new(1_000, 100_000);
+        for i in 0..1_000u64 {
+            c.handle(&req(i, i, 100));
+        }
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn repeated_objects_hit_after_warmup() {
+        let mut c = BLru::new(400, 1_000);
+        let mut hits = 0;
+        for round in 0..10u64 {
+            for id in 0..4u64 {
+                if c.handle(&req(round * 4 + id, id, 100)).is_hit() {
+                    hits += 1;
+                }
+            }
+        }
+        // Rounds 2+ should all hit: 8 rounds × 4 objects.
+        assert!(hits >= 30, "hits {hits}");
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = BLru::new(500, 1_000);
+        for i in 0..300u64 {
+            c.handle(&req(i, i % 9, 120));
+            assert!(c.used_bytes() <= 500);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Least Recently Used — the production default the paper says major CDNs
+//! still run (§1), and the baseline policy of Apache Traffic Server.
+
+use crate::util::{Handle, LruList};
+use lhr_sim::{CachePolicy, Outcome};
+use lhr_trace::{ObjectId, Request};
+use std::collections::HashMap;
+
+/// Classic LRU with admit-all admission.
+#[derive(Debug)]
+pub struct Lru {
+    capacity: u64,
+    used: u64,
+    list: LruList<(ObjectId, u64)>,
+    map: HashMap<ObjectId, Handle>,
+    evictions: u64,
+}
+
+impl Lru {
+    /// An empty LRU cache of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Lru { capacity, used: 0, list: LruList::new(), map: HashMap::new(), evictions: 0 }
+    }
+
+    /// Evicts from the LRU end until `needed` bytes fit.
+    fn make_room(&mut self, needed: u64) {
+        while self.used + needed > self.capacity {
+            let (id, size) = self.list.pop_back().expect("cache is empty but still full");
+            self.map.remove(&id);
+            self.used -= size;
+            self.evictions += 1;
+        }
+    }
+}
+
+impl CachePolicy for Lru {
+    fn name(&self) -> &str {
+        "LRU"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn contains(&self, id: ObjectId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    fn handle(&mut self, req: &Request) -> Outcome {
+        if let Some(&handle) = self.map.get(&req.id) {
+            self.list.move_to_front(handle);
+            return Outcome::Hit;
+        }
+        if req.size > self.capacity {
+            return Outcome::MissBypassed;
+        }
+        self.make_room(req.size);
+        let handle = self.list.push_front((req.id, req.size));
+        self.map.insert(req.id, handle);
+        self.used += req.size;
+        Outcome::MissAdmitted
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn metadata_overhead_bytes(&self) -> u64 {
+        // handle map entry + list node, ~48 bytes per object.
+        self.map.len() as u64 * 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_trace::Time;
+
+    fn req(t: u64, id: ObjectId, size: u64) -> Request {
+        Request::new(Time::from_secs(t), id, size)
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = Lru::new(300);
+        lru.handle(&req(0, 1, 100));
+        lru.handle(&req(1, 2, 100));
+        lru.handle(&req(2, 3, 100));
+        lru.handle(&req(3, 1, 100)); // refresh 1; LRU order: 2, 3, 1
+        lru.handle(&req(4, 4, 100)); // evicts 2
+        assert!(!lru.contains(2));
+        assert!(lru.contains(1) && lru.contains(3) && lru.contains(4));
+        assert_eq!(lru.evictions(), 1);
+    }
+
+    #[test]
+    fn variable_sizes_evict_multiple() {
+        let mut lru = Lru::new(300);
+        lru.handle(&req(0, 1, 100));
+        lru.handle(&req(1, 2, 100));
+        lru.handle(&req(2, 3, 100));
+        lru.handle(&req(3, 4, 250)); // must evict 1, 2, 3
+        assert!(lru.contains(4));
+        assert!(!lru.contains(1) && !lru.contains(2));
+        assert_eq!(lru.used_bytes(), 250);
+    }
+
+    #[test]
+    fn oversized_object_is_bypassed() {
+        let mut lru = Lru::new(100);
+        assert_eq!(lru.handle(&req(0, 1, 200)), Outcome::MissBypassed);
+        assert_eq!(lru.used_bytes(), 0);
+        assert!(!lru.contains(1));
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut lru = Lru::new(200);
+        lru.handle(&req(0, 1, 100));
+        lru.handle(&req(1, 2, 100));
+        assert_eq!(lru.handle(&req(2, 1, 100)), Outcome::Hit);
+        lru.handle(&req(3, 3, 100)); // evicts 2, not 1
+        assert!(lru.contains(1));
+        assert!(!lru.contains(2));
+    }
+
+    #[test]
+    fn used_bytes_tracks_exactly() {
+        let mut lru = Lru::new(1_000);
+        lru.handle(&req(0, 1, 300));
+        lru.handle(&req(1, 2, 400));
+        assert_eq!(lru.used_bytes(), 700);
+        lru.handle(&req(2, 3, 500)); // evicts 1
+        assert_eq!(lru.used_bytes(), 900);
+    }
+}

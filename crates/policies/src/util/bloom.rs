@@ -1,0 +1,157 @@
+//! A counting-free Bloom filter with epoch rotation, as used by B-LRU and
+//! Akamai-style "SecondHit" admission (cache on second request).
+//!
+//! Production CDNs rotate two filters: inserts go to the *current* filter,
+//! membership consults both, and when the current filter fills past a
+//! threshold the filters swap and the new current is cleared. This bounds
+//! both memory and the window over which "seen before" is remembered.
+
+/// Double-buffered Bloom filter over `u64` keys.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: [Vec<u64>; 2],
+    /// Index of the filter currently receiving inserts.
+    current: usize,
+    n_hashes: u32,
+    n_bits: u64,
+    inserts_in_current: u64,
+    /// Rotate after this many inserts into the current filter.
+    rotate_after: u64,
+}
+
+impl BloomFilter {
+    /// A filter sized for `expected_items` per epoch at ~1% false-positive
+    /// rate (9.6 bits/item, 7 hashes).
+    pub fn new(expected_items: u64) -> Self {
+        let expected = expected_items.max(64);
+        let n_bits = (expected * 10).next_power_of_two();
+        let words = (n_bits / 64) as usize;
+        BloomFilter {
+            bits: [vec![0u64; words], vec![0u64; words]],
+            current: 0,
+            n_hashes: 7,
+            n_bits,
+            inserts_in_current: 0,
+            rotate_after: expected,
+        }
+    }
+
+    #[inline]
+    fn positions(&self, key: u64) -> impl Iterator<Item = u64> + '_ {
+        // Kirsch–Mitzenmacher double hashing from one 128-bit-ish mix.
+        let h1 = splitmix(key);
+        let h2 = splitmix(h1 ^ 0x9E37_79B9_7F4A_7C15) | 1;
+        let mask = self.n_bits - 1;
+        (0..self.n_hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2))) & mask)
+    }
+
+    /// Inserts a key into the current epoch, rotating first if full.
+    pub fn insert(&mut self, key: u64) {
+        if self.inserts_in_current >= self.rotate_after {
+            self.rotate();
+        }
+        let positions: Vec<u64> = self.positions(key).collect();
+        let bits = &mut self.bits[self.current];
+        for p in positions {
+            bits[(p / 64) as usize] |= 1 << (p % 64);
+        }
+        self.inserts_in_current += 1;
+    }
+
+    /// Whether `key` was (probably) inserted in the current or previous
+    /// epoch. False positives possible; false negatives are not (within the
+    /// two retained epochs).
+    pub fn contains(&self, key: u64) -> bool {
+        'filters: for bits in &self.bits {
+            for p in self.positions(key) {
+                if bits[(p / 64) as usize] & (1 << (p % 64)) == 0 {
+                    continue 'filters;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    fn rotate(&mut self) {
+        self.current ^= 1;
+        self.bits[self.current].fill(0);
+        self.inserts_in_current = 0;
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        (self.bits[0].len() + self.bits[1].len()) as u64 * 8
+    }
+}
+
+#[inline]
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives_within_epoch() {
+        let mut f = BloomFilter::new(10_000);
+        for k in 0..5_000u64 {
+            f.insert(k);
+        }
+        for k in 0..5_000u64 {
+            assert!(f.contains(k), "lost key {k}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::new(10_000);
+        for k in 0..10_000u64 {
+            f.insert(k);
+        }
+        let fp = (1_000_000..1_100_000u64).filter(|&k| f.contains(k)).count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.05, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn rotation_retains_previous_epoch() {
+        let mut f = BloomFilter::new(100);
+        // Fill epoch 1.
+        for k in 0..100u64 {
+            f.insert(k);
+        }
+        // Next insert rotates; epoch-1 keys must still be visible.
+        f.insert(200);
+        assert!(f.contains(0));
+        assert!(f.contains(200));
+    }
+
+    #[test]
+    fn two_rotations_forget_oldest_epoch() {
+        let mut f = BloomFilter::new(100);
+        f.insert(42);
+        for k in 1_000..1_100u64 {
+            f.insert(k); // fills epoch, rotates once
+        }
+        for k in 2_000..2_101u64 {
+            f.insert(k); // rotates again; 42's epoch is cleared
+        }
+        assert!(!f.contains(42) || f.contains(42) == f.contains(43));
+        // The strict property: a key two full epochs old whose bits are not
+        // coincidentally set is gone. Check statistically.
+        let stale = (3_000_000..3_010_000u64).filter(|&k| f.contains(k)).count();
+        assert!(stale < 1_000);
+    }
+
+    #[test]
+    fn size_is_reported() {
+        let f = BloomFilter::new(1_000);
+        assert!(f.size_bytes() >= 2 * 1_000 * 10 / 8);
+    }
+}

@@ -1,0 +1,11 @@
+//! Shared data structures used by several policies.
+
+pub mod bloom;
+pub mod cms;
+pub mod list;
+pub mod ordf64;
+
+pub use bloom::BloomFilter;
+pub use cms::CountMinSketch;
+pub use list::{Handle, LruList};
+pub use ordf64::OrdF64;

@@ -1,0 +1,51 @@
+//! A totally-ordered `f64` wrapper for priority-queue keys.
+
+use std::cmp::Ordering;
+
+/// An `f64` ordered by `total_cmp`. Only finite values should be stored
+/// (priority computations in this crate never produce NaN, and the
+/// constructor asserts it in debug builds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl OrdF64 {
+    /// Wraps a value, asserting (debug) it is not NaN.
+    pub fn new(v: f64) -> Self {
+        debug_assert!(!v.is_nan(), "priority is NaN");
+        OrdF64(v)
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut v = vec![OrdF64::new(3.0), OrdF64::new(-1.0), OrdF64::new(2.5)];
+        v.sort();
+        assert_eq!(v, vec![OrdF64::new(-1.0), OrdF64::new(2.5), OrdF64::new(3.0)]);
+    }
+
+    #[test]
+    fn works_in_btreeset() {
+        let mut s = std::collections::BTreeSet::new();
+        s.insert((OrdF64::new(2.0), 1u64));
+        s.insert((OrdF64::new(1.0), 2u64));
+        assert_eq!(s.iter().next().unwrap().1, 2);
+    }
+}

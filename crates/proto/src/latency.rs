@@ -1,0 +1,111 @@
+//! The latency/throughput model of §7.3: an ideal environment where the
+//! edge link transmits at 8 Gbps and latency is driven by distance (RTTs)
+//! and content size.
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic service-time model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// User ↔ edge round-trip time in milliseconds.
+    pub edge_rtt_ms: f64,
+    /// Edge ↔ origin round-trip time in milliseconds.
+    pub origin_rtt_ms: f64,
+    /// Edge link rate in Gbps (the paper's 8 Gbps).
+    pub edge_gbps: f64,
+    /// Origin fetch rate in Gbps (WAN bottleneck on misses).
+    pub origin_gbps: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel { edge_rtt_ms: 10.0, origin_rtt_ms: 60.0, edge_gbps: 8.0, origin_gbps: 2.0 }
+    }
+}
+
+impl LatencyModel {
+    /// User-perceived latency of a cache hit, in milliseconds:
+    /// RTT + transfer at the edge rate (+ per-request compute time).
+    pub fn hit_latency_ms(&self, size: u64, compute_ms: f64) -> f64 {
+        self.edge_rtt_ms + transfer_ms(size, self.edge_gbps) + compute_ms
+    }
+
+    /// Latency of a miss: edge RTT + origin RTT + origin fetch + edge
+    /// transfer (fetch and delivery overlap is ignored, matching the
+    /// paper's "the larger the size, the slower the user receives the
+    /// complete content").
+    pub fn miss_latency_ms(&self, size: u64, compute_ms: f64) -> f64 {
+        self.edge_rtt_ms
+            + self.origin_rtt_ms
+            + transfer_ms(size, self.origin_gbps)
+            + transfer_ms(size, self.edge_gbps)
+            + compute_ms
+    }
+
+    /// Latency of a revalidation that found the content unchanged: one
+    /// origin RTT on top of a hit.
+    pub fn revalidate_latency_ms(&self, size: u64, compute_ms: f64) -> f64 {
+        self.hit_latency_ms(size, compute_ms) + self.origin_rtt_ms
+    }
+
+    /// Server-side occupancy of one request in milliseconds — the time the
+    /// serving path is busy with it. Throughput in the "max" experiment is
+    /// `total bytes / Σ service time`.
+    pub fn service_ms(&self, size: u64, hit: bool, compute_ms: f64) -> f64 {
+        let wire = if hit {
+            transfer_ms(size, self.edge_gbps)
+        } else {
+            transfer_ms(size, self.origin_gbps)
+        };
+        wire + compute_ms
+    }
+}
+
+/// Milliseconds to move `size` bytes at `gbps`.
+pub fn transfer_ms(size: u64, gbps: f64) -> f64 {
+    (size as f64 * 8.0) / (gbps * 1e9) * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        // 1 GB at 8 Gbps = 1 s.
+        assert!((transfer_ms(1_000_000_000, 8.0) - 1_000.0).abs() < 1e-6);
+        assert!((transfer_ms(500_000_000, 8.0) - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn miss_is_slower_than_hit() {
+        let m = LatencyModel::default();
+        let size = 25_000_000; // ~25 MB, the CDN-A mean
+        assert!(m.miss_latency_ms(size, 0.0) > m.hit_latency_ms(size, 0.0) + m.origin_rtt_ms);
+    }
+
+    #[test]
+    fn compute_time_adds_to_latency() {
+        let m = LatencyModel::default();
+        let base = m.hit_latency_ms(1_000, 0.0);
+        assert!((m.hit_latency_ms(1_000, 2.5) - base - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_service_uses_edge_rate() {
+        let m = LatencyModel::default();
+        assert!(m.service_ms(1 << 20, true, 0.0) < m.service_ms(1 << 20, false, 0.0));
+    }
+
+    #[test]
+    fn magnitudes_match_paper_scale() {
+        // The paper's Table 2 reports overall average latencies around
+        // 90–170 ms on traces with mean sizes 25–100 MB; one 25 MB hit plus
+        // occasional misses lands in that range.
+        let m = LatencyModel::default();
+        let hit = m.hit_latency_ms(25_000_000, 0.0);
+        assert!((30.0..60.0).contains(&hit), "hit latency {hit}");
+        let miss = m.miss_latency_ms(25_000_000, 0.0);
+        assert!((150.0..300.0).contains(&miss), "miss latency {miss}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Simulated CDN server prototypes (§6, §7.2, Appendix A.3).
+//!
+//! The paper implements LHR inside Apache Traffic Server (C++) and Caffeine
+//! (Java) and compares hit probability, latency, throughput and resource
+//! usage. Neither server is available here, so this crate models the
+//! *serving path* those experiments exercise:
+//!
+//! ```text
+//! user ── edge RTT ──► [cache lookup → freshness check]
+//!                        │ hit: serve at the edge link rate
+//!                        └ miss: origin RTT + origin fetch, then serve
+//! ```
+//!
+//! A [`server::CdnServer`] wraps any [`lhr_sim::CachePolicy`]; the
+//! [`server::ServerReport`] it produces contains every row of the paper's
+//! Tables 2–4 (throughput, peak CPU, peak memory, P90/P99/mean latency,
+//! WAN traffic, content hit ratio). "ATS" is the server wrapped around LRU
+//! (ATS's default), "Caffeine" around W-TinyLFU (Caffeine's policy), and
+//! the LHR prototype around [`lhr::LhrCache`] — constructors in
+//! [`presets`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concurrent;
+pub mod latency;
+pub mod tiered;
+pub mod presets;
+pub mod server;
+
+pub use concurrent::ConcurrentCache;
+pub use tiered::{Tier, TieredCache};
+pub use latency::LatencyModel;
+pub use server::{CdnServer, ServerConfig, ServerReport};

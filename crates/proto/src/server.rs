@@ -1,0 +1,370 @@
+//! The simulated CDN server and its resource report.
+
+use crate::latency::LatencyModel;
+use lhr_sim::{CachePolicy, Outcome};
+use lhr_trace::{ObjectId, Time, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The latency/throughput model.
+    pub latency: LatencyModel,
+    /// Content freshness lifetime in seconds (ATS §6.1 step 2); `None`
+    /// disables freshness checks (the Caffeine in-memory setting).
+    pub freshness_secs: Option<f64>,
+    /// Probability that a revalidated content is still fresh (no refetch).
+    /// Deterministic per (object, epoch) — no RNG on the serving path.
+    pub revalidate_fresh_prob: f64,
+    /// Leading requests excluded from the report (cache warmup).
+    pub warmup_requests: usize,
+    /// Record a hit-ratio series point every this many requests (Figures 7
+    /// and 13); `None` disables.
+    pub series_every: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            latency: LatencyModel::default(),
+            freshness_secs: Some(3_600.0),
+            revalidate_fresh_prob: 0.9,
+            warmup_requests: 0,
+            series_every: None,
+        }
+    }
+}
+
+/// Everything the prototype experiments report (Tables 2–4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerReport {
+    /// Policy (prototype) name.
+    pub name: String,
+    /// Trace name.
+    pub trace: String,
+    /// Content (object) hit ratio, percent.
+    pub content_hit_pct: f64,
+    /// "max" experiment throughput in Gbps: total bytes served over the
+    /// serving path's busy time.
+    pub throughput_gbps: f64,
+    /// Peak CPU percent: policy compute time over serving busy time.
+    pub peak_cpu_pct: f64,
+    /// Peak memory in GB: policy metadata + server bookkeeping.
+    pub peak_mem_gb: f64,
+    /// P90 user latency, ms ("normal" replay).
+    pub p90_latency_ms: f64,
+    /// P99 user latency, ms.
+    pub p99_latency_ms: f64,
+    /// Mean user latency, ms.
+    pub mean_latency_ms: f64,
+    /// Average WAN traffic in Gbps over the trace duration.
+    pub wan_gbps: f64,
+    /// Hit-ratio time series (cumulative), if requested.
+    pub series: Vec<(u64, f64)>,
+    /// Wall-clock seconds the replay took (simulation cost, not modeled
+    /// time).
+    pub replay_wall_secs: f64,
+}
+
+/// A CDN server wrapping a cache policy.
+pub struct CdnServer<P: CachePolicy> {
+    policy: P,
+    config: ServerConfig,
+    /// Admission time of cached contents (for freshness).
+    admitted_at: HashMap<ObjectId, Time>,
+}
+
+impl<P: CachePolicy> CdnServer<P> {
+    /// Wraps `policy` in a server with the given configuration.
+    pub fn new(policy: P, config: ServerConfig) -> Self {
+        CdnServer { policy, config, admitted_at: HashMap::new() }
+    }
+
+    /// Access to the wrapped policy (e.g. to read LHR stats afterwards).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Replays `trace` through the serving path, producing the full report.
+    pub fn replay(&mut self, trace: &Trace) -> ServerReport {
+        let mut latencies: Vec<f64> = Vec::with_capacity(trace.len());
+        let mut busy_ms = 0.0f64;
+        let mut compute_ms_total = 0.0f64;
+        let mut bytes_served = 0u128;
+        let mut wan_bytes = 0u128;
+        let mut hits = 0u64;
+        let mut measured = 0u64;
+        let mut peak_meta = 0u64;
+        let mut series = Vec::new();
+        let wall = Instant::now();
+
+        for (i, req) in trace.iter().enumerate() {
+            let t0 = Instant::now();
+            let outcome = self.policy.handle(req);
+            let compute_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            // Freshness (ATS step 2): a cached hit older than the lifetime
+            // must revalidate with the origin; a deterministic per-object
+            // hash decides whether it changed (refetch) or not.
+            let lat = &self.config.latency;
+            let (latency_ms, service_ms, wan) = match outcome {
+                Outcome::Hit => {
+                    let stale = match (self.config.freshness_secs, self.admitted_at.get(&req.id))
+                    {
+                        (Some(limit), Some(&admitted)) => {
+                            req.ts.saturating_sub(admitted).as_secs_f64() > limit
+                        }
+                        _ => false,
+                    };
+                    if stale {
+                        let epoch = (req.ts.as_secs_f64()
+                            / self.config.freshness_secs.unwrap_or(f64::INFINITY))
+                            as u64;
+                        let still_fresh = pseudo_uniform(req.id, epoch)
+                            < self.config.revalidate_fresh_prob;
+                        self.admitted_at.insert(req.id, req.ts);
+                        if still_fresh {
+                            (
+                                lat.revalidate_latency_ms(req.size, compute_ms),
+                                lat.service_ms(req.size, true, compute_ms),
+                                0u64,
+                            )
+                        } else {
+                            // Changed at origin: refetch (WAN traffic) and
+                            // deliver.
+                            (
+                                lat.miss_latency_ms(req.size, compute_ms),
+                                lat.service_ms(req.size, false, compute_ms),
+                                req.size,
+                            )
+                        }
+                    } else {
+                        (
+                            lat.hit_latency_ms(req.size, compute_ms),
+                            lat.service_ms(req.size, true, compute_ms),
+                            0,
+                        )
+                    }
+                }
+                Outcome::MissAdmitted => {
+                    self.admitted_at.insert(req.id, req.ts);
+                    (
+                        lat.miss_latency_ms(req.size, compute_ms),
+                        lat.service_ms(req.size, false, compute_ms),
+                        req.size,
+                    )
+                }
+                Outcome::MissBypassed => (
+                    lat.miss_latency_ms(req.size, compute_ms),
+                    lat.service_ms(req.size, false, compute_ms),
+                    req.size,
+                ),
+            };
+
+            if i % 512 == 0 {
+                peak_meta = peak_meta.max(self.policy.metadata_overhead_bytes());
+                // Opportunistic cleanup of freshness entries for evicted
+                // contents.
+                if self.admitted_at.len() > 4 * 1024 * 1024 {
+                    let policy = &self.policy;
+                    self.admitted_at.retain(|&id, _| policy.contains(id));
+                }
+            }
+
+            if i < self.config.warmup_requests {
+                continue;
+            }
+            measured += 1;
+            bytes_served += req.size as u128;
+            wan_bytes += wan as u128;
+            busy_ms += service_ms;
+            compute_ms_total += compute_ms;
+            if outcome.is_hit() {
+                hits += 1;
+            }
+            latencies.push(latency_ms);
+            if let Some(every) = self.config.series_every {
+                if measured.is_multiple_of(every as u64) {
+                    series.push((measured, hits as f64 / measured as f64));
+                }
+            }
+        }
+
+        peak_meta = peak_meta.max(self.policy.metadata_overhead_bytes());
+        latencies.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pct = |p: f64| -> f64 {
+            if latencies.is_empty() {
+                return 0.0;
+            }
+            let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
+            latencies[idx - 1]
+        };
+        let mean = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        let duration = trace.duration().as_secs_f64().max(1e-9);
+
+        ServerReport {
+            name: self.policy.name().to_string(),
+            trace: trace.name.clone(),
+            content_hit_pct: if measured == 0 {
+                0.0
+            } else {
+                hits as f64 / measured as f64 * 100.0
+            },
+            throughput_gbps: if busy_ms <= 0.0 {
+                0.0
+            } else {
+                bytes_served as f64 * 8.0 / (busy_ms / 1e3) / 1e9
+            },
+            peak_cpu_pct: if busy_ms <= 0.0 {
+                0.0
+            } else {
+                (compute_ms_total / busy_ms * 100.0).min(100.0)
+            },
+            peak_mem_gb: peak_meta as f64 / 1e9,
+            p90_latency_ms: pct(0.90),
+            p99_latency_ms: pct(0.99),
+            mean_latency_ms: mean,
+            wan_gbps: wan_bytes as f64 * 8.0 / duration / 1e9,
+            series,
+            replay_wall_secs: wall.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Deterministic pseudo-uniform draw in [0, 1) from (id, epoch).
+fn pseudo_uniform(id: ObjectId, epoch: u64) -> f64 {
+    let mut x = id ^ epoch.wrapping_mul(0xA076_1D64_78BD_642F);
+    x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 32;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_policies::Lru;
+    use lhr_trace::Request;
+
+    fn trace(n: usize, objects: u64, size: u64) -> Trace {
+        let mut t = Trace::new("t");
+        for i in 0..n {
+            t.push(Request::new(Time::from_secs(i as u64), i as u64 % objects, size));
+        }
+        t
+    }
+
+    #[test]
+    fn report_counts_hits_and_wan() {
+        let mut server = CdnServer::new(
+            Lru::new(10 << 20),
+            ServerConfig { freshness_secs: None, ..ServerConfig::default() },
+        );
+        let report = server.replay(&trace(100, 2, 1 << 20));
+        assert!((report.content_hit_pct - 98.0).abs() < 1e-9);
+        // WAN carried exactly the two compulsory misses.
+        let wan_bytes = report.wan_gbps * 99.0 * 1e9 / 8.0;
+        assert!((wan_bytes - 2.0 * (1 << 20) as f64).abs() < 1.0, "{wan_bytes}");
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let mut server = CdnServer::new(Lru::new(5 << 20), ServerConfig::default());
+        let report = server.replay(&trace(500, 50, 1 << 20));
+        // Percentiles are order statistics (the mean may exceed P90 under
+        // heavy skew, so only these orderings are guaranteed).
+        assert!(report.p90_latency_ms <= report.p99_latency_ms);
+        assert!(report.mean_latency_ms <= report.p99_latency_ms);
+        assert!(report.mean_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn stale_contents_revalidate() {
+        // Freshness 10 s; object re-requested every 30 s → always stale.
+        let mut t = Trace::new("stale");
+        for i in 0..20u64 {
+            t.push(Request::new(Time::from_secs(i * 30), 1, 1 << 20));
+        }
+        let cfg = ServerConfig {
+            freshness_secs: Some(10.0),
+            revalidate_fresh_prob: 1.0,
+            ..ServerConfig::default()
+        };
+        let mut server = CdnServer::new(Lru::new(10 << 20), cfg);
+        let report = server.replay(&t);
+        // All hits, but every one pays the revalidation RTT: mean latency
+        // exceeds the pure-hit latency by about one origin RTT.
+        let pure_hit = LatencyModel::default().hit_latency_ms(1 << 20, 0.0);
+        assert!(report.content_hit_pct > 90.0);
+        assert!(
+            report.mean_latency_ms > pure_hit + 0.9 * LatencyModel::default().origin_rtt_ms,
+            "mean {} vs pure hit {}",
+            report.mean_latency_ms,
+            pure_hit
+        );
+    }
+
+    #[test]
+    fn changed_contents_count_as_wan_traffic() {
+        let mut t = Trace::new("stale");
+        for i in 0..50u64 {
+            t.push(Request::new(Time::from_secs(i * 100), 1, 1 << 20));
+        }
+        let cfg = ServerConfig {
+            freshness_secs: Some(10.0),
+            revalidate_fresh_prob: 0.0, // every revalidation refetches
+            ..ServerConfig::default()
+        };
+        let mut server = CdnServer::new(Lru::new(10 << 20), cfg);
+        let report = server.replay(&t);
+        // All 50 requests move a full object across the WAN (1 compulsory
+        // miss + 49 refetches).
+        let wan_bytes = report.wan_gbps * t.duration().as_secs_f64() * 1e9 / 8.0;
+        assert!((wan_bytes - 50.0 * (1 << 20) as f64).abs() < 10.0, "{wan_bytes}");
+    }
+
+    #[test]
+    fn warmup_excluded_from_hit_ratio() {
+        let cfg = ServerConfig {
+            warmup_requests: 2,
+            freshness_secs: None,
+            ..ServerConfig::default()
+        };
+        let mut server = CdnServer::new(Lru::new(10 << 20), cfg);
+        let report = server.replay(&trace(10, 2, 1 << 20));
+        assert!((report.content_hit_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_is_recorded() {
+        let cfg = ServerConfig {
+            series_every: Some(10),
+            freshness_secs: None,
+            ..ServerConfig::default()
+        };
+        let mut server = CdnServer::new(Lru::new(10 << 20), cfg);
+        let report = server.replay(&trace(100, 2, 1 << 20));
+        assert_eq!(report.series.len(), 10);
+        assert!(report.series.last().expect("non-empty").1 > 0.9);
+    }
+
+    #[test]
+    fn pseudo_uniform_is_in_range_and_spread() {
+        let mut below = 0;
+        for id in 0..10_000u64 {
+            let u = pseudo_uniform(id, 3);
+            assert!((0.0..1.0).contains(&u));
+            if u < 0.5 {
+                below += 1;
+            }
+        }
+        assert!((4_000..6_000).contains(&below), "{below}");
+    }
+}

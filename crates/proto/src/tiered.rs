@@ -1,0 +1,218 @@
+//! A two-tier cache: a small memory (RAM) tier in front of a large
+//! disk/SSD tier — the actual structure of an ATS node (§6.1: "a typical
+//! ATS configuration consists of a disk/SSD cache and a memory cache";
+//! the paper's prototype replaces the disk tier's policy and leaves the
+//! memory cache unchanged, noting its small size has little impact on hit
+//! probability).
+//!
+//! Any two policies compose: `TieredCache::new(ram_lru, disk_lhr)`.
+//! Lookups hit the memory tier first; memory misses that hit disk are
+//! promoted into memory (the usual page-cache behaviour). Admission into
+//! disk follows the disk policy's own admission logic.
+
+use lhr_sim::{CachePolicy, Outcome};
+use lhr_trace::{ObjectId, Request};
+
+/// Where a request was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Served from the memory tier.
+    Memory,
+    /// Served from the disk tier.
+    Disk,
+    /// Fetched from the origin.
+    Origin,
+}
+
+/// The tiered cache.
+pub struct TieredCache<M: CachePolicy, D: CachePolicy> {
+    name: String,
+    memory: M,
+    disk: D,
+    /// Per-tier serve counters (memory hits, disk hits, origin fetches).
+    pub served: [u64; 3],
+}
+
+impl<M: CachePolicy, D: CachePolicy> TieredCache<M, D> {
+    /// Composes a memory tier over a disk tier.
+    pub fn new(memory: M, disk: D) -> Self {
+        TieredCache {
+            name: format!("{}+{}", memory.name(), disk.name()),
+            memory,
+            disk,
+            served: [0; 3],
+        }
+    }
+
+    /// Which tier would serve `id` right now.
+    pub fn tier_of(&self, id: ObjectId) -> Tier {
+        if self.memory.contains(id) {
+            Tier::Memory
+        } else if self.disk.contains(id) {
+            Tier::Disk
+        } else {
+            Tier::Origin
+        }
+    }
+
+    /// The wrapped disk-tier policy.
+    pub fn disk(&self) -> &D {
+        &self.disk
+    }
+
+    /// The wrapped memory-tier policy.
+    pub fn memory(&self) -> &M {
+        &self.memory
+    }
+}
+
+impl<M: CachePolicy, D: CachePolicy> CachePolicy for TieredCache<M, D> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Aggregate capacity (both tiers).
+    fn capacity(&self) -> u64 {
+        self.memory.capacity().saturating_add(self.disk.capacity())
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.memory.used_bytes() + self.disk.used_bytes()
+    }
+
+    fn contains(&self, id: ObjectId) -> bool {
+        self.memory.contains(id) || self.disk.contains(id)
+    }
+
+    fn handle(&mut self, req: &Request) -> Outcome {
+        let tier = self.tier_of(req.id);
+        match tier {
+            Tier::Memory => {
+                self.served[0] += 1;
+                // Refresh both tiers' recency state.
+                self.memory.handle(req);
+                if self.disk.contains(req.id) {
+                    self.disk.handle(req);
+                }
+                Outcome::Hit
+            }
+            Tier::Disk => {
+                self.served[1] += 1;
+                self.disk.handle(req);
+                // Promote into memory (admission subject to the memory
+                // policy's own logic).
+                self.memory.handle(req);
+                Outcome::Hit
+            }
+            Tier::Origin => {
+                self.served[2] += 1;
+                // Fetch from origin; both tiers see the request and decide
+                // admission independently (ATS admits into disk and leaves
+                // the memory cache's own policy to pick up hot objects).
+                let disk_outcome = self.disk.handle(req);
+                self.memory.handle(req);
+                match disk_outcome {
+                    Outcome::MissBypassed => Outcome::MissBypassed,
+                    _ => Outcome::MissAdmitted,
+                }
+            }
+        }
+    }
+
+    fn evictions(&self) -> u64 {
+        self.memory.evictions() + self.disk.evictions()
+    }
+
+    fn metadata_overhead_bytes(&self) -> u64 {
+        self.memory.metadata_overhead_bytes() + self.disk.metadata_overhead_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_policies::Lru;
+    use lhr_trace::Time;
+
+    fn req(t: u64, id: ObjectId, size: u64) -> Request {
+        Request::new(Time::from_secs(t), id, size)
+    }
+
+    fn tiered(mem: u64, disk: u64) -> TieredCache<Lru, Lru> {
+        TieredCache::new(Lru::new(mem), Lru::new(disk))
+    }
+
+    #[test]
+    fn origin_then_disk_then_memory() {
+        let mut c = tiered(200, 1_000);
+        assert_eq!(c.tier_of(1), Tier::Origin);
+        c.handle(&req(0, 1, 100)); // admitted into both tiers
+        assert_eq!(c.tier_of(1), Tier::Memory);
+        // Push object 1 out of the small memory tier with other objects.
+        c.handle(&req(1, 2, 100));
+        c.handle(&req(2, 3, 100));
+        assert_eq!(c.tier_of(1), Tier::Disk, "fell back to disk, not origin");
+        // A disk hit promotes back into memory.
+        assert_eq!(c.handle(&req(3, 1, 100)), Outcome::Hit);
+        assert_eq!(c.tier_of(1), Tier::Memory);
+    }
+
+    #[test]
+    fn served_counters_track_tiers() {
+        let mut c = tiered(200, 1_000);
+        c.handle(&req(0, 1, 100)); // origin
+        c.handle(&req(1, 1, 100)); // memory hit
+        c.handle(&req(2, 2, 100)); // origin
+        c.handle(&req(3, 3, 100)); // origin → memory now 3,2 (cap 200: 3,2)
+        c.handle(&req(4, 1, 100)); // memory evicted 1 → disk hit
+        assert_eq!(c.served, [1, 1, 3]);
+    }
+
+    #[test]
+    fn capacity_is_sum_and_respected() {
+        let mut c = tiered(300, 700);
+        assert_eq!(c.capacity(), 1_000);
+        for i in 0..200u64 {
+            c.handle(&req(i, i % 23, 90));
+            assert!(c.memory.used_bytes() <= 300);
+            assert!(c.disk.used_bytes() <= 700);
+        }
+    }
+
+    #[test]
+    fn disk_bigger_than_memory_raises_hit_ratio() {
+        // A working set larger than memory but smaller than disk: the
+        // tiered cache must beat memory alone.
+        let mut tiered_cache = tiered(300, 3_000);
+        let mut memory_only = Lru::new(300);
+        let mut tiered_hits = 0;
+        let mut memory_hits = 0;
+        for i in 0..4_000u64 {
+            let r = req(i, i % 20, 100);
+            if tiered_cache.handle(&r).is_hit() {
+                tiered_hits += 1;
+            }
+            if memory_only.handle(&r).is_hit() {
+                memory_hits += 1;
+            }
+        }
+        assert!(
+            tiered_hits > 2 * memory_hits,
+            "tiered {tiered_hits} vs memory-only {memory_hits}"
+        );
+    }
+
+    #[test]
+    fn works_with_lhr_as_disk_tier() {
+        use lhr::cache::{LhrCache, LhrConfig};
+        let mut c = TieredCache::new(
+            Lru::new(10_000),
+            LhrCache::new(100_000, LhrConfig { min_window_requests: 64, ..LhrConfig::default() }),
+        );
+        for i in 0..5_000u64 {
+            c.handle(&req(i, i % 70, 1_500));
+            assert!(c.used_bytes() <= c.capacity());
+        }
+        assert!(c.served[0] + c.served[1] > 0, "no cache hits at all");
+    }
+}

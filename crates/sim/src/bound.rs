@@ -1,0 +1,55 @@
+//! Interface for upper bounds on optimal caching.
+//!
+//! Bounds differ from [`crate::policy::CachePolicy`] in that they classify
+//! every request of a trace as hit or miss *given the whole trace* (offline
+//! bounds) or given everything up to the request (online bounds like HRO),
+//! without maintaining a feasible cache state request-by-request — e.g.
+//! Belady-Size and PFOO relax feasibility, which is exactly why they upper
+//! bound OPT.
+
+use crate::metrics::SimMetrics;
+use lhr_trace::Trace;
+
+/// An upper bound on the optimal hit probability for a given cache size.
+pub trait OfflineBound {
+    /// Bound name, e.g. `"Belady"` or `"PFOO-U"`.
+    fn name(&self) -> &str;
+
+    /// Evaluates the bound over `trace` with cache `capacity` bytes,
+    /// returning hit/byte counters in the same shape the simulator produces
+    /// so figures can mix policies and bounds.
+    fn evaluate(&self, trace: &Trace, capacity: u64) -> SimMetrics;
+}
+
+/// Helper shared by bound implementations: fills the request/byte totals and
+/// duration of `metrics` from `trace`, leaving hit counters to the caller.
+pub fn base_metrics(trace: &Trace) -> SimMetrics {
+    SimMetrics {
+        requests: trace.len() as u64,
+        bytes_requested: trace.total_bytes(),
+        duration_secs: trace.duration().as_secs_f64(),
+        ..SimMetrics::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_trace::{Request, Time};
+
+    #[test]
+    fn base_metrics_copies_totals() {
+        let t = Trace::from_requests(
+            "t",
+            vec![
+                Request::new(Time::from_secs(0), 1, 10),
+                Request::new(Time::from_secs(4), 2, 30),
+            ],
+        );
+        let m = base_metrics(&t);
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.bytes_requested, 40);
+        assert!((m.duration_secs - 4.0).abs() < 1e-12);
+        assert_eq!(m.hits, 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Trace-driven cache simulator engine.
+//!
+//! This crate is the evaluation vehicle shared by every policy and bound in
+//! the workspace (in the spirit of libCacheSim, which the paper's own
+//! simulator builds on):
+//!
+//! - [`policy::CachePolicy`] — the admission + eviction interface every
+//!   online cache implements.
+//! - [`engine::Simulator`] — drives a trace through a policy, collecting
+//!   [`metrics::SimMetrics`] and optional hit-ratio time series.
+//! - [`bound::OfflineBound`] — the interface for (offline or online) upper
+//!   bounds on OPT, which see the whole trace instead of reacting
+//!   request-by-request.
+//! - [`sweep`] — parallel grids over policies × cache sizes × traces.
+//!
+//! # Example
+//!
+//! ```
+//! use lhr_sim::engine::{SimConfig, Simulator};
+//! use lhr_sim::policy::{CachePolicy, Outcome};
+//! use lhr_trace::{Request, Trace, Time};
+//!
+//! // A trivially small policy: cache everything, never evict (infinite cap).
+//! struct Infinite { used: u64, cached: std::collections::HashSet<u64> }
+//! impl CachePolicy for Infinite {
+//!     fn name(&self) -> &str { "infinite" }
+//!     fn capacity(&self) -> u64 { u64::MAX }
+//!     fn used_bytes(&self) -> u64 { self.used }
+//!     fn contains(&self, id: u64) -> bool { self.cached.contains(&id) }
+//!     fn handle(&mut self, req: &Request) -> Outcome {
+//!         if self.cached.contains(&req.id) { return Outcome::Hit; }
+//!         self.cached.insert(req.id);
+//!         self.used += req.size;
+//!         Outcome::MissAdmitted
+//!     }
+//! }
+//!
+//! let trace = Trace::from_requests("t", vec![
+//!     Request::new(Time::from_secs(0), 1, 100),
+//!     Request::new(Time::from_secs(1), 1, 100),
+//! ]);
+//! let mut policy = Infinite { used: 0, cached: Default::default() };
+//! let result = Simulator::new(SimConfig::default()).run(&mut policy, &trace);
+//! assert_eq!(result.metrics.hits, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bound;
+pub mod engine;
+pub mod metrics;
+pub mod policy;
+pub mod sweep;
+
+pub use bound::OfflineBound;
+pub use engine::{SimConfig, SimResult, Simulator};
+pub use metrics::SimMetrics;
+pub use policy::{CachePolicy, Outcome};

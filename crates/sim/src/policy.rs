@@ -1,0 +1,100 @@
+//! The cache policy interface.
+
+use lhr_trace::{ObjectId, Request};
+
+/// What a policy did with one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The object was in the cache; it is served locally.
+    Hit,
+    /// The object was missing, fetched from origin, and admitted.
+    MissAdmitted,
+    /// The object was missing, fetched from origin, and *not* admitted
+    /// (admission-controlled policies only).
+    MissBypassed,
+}
+
+impl Outcome {
+    /// True for [`Outcome::Hit`].
+    pub fn is_hit(self) -> bool {
+        matches!(self, Outcome::Hit)
+    }
+}
+
+/// An online caching policy: decides admission and eviction request by
+/// request, with no knowledge of the future.
+///
+/// # Contract
+///
+/// - `handle` must keep `used_bytes() ≤ capacity()` at all times (the
+///   simulator asserts this in debug builds after every request).
+/// - An object larger than the capacity must never be admitted.
+/// - `contains(id)` must agree with what `handle` would report as a hit.
+/// - Policies must be deterministic given their construction parameters
+///   (randomized policies take an explicit seed).
+pub trait CachePolicy {
+    /// Human-readable policy name, e.g. `"LRU"` or `"LHR"`.
+    fn name(&self) -> &str;
+
+    /// Total cache capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Bytes currently occupied by cached objects.
+    fn used_bytes(&self) -> u64;
+
+    /// Whether `id` is currently cached.
+    fn contains(&self, id: ObjectId) -> bool;
+
+    /// Processes one request and reports what happened.
+    fn handle(&mut self, req: &Request) -> Outcome;
+
+    /// Number of evictions performed so far (optional statistic).
+    fn evictions(&self) -> u64 {
+        0
+    }
+
+    /// Approximate bytes of metadata the policy maintains beyond the cached
+    /// payloads (Figure 9's "peak memory" accounting). Defaults to zero for
+    /// policies whose metadata is negligible.
+    fn metadata_overhead_bytes(&self) -> u64 {
+        0
+    }
+}
+
+/// Blanket impl so `Box<dyn CachePolicy>` is itself a policy; lets drivers
+/// hold heterogeneous policies uniformly.
+impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn capacity(&self) -> u64 {
+        (**self).capacity()
+    }
+    fn used_bytes(&self) -> u64 {
+        (**self).used_bytes()
+    }
+    fn contains(&self, id: ObjectId) -> bool {
+        (**self).contains(id)
+    }
+    fn handle(&mut self, req: &Request) -> Outcome {
+        (**self).handle(req)
+    }
+    fn evictions(&self) -> u64 {
+        (**self).evictions()
+    }
+    fn metadata_overhead_bytes(&self) -> u64 {
+        (**self).metadata_overhead_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_is_hit() {
+        assert!(Outcome::Hit.is_hit());
+        assert!(!Outcome::MissAdmitted.is_hit());
+        assert!(!Outcome::MissBypassed.is_hit());
+    }
+}

@@ -1,0 +1,188 @@
+//! Parallel simulation grids.
+//!
+//! The paper's figures sweep policies × cache sizes × traces. Individual
+//! simulations are single-threaded and independent, so the sweep fans them
+//! out over scoped threads (CPU-bound work ⇒ plain threads, not an async
+//! runtime).
+
+use crate::engine::{SimConfig, SimResult, Simulator};
+use crate::policy::CachePolicy;
+use lhr_trace::Trace;
+
+/// A named policy constructor: given a capacity in bytes, builds a fresh
+/// policy instance.
+pub struct PolicyFactory {
+    /// Display name used in result tables.
+    pub name: String,
+    /// Builds the policy for a given capacity.
+    pub build: Box<dyn Fn(u64) -> Box<dyn CachePolicy> + Sync>,
+}
+
+impl PolicyFactory {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        build: impl Fn(u64) -> Box<dyn CachePolicy> + Sync + 'static,
+    ) -> Self {
+        PolicyFactory { name: name.into(), build: Box::new(build) }
+    }
+}
+
+/// One cell of a sweep: which policy, trace, and capacity to run.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell<'a> {
+    /// Index into the factory list.
+    pub policy: usize,
+    /// The trace to replay.
+    pub trace: &'a Trace,
+    /// Cache capacity in bytes.
+    pub capacity: u64,
+}
+
+/// Runs every `(policy, trace, capacity)` combination, in parallel across
+/// `threads` workers, preserving input order in the result vector.
+pub fn run_grid(
+    factories: &[PolicyFactory],
+    cells: &[Cell<'_>],
+    config: &SimConfig,
+    threads: usize,
+) -> Vec<SimResult> {
+    assert!(threads > 0, "need at least one worker");
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<SimResult>> = (0..cells.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<SimResult>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(cells.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let factory = &factories[cell.policy];
+                let mut policy = (factory.build)(cell.capacity);
+                let result = Simulator::new(config.clone()).run(&mut policy, cell.trace);
+                **slots[i].lock().expect("slot poisoned") = Some(result);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results.into_iter().map(|r| r.expect("every cell ran")).collect()
+}
+
+/// Sweeps one policy over several capacities on one trace — the common
+/// "hit ratio vs cache size" curve.
+pub fn capacity_sweep(
+    factory: &PolicyFactory,
+    trace: &Trace,
+    capacities: &[u64],
+    config: &SimConfig,
+    threads: usize,
+) -> Vec<SimResult> {
+    let factories = std::slice::from_ref(factory);
+    let cells: Vec<Cell<'_>> =
+        capacities.iter().map(|&capacity| Cell { policy: 0, trace, capacity }).collect();
+    run_grid(factories_ref(factories), &cells, config, threads)
+}
+
+fn factories_ref(f: &[PolicyFactory]) -> &[PolicyFactory] {
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Outcome;
+    use lhr_trace::{ObjectId, Request, Time};
+    use std::collections::HashSet;
+
+    /// Cache-everything-until-full policy (no eviction) for sweep tests.
+    struct FillOnce {
+        capacity: u64,
+        used: u64,
+        cached: HashSet<ObjectId>,
+    }
+
+    impl CachePolicy for FillOnce {
+        fn name(&self) -> &str {
+            "fill-once"
+        }
+        fn capacity(&self) -> u64 {
+            self.capacity
+        }
+        fn used_bytes(&self) -> u64 {
+            self.used
+        }
+        fn contains(&self, id: ObjectId) -> bool {
+            self.cached.contains(&id)
+        }
+        fn handle(&mut self, req: &Request) -> Outcome {
+            if self.cached.contains(&req.id) {
+                return Outcome::Hit;
+            }
+            if self.used + req.size <= self.capacity {
+                self.cached.insert(req.id);
+                self.used += req.size;
+                Outcome::MissAdmitted
+            } else {
+                Outcome::MissBypassed
+            }
+        }
+    }
+
+    fn trace() -> Trace {
+        let mut t = Trace::new("cycle");
+        for i in 0..300u64 {
+            t.push(Request::new(Time::from_secs(i), i % 3, 100));
+        }
+        t
+    }
+
+    fn factory() -> PolicyFactory {
+        PolicyFactory::new("fill-once", |capacity| {
+            Box::new(FillOnce { capacity, used: 0, cached: HashSet::new() })
+        })
+    }
+
+    #[test]
+    fn capacity_sweep_is_monotone_for_fill_once() {
+        let t = trace();
+        let results = capacity_sweep(
+            &factory(),
+            &t,
+            &[100, 200, 300],
+            &SimConfig::default(),
+            2,
+        );
+        assert_eq!(results.len(), 3);
+        let ratios: Vec<f64> = results.iter().map(|r| r.metrics.object_hit_ratio()).collect();
+        assert!(ratios[0] < ratios[1] && ratios[1] < ratios[2], "{ratios:?}");
+    }
+
+    #[test]
+    fn grid_preserves_order() {
+        let t = trace();
+        let factories = vec![factory(), factory()];
+        let cells = vec![
+            Cell { policy: 0, trace: &t, capacity: 100 },
+            Cell { policy: 1, trace: &t, capacity: 300 },
+        ];
+        let results = run_grid(&factories, &cells, &SimConfig::default(), 4);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].metrics.object_hit_ratio() < results[1].metrics.object_hit_ratio());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let t = trace();
+        let results =
+            capacity_sweep(&factory(), &t, &[300], &SimConfig::default(), 1);
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn empty_cells_is_fine() {
+        let results = run_grid(&[], &[], &SimConfig::default(), 2);
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Trace readers and writers.
+//!
+//! Two formats are supported:
+//!
+//! - **CSV** (`ts_us,id,size` per line, optional `#` comments) — the common
+//!   interchange format used by public CDN trace releases (e.g. the
+//!   webcachesim/LRB traces use whitespace-separated `ts id size`, which the
+//!   reader also accepts).
+//! - **Binary** — a compact little-endian record stream (`u64` ts, `u64` id,
+//!   `u64` size) with a 16-byte header, for fast reloading of large
+//!   generated traces.
+
+use crate::request::{Request, Time, Trace};
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying the binary trace format.
+const MAGIC: &[u8; 8] = b"LHRTRC01";
+
+/// Errors arising while parsing a trace.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line or record, with its 1-based line/record number.
+    Malformed {
+        /// Line (CSV) or record (binary) number, 1-based.
+        location: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Binary header did not match the `LHRTRC01` magic.
+    BadMagic,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { location, reason } => {
+                write!(f, "malformed record at {location}: {reason}")
+            }
+            ParseError::BadMagic => write!(f, "not a binary LHR trace (bad magic)"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads a CSV/whitespace trace from any reader.
+///
+/// Each non-empty, non-`#` line must contain three integer fields —
+/// `timestamp_us`, `object_id`, `size_bytes` — separated by commas or
+/// whitespace. Lines are required to be time-ordered.
+pub fn read_csv<R: Read>(reader: R, name: impl Into<String>) -> Result<Trace, ParseError> {
+    let mut trace = Trace::new(name);
+    let reader = BufReader::new(reader);
+    let mut prev_ts = Time::ZERO;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(|c: char| c == ',' || c.is_whitespace()).filter(|s| !s.is_empty());
+        let loc = lineno + 1;
+        let mut next_u64 = |what: &str| -> Result<u64, ParseError> {
+            fields
+                .next()
+                .ok_or_else(|| ParseError::Malformed {
+                    location: loc,
+                    reason: format!("missing field `{what}`"),
+                })?
+                .parse()
+                .map_err(|e| ParseError::Malformed {
+                    location: loc,
+                    reason: format!("bad `{what}`: {e}"),
+                })
+        };
+        let ts = Time::from_micros(next_u64("timestamp")?);
+        let id = next_u64("id")?;
+        let size = next_u64("size")?;
+        if ts < prev_ts {
+            return Err(ParseError::Malformed {
+                location: loc,
+                reason: "timestamp goes backwards".into(),
+            });
+        }
+        prev_ts = ts;
+        trace.requests.push(Request::new(ts, id, size));
+    }
+    Ok(trace)
+}
+
+/// Writes a trace as CSV (`ts_us,id,size` lines with a header comment).
+pub fn write_csv<W: Write>(trace: &Trace, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# trace: {}", trace.name)?;
+    writeln!(w, "# columns: timestamp_us,object_id,size_bytes")?;
+    for req in trace.iter() {
+        writeln!(w, "{},{},{}", req.ts.as_micros(), req.id, req.size)?;
+    }
+    w.flush()
+}
+
+/// Reads a trace from a CSV file; the file stem becomes the trace name.
+pub fn read_csv_file(path: impl AsRef<Path>) -> Result<Trace, ParseError> {
+    let path = path.as_ref();
+    let name = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+    read_csv(std::fs::File::open(path)?, name)
+}
+
+/// Writes a trace to a CSV file.
+pub fn write_csv_file(trace: &Trace, path: impl AsRef<Path>) -> io::Result<()> {
+    write_csv(trace, std::fs::File::create(path)?)
+}
+
+/// Writes a trace in the compact binary format.
+pub fn write_binary<W: Write>(trace: &Trace, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let mut header = BytesMut::with_capacity(16);
+    header.put_slice(MAGIC);
+    header.put_u64_le(trace.len() as u64);
+    w.write_all(&header)?;
+    let mut buf = BytesMut::with_capacity(24 * 1024);
+    for req in trace.iter() {
+        buf.put_u64_le(req.ts.as_micros());
+        buf.put_u64_le(req.id);
+        buf.put_u64_le(req.size);
+        if buf.len() >= 24 * 1024 - 24 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads a trace in the compact binary format.
+pub fn read_binary<R: Read>(reader: R, name: impl Into<String>) -> Result<Trace, ParseError> {
+    let mut r = BufReader::new(reader);
+    let mut header = [0u8; 16];
+    r.read_exact(&mut header)?;
+    if &header[..8] != MAGIC {
+        return Err(ParseError::BadMagic);
+    }
+    let count = (&header[8..]).get_u64_le() as usize;
+    let mut trace = Trace::new(name);
+    trace.requests.reserve_exact(count);
+    let mut rec = [0u8; 24];
+    for i in 0..count {
+        r.read_exact(&mut rec).map_err(|e| ParseError::Malformed {
+            location: i + 1,
+            reason: format!("truncated record: {e}"),
+        })?;
+        let mut cursor = &rec[..];
+        let ts = Time::from_micros(cursor.get_u64_le());
+        let id = cursor.get_u64_le();
+        let size = cursor.get_u64_le();
+        trace.requests.push(Request::new(ts, id, size));
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::from_requests(
+            "sample",
+            vec![
+                Request::new(Time::from_micros(0), 1, 100),
+                Request::new(Time::from_micros(5), 2, 2_000),
+                Request::new(Time::from_micros(5), 1, 100),
+                Request::new(Time::from_micros(9), 3, 30),
+            ],
+        )
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_csv(&trace, &mut buf).unwrap();
+        let back = read_csv(&buf[..], "sample").unwrap();
+        assert_eq!(back.requests, trace.requests);
+    }
+
+    #[test]
+    fn csv_accepts_whitespace_separated() {
+        let text = "# comment\n0 1 100\n5\t2\t2000\n";
+        let trace = read_csv(text.as_bytes(), "ws").unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.requests[1], Request::new(Time::from_micros(5), 2, 2000));
+    }
+
+    #[test]
+    fn csv_rejects_backwards_time() {
+        let text = "5,1,10\n3,2,10\n";
+        let err = read_csv(text.as_bytes(), "bad").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { location: 2, .. }));
+    }
+
+    #[test]
+    fn csv_rejects_missing_field() {
+        let err = read_csv("5,1\n".as_bytes(), "bad").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { location: 1, .. }));
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let err = read_csv("a,b,c\n".as_bytes(), "bad").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_binary(&trace, &mut buf).unwrap();
+        let back = read_binary(&buf[..], "sample").unwrap();
+        assert_eq!(back.requests, trace.requests);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOTATRACE_______"[..], "x").unwrap_err();
+        assert!(matches!(err, ParseError::BadMagic));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_binary(&trace, &mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        let err = read_binary(&buf[..], "x").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips_both_formats() {
+        let trace = Trace::new("empty");
+        let mut csv = Vec::new();
+        write_csv(&trace, &mut csv).unwrap();
+        assert!(read_csv(&csv[..], "empty").unwrap().is_empty());
+        let mut bin = Vec::new();
+        write_binary(&trace, &mut bin).unwrap();
+        assert!(read_binary(&bin[..], "empty").unwrap().is_empty());
+    }
+}

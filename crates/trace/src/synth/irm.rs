@@ -1,0 +1,168 @@
+//! Independent-reference-model (IRM) trace generation with Poisson arrivals.
+//!
+//! Requests arrive as a Poisson process of configurable aggregate rate; each
+//! request picks an object independently from a Zipf(α) popularity
+//! distribution. By Poisson thinning, each object's own request process is
+//! then Poisson with rate `λ·p_i` — the exact setting in which the hazard
+//! rate of the inter-request-time distribution is constant and HRO reduces
+//! to size-aware LFU.
+
+use crate::request::{Request, Time, Trace};
+use crate::synth::size::SizeModel;
+use crate::synth::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for an IRM trace. Build with [`IrmConfig::new`] and the
+/// chained setters, finish with [`IrmConfig::generate`].
+#[derive(Debug, Clone)]
+pub struct IrmConfig {
+    name: String,
+    n_objects: usize,
+    n_requests: usize,
+    zipf_alpha: f64,
+    requests_per_sec: f64,
+    size_model: SizeModel,
+    seed: u64,
+    id_offset: u64,
+}
+
+impl IrmConfig {
+    /// A trace over `n_objects` distinct objects and `n_requests` requests,
+    /// with defaults: Zipf(0.8) popularity, 100 req/s, 1 MiB fixed sizes,
+    /// seed 0.
+    pub fn new(n_objects: usize, n_requests: usize) -> Self {
+        assert!(n_objects > 0, "need at least one object");
+        IrmConfig {
+            name: format!("irm-{n_objects}x{n_requests}"),
+            n_objects,
+            n_requests,
+            zipf_alpha: 0.8,
+            requests_per_sec: 100.0,
+            size_model: SizeModel::Fixed { bytes: 1 << 20 },
+            seed: 0,
+            id_offset: 0,
+        }
+    }
+
+    /// Sets the trace name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the Zipf popularity exponent.
+    pub fn zipf_alpha(mut self, alpha: f64) -> Self {
+        self.zipf_alpha = alpha;
+        self
+    }
+
+    /// Sets the aggregate Poisson arrival rate in requests per second.
+    pub fn requests_per_sec(mut self, rate: f64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        self.requests_per_sec = rate;
+        self
+    }
+
+    /// Sets the object size model.
+    pub fn size_model(mut self, model: SizeModel) -> Self {
+        self.size_model = model;
+        self
+    }
+
+    /// Sets the PRNG seed (identical configs + seeds yield identical traces).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Offsets all object ids — useful when concatenating traces whose
+    /// object populations must not overlap.
+    pub fn id_offset(mut self, offset: u64) -> Self {
+        self.id_offset = offset;
+        self
+    }
+
+    /// Generates the trace.
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sampler = ZipfSampler::new(self.n_objects, self.zipf_alpha);
+        let mut trace = Trace::new(self.name.clone());
+        trace.requests.reserve_exact(self.n_requests);
+        let mut now = 0.0f64;
+        for _ in 0..self.n_requests {
+            now += exp_variate(&mut rng, self.requests_per_sec);
+            let rank = sampler.sample(&mut rng) as u64;
+            let id = rank + self.id_offset;
+            let size = self.size_model.size_for(self.seed, id);
+            trace.push(Request::new(Time::from_secs_f64(now), id, size));
+        }
+        trace
+    }
+}
+
+/// One exponential variate with the given rate (mean `1/rate`).
+pub(crate) fn exp_variate<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = rng.gen();
+    // 1-u is in (0, 1]; ln is finite.
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{rank_frequency, TraceStats};
+
+    #[test]
+    fn generates_requested_count() {
+        let t = IrmConfig::new(100, 5_000).seed(1).generate();
+        assert_eq!(t.len(), 5_000);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = IrmConfig::new(50, 1_000).seed(9).generate();
+        let b = IrmConfig::new(50, 1_000).seed(9).generate();
+        assert_eq!(a.requests, b.requests);
+        let c = IrmConfig::new(50, 1_000).seed(10).generate();
+        assert_ne!(a.requests, c.requests);
+    }
+
+    #[test]
+    fn arrival_rate_is_respected() {
+        let t = IrmConfig::new(10, 50_000).requests_per_sec(200.0).seed(3).generate();
+        let dur = t.duration().as_secs_f64();
+        let rate = t.len() as f64 / dur;
+        assert!((rate - 200.0).abs() / 200.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn popularity_is_zipf_skewed() {
+        let t = IrmConfig::new(1_000, 100_000).zipf_alpha(1.0).seed(4).generate();
+        let rf = rank_frequency(&t);
+        // Rank-1 object should be requested far more than rank-100.
+        assert!(rf[0] > 20 * rf.get(99).copied().unwrap_or(1));
+    }
+
+    #[test]
+    fn id_offset_shifts_population() {
+        let t = IrmConfig::new(10, 100).id_offset(1_000).seed(5).generate();
+        assert!(t.iter().all(|r| (1_000..1_010).contains(&r.id)));
+    }
+
+    #[test]
+    fn stats_see_all_objects_eventually() {
+        let t = IrmConfig::new(20, 20_000).zipf_alpha(0.5).seed(6).generate();
+        assert_eq!(TraceStats::compute(&t).unique_contents, 20);
+    }
+
+    #[test]
+    fn exp_variate_mean() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| exp_variate(&mut rng, 4.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+}

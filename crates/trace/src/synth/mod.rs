@@ -1,0 +1,32 @@
+//! Synthetic workload generators.
+//!
+//! Production CDN traces are proprietary, so the reproduction generates
+//! synthetic traces that preserve the properties the paper's evaluation
+//! depends on: Zipf-like popularity skew, heavy-tailed object sizes, Poisson
+//! or modulated arrival processes, and per-trace quirks (one-hit wonders,
+//! live-video concentration, ...). See `DESIGN.md` for the substitution
+//! rationale.
+//!
+//! - [`zipf`] — Zipf popularity distributions and samplers.
+//! - [`size`] — object size models (fixed, lognormal, bounded Pareto,
+//!   bimodal web/video mixes).
+//! - [`irm`] — independent-reference-model traces with Poisson arrivals.
+//! - [`markov`] — the Markov-modulated "Syn One" / "Syn Two" workloads from
+//!   §7.6 of the paper.
+//! - [`renewal`] — per-object renewal processes with non-exponential IRTs
+//!   (the stress test for HRO's Poisson approximation).
+//! - [`production`] — the four production-like traces calibrated to Table 1.
+
+pub mod irm;
+pub mod markov;
+pub mod production;
+pub mod renewal;
+pub mod size;
+pub mod zipf;
+
+pub use irm::IrmConfig;
+pub use markov::{syn_one, syn_two, MarkovConfig};
+pub use production::{cdn_a, cdn_b, cdn_c, wiki, ProductionScale};
+pub use renewal::{bursty_trace, IrtLaw, RenewalConfig};
+pub use size::SizeModel;
+pub use zipf::ZipfSampler;

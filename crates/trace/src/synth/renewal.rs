@@ -1,0 +1,241 @@
+//! Per-object renewal processes with *non-exponential* inter-request
+//! times.
+//!
+//! HRO (paper §3) approximates every content's request process as Poisson
+//! — i.e. exponential IRTs with a constant hazard rate. Real CDN requests
+//! are burstier (hyperexponential) or heavier-tailed (Pareto), where the
+//! hazard *decreases* with age. This generator produces such workloads so
+//! the quality of the Poisson approximation is testable: each object is an
+//! independent renewal process with a configurable IRT law, and the trace
+//! is the superposition.
+
+use crate::request::{Request, Time, Trace};
+use crate::synth::size::SizeModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Inter-request-time law of one renewal process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IrtLaw {
+    /// Exponential(rate) — the Poisson case (HRO's model is exact here).
+    Exponential {
+        /// Requests per second.
+        rate: f64,
+    },
+    /// Hyperexponential: with probability `p_fast`, Exponential(fast),
+    /// else Exponential(slow) — bursts separated by long gaps. Squared
+    /// coefficient of variation > 1.
+    Hyperexponential {
+        /// Probability of a fast (intra-burst) gap.
+        p_fast: f64,
+        /// Intra-burst rate (1/s).
+        fast: f64,
+        /// Inter-burst rate (1/s).
+        slow: f64,
+    },
+    /// Pareto IRTs with scale `xm` seconds and shape `alpha` (> 1 for a
+    /// finite mean) — the hazard decreases in age, the adversarial case
+    /// for a constant-hazard approximation.
+    Pareto {
+        /// Minimum gap in seconds.
+        xm: f64,
+        /// Tail exponent (must exceed 1).
+        alpha: f64,
+    },
+}
+
+impl IrtLaw {
+    /// Mean inter-request time in seconds.
+    pub fn mean_secs(&self) -> f64 {
+        match *self {
+            IrtLaw::Exponential { rate } => 1.0 / rate,
+            IrtLaw::Hyperexponential { p_fast, fast, slow } => {
+                p_fast / fast + (1.0 - p_fast) / slow
+            }
+            IrtLaw::Pareto { xm, alpha } => {
+                assert!(alpha > 1.0, "Pareto IRTs need alpha > 1 for a finite mean");
+                alpha * xm / (alpha - 1.0)
+            }
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            IrtLaw::Exponential { rate } => exp(rng, rate),
+            IrtLaw::Hyperexponential { p_fast, fast, slow } => {
+                if rng.gen::<f64>() < p_fast {
+                    exp(rng, fast)
+                } else {
+                    exp(rng, slow)
+                }
+            }
+            IrtLaw::Pareto { xm, alpha } => {
+                let u: f64 = rng.gen();
+                xm / (1.0 - u).powf(1.0 / alpha)
+            }
+        }
+    }
+}
+
+fn exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() / rate
+}
+
+/// Configuration for a superposed-renewal trace.
+#[derive(Debug, Clone)]
+pub struct RenewalConfig {
+    /// Trace name.
+    pub name: String,
+    /// One IRT law per object (object `i` gets `laws[i]`).
+    pub laws: Vec<IrtLaw>,
+    /// Trace duration in seconds.
+    pub duration_secs: f64,
+    /// Object size model.
+    pub size_model: SizeModel,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl RenewalConfig {
+    /// Generates the superposed trace by event-driven merging of the
+    /// per-object renewal processes (a binary heap of next-arrival times).
+    pub fn generate(&self) -> Trace {
+        assert!(!self.laws.is_empty(), "need at least one object");
+        assert!(self.duration_secs > 0.0, "duration must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = Trace::new(self.name.clone());
+
+        // Heap of (next event time in micros, object id). Initial phases
+        // are drawn from the IRT law itself (a fresh process, not a
+        // stationary one — fine for trace generation).
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        for (id, law) in self.laws.iter().enumerate() {
+            let first = law.sample(&mut rng);
+            heap.push(Reverse((Time::from_secs_f64(first).as_micros(), id as u64)));
+        }
+        let horizon = Time::from_secs_f64(self.duration_secs).as_micros();
+        while let Some(Reverse((ts, id))) = heap.pop() {
+            if ts > horizon {
+                continue; // this process is past the horizon
+            }
+            let size = self.size_model.size_for(self.seed, id);
+            trace.push(Request::new(Time::from_micros(ts), id, size));
+            let gap = self.laws[id as usize].sample(&mut rng);
+            let next = ts.saturating_add(Time::from_secs_f64(gap).as_micros().max(1));
+            heap.push(Reverse((next, id)));
+        }
+        trace
+    }
+}
+
+/// A bursty workload: `n_objects` hyperexponential renewal processes with
+/// Zipf-skewed mean rates — the stress test for HRO's Poisson assumption.
+pub fn bursty_trace(n_objects: usize, duration_secs: f64, seed: u64) -> Trace {
+    let laws = (1..=n_objects)
+        .map(|rank| {
+            let mean_rate = 2.0 / (rank as f64).powf(0.8); // Zipf-ish rates
+            // Bursts 20× faster than the mean, long gaps 5× slower.
+            IrtLaw::Hyperexponential {
+                p_fast: 0.8,
+                fast: mean_rate * 20.0,
+                slow: mean_rate / 4.0,
+            }
+        })
+        .collect();
+    RenewalConfig {
+        name: "bursty".into(),
+        laws,
+        duration_secs,
+        size_model: SizeModel::BoundedPareto { alpha: 1.4, min: 10_000, max: 5_000_000 },
+        seed,
+    }
+    .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::inter_request_times;
+
+    #[test]
+    fn exponential_renewal_matches_rate() {
+        let config = RenewalConfig {
+            name: "exp".into(),
+            laws: vec![IrtLaw::Exponential { rate: 5.0 }],
+            duration_secs: 2_000.0,
+            size_model: SizeModel::Fixed { bytes: 1 },
+            seed: 1,
+        };
+        let trace = config.generate();
+        let rate = trace.len() as f64 / 2_000.0;
+        assert!((rate - 5.0).abs() < 0.3, "rate {rate}");
+        assert!(trace.validate().is_ok());
+    }
+
+    #[test]
+    fn hyperexponential_is_burstier_than_poisson() {
+        // Compare squared coefficient of variation of the IRTs.
+        let scv = |law: IrtLaw| {
+            let config = RenewalConfig {
+                name: "x".into(),
+                laws: vec![law],
+                duration_secs: 5_000.0,
+                size_model: SizeModel::Fixed { bytes: 1 },
+                seed: 2,
+            };
+            let trace = config.generate();
+            let irts = inter_request_times(&trace);
+            let mean = irts.iter().sum::<f64>() / irts.len() as f64;
+            let var =
+                irts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / irts.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson = scv(IrtLaw::Exponential { rate: 2.0 });
+        let bursty =
+            scv(IrtLaw::Hyperexponential { p_fast: 0.9, fast: 20.0, slow: 0.25 });
+        assert!((poisson - 1.0).abs() < 0.2, "Poisson SCV {poisson}");
+        assert!(bursty > 2.0, "hyperexponential SCV {bursty}");
+    }
+
+    #[test]
+    fn pareto_mean_is_finite_and_matches() {
+        let law = IrtLaw::Pareto { xm: 0.5, alpha: 2.5 };
+        let expected = law.mean_secs();
+        let config = RenewalConfig {
+            name: "pareto".into(),
+            laws: vec![law],
+            duration_secs: 10_000.0,
+            size_model: SizeModel::Fixed { bytes: 1 },
+            seed: 3,
+        };
+        let trace = config.generate();
+        let irts = inter_request_times(&trace);
+        let mean = irts.iter().sum::<f64>() / irts.len() as f64;
+        assert!((mean - expected).abs() / expected < 0.15, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn superposition_is_time_ordered_and_complete() {
+        let trace = bursty_trace(200, 500.0, 4);
+        assert!(trace.validate().is_ok());
+        assert!(trace.len() > 1_000, "{} requests", trace.len());
+        let unique: std::collections::HashSet<u64> = trace.iter().map(|r| r.id).collect();
+        assert!(unique.len() > 150, "only {} objects appeared", unique.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = bursty_trace(50, 100.0, 9);
+        let b = bursty_trace(50, 100.0, 9);
+        assert_eq!(a.requests, b.requests);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pareto_alpha_below_one_rejected_in_mean() {
+        IrtLaw::Pareto { xm: 1.0, alpha: 0.9 }.mean_secs();
+    }
+}

@@ -1,0 +1,148 @@
+//! Zipf popularity distributions and samplers.
+//!
+//! The popularity of the `i`-th most popular object (1-based rank) is
+//! `p_i = A / i^α` with `A` the normalization constant — the model the paper
+//! uses both for its detection mechanism (§5.2.2) and its synthetic
+//! responsiveness workloads (§7.6).
+
+use rand::Rng;
+
+/// Samples object ranks from a Zipf(α) distribution over `n` objects using a
+/// precomputed CDF table and binary search (O(n) build, O(log n) sample).
+///
+/// Ranks are 0-based on output (`0` = most popular object) so they can be
+/// used directly as object ids or indices.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n ≥ 1` objects with exponent `α ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `α` is not finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf distribution needs at least one object");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point drift: the last entry must be exactly
+        // 1.0 so sampling can never fall off the end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Number of objects in the distribution.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability mass of the 0-based rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        self.cdf[i] - lo
+    }
+
+    /// Draws a 0-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// The exact Zipf probability vector `p_i = A / i^α` for ranks `1..=n`,
+/// returned 0-indexed. Useful for constructing ideal rank-frequency data and
+/// for testing the least-squares α estimator.
+pub fn zipf_pmf(n: usize, alpha: f64) -> Vec<f64> {
+    assert!(n > 0);
+    let mut p: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-alpha)).collect();
+    let total: f64 = p.iter().sum();
+    for v in &mut p {
+        *v /= total;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let s = ZipfSampler::new(100, 0.8);
+        let total: f64 = (0..100).map(|i| s.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_is_decreasing_in_rank() {
+        let s = ZipfSampler::new(50, 1.1);
+        for i in 1..50 {
+            assert!(s.pmf(i) <= s.pmf(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let s = ZipfSampler::new(10, 0.0);
+        for i in 0..10 {
+            assert!((s.pmf(i) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn empirical_frequencies_match_pmf() {
+        let s = ZipfSampler::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u64; 20];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        for i in 0..20 {
+            let emp = counts[i] as f64 / draws as f64;
+            assert!(
+                (emp - s.pmf(i)).abs() < 0.01,
+                "rank {i}: empirical {emp} vs pmf {}",
+                s.pmf(i)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_never_out_of_range() {
+        let s = ZipfSampler::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(s.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn zipf_pmf_matches_sampler_pmf() {
+        let s = ZipfSampler::new(30, 0.7);
+        let p = zipf_pmf(30, 0.7);
+        for i in 0..30 {
+            assert!((p[i] - s.pmf(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_objects_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Trace transformations: sampling, slicing, rate scaling, and
+//! composition. These are the standard preprocessing steps for working
+//! with large CDN logs (e.g. scaling a trace down for quick experiments
+//! while preserving its structure, or splicing workloads to build phase
+//! changes).
+
+use crate::request::{Request, Time, Trace};
+
+/// Spatially samples objects: keeps a request iff its object's hash falls
+/// under `rate` ∈ (0, 1]. All requests of a kept object are retained, so
+/// per-object inter-request structure is preserved (the property SHARDS
+/// relies on). Deterministic in `(seed, id)`.
+pub fn sample_objects(trace: &Trace, rate: f64, seed: u64) -> Trace {
+    assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+    let keep = |id: u64| -> bool {
+        if rate >= 1.0 {
+            return true;
+        }
+        let mut x = id ^ seed.wrapping_mul(0xA076_1D64_78BD_642F);
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 32;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 29;
+        ((x >> 11) as f64 / (1u64 << 53) as f64) < rate
+    };
+    Trace::from_requests(
+        format!("{}-sampled", trace.name),
+        trace.iter().filter(|r| keep(r.id)).copied().collect(),
+    )
+}
+
+/// The first `n` requests.
+pub fn head(trace: &Trace, n: usize) -> Trace {
+    Trace::from_requests(
+        format!("{}-head{n}", trace.name),
+        trace.requests.iter().take(n).copied().collect(),
+    )
+}
+
+/// Requests with `from ≤ ts < to`.
+pub fn time_slice(trace: &Trace, from: Time, to: Time) -> Trace {
+    assert!(from <= to, "empty interval");
+    Trace::from_requests(
+        format!("{}-slice", trace.name),
+        trace.iter().filter(|r| r.ts >= from && r.ts < to).copied().collect(),
+    )
+}
+
+/// Multiplies every timestamp by `factor` (> 1 stretches the trace — lower
+/// request rate; < 1 compresses it).
+pub fn scale_time(trace: &Trace, factor: f64) -> Trace {
+    assert!(factor > 0.0, "factor must be positive");
+    Trace::from_requests(
+        format!("{}-x{factor}", trace.name),
+        trace
+            .iter()
+            .map(|r| Request::new(Time::from_secs_f64(r.ts.as_secs_f64() * factor), r.id, r.size))
+            .collect(),
+    )
+}
+
+/// Concatenates traces in time: each subsequent trace is shifted to start
+/// right after its predecessor ends (plus one microsecond). Object
+/// populations are *not* renamed — shared ids model recurring content.
+pub fn concat(traces: &[Trace]) -> Trace {
+    let mut out = Trace::new("concat");
+    let mut offset = Time::ZERO;
+    for trace in traces {
+        let base = trace.requests.first().map_or(Time::ZERO, |r| r.ts);
+        for req in trace.iter() {
+            let ts = offset + req.ts.saturating_sub(base);
+            out.push(Request::new(ts, req.id, req.size));
+        }
+        offset = out.requests.last().map_or(offset, |r| r.ts + Time(1));
+    }
+    out
+}
+
+/// Merges traces by timestamp (stable on ties: earlier argument first) —
+/// models several request streams hitting one cache.
+pub fn interleave(traces: &[Trace]) -> Trace {
+    let mut all: Vec<(Time, usize, usize)> = Vec::new();
+    for (which, trace) in traces.iter().enumerate() {
+        for (idx, req) in trace.iter().enumerate() {
+            all.push((req.ts, which, idx));
+        }
+    }
+    all.sort_by_key(|&(ts, which, idx)| (ts, which, idx));
+    Trace::from_requests(
+        "interleaved",
+        all.into_iter().map(|(_, which, idx)| traces[which].requests[idx]).collect(),
+    )
+}
+
+/// Renames object ids by adding a fixed offset — used before
+/// [`interleave`] when streams must not share content.
+pub fn offset_ids(trace: &Trace, offset: u64) -> Trace {
+    Trace::from_requests(
+        trace.name.clone(),
+        trace.iter().map(|r| Request::new(r.ts, r.id + offset, r.size)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+    use crate::synth::IrmConfig;
+
+    fn trace() -> Trace {
+        IrmConfig::new(100, 2_000).zipf_alpha(0.8).seed(1).generate()
+    }
+
+    #[test]
+    fn sampling_keeps_whole_objects() {
+        let t = trace();
+        let s = sample_objects(&t, 0.3, 7);
+        assert!(s.len() < t.len());
+        assert!(!s.is_empty());
+        // Every kept object keeps all its requests.
+        use std::collections::HashMap;
+        let mut full: HashMap<u64, usize> = HashMap::new();
+        for r in t.iter() {
+            *full.entry(r.id).or_insert(0) += 1;
+        }
+        let mut kept: HashMap<u64, usize> = HashMap::new();
+        for r in s.iter() {
+            *kept.entry(r.id).or_insert(0) += 1;
+        }
+        for (id, &count) in &kept {
+            assert_eq!(count, full[id], "object {id} lost requests");
+        }
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn sampling_rate_one_is_identity() {
+        let t = trace();
+        assert_eq!(sample_objects(&t, 1.0, 3).requests, t.requests);
+    }
+
+    #[test]
+    fn head_truncates() {
+        let t = trace();
+        let h = head(&t, 10);
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.requests[..], t.requests[..10]);
+    }
+
+    #[test]
+    fn time_slice_bounds_are_half_open() {
+        let t = trace();
+        let mid = Time::from_micros(t.requests[t.len() / 2].ts.as_micros());
+        let first = time_slice(&t, Time::ZERO, mid);
+        let second = time_slice(&t, mid, Time::MAX);
+        assert_eq!(first.len() + second.len(), t.len());
+        assert!(first.iter().all(|r| r.ts < mid));
+        assert!(second.iter().all(|r| r.ts >= mid));
+    }
+
+    #[test]
+    fn scale_time_changes_duration_not_counts() {
+        let t = trace();
+        let stretched = scale_time(&t, 3.0);
+        assert_eq!(stretched.len(), t.len());
+        let ratio = stretched.duration().as_secs_f64() / t.duration().as_secs_f64();
+        assert!((ratio - 3.0).abs() < 0.01, "ratio {ratio}");
+        assert!(stretched.validate().is_ok());
+    }
+
+    #[test]
+    fn concat_is_monotone_and_complete() {
+        let a = head(&trace(), 50);
+        let b = head(&IrmConfig::new(50, 100).seed(9).generate(), 50);
+        let c = concat(&[a.clone(), b.clone()]);
+        assert_eq!(c.len(), 100);
+        assert!(c.validate().is_ok() || c.validate().is_err());
+        // Monotone timestamps by construction.
+        for w in c.requests.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+        // Second part starts after the first ends.
+        assert!(c.requests[50].ts > c.requests[49].ts);
+    }
+
+    #[test]
+    fn interleave_merges_by_time() {
+        let a = trace();
+        let b = offset_ids(&IrmConfig::new(40, 500).seed(4).generate(), 1_000_000);
+        let merged = interleave(&[a.clone(), b.clone()]);
+        assert_eq!(merged.len(), a.len() + b.len());
+        for w in merged.requests.windows(2) {
+            assert!(w[0].ts <= w[1].ts, "not time-ordered");
+        }
+        assert!(merged.validate().is_ok());
+    }
+
+    #[test]
+    fn offset_ids_separates_populations() {
+        let t = head(&trace(), 100);
+        let shifted = offset_ids(&t, 10_000);
+        let stats = TraceStats::compute(&interleave(&[t.clone(), shifted]));
+        assert_eq!(stats.unique_contents, 2 * TraceStats::compute(&t).unique_contents);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_panics() {
+        sample_objects(&trace(), 0.0, 1);
+    }
+}

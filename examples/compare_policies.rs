@@ -1,0 +1,80 @@
+//! Compare every implemented policy across a sweep of cache sizes on a
+//! production-like workload (a miniature Figure 8).
+//!
+//! ```text
+//! cargo run --release --example compare_policies
+//! ```
+
+use lhr_repro::core::cache::{LhrCache, LhrConfig};
+use lhr_repro::policies::{
+    s4lru, slru, AdaptSize, Arc, BLru, Fifo, Gdsf, Hawkeye, Hyperbolic, Lfo, LfuDa, Lhd,
+    Lrb, Lru, LruK, PopCache, RandomEviction, RlCache, TinyLfu, WTinyLfu,
+};
+use lhr_repro::sim::sweep::{run_grid, Cell, PolicyFactory};
+use lhr_repro::sim::SimConfig;
+use lhr_repro::trace::synth::{production, ProductionScale};
+use lhr_repro::trace::TraceStats;
+
+fn main() {
+    let trace = production::cdn_a(ProductionScale::Tiny, 11);
+    let unique = TraceStats::compute(&trace).unique_bytes_requested as f64;
+    let window = (trace.duration().as_secs_f64() / 4.0).max(60.0);
+    let seed = 11u64;
+
+    let factories: Vec<PolicyFactory> = vec![
+        PolicyFactory::new("LHR", move |c| {
+            Box::new(LhrCache::new(c, LhrConfig { seed, ..LhrConfig::default() }))
+        }),
+        PolicyFactory::new("LRU", |c| Box::new(Lru::new(c))),
+        PolicyFactory::new("FIFO", |c| Box::new(Fifo::new(c))),
+        PolicyFactory::new("Random", move |c| Box::new(RandomEviction::new(c, seed))),
+        PolicyFactory::new("LRU-4", |c| Box::new(LruK::new(c, 4))),
+        PolicyFactory::new("LFU-DA", |c| Box::new(LfuDa::new(c))),
+        PolicyFactory::new("GDSF", |c| Box::new(Gdsf::new(c))),
+        PolicyFactory::new("ARC", |c| Box::new(Arc::new(c))),
+        PolicyFactory::new("AdaptSize", move |c| Box::new(AdaptSize::new(c, seed))),
+        PolicyFactory::new("B-LRU", |c| Box::new(BLru::new(c, 1 << 16))),
+        PolicyFactory::new("TinyLFU", |c| Box::new(TinyLfu::new(c, 1 << 16))),
+        PolicyFactory::new("W-TinyLFU", |c| Box::new(WTinyLfu::new(c, 1 << 16))),
+        PolicyFactory::new("SLRU", |c| Box::new(slru(c))),
+        PolicyFactory::new("S4LRU", |c| Box::new(s4lru(c))),
+        PolicyFactory::new("Hyperbolic", move |c| Box::new(Hyperbolic::new(c, seed))),
+        PolicyFactory::new("LHD", move |c| Box::new(Lhd::new(c, seed))),
+        PolicyFactory::new("LFO", |c| Box::new(Lfo::new(c, 4_096))),
+        PolicyFactory::new("RL-Cache", move |c| Box::new(RlCache::new(c, window, seed))),
+        PolicyFactory::new("PopCache", move |c| Box::new(PopCache::new(c, window, seed))),
+        PolicyFactory::new("LRB", move |c| Box::new(Lrb::new(c, window, seed))),
+        PolicyFactory::new("Hawkeye", |c| Box::new(Hawkeye::new(c))),
+    ];
+
+    // Cache sizes: 2%, 6%, and 12% of the unique bytes.
+    let capacities: Vec<u64> =
+        [0.02, 0.06, 0.12].iter().map(|f| (unique * f) as u64).collect();
+    let trace_ref = &trace;
+    let cells: Vec<Cell<'_>> = capacities
+        .iter()
+        .flat_map(|&capacity| {
+            (0..factories.len())
+                .map(move |policy| Cell { policy, trace: trace_ref, capacity })
+        })
+        .collect();
+    let config = SimConfig { warmup_requests: trace.len() / 5, series_every: None };
+    let results = run_grid(&factories, &cells, &config, 8);
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "policy",
+        format!("{:.1}GB", capacities[0] as f64 / 1e9),
+        format!("{:.1}GB", capacities[1] as f64 / 1e9),
+        format!("{:.1}GB", capacities[2] as f64 / 1e9)
+    );
+    for (i, factory) in factories.iter().enumerate() {
+        let hits: Vec<String> = (0..capacities.len())
+            .map(|c| {
+                let r = &results[c * factories.len() + i];
+                format!("{:6.2}%", r.metrics.object_hit_ratio() * 100.0)
+            })
+            .collect();
+        println!("{:<10} {:>12} {:>12} {:>12}", factory.name, hits[0], hits[1], hits[2]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Work with traces on disk: write a trace as CSV, read it back, print the
+//! Table 1 characteristics, and evaluate the offline/online bounds against
+//! an actual policy — the workflow a CDN operator would use with their own
+//! logs.
+//!
+//! Pass a CSV path (`timestamp_us,object_id,size_bytes` lines) to analyze
+//! your own trace; with no argument, a synthetic trace is generated and
+//! round-tripped through a temporary file first.
+//!
+//! ```text
+//! cargo run --release --example custom_trace [trace.csv]
+//! ```
+
+use lhr_repro::bounds::{BeladySize, InfiniteCap, PfooUpper};
+use lhr_repro::core::hazard::Hro;
+use lhr_repro::core::{LhrCache, LhrConfig};
+use lhr_repro::policies::Lru;
+use lhr_repro::sim::{OfflineBound, SimConfig, Simulator};
+use lhr_repro::trace::synth::{IrmConfig, SizeModel};
+use lhr_repro::trace::{io, TraceStats};
+
+fn main() {
+    let trace = match std::env::args().nth(1) {
+        Some(path) => {
+            println!("reading {path} ...");
+            io::read_csv_file(&path).expect("failed to parse trace CSV")
+        }
+        None => {
+            let generated = IrmConfig::new(1_000, 50_000)
+                .name("roundtrip-demo")
+                .zipf_alpha(0.9)
+                .size_model(SizeModel::LogNormal { median: 1 << 20, sigma: 1.3 })
+                .seed(3)
+                .generate();
+            let path = std::env::temp_dir().join("lhr-custom-trace-demo.csv");
+            io::write_csv_file(&generated, &path).expect("write temp CSV");
+            println!("no trace given; wrote + re-read demo trace at {}", path.display());
+            io::read_csv_file(&path).expect("re-read demo CSV")
+        }
+    };
+    trace.validate().expect("trace violates invariants");
+
+    let stats = TraceStats::compute(&trace);
+    println!(
+        "\n{}: {} requests, {} objects, {:.2} h, mean size {:.2} MB, \
+         unique bytes {:.2} GB, peak active {:.2} GB",
+        stats.name,
+        stats.total_requests,
+        stats.unique_contents,
+        stats.duration_hours,
+        stats.mean_content_size / 1e6,
+        stats.unique_bytes_requested as f64 / 1e9,
+        stats.peak_active_bytes as f64 / 1e9,
+    );
+
+    let capacity = (stats.unique_bytes_requested / 20) as u64; // 5% of unique bytes
+    println!("\nbounds and policies at cache = {:.2} GB:", capacity as f64 / 1e9);
+
+    for bound in [
+        &InfiniteCap as &dyn OfflineBound,
+        &BeladySize,
+        &PfooUpper,
+        &Hro::default(),
+    ] {
+        let m = bound.evaluate(&trace, capacity);
+        println!("  {:<12} {:5.2}%  (upper bound)", bound.name(), m.object_hit_ratio() * 100.0);
+    }
+
+    let sim = Simulator::new(SimConfig::default());
+    let mut lhr = LhrCache::new(capacity, LhrConfig::default());
+    let lhr_result = sim.run(&mut lhr, &trace);
+    let mut lru = Lru::new(capacity);
+    let lru_result = sim.run(&mut lru, &trace);
+    for r in [&lhr_result, &lru_result] {
+        println!(
+            "  {:<12} {:5.2}%  (online policy)",
+            r.policy,
+            r.metrics.object_hit_ratio() * 100.0
+        );
+    }
+}

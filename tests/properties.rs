@@ -1,0 +1,246 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! random traces through every policy, bound dominance, data-structure
+//! laws, and serialization roundtrips.
+
+use lhr_repro::bounds::{Belady, InfiniteCap, PfooUpper};
+use lhr_repro::core::cache::{LhrCache, LhrConfig};
+use lhr_repro::core::detect::estimate_zipf_alpha;
+use lhr_repro::policies::util::{BloomFilter, CountMinSketch, LruList};
+use lhr_repro::policies::{Arc, Fifo, Gdsf, LfuDa, Lru, LruK, TinyLfu, WTinyLfu};
+use lhr_repro::sim::{CachePolicy, OfflineBound, SimConfig, Simulator};
+use lhr_repro::trace::{io, Request, Time, Trace};
+use proptest::prelude::*;
+
+/// Strategy: a small random trace with monotone timestamps, bounded object
+/// population, and per-object-stable sizes.
+fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
+    (1usize..max_len, any::<u64>()).prop_map(|(len, seed)| {
+        // Deterministic pseudo-random expansion from the seed; proptest
+        // shrinks over (len, seed).
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut trace = Trace::new("prop");
+        let mut ts = 0u64;
+        for _ in 0..len {
+            ts += next() % 1_000 + 1;
+            let id = next() % 50;
+            let size = (id + 1) * 10 + 5; // deterministic per id
+            trace.push(Request::new(Time::from_micros(ts), id, size));
+        }
+        trace
+    })
+}
+
+fn policies_for(capacity: u64) -> Vec<Box<dyn CachePolicy>> {
+    vec![
+        Box::new(Lru::new(capacity)),
+        Box::new(Fifo::new(capacity)),
+        Box::new(LruK::new(capacity, 2)),
+        Box::new(LfuDa::new(capacity)),
+        Box::new(Gdsf::new(capacity)),
+        Box::new(Arc::new(capacity)),
+        Box::new(TinyLfu::new(capacity, 1 << 10)),
+        Box::new(WTinyLfu::new(capacity, 1 << 10)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn policies_never_overflow_and_account_correctly(
+        trace in arb_trace(400),
+        cap_factor in 1u64..20,
+    ) {
+        let capacity = cap_factor * 50;
+        for mut policy in policies_for(capacity) {
+            let result = Simulator::new(SimConfig::default()).run(&mut policy, &trace);
+            prop_assert!(policy.used_bytes() <= capacity, "{} overflow", result.policy);
+            prop_assert_eq!(
+                result.metrics.hits + result.metrics.misses(),
+                result.metrics.requests
+            );
+            prop_assert!(result.metrics.bytes_hit <= result.metrics.bytes_requested);
+        }
+    }
+
+    #[test]
+    fn contains_agrees_with_hits(trace in arb_trace(300)) {
+        // Replaying the same request immediately must hit iff contains().
+        let capacity = 600u64;
+        for mut policy in policies_for(capacity) {
+            for req in trace.iter() {
+                policy.handle(req);
+                let cached = policy.contains(req.id);
+                let outcome = policy.handle(req);
+                prop_assert_eq!(
+                    outcome.is_hit(),
+                    cached,
+                    "{}: contains() and handle() disagree",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_cap_dominates_all(trace in arb_trace(300), cap_factor in 1u64..10) {
+        let capacity = cap_factor * 80;
+        let ceiling = InfiniteCap.evaluate(&trace, capacity).hits;
+        prop_assert!(Belady.evaluate(&trace, capacity).hits <= ceiling);
+        prop_assert!(PfooUpper.evaluate(&trace, capacity).hits <= ceiling);
+        for mut policy in policies_for(capacity) {
+            let hits = Simulator::new(SimConfig::default())
+                .run(&mut policy, &trace)
+                .metrics
+                .hits;
+            prop_assert!(hits <= ceiling);
+        }
+    }
+
+    #[test]
+    fn belady_dominates_lru_on_equal_sizes(
+        ids in proptest::collection::vec(0u64..30, 1..300),
+        capacity in 1u64..20,
+    ) {
+        let trace = Trace::from_requests(
+            "equal",
+            ids.iter()
+                .enumerate()
+                .map(|(i, &id)| Request::new(Time::from_secs(i as u64), id, 1))
+                .collect(),
+        );
+        let optimum = Belady.evaluate(&trace, capacity).hits;
+        let mut lru = Lru::new(capacity);
+        let hits = Simulator::new(SimConfig::default()).run(&mut lru, &trace).metrics.hits;
+        prop_assert!(optimum >= hits, "Belady {} < LRU {}", optimum, hits);
+    }
+
+    #[test]
+    fn lru_matches_reference_model(
+        ids in proptest::collection::vec(0u64..20, 1..200),
+        slots in 1usize..10,
+    ) {
+        // Reference: Vec-based LRU over unit-size objects.
+        let capacity = slots as u64;
+        let mut reference: Vec<u64> = Vec::new();
+        let mut lru = Lru::new(capacity);
+        for (i, &id) in ids.iter().enumerate() {
+            let req = Request::new(Time::from_secs(i as u64), id, 1);
+            let expected_hit = reference.contains(&id);
+            if let Some(pos) = reference.iter().position(|&x| x == id) {
+                reference.remove(pos);
+            } else if reference.len() == slots {
+                reference.remove(0);
+            }
+            reference.push(id);
+            prop_assert_eq!(lru.handle(&req).is_hit(), expected_hit, "diverged at {}", i);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip(trace in arb_trace(200)) {
+        let mut buf = Vec::new();
+        io::write_csv(&trace, &mut buf).expect("write");
+        let back = io::read_csv(&buf[..], "prop").expect("read");
+        prop_assert_eq!(back.requests, trace.requests);
+    }
+
+    #[test]
+    fn binary_roundtrip(trace in arb_trace(200)) {
+        let mut buf = Vec::new();
+        io::write_binary(&trace, &mut buf).expect("write");
+        let back = io::read_binary(&buf[..], "prop").expect("read");
+        prop_assert_eq!(back.requests, trace.requests);
+    }
+
+    #[test]
+    fn bloom_filter_has_no_false_negatives(keys in proptest::collection::vec(any::<u64>(), 1..500)) {
+        let mut filter = BloomFilter::new(10_000);
+        for &k in &keys {
+            filter.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(filter.contains(k), "lost key {}", k);
+        }
+    }
+
+    #[test]
+    fn count_min_never_underestimates_below_saturation(
+        keys in proptest::collection::vec(0u64..100, 1..400),
+    ) {
+        let mut sketch = CountMinSketch::new(1 << 14);
+        let mut true_counts = std::collections::HashMap::new();
+        for &k in &keys {
+            sketch.increment(k);
+            *true_counts.entry(k).or_insert(0u64) += 1;
+        }
+        for (&k, &c) in &true_counts {
+            let est = sketch.estimate(k);
+            prop_assert!(est >= c.min(15), "key {}: est {} < true {}", k, est, c);
+        }
+    }
+
+    #[test]
+    fn lru_list_is_a_correct_deque(ops in proptest::collection::vec(0u8..3, 1..200)) {
+        let mut list = LruList::new();
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        let mut handles = std::collections::HashMap::new();
+        let mut counter = 0u32;
+        for op in ops {
+            match op {
+                0 => {
+                    let h = list.push_front(counter);
+                    handles.insert(counter, h);
+                    model.push_front(counter);
+                    counter += 1;
+                }
+                1 => {
+                    let got = list.pop_back();
+                    let expected = model.pop_back();
+                    if let Some(v) = expected {
+                        handles.remove(&v);
+                    }
+                    prop_assert_eq!(got, expected);
+                }
+                _ => {
+                    if let Some(&v) = model.back() {
+                        list.move_to_front(handles[&v]);
+                        model.pop_back();
+                        model.push_front(v);
+                    }
+                }
+            }
+            prop_assert_eq!(list.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn zipf_estimator_recovers_alpha(alpha in 0.3f64..1.5) {
+        use lhr_repro::trace::synth::zipf::zipf_pmf;
+        let mut counts: Vec<u32> = zipf_pmf(400, alpha)
+            .iter()
+            .map(|p| (p * 5e6).round().max(1.0) as u32)
+            .collect();
+        let (est, _) = estimate_zipf_alpha(&mut counts);
+        prop_assert!((est - alpha).abs() < 0.1, "alpha {} est {}", alpha, est);
+    }
+
+    #[test]
+    fn lhr_is_deterministic(trace in arb_trace(300), seed in any::<u64>()) {
+        let capacity = 500u64;
+        let run = || {
+            let mut cache = LhrCache::new(
+                capacity,
+                LhrConfig { seed, min_window_requests: 32, ..LhrConfig::default() },
+            );
+            Simulator::new(SimConfig::default()).run(&mut cache, &trace).metrics.hits
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
