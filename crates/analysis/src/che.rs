@@ -35,7 +35,10 @@ impl CheModel {
             "rates and sizes must be positive"
         );
         let total_rate = objects.iter().map(|&(r, _)| r).sum();
-        CheModel { objects, total_rate }
+        CheModel {
+            objects,
+            total_rate,
+        }
     }
 
     /// Estimates rates from a trace: `λ_i = count_i / duration`.
@@ -98,8 +101,11 @@ impl CheModel {
         if t.is_infinite() {
             return 1.0;
         }
-        let hit_rate: f64 =
-            self.objects.iter().map(|&(rate, _)| rate * (1.0 - (-rate * t).exp())).sum();
+        let hit_rate: f64 = self
+            .objects
+            .iter()
+            .map(|&(rate, _)| rate * (1.0 - (-rate * t).exp()))
+            .sum();
         hit_rate / self.total_rate
     }
 
@@ -114,8 +120,11 @@ impl CheModel {
             .iter()
             .map(|&(rate, size)| rate * size as f64 * (1.0 - (-rate * t).exp()))
             .sum();
-        let byte_total: f64 =
-            self.objects.iter().map(|&(rate, size)| rate * size as f64).sum();
+        let byte_total: f64 = self
+            .objects
+            .iter()
+            .map(|&(rate, size)| rate * size as f64)
+            .sum();
         byte_hit / byte_total
     }
 
@@ -125,7 +134,9 @@ impl CheModel {
     pub fn lfu_hit_ratio(&self, capacity: u64) -> f64 {
         let mut by_density: Vec<&(f64, u64)> = self.objects.iter().collect();
         by_density.sort_unstable_by(|a, b| {
-            (b.0 / b.1 as f64).partial_cmp(&(a.0 / a.1 as f64)).expect("finite")
+            (b.0 / b.1 as f64)
+                .partial_cmp(&(a.0 / a.1 as f64))
+                .expect("finite")
         });
         let mut used = 0u64;
         let mut hit_rate = 0.0;
@@ -174,9 +185,14 @@ mod tests {
         for capacity in [20_000u64, 50_000, 100_000] {
             let predicted = model.lru_hit_ratio(capacity);
             let mut lru = lhr_policies::Lru::new(capacity);
-            let cfg = SimConfig { warmup_requests: 20_000, series_every: None };
-            let simulated =
-                Simulator::new(cfg).run(&mut lru, &trace).metrics.object_hit_ratio();
+            let cfg = SimConfig {
+                warmup_requests: 20_000,
+                series_every: None,
+            };
+            let simulated = Simulator::new(cfg)
+                .run(&mut lru, &trace)
+                .metrics
+                .object_hit_ratio();
             assert!(
                 (predicted - simulated).abs() < 0.04,
                 "capacity {capacity}: Che {predicted:.4} vs sim {simulated:.4}"
@@ -188,7 +204,11 @@ mod tests {
     fn matches_lru_simulation_with_variable_sizes() {
         let trace = IrmConfig::new(400, 80_000)
             .zipf_alpha(0.9)
-            .size_model(SizeModel::BoundedPareto { alpha: 1.5, min: 100, max: 10_000 })
+            .size_model(SizeModel::BoundedPareto {
+                alpha: 1.5,
+                min: 100,
+                max: 10_000,
+            })
             .requests_per_sec(50.0)
             .seed(6)
             .generate();
@@ -196,9 +216,14 @@ mod tests {
         let capacity = 100_000u64;
         let predicted = model.lru_hit_ratio(capacity);
         let mut lru = lhr_policies::Lru::new(capacity);
-        let cfg = SimConfig { warmup_requests: 16_000, series_every: None };
-        let simulated =
-            Simulator::new(cfg).run(&mut lru, &trace).metrics.object_hit_ratio();
+        let cfg = SimConfig {
+            warmup_requests: 16_000,
+            series_every: None,
+        };
+        let simulated = Simulator::new(cfg)
+            .run(&mut lru, &trace)
+            .metrics
+            .object_hit_ratio();
         assert!(
             (predicted - simulated).abs() < 0.05,
             "Che {predicted:.4} vs sim {simulated:.4}"
@@ -207,8 +232,11 @@ mod tests {
 
     #[test]
     fn lfu_dominates_lru_prediction() {
-        let model =
-            CheModel::new((1..=200).map(|i| (1.0 / (i as f64).powf(0.8), 50)).collect());
+        let model = CheModel::new(
+            (1..=200)
+                .map(|i| (1.0 / (i as f64).powf(0.8), 50))
+                .collect(),
+        );
         for capacity in [500u64, 2_000, 5_000] {
             assert!(
                 model.lfu_hit_ratio(capacity) >= model.lru_hit_ratio(capacity) - 1e-9,

@@ -15,7 +15,6 @@
 //! `1/rate`.
 
 use lhr_trace::{ObjectId, Trace};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Configuration for MRC construction.
@@ -30,24 +29,32 @@ pub struct MrcConfig {
 impl MrcConfig {
     /// An exact curve over the given capacities.
     pub fn exact(capacities: Vec<u64>) -> Self {
-        MrcConfig { sample_rate: 1.0, capacities }
+        MrcConfig {
+            sample_rate: 1.0,
+            capacities,
+        }
     }
 
     /// A SHARDS-sampled curve.
     pub fn sampled(capacities: Vec<u64>, sample_rate: f64) -> Self {
         assert!(sample_rate > 0.0 && sample_rate <= 1.0);
-        MrcConfig { sample_rate, capacities }
+        MrcConfig {
+            sample_rate,
+            capacities,
+        }
     }
 }
 
 /// A computed miss-ratio curve.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MissRatioCurve {
     /// `(capacity bytes, object hit ratio)` pairs, ascending capacity.
     pub points: Vec<(u64, f64)>,
     /// Requests analyzed (after sampling).
     pub sampled_requests: u64,
 }
+
+lhr_util::impl_json!(struct MissRatioCurve { points, sampled_requests });
 
 impl MissRatioCurve {
     /// Hit ratio at the closest computed capacity ≤ `capacity` (or the
@@ -70,7 +77,9 @@ struct Fenwick {
 
 impl Fenwick {
     fn new(n: usize) -> Self {
-        Fenwick { tree: vec![0; n + 1] }
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
     }
 
     fn add(&mut self, mut i: usize, delta: i64) {
@@ -153,7 +162,16 @@ pub fn lru_mrc(trace: &Trace, config: &MrcConfig) -> MissRatioCurve {
         points: capacities
             .into_iter()
             .zip(hits_at)
-            .map(|(c, h)| (c, if measured == 0 { 0.0 } else { h as f64 / measured as f64 }))
+            .map(|(c, h)| {
+                (
+                    c,
+                    if measured == 0 {
+                        0.0
+                    } else {
+                        h as f64 / measured as f64
+                    },
+                )
+            })
             .collect(),
         sampled_requests: measured,
     }
@@ -187,7 +205,11 @@ mod tests {
     fn curve_is_monotone_in_capacity() {
         let trace = IrmConfig::new(300, 20_000)
             .zipf_alpha(0.9)
-            .size_model(SizeModel::BoundedPareto { alpha: 1.4, min: 100, max: 10_000 })
+            .size_model(SizeModel::BoundedPareto {
+                alpha: 1.4,
+                min: 100,
+                max: 10_000,
+            })
             .seed(1)
             .generate();
         let caps: Vec<u64> = (1..=20).map(|k| k * 10_000).collect();
@@ -201,7 +223,11 @@ mod tests {
     fn exact_mrc_matches_lru_simulation() {
         let trace = IrmConfig::new(400, 40_000)
             .zipf_alpha(0.8)
-            .size_model(SizeModel::BoundedPareto { alpha: 1.5, min: 100, max: 5_000 })
+            .size_model(SizeModel::BoundedPareto {
+                alpha: 1.5,
+                min: 100,
+                max: 5_000,
+            })
             .seed(2)
             .generate();
         for capacity in [20_000u64, 60_000, 150_000] {
@@ -227,7 +253,11 @@ mod tests {
         // population and moderate skew.
         let trace = IrmConfig::new(10_000, 200_000)
             .zipf_alpha(0.5)
-            .size_model(SizeModel::BoundedPareto { alpha: 1.5, min: 100, max: 5_000 })
+            .size_model(SizeModel::BoundedPareto {
+                alpha: 1.5,
+                min: 100,
+                max: 5_000,
+            })
             .seed(3)
             .generate();
         let caps: Vec<u64> = vec![200_000, 1_000_000, 4_000_000];
@@ -235,7 +265,10 @@ mod tests {
         let sampled = lru_mrc(&trace, &MrcConfig::sampled(caps.clone(), 0.25));
         assert!(sampled.sampled_requests < exact.sampled_requests / 2);
         for (&(c, e), &(_, s)) in exact.points.iter().zip(sampled.points.iter()) {
-            assert!((e - s).abs() < 0.05, "capacity {c}: exact {e:.4} vs SHARDS {s:.4}");
+            assert!(
+                (e - s).abs() < 0.05,
+                "capacity {c}: exact {e:.4} vs SHARDS {s:.4}"
+            );
         }
     }
 

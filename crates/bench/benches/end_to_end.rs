@@ -1,41 +1,32 @@
 //! End-to-end simulation cost: LHR vs the cheapest (LRU) and most
 //! expensive (LRB) baselines on a production-like workload.
+//!
+//! Run with `cargo bench --bench end_to_end`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use lhr::cache::{LhrCache, LhrConfig};
 use lhr_policies::{Lrb, Lru};
 use lhr_sim::{SimConfig, Simulator};
 use lhr_trace::synth::{production, ProductionScale};
+use lhr_util::bench::Bench;
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn main() {
     let trace = production::cdn_a(ProductionScale::Tiny, 5);
     let unique = lhr_trace::TraceStats::compute(&trace).unique_bytes_requested as f64;
     let capacity = (unique * production::cache_to_unique_ratio("CDN-A")) as u64;
 
-    let mut group = c.benchmark_group("end_to_end_cdn_a_tiny");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("LRU", |b| {
-        b.iter(|| {
-            let mut policy = Lru::new(capacity);
-            Simulator::new(SimConfig::default()).run(&mut policy, &trace)
-        });
+    let mut group = Bench::new("end_to_end_cdn_a_tiny");
+    group.throughput_elems(trace.len() as u64);
+    group.bench("LRU", || {
+        let mut policy = Lru::new(capacity);
+        Simulator::new(SimConfig::default()).run(&mut policy, &trace)
     });
-    group.bench_function("LHR", |b| {
-        b.iter(|| {
-            let mut policy = LhrCache::new(capacity, LhrConfig::default());
-            Simulator::new(SimConfig::default()).run(&mut policy, &trace)
-        });
+    group.bench("LHR", || {
+        let mut policy = LhrCache::new(capacity, LhrConfig::default());
+        Simulator::new(SimConfig::default()).run(&mut policy, &trace)
     });
-    group.bench_function("LRB", |b| {
-        b.iter(|| {
-            let mut policy =
-                Lrb::new(capacity, trace.duration().as_secs_f64() / 4.0, 5);
-            Simulator::new(SimConfig::default()).run(&mut policy, &trace)
-        });
+    group.bench("LRB", || {
+        let mut policy = Lrb::new(capacity, trace.duration().as_secs_f64() / 4.0, 5);
+        Simulator::new(SimConfig::default()).run(&mut policy, &trace)
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

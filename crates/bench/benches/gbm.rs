@@ -1,55 +1,75 @@
 //! Training and prediction cost of the gradient-boosting model — the
 //! dominant term in LHR's retraining time (§7.4).
+//!
+//! Run with `cargo bench --bench gbm`; see `lhr_util::bench` for the
+//! harness knobs (`LHR_BENCH_MEASURE_MS`, `LHR_BENCH_JSON`, …).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lhr_gbm::{Dataset, Gbm, GbmParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lhr_util::bench::{black_box, Bench};
+use lhr_util::rng::rngs::StdRng;
+use lhr_util::rng::{Rng, SeedableRng};
 
 fn synthetic_dataset(rows: usize, features: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut data = Dataset::new(features);
     for _ in 0..rows {
         let row: Vec<f32> = (0..features)
-            .map(|_| if rng.gen_bool(0.1) { f32::NAN } else { rng.gen::<f32>() * 10.0 })
+            .map(|_| {
+                if rng.gen_bool(0.1) {
+                    f32::NAN
+                } else {
+                    rng.gen::<f32>() * 10.0
+                }
+            })
             .collect();
-        let label = if row[0].is_nan() || row[0] > 5.0 { 1.0 } else { 0.0 };
+        let label = if row[0].is_nan() || row[0] > 5.0 {
+            1.0
+        } else {
+            0.0
+        };
         data.push_row(&row, label);
     }
     data
 }
 
-fn bench_fit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gbm_fit");
-    group.sample_size(10);
+fn bench_fit() {
     for &rows in &[2_048usize, 8_192, 32_768] {
         let data = synthetic_dataset(rows, 23, 1);
-        group.throughput(Throughput::Elements(rows as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(rows), &data, |b, data| {
-            let params = GbmParams { n_trees: 25, max_depth: 6, ..GbmParams::default() };
-            b.iter(|| Gbm::fit(data, &params));
+        let mut group = Bench::new("gbm_fit");
+        group.throughput_elems(rows as u64);
+        group.bench(format!("{rows}"), || {
+            let params = GbmParams {
+                n_trees: 25,
+                max_depth: 6,
+                ..GbmParams::default()
+            };
+            Gbm::fit(black_box(&data), &params)
         });
+        group.finish();
     }
-    group.finish();
 }
 
-fn bench_predict(c: &mut Criterion) {
+fn bench_predict() {
     let data = synthetic_dataset(8_192, 23, 2);
-    let params = GbmParams { n_trees: 25, max_depth: 6, ..GbmParams::default() };
+    let params = GbmParams {
+        n_trees: 25,
+        max_depth: 6,
+        ..GbmParams::default()
+    };
     let model = Gbm::fit(&data, &params);
-    let mut group = c.benchmark_group("gbm_predict");
-    group.throughput(Throughput::Elements(data.n_rows() as u64));
-    group.bench_function("8192_rows", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for i in 0..data.n_rows() {
-                acc += model.predict(data.row(i));
-            }
-            acc
-        });
+    let mut group = Bench::new("gbm_predict");
+    group.throughput_elems(data.n_rows() as u64);
+    group.bench("8192_rows", || {
+        let mut acc = 0.0f32;
+        for i in 0..data.n_rows() {
+            acc += model.predict(data.row(i));
+        }
+        acc
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_fit, bench_predict);
-criterion_main!(benches);
+fn main() {
+    bench_fit();
+    bench_predict();
+}

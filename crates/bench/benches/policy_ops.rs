@@ -1,37 +1,33 @@
 //! Per-request throughput of every cache policy (the compute side of the
 //! paper's Figure 9 / Table 2 overhead story).
+//!
+//! Run with `cargo bench --bench policy_ops`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lhr_bench::harness::{all_factories, Options};
 use lhr_sim::{SimConfig, Simulator};
 use lhr_trace::synth::{IrmConfig, SizeModel};
+use lhr_util::bench::Bench;
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let trace = IrmConfig::new(2_000, 50_000)
         .zipf_alpha(0.9)
-        .size_model(SizeModel::BoundedPareto { alpha: 1.2, min: 10_000, max: 10_000_000 })
+        .size_model(SizeModel::BoundedPareto {
+            alpha: 1.2,
+            min: 10_000,
+            max: 10_000_000,
+        })
         .seed(7)
         .generate();
     let capacity = 200_000_000u64; // ~4% of unique bytes
     let options = Options::default();
 
-    let mut group = c.benchmark_group("policy_requests");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.sample_size(10);
+    let mut group = Bench::new("policy_requests");
+    group.throughput_elems(trace.len() as u64);
     for factory in all_factories(&trace, options.seed) {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&factory.name),
-            &factory,
-            |b, factory| {
-                b.iter(|| {
-                    let mut policy = (factory.build)(capacity);
-                    Simulator::new(SimConfig::default()).run(&mut policy, &trace)
-                });
-            },
-        );
+        group.bench(factory.name.clone(), || {
+            let mut policy = (factory.build)(capacity);
+            Simulator::new(SimConfig::default()).run(&mut policy, &trace)
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

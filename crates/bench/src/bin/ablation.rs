@@ -2,8 +2,14 @@
 //! and the HRO bound's window-size sensitivity.
 fn main() {
     let options = lhr_bench::harness::Options::from_args();
-    println!("{}", lhr_bench::experiments::ablation_eviction_rule(&options));
+    println!(
+        "{}",
+        lhr_bench::experiments::ablation_eviction_rule(&options)
+    );
     println!("{}", lhr_bench::experiments::ablation_loss(&options));
     println!("{}", lhr_bench::experiments::ablation_hro_window(&options));
-    println!("{}", lhr_bench::experiments::ablation_hro_burstiness(&options));
+    println!(
+        "{}",
+        lhr_bench::experiments::ablation_hro_burstiness(&options)
+    );
 }

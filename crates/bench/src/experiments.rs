@@ -2,8 +2,8 @@
 //! the `src/bin/*` binaries are thin wrappers, and `repro` runs everything.
 
 use crate::harness::{
-    all_factories, default_capacity, format_table, gb, lrb_window_secs, pct,
-    production_traces, Options,
+    all_factories, default_capacity, format_table, gb, lrb_window_secs, pct, production_traces,
+    Options,
 };
 use lhr::cache::{LhrCache, LhrConfig};
 use lhr::detect::ZipfDetector;
@@ -16,7 +16,7 @@ use lhr_proto::{CdnServer, ServerConfig, ServerReport};
 use lhr_sim::bound::OfflineBound;
 use lhr_sim::sweep::{run_grid, Cell};
 use lhr_sim::{CachePolicy, SimConfig, Simulator};
-use lhr_trace::stats::{ccdf, inter_request_times, rank_frequency, one_hit_wonder_ratio};
+use lhr_trace::stats::{ccdf, inter_request_times, one_hit_wonder_ratio, rank_frequency};
 use lhr_trace::synth::{markov, ZipfSampler};
 use lhr_trace::{Request, Time, Trace, TraceStats};
 
@@ -56,8 +56,16 @@ pub fn table1(options: &Options) -> String {
         options.scale,
         format_table(
             &[
-                "trace", "hours", "unique", "reqs(M)", "TB-req", "GB-unique", "GB-active",
-                "meanMB", "maxMB", "1-hit",
+                "trace",
+                "hours",
+                "unique",
+                "reqs(M)",
+                "TB-req",
+                "GB-unique",
+                "GB-active",
+                "meanMB",
+                "maxMB",
+                "1-hit",
             ],
             &rows,
         )
@@ -89,7 +97,13 @@ pub fn fig1(options: &Options) -> String {
     }
     out.push_str(&format_table(
         &[
-            "trace", "freq@1", "freq@10", "freq@100", "freq@1k", "P(IRT>1s)", "P(IRT>1m)",
+            "trace",
+            "freq@1",
+            "freq@10",
+            "freq@100",
+            "freq@1k",
+            "P(IRT>1s)",
+            "P(IRT>1m)",
             "P(IRT>1h)",
         ],
         &rows,
@@ -113,8 +127,13 @@ pub fn fig2(options: &Options) -> String {
         let hro = Hro::default().evaluate(trace, capacity);
 
         let factories = all_factories(trace, options.seed);
-        let cells: Vec<Cell<'_>> =
-            (0..factories.len()).map(|policy| Cell { policy, trace, capacity }).collect();
+        let cells: Vec<Cell<'_>> = (0..factories.len())
+            .map(|policy| Cell {
+                policy,
+                trace,
+                capacity,
+            })
+            .collect();
         let config = SimConfig::default();
         let results = run_grid(&factories, &cells, &config, options.threads);
         let lhr = &results[0];
@@ -134,14 +153,26 @@ pub fn fig2(options: &Options) -> String {
             pct(belady.object_hit_ratio()),
             pct(pfoo.object_hit_ratio()),
             pct(hro.object_hit_ratio()),
-            format!("{} ({})", pct(best_sota.metrics.object_hit_ratio()), best_sota.policy),
+            format!(
+                "{} ({})",
+                pct(best_sota.metrics.object_hit_ratio()),
+                best_sota.policy
+            ),
             pct(lhr.metrics.object_hit_ratio()),
         ]);
     }
     format!(
         "Figure 2 — hit probability (%) of bounds, best SOTA, and LHR\n{}",
         format_table(
-            &["trace", "cacheGB", "Belady-Size", "PFOO-U", "HRO", "best SOTA", "LHR"],
+            &[
+                "trace",
+                "cacheGB",
+                "Belady-Size",
+                "PFOO-U",
+                "HRO",
+                "best SOTA",
+                "LHR"
+            ],
             &rows,
         )
     )
@@ -158,12 +189,19 @@ pub fn fig5(options: &Options) -> String {
     let mut rows = Vec::new();
     for trace in &traces {
         let capacity = default_capacity(trace, options);
-        let config = SimConfig { warmup_requests: warmup_for(trace), series_every: None };
+        let config = SimConfig {
+            warmup_requests: warmup_for(trace),
+            series_every: None,
+        };
         let mut row = vec![trace.name.clone()];
         for &m in &multipliers {
             let mut cache = LhrCache::new(
                 capacity,
-                LhrConfig { window_multiplier: m, seed: options.seed, ..LhrConfig::default() },
+                LhrConfig {
+                    window_multiplier: m,
+                    seed: options.seed,
+                    ..LhrConfig::default()
+                },
             );
             let r = Simulator::new(config.clone()).run(&mut cache, trace);
             row.push(pct(r.metrics.object_hit_ratio()));
@@ -184,12 +222,19 @@ pub fn fig6(options: &Options) -> String {
     let mut rows = Vec::new();
     for trace in &traces {
         let capacity = default_capacity(trace, options);
-        let config = SimConfig { warmup_requests: warmup_for(trace), series_every: None };
+        let config = SimConfig {
+            warmup_requests: warmup_for(trace),
+            series_every: None,
+        };
         let mut hit = Vec::new();
         for &k in &irts {
             let mut cache = LhrCache::new(
                 capacity,
-                LhrConfig { n_irts: k, seed: options.seed, ..LhrConfig::default() },
+                LhrConfig {
+                    n_irts: k,
+                    seed: options.seed,
+                    ..LhrConfig::default()
+                },
             );
             let r = Simulator::new(config.clone()).run(&mut cache, trace);
             hit.push(r.metrics.object_hit_ratio());
@@ -203,7 +248,10 @@ pub fn fig6(options: &Options) -> String {
     }
     format!(
         "Figure 6 — LHR hit probability vs number of IRT features\n{}",
-        format_table(&["trace", "10 IRTs (%)", "20 IRTs (Δpp)", "30 IRTs (Δpp)"], &rows)
+        format_table(
+            &["trace", "10 IRTs (%)", "20 IRTs (Δpp)", "30 IRTs (Δpp)"],
+            &rows
+        )
     )
 }
 
@@ -227,7 +275,10 @@ pub fn prototype_vs_ats(options: &Options) -> (String, String) {
         let ats_report = ats.replay(trace);
         let mut lhr = lhr_server(
             capacity,
-            LhrConfig { seed: options.seed, ..LhrConfig::default() },
+            LhrConfig {
+                seed: options.seed,
+                ..LhrConfig::default()
+            },
             server_config,
         );
         let lhr_report = lhr.replay(trace);
@@ -239,13 +290,25 @@ pub fn prototype_vs_ats(options: &Options) -> (String, String) {
                 .collect::<Vec<_>>()
                 .join(" ")
         };
-        series_rows.push(vec![trace.name.clone(), "LHR".into(), fmt_series(&lhr_report)]);
-        series_rows.push(vec![trace.name.clone(), "ATS".into(), fmt_series(&ats_report)]);
+        series_rows.push(vec![
+            trace.name.clone(),
+            "LHR".into(),
+            fmt_series(&lhr_report),
+        ]);
+        series_rows.push(vec![
+            trace.name.clone(),
+            "ATS".into(),
+            fmt_series(&ats_report),
+        ]);
 
         for r in [&lhr_report, &ats_report] {
             resource_rows.push(vec![
                 trace.name.clone(),
-                if std::ptr::eq(r, &lhr_report) { "LHR".into() } else { "ATS".into() },
+                if std::ptr::eq(r, &lhr_report) {
+                    "LHR".into()
+                } else {
+                    "ATS".into()
+                },
                 format!("{:.2}", r.throughput_gbps),
                 format!("{:.3}", r.peak_cpu_pct),
                 format!("{:.1}", r.peak_mem_gb * 1e3),
@@ -259,14 +322,25 @@ pub fn prototype_vs_ats(options: &Options) -> (String, String) {
     }
     let fig7 = format!(
         "Figure 7 — cumulative hit probability (%) over time, LHR vs ATS\n{}",
-        format_table(&["trace", "server", "hit%% at 10%,20%,...,100% of trace"], &series_rows)
+        format_table(
+            &["trace", "server", "hit%% at 10%,20%,...,100% of trace"],
+            &series_rows
+        )
     );
     let table2 = format!(
         "Table 2 — resource usage, LHR vs ATS\n{}",
         format_table(
             &[
-                "trace", "server", "thrpt(Gbps)", "cpu%", "mem(MB)", "P90(ms)", "P99(ms)",
-                "mean(ms)", "WAN(Gbps)", "hit%",
+                "trace",
+                "server",
+                "thrpt(Gbps)",
+                "cpu%",
+                "mem(MB)",
+                "P90(ms)",
+                "P99(ms)",
+                "mean(ms)",
+                "WAN(Gbps)",
+                "hit%",
             ],
             &resource_rows,
         )
@@ -288,11 +362,18 @@ pub fn sota_comparison(options: &Options) -> (String, String) {
         let base = default_capacity(trace, options);
         let capacities = [base / 2, base];
         let factories = all_factories(trace, options.seed);
-        let config = SimConfig { warmup_requests: warmup_for(trace), series_every: None };
+        let config = SimConfig {
+            warmup_requests: warmup_for(trace),
+            series_every: None,
+        };
         let cells: Vec<Cell<'_>> = capacities
             .iter()
             .flat_map(|&capacity| {
-                (0..factories.len()).map(move |policy| Cell { policy, trace, capacity })
+                (0..factories.len()).map(move |policy| Cell {
+                    policy,
+                    trace,
+                    capacity,
+                })
             })
             .collect();
         let results = run_grid(&factories, &cells, &config, options.threads);
@@ -320,11 +401,17 @@ pub fn sota_comparison(options: &Options) -> (String, String) {
     }
     let fig8 = format!(
         "Figure 8 — hit probability and WAN traffic, LHR vs SOTAs\n{}",
-        format_table(&["trace", "cacheGB", "policy", "hit%", "WAN(Gbps)"], &fig8_rows)
+        format_table(
+            &["trace", "cacheGB", "policy", "hit%", "WAN(Gbps)"],
+            &fig8_rows
+        )
     );
     let fig9 = format!(
         "Figure 9 — peak metadata memory and running time (learned algorithms)\n{}",
-        format_table(&["trace", "policy", "peakMem(MB)", "runTime(s)"], &fig9_rows)
+        format_table(
+            &["trace", "policy", "peakMem(MB)", "runTime(s)"],
+            &fig9_rows
+        )
     );
     (fig8, fig9)
 }
@@ -340,13 +427,18 @@ pub fn table3(options: &Options) -> String {
     let mut rows = Vec::new();
     for trace in &traces {
         let capacity = default_capacity(trace, options);
-        let server_config =
-            ServerConfig { freshness_secs: None, ..ServerConfig::default() };
+        let server_config = ServerConfig {
+            freshness_secs: None,
+            ..ServerConfig::default()
+        };
         let mut reports: Vec<ServerReport> = Vec::new();
         {
             let mut s = lhr_server(
                 capacity,
-                LhrConfig { seed: options.seed, ..LhrConfig::default() },
+                LhrConfig {
+                    seed: options.seed,
+                    ..LhrConfig::default()
+                },
                 server_config.clone(),
             );
             reports.push(s.replay(trace));
@@ -378,7 +470,10 @@ pub fn table3(options: &Options) -> String {
     }
     format!(
         "Table 3 — estimated latency and throughput\n{}",
-        format_table(&["trace", "policy", "latency(ms)", "thrpt(Gbps)", "hit%"], &rows)
+        format_table(
+            &["trace", "policy", "latency(ms)", "thrpt(Gbps)", "hit%"],
+            &rows
+        )
     )
 }
 
@@ -395,13 +490,24 @@ pub fn fig10(options: &Options) -> String {
         let base = default_capacity(trace, options);
         for capacity in [base / 2, base] {
             for config in [
-                LhrConfig { seed: options.seed, ..LhrConfig::default() },
-                LhrConfig { seed: options.seed, ..LhrConfig::d_lhr() },
-                LhrConfig { seed: options.seed, ..LhrConfig::n_lhr() },
+                LhrConfig {
+                    seed: options.seed,
+                    ..LhrConfig::default()
+                },
+                LhrConfig {
+                    seed: options.seed,
+                    ..LhrConfig::d_lhr()
+                },
+                LhrConfig {
+                    seed: options.seed,
+                    ..LhrConfig::n_lhr()
+                },
             ] {
                 let mut cache = LhrCache::new(capacity, config);
-                let sim_config =
-                    SimConfig { warmup_requests: warmup_for(trace), series_every: None };
+                let sim_config = SimConfig {
+                    warmup_requests: warmup_for(trace),
+                    series_every: None,
+                };
                 let result = Simulator::new(sim_config).run(&mut cache, trace);
                 let stats = cache.stats();
                 rows.push(vec![
@@ -420,8 +526,16 @@ pub fn fig10(options: &Options) -> String {
     format!(
         "Figure 10 — LHR vs D-LHR (fixed δ) vs N-LHR (no detection)\n{}",
         format_table(
-            &["trace", "cacheGB", "variant", "hit%", "peakMem(MB)", "trainTime(s)",
-              "trainings", "final δ"],
+            &[
+                "trace",
+                "cacheGB",
+                "variant",
+                "hit%",
+                "peakMem(MB)",
+                "trainTime(s)",
+                "trainings",
+                "final δ"
+            ],
             &rows,
         )
     )
@@ -445,9 +559,17 @@ pub fn fig11(options: &Options) -> String {
         let stats = TraceStats::compute(trace);
         let capacity = (stats.unique_bytes_requested as u64 / 10).max(1);
         let factories = all_factories(trace, options.seed);
-        let config = SimConfig { warmup_requests: warmup_for(trace), series_every: None };
-        let cells: Vec<Cell<'_>> =
-            (0..factories.len()).map(|policy| Cell { policy, trace, capacity }).collect();
+        let config = SimConfig {
+            warmup_requests: warmup_for(trace),
+            series_every: None,
+        };
+        let cells: Vec<Cell<'_>> = (0..factories.len())
+            .map(|policy| Cell {
+                policy,
+                trace,
+                capacity,
+            })
+            .collect();
         let results = run_grid(&factories, &cells, &config, options.threads);
         for result in &results {
             rows.push(vec![
@@ -471,8 +593,8 @@ pub fn fig11(options: &Options) -> String {
 /// Figure 12: accuracy of the LSM detection mechanism on a synthetic
 /// workload whose Zipf α shifts between segments.
 pub fn fig12(options: &Options) -> String {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lhr_util::rng::rngs::StdRng;
+    use lhr_util::rng::SeedableRng;
 
     let div = options.scale.divisor();
     let n_contents = 10_000 / div.max(1);
@@ -499,8 +621,8 @@ pub fn fig12(options: &Options) -> String {
     for (i, req) in trace.iter().enumerate() {
         tracker.observe(req);
         if (i + 1) % reqs_per_segment == 0 {
-            let window = std::mem::replace(&mut tracker, WindowTracker::new(u64::MAX))
-                .into_partial();
+            let window =
+                std::mem::replace(&mut tracker, WindowTracker::new(u64::MAX)).into_partial();
             verdicts.push(detector.observe(&window));
         }
     }
@@ -555,7 +677,10 @@ pub fn prototype_vs_caffeine(options: &Options) -> (String, String) {
         let caffeine_report = caffeine.replay(trace);
         let mut lhr = lhr_caffeine_server(
             capacity,
-            LhrConfig { seed: options.seed, ..LhrConfig::default() },
+            LhrConfig {
+                seed: options.seed,
+                ..LhrConfig::default()
+            },
             server_config,
         );
         let lhr_report = lhr.replay(trace);
@@ -567,7 +692,11 @@ pub fn prototype_vs_caffeine(options: &Options) -> (String, String) {
                 .collect::<Vec<_>>()
                 .join(" ")
         };
-        series_rows.push(vec![trace.name.clone(), "LHR".into(), fmt_series(&lhr_report)]);
+        series_rows.push(vec![
+            trace.name.clone(),
+            "LHR".into(),
+            fmt_series(&lhr_report),
+        ]);
         series_rows.push(vec![
             trace.name.clone(),
             "Caffeine".into(),
@@ -590,14 +719,25 @@ pub fn prototype_vs_caffeine(options: &Options) -> (String, String) {
     }
     let fig13 = format!(
         "Figure 13 — cumulative hit probability (%) over time, LHR vs Caffeine\n{}",
-        format_table(&["trace", "server", "hit%% at 10%,...,100% of trace"], &series_rows)
+        format_table(
+            &["trace", "server", "hit%% at 10%,...,100% of trace"],
+            &series_rows
+        )
     );
     let table4 = format!(
         "Table 4 — resource usage, LHR vs Caffeine\n{}",
         format_table(
             &[
-                "trace", "server", "thrpt(Gbps)", "cpu%", "mem(MB)", "P90(ms)", "P99(ms)",
-                "mean(ms)", "WAN(Gbps)", "hit%",
+                "trace",
+                "server",
+                "thrpt(Gbps)",
+                "cpu%",
+                "mem(MB)",
+                "P90(ms)",
+                "P99(ms)",
+                "mean(ms)",
+                "WAN(Gbps)",
+                "hit%",
             ],
             &resource_rows,
         )
@@ -617,12 +757,19 @@ pub fn ablation_eviction_rule(options: &Options) -> String {
     let mut rows = Vec::new();
     for trace in &traces {
         let capacity = default_capacity(trace, options);
-        let config = SimConfig { warmup_requests: warmup_for(trace), series_every: None };
+        let config = SimConfig {
+            warmup_requests: warmup_for(trace),
+            series_every: None,
+        };
         let mut hit = Vec::new();
         for rule in [EvictionRule::QSizeIrt, EvictionRule::MinP] {
             let mut cache = LhrCache::new(
                 capacity,
-                LhrConfig { eviction_rule: rule, seed: options.seed, ..LhrConfig::default() },
+                LhrConfig {
+                    eviction_rule: rule,
+                    seed: options.seed,
+                    ..LhrConfig::default()
+                },
             );
             let r = Simulator::new(config.clone()).run(&mut cache, trace);
             hit.push(r.metrics.object_hit_ratio());
@@ -648,13 +795,21 @@ pub fn ablation_loss(options: &Options) -> String {
     let mut rows = Vec::new();
     for trace in &traces {
         let capacity = default_capacity(trace, options);
-        let config = SimConfig { warmup_requests: warmup_for(trace), series_every: None };
+        let config = SimConfig {
+            warmup_requests: warmup_for(trace),
+            series_every: None,
+        };
         let mut hit = Vec::new();
         for loss in [Loss::SquaredError, Loss::Logistic] {
             let mut cache = LhrCache::new(
                 capacity,
                 LhrConfig {
-                    gbm: GbmParams { n_trees: 25, max_depth: 6, loss, ..GbmParams::default() },
+                    gbm: GbmParams {
+                        n_trees: 25,
+                        max_depth: 6,
+                        loss,
+                        ..GbmParams::default()
+                    },
                     seed: options.seed,
                     ..LhrConfig::default()
                 },
@@ -691,7 +846,11 @@ pub fn ablation_hro_burstiness(options: &Options) -> String {
     let poisson = IrmConfig::new(2_000, bursty.len())
         .name("poisson-control")
         .zipf_alpha(0.8)
-        .size_model(SizeModel::BoundedPareto { alpha: 1.4, min: 10_000, max: 5_000_000 })
+        .size_model(SizeModel::BoundedPareto {
+            alpha: 1.4,
+            min: 10_000,
+            max: 5_000_000,
+        })
         .requests_per_sec(bursty.len() as f64 / duration)
         .seed(options.seed)
         .generate();
@@ -732,7 +891,9 @@ pub fn ablation_hro_window(options: &Options) -> String {
         let capacity = default_capacity(trace, options);
         let mut row = vec![trace.name.clone()];
         for &m in &multipliers {
-            let hro = Hro { window_multiplier: m };
+            let hro = Hro {
+                window_multiplier: m,
+            };
             row.push(pct(hro.evaluate(trace, capacity).object_hit_ratio()));
         }
         let belady = BeladySize.evaluate(trace, capacity);

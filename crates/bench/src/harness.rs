@@ -23,7 +23,9 @@ impl Default for Options {
         Options {
             scale: ProductionScale::Small,
             seed: 42,
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()).min(16),
+            threads: std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(16),
         }
     }
 }
@@ -52,9 +54,7 @@ impl Options {
                     }
                 }
                 "--seed" => options.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
-                "--threads" => {
-                    options.threads = value(&mut i).parse().unwrap_or_else(|_| usage())
-                }
+                "--threads" => options.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
                 _ => usage(),
             }
             i += 1;
@@ -124,7 +124,13 @@ pub fn sota_factories(trace: &Trace, seed: u64) -> Vec<PolicyFactory> {
 /// LHR with the default configuration.
 pub fn lhr_factory(seed: u64) -> PolicyFactory {
     PolicyFactory::new("LHR", move |c| {
-        Box::new(LhrCache::new(c, LhrConfig { seed, ..LhrConfig::default() }))
+        Box::new(LhrCache::new(
+            c,
+            LhrConfig {
+                seed,
+                ..LhrConfig::default()
+            },
+        ))
     })
 }
 
@@ -184,11 +190,21 @@ mod tests {
     #[test]
     fn factories_cover_the_papers_seven_sotas() {
         let trace = lhr_trace::synth::IrmConfig::new(10, 100).generate();
-        let names: Vec<String> =
-            sota_factories(&trace, 0).iter().map(|f| f.name.clone()).collect();
+        let names: Vec<String> = sota_factories(&trace, 0)
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
         assert_eq!(
             names,
-            vec!["LRU", "LRU-4", "LFU-DA", "AdaptSize", "B-LRU", "LRB", "Hawkeye"]
+            vec![
+                "LRU",
+                "LRU-4",
+                "LFU-DA",
+                "AdaptSize",
+                "B-LRU",
+                "LRB",
+                "Hawkeye"
+            ]
         );
     }
 

@@ -140,7 +140,11 @@ mod tests {
         let mut lru = lhr_policies_test_lru(3);
         let lru_result = Simulator::new(SimConfig::default()).run(&mut lru, &t);
         assert_eq!(lru_result.metrics.hits, 0, "LRU should thrash on a loop");
-        assert!(belady.hits > 30, "MIN should retain most of the loop: {}", belady.hits);
+        assert!(
+            belady.hits > 30,
+            "MIN should retain most of the loop: {}",
+            belady.hits
+        );
     }
 
     /// Minimal LRU local to the test (the policies crate depends on sim,
@@ -182,7 +186,11 @@ mod tests {
                 lhr_sim::Outcome::MissAdmitted
             }
         }
-        MiniLru { cap: capacity, used: 0, order: Vec::new() }
+        MiniLru {
+            cap: capacity,
+            used: 0,
+            order: Vec::new(),
+        }
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl OfflineBound for ExactOpt {
         let mut ids: Vec<u64> = trace.iter().map(|r| r.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert!(ids.len() <= 64, "ExactOpt supports at most 64 distinct objects");
+        assert!(
+            ids.len() <= 64,
+            "ExactOpt supports at most 64 distinct objects"
+        );
         let index_of: HashMap<u64, usize> =
             ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         let sizes: Vec<u64> = ids
@@ -111,8 +114,7 @@ impl OfflineBound for ExactOpt {
                 while m != 0 {
                     let bit = m.trailing_zeros() as usize;
                     m &= m - 1;
-                    let obj_used_later =
-                        (i..requests.len()).any(|j| requests[j] == bit);
+                    let obj_used_later = (i..requests.len()).any(|j| requests[j] == bit);
                     if !obj_used_later {
                         mask &= !(1u64 << bit);
                     }
@@ -126,7 +128,16 @@ impl OfflineBound for ExactOpt {
             let best = if mask & bit != 0 {
                 // Hit; the object may stay or be dropped afterwards (the
                 // canonicalization will drop it if useless).
-                1 + solve(i + 1, mask, requests, sizes, next_use, capacity, total_size, memo)
+                1 + solve(
+                    i + 1,
+                    mask,
+                    requests,
+                    sizes,
+                    next_use,
+                    capacity,
+                    total_size,
+                    memo,
+                )
             } else {
                 // Miss: choose any subset of current contents to keep such
                 // that the new object fits (or bypass it). Enumerate
@@ -170,7 +181,16 @@ impl OfflineBound for ExactOpt {
             best
         }
 
-        let hits = solve(0, 0, &requests, &sizes, &next_use, capacity, &total_size, &mut memo);
+        let hits = solve(
+            0,
+            0,
+            &requests,
+            &sizes,
+            &next_use,
+            capacity,
+            &total_size,
+            &mut memo,
+        );
         metrics.hits = hits;
         metrics.misses_admitted = metrics.requests - hits;
         // Byte hits are not tracked by the DP (hit identity is ambiguous
@@ -238,35 +258,43 @@ mod tests {
     #[test]
     fn pfoo_upper_dominates_exact_and_exact_dominates_pfoo_lower() {
         // Randomized tiny traces.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use lhr_util::rng::rngs::StdRng;
+        use lhr_util::rng::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(11);
         for case in 0..40 {
             let n = rng.gen_range(4..16);
-            let specs: Vec<(u64, u64)> =
-                (0..n).map(|_| (rng.gen_range(0..6u64), rng.gen_range(1..5u64))).collect();
+            let specs: Vec<(u64, u64)> = (0..n)
+                .map(|_| (rng.gen_range(0..6u64), rng.gen_range(1..5u64)))
+                .collect();
             // Per-object stable sizes: size keyed by id.
-            let specs: Vec<(u64, u64)> =
-                specs.iter().map(|&(id, _)| (id, id + 1)).collect();
+            let specs: Vec<(u64, u64)> = specs.iter().map(|&(id, _)| (id, id + 1)).collect();
             let t = trace_of(&specs);
             let capacity = rng.gen_range(2..10u64);
             let exact = ExactOpt::default().evaluate(&t, capacity).hits;
             let upper = PfooUpper.evaluate(&t, capacity).hits;
             let lower = PfooLower.evaluate(&t, capacity).hits;
-            assert!(upper >= exact, "case {case}: PFOO-U {upper} < OPT {exact}\n{specs:?} cap {capacity}");
-            assert!(exact >= lower, "case {case}: OPT {exact} < PFOO-L {lower}\n{specs:?} cap {capacity}");
+            assert!(
+                upper >= exact,
+                "case {case}: PFOO-U {upper} < OPT {exact}\n{specs:?} cap {capacity}"
+            );
+            assert!(
+                exact >= lower,
+                "case {case}: OPT {exact} < PFOO-L {lower}\n{specs:?} cap {capacity}"
+            );
         }
     }
 
     #[test]
     fn exact_dominates_belady_size_on_random_tiny_traces() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use lhr_util::rng::rngs::StdRng;
+        use lhr_util::rng::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(13);
         for case in 0..40 {
             let n = rng.gen_range(4..14);
-            let specs: Vec<(u64, u64)> =
-                (0..n).map(|_| (rng.gen_range(0..5u64), 0)).map(|(id, _)| (id, 2 * id + 1)).collect();
+            let specs: Vec<(u64, u64)> = (0..n)
+                .map(|_| (rng.gen_range(0..5u64), 0))
+                .map(|(id, _)| (id, 2 * id + 1))
+                .collect();
             let t = trace_of(&specs);
             let capacity = rng.gen_range(1..12u64);
             let exact = ExactOpt::default().evaluate(&t, capacity).hits;

@@ -31,9 +31,7 @@ pub struct PfooLower;
 fn sorted_intervals(trace: &Trace) -> Vec<(u64, u64, u64, u128)> {
     let mut intervals: Vec<(u64, u64, u64, u128)> = reuse_intervals(trace)
         .into_iter()
-        .map(|(start, end, size)| {
-            (start, end, size, size as u128 * (end - start) as u128)
-        })
+        .map(|(start, end, size)| (start, end, size, size as u128 * (end - start) as u128))
         .collect();
     intervals.sort_unstable_by_key(|&(start, end, _, cost)| (cost, start, end));
     intervals
@@ -133,7 +131,11 @@ mod tests {
     fn upper_bound_dominates_lower_bound() {
         let trace = IrmConfig::new(200, 5_000)
             .zipf_alpha(0.9)
-            .size_model(SizeModel::BoundedPareto { alpha: 1.5, min: 10, max: 1_000 })
+            .size_model(SizeModel::BoundedPareto {
+                alpha: 1.5,
+                min: 10,
+                max: 1_000,
+            })
             .seed(1)
             .generate();
         for capacity in [1_000u64, 5_000, 20_000] {
@@ -147,7 +149,11 @@ mod tests {
     fn upper_bound_dominates_belady_size() {
         let trace = IrmConfig::new(100, 3_000)
             .zipf_alpha(1.0)
-            .size_model(SizeModel::BoundedPareto { alpha: 1.2, min: 10, max: 500 })
+            .size_model(SizeModel::BoundedPareto {
+                alpha: 1.2,
+                min: 10,
+                max: 500,
+            })
             .seed(2)
             .generate();
         for capacity in [500u64, 2_000] {

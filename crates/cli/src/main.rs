@@ -87,7 +87,9 @@ fn load_trace(args: &Args) -> Result<Trace, String> {
     } else {
         io::read_csv_file(path).map_err(|e| format!("{path}: {e}"))?
     };
-    trace.validate().map_err(|e| format!("{path}: invalid trace: {e}"))?;
+    trace
+        .validate()
+        .map_err(|e| format!("{path}: invalid trace: {e}"))?;
     Ok(trace)
 }
 
@@ -110,7 +112,11 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let trace = match kind.as_str() {
         "zipf" => IrmConfig::new(objects, requests)
             .zipf_alpha(alpha)
-            .size_model(SizeModel::BoundedPareto { alpha: 1.2, min: 10_000, max: 100_000_000 })
+            .size_model(SizeModel::BoundedPareto {
+                alpha: 1.2,
+                min: 10_000,
+                max: 100_000_000,
+            })
             .seed(seed)
             .generate(),
         "cdn-a" => production::cdn_a(ProductionScale::Small, seed),
@@ -138,17 +144,35 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     println!("requests:         {}", s.total_requests);
     println!("unique contents:  {}", s.unique_contents);
     println!("duration:         {:.2} h", s.duration_hours);
-    println!("total bytes:      {:.3} TB", s.total_bytes_requested as f64 / 1e12);
-    println!("unique bytes:     {:.1} GB", s.unique_bytes_requested as f64 / 1e9);
-    println!("peak active:      {:.1} GB", s.peak_active_bytes as f64 / 1e9);
+    println!(
+        "total bytes:      {:.3} TB",
+        s.total_bytes_requested as f64 / 1e12
+    );
+    println!(
+        "unique bytes:     {:.1} GB",
+        s.unique_bytes_requested as f64 / 1e9
+    );
+    println!(
+        "peak active:      {:.1} GB",
+        s.peak_active_bytes as f64 / 1e9
+    );
     println!("mean size:        {:.2} MB", s.mean_content_size / 1e6);
-    println!("max size:         {:.1} MB", s.max_content_size as f64 / 1e6);
-    println!("one-hit wonders:  {:.1} %", one_hit_wonder_ratio(&trace) * 100.0);
+    println!(
+        "max size:         {:.1} MB",
+        s.max_content_size as f64 / 1e6
+    );
+    println!(
+        "one-hit wonders:  {:.1} %",
+        one_hit_wonder_ratio(&trace) * 100.0
+    );
     Ok(())
 }
 
 fn sim_config(args: &Args) -> Result<SimConfig, String> {
-    Ok(SimConfig { warmup_requests: args.get_parse("warmup")?.unwrap_or(0usize), series_every: None })
+    Ok(SimConfig {
+        warmup_requests: args.get_parse("warmup")?.unwrap_or(0usize),
+        series_every: None,
+    })
 }
 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
@@ -156,8 +180,12 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let name = args.get("policy").ok_or("--policy is required")?;
     let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
     let seed = args.get_parse("seed")?.unwrap_or(42u64);
-    let mut policy = registry::build(name, capacity, seed, &trace)
-        .ok_or_else(|| format!("unknown policy `{name}` (try: {})", registry::policy_names().join(", ")))?;
+    let mut policy = registry::build(name, capacity, seed, &trace).ok_or_else(|| {
+        format!(
+            "unknown policy `{name}` (try: {})",
+            registry::policy_names().join(", ")
+        )
+    })?;
     let result = Simulator::new(sim_config(args)?).run(&mut policy, &trace);
     println!(
         "{} @ {:.2} GB on {}: hit {:.2}%  byte-hit {:.2}%  WAN {:.3} Gbps  \
@@ -179,10 +207,12 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
     let seed = args.get_parse("seed")?.unwrap_or(42u64);
     let config = sim_config(args)?;
-    println!("{:<11} {:>8} {:>9} {:>10} {:>9}", "policy", "hit%", "byte-hit%", "WAN(Gbps)", "wall(s)");
+    println!(
+        "{:<11} {:>8} {:>9} {:>10} {:>9}",
+        "policy", "hit%", "byte-hit%", "WAN(Gbps)", "wall(s)"
+    );
     for name in registry::policy_names() {
-        let mut policy =
-            registry::build(name, capacity, seed, &trace).expect("registry name");
+        let mut policy = registry::build(name, capacity, seed, &trace).expect("registry name");
         let result = Simulator::new(config.clone()).run(&mut policy, &trace);
         println!(
             "{:<11} {:>8.2} {:>9.2} {:>10.3} {:>9.2}",
@@ -204,8 +234,9 @@ fn cmd_mrc(args: &Args) -> Result<(), String> {
     let n_points: usize = args.get_parse("points")?.unwrap_or(10);
     let sample: f64 = args.get_parse("sample")?.unwrap_or(1.0);
     let unique = stats.unique_bytes_requested as u64;
-    let capacities: Vec<u64> =
-        (1..=n_points as u64).map(|k| (unique * k / n_points as u64).max(1)).collect();
+    let capacities: Vec<u64> = (1..=n_points as u64)
+        .map(|k| (unique * k / n_points as u64).max(1))
+        .collect();
     let config = if sample >= 1.0 {
         MrcConfig::exact(capacities)
     } else {
@@ -213,7 +244,10 @@ fn cmd_mrc(args: &Args) -> Result<(), String> {
     };
     let curve = lru_mrc(&trace, &config);
     let che = CheModel::from_trace(&trace);
-    println!("{:<14} {:>12} {:>10}", "capacity(GB)", "LRU hit%", "Che hit%");
+    println!(
+        "{:<14} {:>12} {:>10}",
+        "capacity(GB)", "LRU hit%", "Che hit%"
+    );
     for &(capacity, hit) in &curve.points {
         println!(
             "{:<14.3} {:>12.2} {:>10.2}",

@@ -2,8 +2,8 @@
 
 use lhr::cache::{LhrCache, LhrConfig};
 use lhr_policies::{
-    s4lru, slru, AdaptSize, Arc, BLru, Fifo, Gdsf, Hawkeye, Hyperbolic, Lfo, LfuDa, Lhd,
-    Lrb, Lru, LruK, PopCache, RandomEviction, RlCache, TinyLfu, WTinyLfu,
+    s4lru, slru, AdaptSize, Arc, BLru, Fifo, Gdsf, Hawkeye, Hyperbolic, Lfo, LfuDa, Lhd, Lrb, Lru,
+    LruK, PopCache, RandomEviction, RlCache, TinyLfu, WTinyLfu,
 };
 use lhr_sim::CachePolicy;
 use lhr_trace::Trace;
@@ -11,29 +11,56 @@ use lhr_trace::Trace;
 /// Every policy name accepted by `--policy` / iterated by `compare`.
 pub fn policy_names() -> &'static [&'static str] {
     &[
-        "LHR", "D-LHR", "N-LHR", "LRU", "FIFO", "Random", "LRU-4", "LFU-DA", "GDSF", "ARC",
-        "SLRU", "S4LRU", "AdaptSize", "B-LRU", "TinyLFU", "W-TinyLFU", "Hyperbolic", "LHD",
-        "LFO", "LRB", "Hawkeye",
+        "LHR",
+        "D-LHR",
+        "N-LHR",
+        "LRU",
+        "FIFO",
+        "Random",
+        "LRU-4",
+        "LFU-DA",
+        "GDSF",
+        "ARC",
+        "SLRU",
+        "S4LRU",
+        "AdaptSize",
+        "B-LRU",
+        "TinyLFU",
+        "W-TinyLFU",
+        "Hyperbolic",
+        "LHD",
+        "LFO",
+        "LRB",
+        "Hawkeye",
     ]
 }
 
 /// Builds a policy by (case-insensitive) name.
-pub fn build(
-    name: &str,
-    capacity: u64,
-    seed: u64,
-    trace: &Trace,
-) -> Option<Box<dyn CachePolicy>> {
+pub fn build(name: &str, capacity: u64, seed: u64, trace: &Trace) -> Option<Box<dyn CachePolicy>> {
     let objects = 1u64 << 16;
     let lrb_window = (trace.duration().as_secs_f64() / 4.0).max(60.0);
     Some(match name.to_ascii_uppercase().as_str() {
-        "LHR" => Box::new(LhrCache::new(capacity, LhrConfig { seed, ..LhrConfig::default() })),
-        "D-LHR" => {
-            Box::new(LhrCache::new(capacity, LhrConfig { seed, ..LhrConfig::d_lhr() }))
-        }
-        "N-LHR" => {
-            Box::new(LhrCache::new(capacity, LhrConfig { seed, ..LhrConfig::n_lhr() }))
-        }
+        "LHR" => Box::new(LhrCache::new(
+            capacity,
+            LhrConfig {
+                seed,
+                ..LhrConfig::default()
+            },
+        )),
+        "D-LHR" => Box::new(LhrCache::new(
+            capacity,
+            LhrConfig {
+                seed,
+                ..LhrConfig::d_lhr()
+            },
+        )),
+        "N-LHR" => Box::new(LhrCache::new(
+            capacity,
+            LhrConfig {
+                seed,
+                ..LhrConfig::n_lhr()
+            },
+        )),
         "LRU" => Box::new(Lru::new(capacity)),
         "FIFO" => Box::new(Fifo::new(capacity)),
         "RANDOM" => Box::new(RandomEviction::new(capacity, seed)),

@@ -9,8 +9,8 @@ use crate::window::{WindowData, WindowTracker};
 use lhr_gbm::{Dataset, Gbm, GbmParams};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lhr_util::rng::rngs::SmallRng;
+use lhr_util::rng::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Which eviction rule LHR applies (§5.2.5 discusses both).
@@ -74,7 +74,11 @@ impl Default for LhrConfig {
             beta: 0.002,
             fixed_threshold: None,
             detection: true,
-            gbm: GbmParams { n_trees: 25, max_depth: 6, ..GbmParams::default() },
+            gbm: GbmParams {
+                n_trees: 25,
+                max_depth: 6,
+                ..GbmParams::default()
+            },
             eviction_sample: 64,
             eviction_rule: EvictionRule::QSizeIrt,
             max_train_rows: 32_768,
@@ -90,7 +94,11 @@ impl LhrConfig {
     /// D-LHR (§7.4): LHR with the threshold fixed at 0.5 — isolates the
     /// contribution of the estimation algorithm.
     pub fn d_lhr() -> Self {
-        LhrConfig { fixed_threshold: Some(0.5), name: Some("D-LHR"), ..LhrConfig::default() }
+        LhrConfig {
+            fixed_threshold: Some(0.5),
+            name: Some("D-LHR"),
+            ..LhrConfig::default()
+        }
     }
 
     /// N-LHR (§7.4): D-LHR without the detection mechanism (retrains every
@@ -267,8 +275,14 @@ impl LhrCache {
         while self.used + req.size > self.capacity {
             self.evict_one(req.ts);
         }
-        self.entries
-            .insert(req.id, CachedEntry { size: req.size, prob, last_access: req.ts });
+        self.entries.insert(
+            req.id,
+            CachedEntry {
+                size: req.size,
+                prob,
+                last_access: req.ts,
+            },
+        );
         self.positions.insert(req.id, self.dense.len());
         self.dense.push(req.id);
         self.used += req.size;
@@ -280,7 +294,11 @@ impl LhrCache {
         self.stats.windows += 1;
         let detection = self.detector.observe(&done);
         let retrain = self.model.is_none()
-            || (if self.config.detection { detection.retrain } else { true });
+            || (if self.config.detection {
+                detection.retrain
+            } else {
+                true
+            });
 
         // Label the window with HRO's decisions regardless of whether we
         // retrain now — later retrains draw on it. Stored rows are
@@ -344,7 +362,11 @@ impl LhrCache {
     /// windows (§5.2.4: squared-error regression on the 0/1 HRO labels),
     /// newest window first, truncated at `max_train_rows`.
     fn train(&mut self) {
-        let total: usize = self.labeled_history.iter().map(|(rows, _)| rows.len()).sum();
+        let total: usize = self
+            .labeled_history
+            .iter()
+            .map(|(rows, _)| rows.len())
+            .sum();
         if total == 0 {
             return;
         }
@@ -426,10 +448,16 @@ impl CachePolicy for LhrCache {
     }
 
     fn metadata_overhead_bytes(&self) -> u64 {
-        let model = self.model.as_ref().map_or(0, |m| m.approx_size_bytes() as u64);
+        let model = self
+            .model
+            .as_ref()
+            .map_or(0, |m| m.approx_size_bytes() as u64);
         let row_bytes = self.features.n_features() * 4 + 8;
-        let history_rows: usize =
-            self.labeled_history.iter().map(|(rows, _)| rows.len()).sum();
+        let history_rows: usize = self
+            .labeled_history
+            .iter()
+            .map(|(rows, _)| rows.len())
+            .sum();
         self.entries.len() as u64 * 64
             + self.features.overhead_bytes()
             + self.window.overhead_bytes()
@@ -448,7 +476,11 @@ mod tests {
     fn zipf_trace(seed: u64) -> Trace {
         IrmConfig::new(400, 30_000)
             .zipf_alpha(1.0)
-            .size_model(SizeModel::BoundedPareto { alpha: 1.2, min: 1_000, max: 100_000 })
+            .size_model(SizeModel::BoundedPareto {
+                alpha: 1.2,
+                min: 1_000,
+                max: 100_000,
+            })
             .seed(seed)
             .generate()
     }
@@ -461,7 +493,11 @@ mod tests {
         let mut cache = LhrCache::new(120_000, LhrConfig::default());
         let result = Simulator::new(SimConfig::default()).run(&mut cache, &trace);
         assert!(cache.stats().trainings >= 1, "model never trained");
-        assert!(result.metrics.object_hit_ratio() > 0.1, "{}", result.metrics.object_hit_ratio());
+        assert!(
+            result.metrics.object_hit_ratio() > 0.1,
+            "{}",
+            result.metrics.object_hit_ratio()
+        );
     }
 
     #[test]
@@ -496,7 +532,10 @@ mod tests {
         }
         let trace = Trace::from_requests("hot+cold", reqs);
         let capacity = 100_000; // fits the 6-object hot set (120 KB > cap ⇒ 5 of 6)
-        let cfg = SimConfig { warmup_requests: 7_000, series_every: None };
+        let cfg = SimConfig {
+            warmup_requests: 7_000,
+            series_every: None,
+        };
         let mut lhr = LhrCache::new(capacity, LhrConfig::default());
         let lhr_result = Simulator::new(cfg.clone()).run(&mut lhr, &trace);
         let mut lru = Lru::new(capacity);
@@ -555,8 +594,13 @@ mod tests {
     fn deterministic_per_seed() {
         let trace = zipf_trace(5);
         let run = |seed| {
-            let mut cache =
-                LhrCache::new(250_000, LhrConfig { seed, ..LhrConfig::default() });
+            let mut cache = LhrCache::new(
+                250_000,
+                LhrConfig {
+                    seed,
+                    ..LhrConfig::default()
+                },
+            );
             let r = Simulator::new(SimConfig::default()).run(&mut cache, &trace);
             (r.metrics.hits, cache.stats().trainings)
         };

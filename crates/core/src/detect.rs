@@ -21,7 +21,11 @@ pub fn estimate_zipf_alpha(counts: &mut Vec<u32>) -> (f64, f64) {
     // where counts are statistically meaningful, unless that leaves too
     // few points.
     let head = counts.partition_point(|&c| c >= 3);
-    let fit = if head >= 10 { &counts[..head] } else { &counts[..] };
+    let fit = if head >= 10 {
+        &counts[..head]
+    } else {
+        &counts[..]
+    };
     // x = ln(rank), y = ln(share).
     let n = fit.len() as f64;
     let mut sx = 0.0;
@@ -61,7 +65,12 @@ pub struct ZipfDetector {
 impl ZipfDetector {
     /// A detector with threshold `epsilon`.
     pub fn new(epsilon: f64) -> Self {
-        ZipfDetector { epsilon, prev_alpha: None, detections: 0, windows: 0 }
+        ZipfDetector {
+            epsilon,
+            prev_alpha: None,
+            detections: 0,
+            windows: 0,
+        }
     }
 
     /// Estimates α for `window` and reports whether the request pattern
@@ -79,7 +88,10 @@ impl ZipfDetector {
         if changed {
             self.detections += 1;
         }
-        DetectOutcome { alpha, retrain: changed }
+        DetectOutcome {
+            alpha,
+            retrain: changed,
+        }
     }
 }
 
@@ -115,7 +127,10 @@ mod tests {
 
     /// Ideal Zipf counts for n contents and R requests.
     fn ideal_counts(n: usize, alpha: f64, requests: f64) -> Vec<u32> {
-        zipf_pmf(n, alpha).iter().map(|p| (p * requests).round().max(1.0) as u32).collect()
+        zipf_pmf(n, alpha)
+            .iter()
+            .map(|p| (p * requests).round().max(1.0) as u32)
+            .collect()
     }
 
     #[test]
@@ -173,8 +188,8 @@ mod tests {
         // sampled (noisy) counts; the detector must flag ≥ 90% of true
         // shifts and not fire on repeats of the same α.
         use lhr_trace::synth::ZipfSampler;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use lhr_util::rng::rngs::StdRng;
+        use lhr_util::rng::SeedableRng;
 
         let mut rng = StdRng::seed_from_u64(1);
         let sample_counts = |alpha: f64, rng: &mut StdRng| {
@@ -202,6 +217,9 @@ mod tests {
             }
             prev = Some(a);
         }
-        assert!(correct as f64 / total as f64 >= 0.85, "accuracy {correct}/{total}");
+        assert!(
+            correct as f64 / total as f64 >= 0.85,
+            "accuracy {correct}/{total}"
+        );
     }
 }

@@ -49,7 +49,10 @@ impl FeatureStore {
     /// A store producing `n_irts` IRT features.
     pub fn new(n_irts: usize) -> Self {
         assert!(n_irts >= 1);
-        FeatureStore { n_irts, objects: HashMap::new() }
+        FeatureStore {
+            n_irts,
+            objects: HashMap::new(),
+        }
     }
 
     /// Width of feature rows produced by [`FeatureStore::features`].

@@ -28,7 +28,9 @@ pub struct Hro {
 
 impl Default for Hro {
     fn default() -> Self {
-        Hro { window_multiplier: 4.0 }
+        Hro {
+            window_multiplier: 4.0,
+        }
     }
 }
 
@@ -194,8 +196,11 @@ mod tests {
                     return Outcome::MissBypassed;
                 }
                 while self.used + req.size > self.cap {
-                    let (&victim, &(_, vsize)) =
-                        self.counts.iter().min_by_key(|(id, (c, _))| (*c, **id)).expect("full");
+                    let (&victim, &(_, vsize)) = self
+                        .counts
+                        .iter()
+                        .min_by_key(|(id, (c, _))| (*c, **id))
+                        .expect("full");
                     self.counts.remove(&victim);
                     self.used -= vsize;
                 }
@@ -212,7 +217,11 @@ mod tests {
             .generate();
         let capacity = 50_000u64;
         let hro = Hro::default().evaluate(&trace, capacity);
-        let mut lfu = MiniLfu { cap: capacity, used: 0, counts: Default::default() };
+        let mut lfu = MiniLfu {
+            cap: capacity,
+            used: 0,
+            counts: Default::default(),
+        };
         let lfu_result = Simulator::new(SimConfig::default()).run(&mut lfu, &trace);
         assert!(
             hro.hits >= lfu_result.metrics.hits,
@@ -246,7 +255,9 @@ mod tests {
         }
         entries.sort();
         let trace = trace_of(&entries);
-        let hro = Hro { window_multiplier: 1.0 };
+        let hro = Hro {
+            window_multiplier: 1.0,
+        };
         let m = hro.evaluate(&trace, 100);
         // Both hot contents get hits in their respective windows.
         assert!(m.hits >= 30, "hits {}", m.hits);

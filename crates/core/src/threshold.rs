@@ -8,8 +8,8 @@
 //! by more than β (default 0.2%), which suppresses jitter.
 
 use lhr_trace::{ObjectId, Time};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lhr_util::rng::rngs::SmallRng;
+use lhr_util::rng::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// One shadow-simulation input record: a window request annotated with its
@@ -43,7 +43,12 @@ pub struct ThresholdEstimator {
 impl ThresholdEstimator {
     /// An estimator starting from the paper's `δ₀ = 0.5`.
     pub fn new(beta: f64) -> Self {
-        ThresholdEstimator { delta: 0.5, beta, sample_fraction: 0.5, updates: 0 }
+        ThresholdEstimator {
+            delta: 0.5,
+            beta,
+            sample_fraction: 0.5,
+            updates: 0,
+        }
     }
 
     /// The candidate set `Δ_k` (clamped to [0, 1], deduplicated).

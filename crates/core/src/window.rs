@@ -129,9 +129,8 @@ impl WindowTracker {
 
     /// Approximate metadata footprint in bytes.
     pub fn overhead_bytes(&self) -> u64 {
-        (self.current.requests.len() * 24
-            + self.current.counts.len() * 16
-            + self.sizes.len() * 16) as u64
+        (self.current.requests.len() * 24 + self.current.counts.len() * 16 + self.sizes.len() * 16)
+            as u64
     }
 }
 

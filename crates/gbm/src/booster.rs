@@ -2,10 +2,9 @@
 
 use crate::dataset::{Binned, Dataset};
 use crate::tree::Tree;
-use serde::{Deserialize, Serialize};
 
 /// Training loss.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Loss {
     /// Mean squared error — the paper's choice for LHR (§5.2.4: "the mean
     /// squared error … achieves the best performance … compared to other
@@ -17,13 +16,20 @@ pub enum Loss {
     Logistic,
 }
 
+lhr_util::impl_json!(
+    enum Loss {
+        SquaredError,
+        Logistic,
+    }
+);
+
 /// Hyperparameters for [`Gbm::fit`].
 ///
 /// The defaults are tuned for LHR's setting — a few thousand rows per
 /// sliding window, ~25 features, binary HRO labels regressed with squared
 /// error — and favour fast training over the last fraction of a percent of
 /// accuracy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GbmParams {
     /// Number of boosting rounds (trees).
     pub n_trees: usize,
@@ -58,6 +64,22 @@ pub struct GbmParams {
     pub loss: Loss,
 }
 
+lhr_util::impl_json!(struct GbmParams {
+    n_trees,
+    max_depth,
+    learning_rate,
+    lambda,
+    min_child_count,
+    min_split_gain,
+    base_score,
+    subsample,
+    colsample,
+    validation_fraction,
+    patience,
+    seed,
+    loss,
+});
+
 impl Default for GbmParams {
     fn default() -> Self {
         GbmParams {
@@ -79,7 +101,7 @@ impl Default for GbmParams {
 }
 
 /// A trained gradient-boosted regression ensemble.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Gbm {
     base_score: f32,
     trees: Vec<Tree>,
@@ -88,6 +110,8 @@ pub struct Gbm {
     n_features: usize,
     loss: Loss,
 }
+
+lhr_util::impl_json!(struct Gbm { base_score, trees, feature_gain, n_features, loss });
 
 #[inline]
 fn sigmoid(z: f32) -> f32 {
@@ -101,17 +125,24 @@ impl Gbm {
     /// Panics if `data` is empty.
     #[allow(clippy::needless_range_loop)] // gradient updates index parallel arrays
     pub fn fit(data: &Dataset, params: &GbmParams) -> Gbm {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use lhr_util::rng::rngs::SmallRng;
+        use lhr_util::rng::{Rng, SeedableRng};
 
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
-        assert!(params.subsample > 0.0 && params.subsample <= 1.0, "bad subsample");
-        assert!(params.colsample > 0.0 && params.colsample <= 1.0, "bad colsample");
+        assert!(
+            params.subsample > 0.0 && params.subsample <= 1.0,
+            "bad subsample"
+        );
+        assert!(
+            params.colsample > 0.0 && params.colsample <= 1.0,
+            "bad colsample"
+        );
         assert!(
             (0.0..1.0).contains(&params.validation_fraction),
             "bad validation_fraction"
         );
         let binned = Binned::build(data);
+        debug_assert_eq!(binned.n_rows, data.n_rows());
         let labels = data.labels();
         let mean = (labels.iter().map(|&y| y as f64).sum::<f64>() / labels.len() as f64) as f32;
         let base_score = params.base_score.unwrap_or(match params.loss {
@@ -240,7 +271,13 @@ impl Gbm {
         }
         trees.truncate(best_len.max(1));
 
-        Gbm { base_score, trees, feature_gain, n_features: data.n_features(), loss: params.loss }
+        Gbm {
+            base_score,
+            trees,
+            feature_gain,
+            n_features: data.n_features(),
+            loss: params.loss,
+        }
     }
 
     /// Predicts the output value for one raw feature row (NaN = missing):
@@ -296,8 +333,24 @@ impl Gbm {
     /// Rough in-memory footprint in bytes (for the Figure 9 memory
     /// accounting): nodes are 24 bytes each in the arena.
     pub fn approx_size_bytes(&self) -> usize {
-        self.trees.iter().map(|t| t.n_nodes() * 24).sum::<usize>()
-            + self.feature_gain.len() * 8
+        self.trees.iter().map(|t| t.n_nodes() * 24).sum::<usize>() + self.feature_gain.len() * 8
+    }
+
+    /// Serializes the model as one compact JSON document.
+    ///
+    /// The output is byte-deterministic: the same model always produces the
+    /// same text, and [`Gbm::from_json_string`] → `to_json_string`
+    /// round-trips byte-identically (the in-tree writer preserves field
+    /// order and float bits — see `lhr_util::json`).
+    pub fn to_json_string(&self) -> String {
+        use lhr_util::json::ToJson;
+        self.to_json().to_string()
+    }
+
+    /// Loads a model previously produced by [`Gbm::to_json_string`].
+    pub fn from_json_string(text: &str) -> Result<Gbm, lhr_util::json::JsonError> {
+        use lhr_util::json::{FromJson, Json};
+        Gbm::from_json(&Json::parse(text)?)
     }
 }
 
@@ -326,8 +379,20 @@ mod tests {
     #[test]
     fn boosting_reduces_training_error() {
         let d = make_linear(1_000);
-        let weak = Gbm::fit(&d, &GbmParams { n_trees: 1, ..GbmParams::default() });
-        let strong = Gbm::fit(&d, &GbmParams { n_trees: 40, ..GbmParams::default() });
+        let weak = Gbm::fit(
+            &d,
+            &GbmParams {
+                n_trees: 1,
+                ..GbmParams::default()
+            },
+        );
+        let strong = Gbm::fit(
+            &d,
+            &GbmParams {
+                n_trees: 40,
+                ..GbmParams::default()
+            },
+        );
         assert!(strong.mse(&d) < weak.mse(&d) / 2.0);
     }
 
@@ -384,12 +449,34 @@ mod tests {
 
     #[test]
     fn model_is_serializable() {
-        // No serialization format crate is in the allowed dependency set;
-        // assert the Serialize/Deserialize bounds hold so downstream users
-        // can pick any serde format.
-        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serde::<Gbm>();
-        assert_serde::<GbmParams>();
+        use lhr_util::json::{FromJson, ToJson};
+        fn assert_json<T: ToJson + FromJson>() {}
+        assert_json::<Gbm>();
+        assert_json::<GbmParams>();
+    }
+
+    #[test]
+    fn json_roundtrip_is_byte_identical() {
+        let d = make_linear(500);
+        let model = Gbm::fit(
+            &d,
+            &GbmParams {
+                n_trees: 8,
+                ..GbmParams::default()
+            },
+        );
+        let text = model.to_json_string();
+        let back = Gbm::from_json_string(&text).expect("reload");
+        // save → load → save is byte-identical …
+        assert_eq!(back.to_json_string(), text);
+        // … and the reloaded model predicts bit-identically.
+        for i in 0..d.n_rows() {
+            assert_eq!(
+                model.predict(d.row(i)).to_bits(),
+                back.predict(d.row(i)).to_bits(),
+                "prediction diverged on row {i}"
+            );
+        }
     }
 
     #[test]
@@ -410,8 +497,12 @@ mod tests {
     fn stochastic_boosting_is_deterministic_per_seed() {
         let d = make_linear(500);
         let fit = |seed| {
-            let params =
-                GbmParams { subsample: 0.6, colsample: 0.6, seed, ..GbmParams::default() };
+            let params = GbmParams {
+                subsample: 0.6,
+                colsample: 0.6,
+                seed,
+                ..GbmParams::default()
+            };
             Gbm::fit(&d, &params).predict(&[0.3, 0.7])
         };
         assert_eq!(fit(1), fit(1));
@@ -438,7 +529,11 @@ mod tests {
             ..GbmParams::default()
         };
         let model = Gbm::fit(&d, &params);
-        assert!(model.n_trees() < 50, "{} trees on pure noise", model.n_trees());
+        assert!(
+            model.n_trees() < 50,
+            "{} trees on pure noise",
+            model.n_trees()
+        );
     }
 
     #[test]
@@ -459,7 +554,13 @@ mod tests {
     #[should_panic]
     fn bad_subsample_rejected() {
         let d = make_linear(100);
-        Gbm::fit(&d, &GbmParams { subsample: 0.0, ..GbmParams::default() });
+        Gbm::fit(
+            &d,
+            &GbmParams {
+                subsample: 0.0,
+                ..GbmParams::default()
+            },
+        );
     }
 
     #[test]
@@ -471,10 +572,21 @@ mod tests {
             let x1 = (i % 89) as f32 / 89.0;
             d.push_row(&[x0, x1], if x0 > 0.5 { 1.0 } else { 0.0 });
         }
-        let params = GbmParams { loss: Loss::Logistic, ..GbmParams::default() };
+        let params = GbmParams {
+            loss: Loss::Logistic,
+            ..GbmParams::default()
+        };
         let model = Gbm::fit(&d, &params);
-        assert!(model.predict(&[0.9, 0.5]) > 0.85, "{}", model.predict(&[0.9, 0.5]));
-        assert!(model.predict(&[0.1, 0.5]) < 0.15, "{}", model.predict(&[0.1, 0.5]));
+        assert!(
+            model.predict(&[0.9, 0.5]) > 0.85,
+            "{}",
+            model.predict(&[0.9, 0.5])
+        );
+        assert!(
+            model.predict(&[0.1, 0.5]) < 0.15,
+            "{}",
+            model.predict(&[0.1, 0.5])
+        );
         // Probabilities by construction.
         for x in [0.0f32, 0.3, 0.6, 1.0] {
             let p = model.predict(&[x, 0.0]);
@@ -490,7 +602,13 @@ mod tests {
             d.push_row(&[x], if x >= 25.0 { 1.0 } else { 0.0 });
         }
         let sq = Gbm::fit(&d, &GbmParams::default());
-        let lg = Gbm::fit(&d, &GbmParams { loss: Loss::Logistic, ..GbmParams::default() });
+        let lg = Gbm::fit(
+            &d,
+            &GbmParams {
+                loss: Loss::Logistic,
+                ..GbmParams::default()
+            },
+        );
         for x in [5.0f32, 20.0, 30.0, 45.0] {
             let a = sq.predict_probability(&[x]);
             let b = lg.predict_probability(&[x]);
@@ -504,8 +622,13 @@ mod tests {
         for _ in 0..10 {
             d.push_row(&[1.0], 2.0);
         }
-        let model =
-            Gbm::fit(&d, &GbmParams { base_score: Some(2.0), ..GbmParams::default() });
+        let model = Gbm::fit(
+            &d,
+            &GbmParams {
+                base_score: Some(2.0),
+                ..GbmParams::default()
+            },
+        );
         assert!(model.mse(&d) < 1e-12);
     }
 

@@ -1,9 +1,7 @@
 //! Training data container and quantile binning.
 
-use serde::{Deserialize, Serialize};
-
 /// A dense, row-major training set. Missing feature values are `f32::NAN`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Dataset {
     n_features: usize,
     /// Row-major feature matrix, `n_rows × n_features`.
@@ -12,11 +10,17 @@ pub struct Dataset {
     labels: Vec<f32>,
 }
 
+lhr_util::impl_json!(struct Dataset { n_features, features, labels });
+
 impl Dataset {
     /// An empty dataset whose rows will have `n_features` columns.
     pub fn new(n_features: usize) -> Self {
         assert!(n_features > 0, "need at least one feature");
-        Dataset { n_features, features: Vec::new(), labels: Vec::new() }
+        Dataset {
+            n_features,
+            features: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 
     /// Reserves room for `rows` additional rows.
@@ -75,7 +79,7 @@ impl Dataset {
 /// into bin `j` where `j` is the number of edges `< v` — i.e. edges are
 /// *lower-exclusive* cut points, so `tree::SplitCandidate` thresholds can be
 /// reconstructed as real feature values.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) struct Binned {
     pub n_features: usize,
     /// `edges[f]` — ascending cut values for feature `f` (may be empty when
@@ -138,7 +142,12 @@ impl Binned {
                 };
             }
         }
-        Binned { n_features, edges, codes, n_rows }
+        Binned {
+            n_features,
+            edges,
+            codes,
+            n_rows,
+        }
     }
 
     /// Bin index for row `r`, feature `f`.
@@ -242,7 +251,11 @@ mod tests {
             let thr = b.threshold(0, bin);
             for v in [1.0f32, 2.0, 3.0, 4.0, 5.0] {
                 let code = bin_of(&b.edges[0], v);
-                assert_eq!(code <= bin, v <= thr, "bin {bin} thr {thr} v {v} code {code}");
+                assert_eq!(
+                    code <= bin,
+                    v <= thr,
+                    "bin {bin} thr {thr} v {v} code {code}"
+                );
             }
         }
     }

@@ -2,10 +2,9 @@
 
 use crate::booster::GbmParams;
 use crate::dataset::{Binned, MISSING_BIN};
-use serde::{Deserialize, Serialize};
 
 /// A node in the flat tree arena. Leaves have `feature == u32::MAX`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Node {
     /// Split feature index, or `u32::MAX` for a leaf.
     feature: u32,
@@ -21,12 +20,16 @@ struct Node {
     value: f32,
 }
 
+lhr_util::impl_json!(struct Node { feature, threshold, left, right, default_left, value });
+
 /// A trained regression tree. Prediction consumes raw (unbinned) feature
 /// rows, so a serialized model is self-contained.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Tree {
     nodes: Vec<Node>,
 }
+
+lhr_util::impl_json!(struct Tree { nodes });
 
 /// Shared, immutable context for one tree's growth.
 struct GrowCtx<'a> {
@@ -94,18 +97,32 @@ impl Tree {
     ) -> Tree {
         debug_assert_eq!(feature_mask.len(), binned.n_features);
         let mut tree = Tree { nodes: Vec::new() };
-        let ctx = GrowCtx { binned, gradients, hessians, feature_mask, params };
+        let ctx = GrowCtx {
+            binned,
+            gradients,
+            hessians,
+            feature_mask,
+            params,
+        };
         tree.grow_node2(&ctx, &mut root_rows, 0, gains);
         tree
     }
 
     /// Recursively grows the subtree over `indices`, returning its arena id.
-    fn grow_node2(&mut self, ctx: &GrowCtx<'_>, indices: &mut [u32], depth: usize, gains: &mut [f64]) -> u32 {
+    fn grow_node2(
+        &mut self,
+        ctx: &GrowCtx<'_>,
+        indices: &mut [u32],
+        depth: usize,
+        gains: &mut [f64],
+    ) -> u32 {
         let params = ctx.params;
-        let g_sum: f64 = indices.iter().map(|&i| ctx.gradients[i as usize] as f64).sum();
+        let g_sum: f64 = indices
+            .iter()
+            .map(|&i| ctx.gradients[i as usize] as f64)
+            .sum();
         let h_sum: f64 = ctx.hessian_sum(indices);
-        let leaf_value =
-            || (g_sum / (h_sum + params.lambda)) as f32 * params.learning_rate;
+        let leaf_value = || (g_sum / (h_sum + params.lambda)) as f32 * params.learning_rate;
 
         if depth >= params.max_depth || indices.len() < 2 * params.min_child_count {
             return self.push_leaf(leaf_value());
@@ -222,20 +239,21 @@ impl Tree {
                     } else {
                         (left_g, left_h, left_n)
                     };
-                    let (rg, rh, rn) =
-                        (g_total - lg, h_total - lh, indices.len() as u32 - ln);
+                    let (rg, rh, rn) = (g_total - lg, h_total - lh, indices.len() as u32 - ln);
                     if (ln as usize) < params.min_child_count
                         || (rn as usize) < params.min_child_count
                     {
                         continue;
                     }
-                    let score =
-                        lg * lg / (lh + params.lambda) + rg * rg / (rh + params.lambda);
+                    let score = lg * lg / (lh + params.lambda) + rg * rg / (rh + params.lambda);
                     let gain = score - parent_score;
-                    if gain > params.min_split_gain
-                        && best.as_ref().is_none_or(|b| gain > b.gain)
-                    {
-                        best = Some(BestSplit { gain, feature, bin: b as u8, default_left });
+                    if gain > params.min_split_gain && best.as_ref().is_none_or(|b| gain > b.gain) {
+                        best = Some(BestSplit {
+                            gain,
+                            feature,
+                            bin: b as u8,
+                            default_left,
+                        });
                     }
                 }
             }
@@ -251,7 +269,11 @@ impl Tree {
                 return node.value;
             }
             let v = row[node.feature as usize];
-            let left = if v.is_nan() { node.default_left } else { v <= node.threshold };
+            let left = if v.is_nan() {
+                node.default_left
+            } else {
+                v <= node.threshold
+            };
             node = if left {
                 &self.nodes[node.left as usize]
             } else {
@@ -305,7 +327,10 @@ mod tests {
             let x = i as f32;
             d.push_row(&[x], if x < 50.0 { 0.0 } else { 1.0 });
         }
-        let params = GbmParams { learning_rate: 1.0, ..GbmParams::default() };
+        let params = GbmParams {
+            learning_rate: 1.0,
+            ..GbmParams::default()
+        };
         let tree = grow_on(&d, &params);
         assert!(tree.predict(&[10.0]) < 0.1);
         assert!(tree.predict(&[90.0]) > 0.9);
@@ -317,7 +342,11 @@ mod tests {
         for i in 0..50 {
             d.push_row(&[i as f32, (i * 7 % 13) as f32], 3.0);
         }
-        let params = GbmParams { learning_rate: 1.0, lambda: 0.0, ..GbmParams::default() };
+        let params = GbmParams {
+            learning_rate: 1.0,
+            lambda: 0.0,
+            ..GbmParams::default()
+        };
         let tree = grow_on(&d, &params);
         assert_eq!(tree.n_nodes(), 1);
         assert!((tree.predict(&[0.0, 0.0]) - 3.0).abs() < 1e-6);
@@ -331,9 +360,17 @@ mod tests {
             d.push_row(&[i as f32], 0.0);
             d.push_row(&[f32::NAN], 1.0);
         }
-        let params = GbmParams { learning_rate: 1.0, max_depth: 3, ..GbmParams::default() };
+        let params = GbmParams {
+            learning_rate: 1.0,
+            max_depth: 3,
+            ..GbmParams::default()
+        };
         let tree = grow_on(&d, &params);
-        assert!(tree.predict(&[f32::NAN]) > 0.7, "{}", tree.predict(&[f32::NAN]));
+        assert!(
+            tree.predict(&[f32::NAN]) > 0.7,
+            "{}",
+            tree.predict(&[f32::NAN])
+        );
         assert!(tree.predict(&[25.0]) < 0.3);
     }
 
@@ -343,8 +380,11 @@ mod tests {
         for i in 0..256 {
             d.push_row(&[i as f32], (i % 2) as f32); // max-entropy labels
         }
-        let params =
-            GbmParams { max_depth: 2, min_child_count: 1, ..GbmParams::default() };
+        let params = GbmParams {
+            max_depth: 2,
+            min_child_count: 1,
+            ..GbmParams::default()
+        };
         let tree = grow_on(&d, &params);
         // Depth-2 binary tree has at most 3 internal + 4 leaf nodes.
         assert!(tree.n_nodes() <= 7, "{} nodes", tree.n_nodes());
@@ -365,7 +405,11 @@ mod tests {
         let tree = grow_on(&d, &params);
         // No leaf may isolate the single positive sample: every leaf holds
         // ≥ 5 samples of which at most one is positive, so its value ≤ 1/5.
-        assert!(tree.predict(&[0.0]) <= 0.2 + 1e-6, "{}", tree.predict(&[0.0]));
+        assert!(
+            tree.predict(&[0.0]) <= 0.2 + 1e-6,
+            "{}",
+            tree.predict(&[0.0])
+        );
     }
 
     #[test]

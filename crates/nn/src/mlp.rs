@@ -1,11 +1,10 @@
 //! The multi-layer perceptron.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use lhr_util::rng::rngs::SmallRng;
+use lhr_util::rng::{Rng, SeedableRng};
 
 /// Activation functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// max(0, x)
     Relu,
@@ -14,6 +13,14 @@ pub enum Activation {
     /// x
     Identity,
 }
+
+lhr_util::impl_json!(
+    enum Activation {
+        Relu,
+        Sigmoid,
+        Identity,
+    }
+);
 
 impl Activation {
     fn apply(self, x: f32) -> f32 {
@@ -41,7 +48,7 @@ impl Activation {
 }
 
 /// One dense layer: `out = act(W·in + b)`, row-major weights.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Dense {
     inputs: usize,
     outputs: usize,
@@ -55,6 +62,8 @@ struct Dense {
     v_b: Vec<f32>,
 }
 
+lhr_util::impl_json!(struct Dense { inputs, outputs, weights, bias, activation, m_w, v_w, m_b, v_b });
+
 impl Dense {
     fn new(inputs: usize, outputs: usize, activation: Activation, rng: &mut SmallRng) -> Self {
         // Xavier/Glorot uniform initialization.
@@ -62,7 +71,9 @@ impl Dense {
         Dense {
             inputs,
             outputs,
-            weights: (0..inputs * outputs).map(|_| rng.gen_range(-bound..bound)).collect(),
+            weights: (0..inputs * outputs)
+                .map(|_| rng.gen_range(-bound..bound))
+                .collect(),
             bias: vec![0.0; outputs],
             activation,
             m_w: vec![0.0; inputs * outputs],
@@ -77,8 +88,12 @@ impl Dense {
         output.clear();
         for o in 0..self.outputs {
             let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
-            let z: f32 =
-                row.iter().zip(input.iter()).map(|(&w, &x)| w * x).sum::<f32>() + self.bias[o];
+            let z: f32 = row
+                .iter()
+                .zip(input.iter())
+                .map(|(&w, &x)| w * x)
+                .sum::<f32>()
+                + self.bias[o];
             output.push(self.activation.apply(z));
         }
     }
@@ -97,28 +112,29 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { learning_rate: 0.01, weight_decay: 0.0, adam: true }
+        TrainConfig {
+            learning_rate: 0.01,
+            weight_decay: 0.0,
+            adam: true,
+        }
     }
 }
 
 /// The network.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<Dense>,
     /// Adam step counter.
     t: u64,
 }
 
+lhr_util::impl_json!(struct Mlp { layers, t });
+
 impl Mlp {
     /// A network with the given layer sizes (`[in, h1, …, out]`), hidden
     /// activation, and output activation, deterministically initialized
     /// from `seed`.
-    pub fn new(
-        sizes: &[usize],
-        hidden: Activation,
-        output: Activation,
-        seed: u64,
-    ) -> Self {
+    pub fn new(sizes: &[usize], hidden: Activation, output: Activation, seed: u64) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
         assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -236,7 +252,13 @@ impl Mlp {
                     layer.weights[idx] -= step;
                 }
                 let step = if config.adam {
-                    adam_step(&mut layer.m_b[o], &mut layer.v_b[o], d, t, config.learning_rate)
+                    adam_step(
+                        &mut layer.m_b[o],
+                        &mut layer.v_b[o],
+                        d,
+                        t,
+                        config.learning_rate,
+                    )
                 } else {
                     config.learning_rate * d
                 };
@@ -321,7 +343,10 @@ mod tests {
 
         let loss_of = |net: &Mlp| {
             let y = net.forward(&input);
-            y.iter().zip(target.iter()).map(|(&a, &b)| (a - b) * (a - b)).sum::<f32>()
+            y.iter()
+                .zip(target.iter())
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<f32>()
                 / y.len() as f32
         };
 
@@ -340,8 +365,11 @@ mod tests {
             // dL/dw of the *mean* loss equals (2/n) · dL̃/dw).
             let mut net = build();
             let before = net.layers[layer_idx].weights[weight_idx];
-            let config =
-                TrainConfig { learning_rate: 1.0, weight_decay: 0.0, adam: false };
+            let config = TrainConfig {
+                learning_rate: 1.0,
+                weight_decay: 0.0,
+                adam: false,
+            };
             net.train_step(&input, &target, &config);
             let analytic = before - net.layers[layer_idx].weights[weight_idx];
             let expected = numerical * target.len() as f32 / 2.0;
@@ -376,7 +404,11 @@ mod tests {
     #[test]
     fn learns_xor_with_sgd_too() {
         let mut net = Mlp::new(&[2, 8, 1], Activation::Relu, Activation::Sigmoid, 11);
-        let config = TrainConfig { learning_rate: 0.5, weight_decay: 0.0, adam: false };
+        let config = TrainConfig {
+            learning_rate: 0.5,
+            weight_decay: 0.0,
+            adam: false,
+        };
         let data = [
             ([0.0, 0.0], [0.0]),
             ([0.0, 1.0], [1.0]),
@@ -398,21 +430,29 @@ mod tests {
     fn weight_decay_shrinks_weights() {
         let build = |decay| {
             let mut net = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Identity, 2);
-            let config =
-                TrainConfig { learning_rate: 0.01, weight_decay: decay, adam: false };
+            let config = TrainConfig {
+                learning_rate: 0.01,
+                weight_decay: decay,
+                adam: false,
+            };
             for k in 0..2_000u32 {
                 let x = vec![(k % 7) as f32 / 7.0, (k % 5) as f32 / 5.0];
                 net.train_step(&x, &[0.5], &config);
             }
-            net.layers.iter().flat_map(|l| l.weights.iter()).map(|w| w * w).sum::<f32>()
+            net.layers
+                .iter()
+                .flat_map(|l| l.weights.iter())
+                .map(|w| w * w)
+                .sum::<f32>()
         };
         assert!(build(0.1) < build(0.0), "decay did not shrink weights");
     }
 
     #[test]
     fn model_is_serializable() {
-        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serde::<Mlp>();
+        use lhr_util::json::{FromJson, ToJson};
+        fn assert_json<T: ToJson + FromJson>() {}
+        assert_json::<Mlp>();
     }
 
     #[test]

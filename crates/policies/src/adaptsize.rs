@@ -13,8 +13,8 @@
 use crate::util::{Handle, LruList};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lhr_util::rng::rngs::SmallRng;
+use lhr_util::rng::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// The AdaptSize policy.
@@ -124,8 +124,7 @@ impl AdaptSize {
                 continue;
             }
             // Deterministic pseudo-draw in [0,1) from the object id.
-            let draw = (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64
-                / (1u64 << 53) as f64;
+            let draw = (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 / (1u64 << 53) as f64;
             if draw >= (-(size as f64) / c).exp() {
                 continue;
             }
@@ -149,7 +148,11 @@ impl AdaptSize {
             self.window[slot] = (req.id, req.size);
         }
         self.requests_since_tune += 1;
-        let due = if self.tunings == 0 { self.first_tune_at } else { self.tune_every };
+        let due = if self.tunings == 0 {
+            self.first_tune_at
+        } else {
+            self.tune_every
+        };
         if self.requests_since_tune >= due {
             self.tune();
             self.tunings += 1;

@@ -62,7 +62,9 @@ impl Arc {
     /// T1 on ties, per the original REPLACE.
     fn replace(&mut self, from_b2: bool) {
         let take_t1 = !self.t1.is_empty()
-            && (self.t1_bytes > self.p || (from_b2 && self.t1_bytes == self.p) || self.t2.is_empty());
+            && (self.t1_bytes > self.p
+                || (from_b2 && self.t1_bytes == self.p)
+                || self.t2.is_empty());
         if take_t1 {
             let (id, size) = self.t1.pop_back().expect("checked non-empty");
             self.cached.remove(&id);
@@ -147,7 +149,8 @@ impl CachePolicy for Arc {
             let delta = if self.b1_bytes >= self.b2_bytes {
                 req.size
             } else {
-                req.size.saturating_mul((self.b2_bytes / self.b1_bytes.max(1)).max(1))
+                req.size
+                    .saturating_mul((self.b2_bytes / self.b1_bytes.max(1)).max(1))
             };
             self.p = (self.p + delta).min(self.capacity);
             self.make_room(req.size, false);
@@ -164,7 +167,8 @@ impl CachePolicy for Arc {
             let delta = if self.b2_bytes >= self.b1_bytes {
                 req.size
             } else {
-                req.size.saturating_mul((self.b1_bytes / self.b2_bytes.max(1)).max(1))
+                req.size
+                    .saturating_mul((self.b1_bytes / self.b2_bytes.max(1)).max(1))
             };
             self.p = self.p.saturating_sub(delta);
             self.make_room(req.size, true);
@@ -177,8 +181,7 @@ impl CachePolicy for Arc {
         // Case IV: brand-new object → T1 MRU.
         // L1 = T1 ∪ B1 at capacity: recycle B1 before replacing.
         if self.t1_bytes + self.b1_bytes + req.size > self.capacity {
-            while self.b1_bytes > 0 && self.t1_bytes + self.b1_bytes + req.size > self.capacity
-            {
+            while self.b1_bytes > 0 && self.t1_bytes + self.b1_bytes + req.size > self.capacity {
                 let (id, size) = self.b1.pop_back().expect("bytes>0");
                 self.ghost1.remove(&id);
                 self.b1_bytes -= size;

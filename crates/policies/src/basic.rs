@@ -2,8 +2,8 @@
 
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lhr_util::rng::rngs::SmallRng;
+use lhr_util::rng::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
 
 /// First-in first-out eviction, admit-all.
@@ -19,7 +19,13 @@ pub struct Fifo {
 impl Fifo {
     /// An empty FIFO cache of `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        Fifo { capacity, used: 0, queue: VecDeque::new(), cached: HashMap::new(), evictions: 0 }
+        Fifo {
+            capacity,
+            used: 0,
+            queue: VecDeque::new(),
+            cached: HashMap::new(),
+            evictions: 0,
+        }
     }
 }
 

@@ -92,7 +92,14 @@ impl CachePolicy for Gdsf {
             self.evict_one();
         }
         let p = self.priority(1, req.size);
-        self.entries.insert(req.id, Entry { size: req.size, freq: 1, priority: p });
+        self.entries.insert(
+            req.id,
+            Entry {
+                size: req.size,
+                freq: 1,
+                priority: p,
+            },
+        );
         self.queue.insert((p, req.id));
         self.used += req.size;
         Outcome::MissAdmitted

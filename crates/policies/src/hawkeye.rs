@@ -142,7 +142,9 @@ impl Hawkeye {
         let (id, size) = if let Some(victim) = self.averse.pop_back() {
             victim
         } else {
-            self.friendly.pop_back().expect("cache full but both lists empty")
+            self.friendly
+                .pop_back()
+                .expect("cache full but both lists empty")
         };
         self.map.remove(&id);
         self.used -= size;
@@ -208,8 +210,11 @@ impl CachePolicy for Hawkeye {
         while self.used + req.size > self.capacity {
             self.evict_one();
         }
-        let kind =
-            if self.is_friendly(req.id) { ListKind::Friendly } else { ListKind::Averse };
+        let kind = if self.is_friendly(req.id) {
+            ListKind::Friendly
+        } else {
+            ListKind::Averse
+        };
         let handle = match kind {
             ListKind::Friendly => self.friendly.push_front((req.id, req.size)),
             ListKind::Averse => self.averse.push_front((req.id, req.size)),
@@ -276,9 +281,11 @@ mod tests {
         // liveness — OPT with 1 000 B cannot keep them all, so most verdicts
         // are misses and the shared-hash counters trend averse for the
         // filler population.
-        let averse_fillers =
-            (1_000..1_040u64).filter(|&id| !c.is_friendly(id)).count();
-        assert!(averse_fillers > 30, "only {averse_fillers}/40 trained averse");
+        let averse_fillers = (1_000..1_040u64).filter(|&id| !c.is_friendly(id)).count();
+        assert!(
+            averse_fillers > 30,
+            "only {averse_fillers}/40 trained averse"
+        );
     }
 
     #[test]
@@ -294,7 +301,10 @@ mod tests {
         c.handle(&req(21, 901, 100));
         // Cache now holds 1 (friendly) + 900, 901 (averse). Insert another:
         c.handle(&req(22, 902, 100));
-        assert!(c.contains(1), "friendly object was evicted before averse ones");
+        assert!(
+            c.contains(1),
+            "friendly object was evicted before averse ones"
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@
 
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lhr_util::rng::rngs::SmallRng;
+use lhr_util::rng::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Eviction candidate sample size (the paper finds 64 indistinguishable
@@ -58,10 +58,15 @@ impl Hyperbolic {
     fn evict_one(&mut self, now: Time) {
         let n = self.dense.len();
         debug_assert!(n > 0);
-        let k = SAMPLE.min(n);
         let mut victim: Option<(f64, ObjectId)> = None;
-        for _ in 0..k {
-            let id = self.dense[self.rng.gen_range(0..n)];
+        // Sampling with replacement only pays off above the sample size;
+        // below it, scanning everything is both cheaper and exact.
+        for i in 0..SAMPLE.min(n) {
+            let id = if n <= SAMPLE {
+                self.dense[i]
+            } else {
+                self.dense[self.rng.gen_range(0..n)]
+            };
             let p = Self::priority(&self.entries[&id], now);
             if victim.is_none_or(|(vp, _)| p < vp) {
                 victim = Some((p, id));
@@ -104,7 +109,14 @@ impl CachePolicy for Hyperbolic {
         while self.used + req.size > self.capacity {
             self.evict_one(req.ts);
         }
-        self.entries.insert(req.id, Entry { size: req.size, admitted: req.ts, hits: 1 });
+        self.entries.insert(
+            req.id,
+            Entry {
+                size: req.size,
+                admitted: req.ts,
+                hits: 1,
+            },
+        );
         self.positions.insert(req.id, self.dense.len());
         self.dense.push(req.id);
         self.used += req.size;
@@ -145,8 +157,8 @@ mod tests {
         let mut c = Hyperbolic::new(1_000, 2);
         c.handle(&req(0, 1, 800)); // large
         c.handle(&req(1, 2, 100)); // small
-        // Same frequency/age profile; admitting 3 (200 B) must evict the
-        // large low-density object.
+                                   // Same frequency/age profile; admitting 3 (200 B) must evict the
+                                   // large low-density object.
         c.handle(&req(2, 3, 200));
         assert!(!c.contains(1));
         assert!(c.contains(2));
@@ -166,7 +178,9 @@ mod tests {
     fn deterministic_per_seed() {
         let run = |seed| {
             let mut c = Hyperbolic::new(500, seed);
-            (0..1_000u64).filter(|&i| c.handle(&req(i, i % 17, 100)).is_hit()).count()
+            (0..1_000u64)
+                .filter(|&i| c.handle(&req(i, i % 17, 100)).is_hit())
+                .count()
         };
         assert_eq!(run(7), run(7));
     }

@@ -75,7 +75,12 @@ impl Lfo {
         match self.history.get(&req.id) {
             Some(h) => {
                 f[1] = (h.count as f32).ln_1p();
-                for (j, pair) in h.times.iter().rev().zip(h.times.iter().rev().skip(1)).enumerate()
+                for (j, pair) in h
+                    .times
+                    .iter()
+                    .rev()
+                    .zip(h.times.iter().rev().skip(1))
+                    .enumerate()
                 {
                     if j >= 4 {
                         break;
@@ -176,7 +181,11 @@ impl Lfo {
             data.push_row(features, label);
         }
         if !data.is_empty() {
-            let params = GbmParams { n_trees: 20, max_depth: 5, ..GbmParams::default() };
+            let params = GbmParams {
+                n_trees: 20,
+                max_depth: 5,
+                ..GbmParams::default()
+            };
             self.model = Some(Gbm::fit(&data, &params));
             self.trainings += 1;
         }

@@ -87,7 +87,13 @@ impl CachePolicy for LfuDa {
         }
         // New object: C = 1, K = 1 + L.
         let priority = 1 + self.age;
-        self.entries.insert(req.id, Entry { size: req.size, priority });
+        self.entries.insert(
+            req.id,
+            Entry {
+                size: req.size,
+                priority,
+            },
+        );
         self.queue.insert((priority, req.id));
         self.used += req.size;
         Outcome::MissAdmitted
@@ -141,7 +147,10 @@ mod tests {
                 break;
             }
         }
-        assert!(evicted_one, "dynamic aging never displaced the stale hot object");
+        assert!(
+            evicted_one,
+            "dynamic aging never displaced the stale hot object"
+        );
     }
 
     #[test]

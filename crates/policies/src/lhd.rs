@@ -17,8 +17,8 @@
 
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lhr_util::rng::rngs::SmallRng;
+use lhr_util::rng::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Number of log₂ age classes (covers ~2^32 µs ≈ 1 hour per class step
@@ -155,7 +155,13 @@ impl CachePolicy for Lhd {
         while self.used + req.size > self.capacity {
             self.evict_one(req.ts);
         }
-        self.entries.insert(req.id, Entry { size: req.size, last_access: req.ts });
+        self.entries.insert(
+            req.id,
+            Entry {
+                size: req.size,
+                last_access: req.ts,
+            },
+        );
         self.positions.insert(req.id, self.dense.len());
         self.dense.push(req.id);
         self.used += req.size;
@@ -182,9 +188,7 @@ mod tests {
     #[test]
     fn age_classes_are_monotone() {
         assert!(Lhd::age_class(Time::from_micros(1)) < Lhd::age_class(Time::from_secs(1)));
-        assert!(
-            Lhd::age_class(Time::from_secs(1)) < Lhd::age_class(Time::from_secs(10_000))
-        );
+        assert!(Lhd::age_class(Time::from_secs(1)) < Lhd::age_class(Time::from_secs(10_000)));
         assert!(Lhd::age_class(Time::MAX) < AGE_CLASSES);
     }
 
@@ -231,7 +235,9 @@ mod tests {
     fn deterministic_per_seed() {
         let run = |seed| {
             let mut c = Lhd::new(600, seed);
-            (0..1_500u64).filter(|&i| c.handle(&req(i, i % 19, 100)).is_hit()).count()
+            (0..1_500u64)
+                .filter(|&i| c.handle(&req(i, i % 19, 100)).is_hit())
+                .count()
         };
         assert_eq!(run(9), run(9));
     }

@@ -25,8 +25,8 @@
 use lhr_gbm::{Dataset, Gbm, GbmParams};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lhr_util::rng::rngs::SmallRng;
+use lhr_util::rng::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Number of recent inter-request gaps kept per object (LRB's 32 deltas).
@@ -183,7 +183,11 @@ impl Lrb {
         }
         self.expire_and_prune(now);
         let t0 = std::time::Instant::now();
-        let params = GbmParams { n_trees: 25, max_depth: 6, ..GbmParams::default() };
+        let params = GbmParams {
+            n_trees: 25,
+            max_depth: 6,
+            ..GbmParams::default()
+        };
         self.model = Some(Gbm::fit(&self.training, &params));
         self.train_wall_secs += t0.elapsed().as_secs_f64();
         self.trainings += 1;
@@ -358,7 +362,10 @@ mod tests {
         c.handle(&req(1.0, 1, 100));
         c.handle(&req(2.0, 2, 100));
         c.handle(&req(3.0, 3, 100)); // evicts someone
-        assert!(c.meta.contains_key(&1), "memory-window metadata was dropped on eviction");
+        assert!(
+            c.meta.contains_key(&1),
+            "memory-window metadata was dropped on eviction"
+        );
         // Re-request of 1 resumes its history with count 3.
         c.handle(&req(4.0, 1, 100));
         assert_eq!(c.meta[&1].access_count, 3);
@@ -392,7 +399,10 @@ mod tests {
             t2 += 0.25;
         }
         let hot_cached = (0..4u64).filter(|&id| cold_cache.contains(id)).count();
-        assert!(hot_cached >= 3, "model evicted hot objects: {hot_cached}/4 cached");
+        assert!(
+            hot_cached >= 3,
+            "model evicted hot objects: {hot_cached}/4 cached"
+        );
     }
 
     #[test]

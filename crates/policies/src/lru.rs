@@ -19,7 +19,13 @@ pub struct Lru {
 impl Lru {
     /// An empty LRU cache of `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        Lru { capacity, used: 0, list: LruList::new(), map: HashMap::new(), evictions: 0 }
+        Lru {
+            capacity,
+            used: 0,
+            list: LruList::new(),
+            map: HashMap::new(),
+            evictions: 0,
+        }
     }
 
     /// Evicts from the LRU end until `needed` bytes fit.

@@ -83,7 +83,11 @@ impl LruK {
     }
 
     fn evict_one(&mut self) {
-        let key = *self.queue.iter().next().expect("queue empty while cache full");
+        let key = *self
+            .queue
+            .iter()
+            .next()
+            .expect("queue empty while cache full");
         self.queue.remove(&key);
         let id = key.2;
         let entry = self.entries.remove(&id).expect("queued but not cached");
@@ -135,7 +139,14 @@ impl CachePolicy for LruK {
             history.pop_front();
         }
         let key = self.key_for(req.id, &history);
-        self.entries.insert(req.id, Entry { size: req.size, history, key });
+        self.entries.insert(
+            req.id,
+            Entry {
+                size: req.size,
+                history,
+                key,
+            },
+        );
         self.queue.insert(key);
         self.used += req.size;
         Outcome::MissAdmitted
@@ -219,7 +230,11 @@ mod tests {
         let mut b = Lru::new(300);
         for (t, id) in [(0u64, 1u64), (1, 2), (2, 3), (3, 1), (4, 4), (5, 2), (6, 5)] {
             let r = req(t, id, 100);
-            assert_eq!(a.handle(&r).is_hit(), b.handle(&r).is_hit(), "diverged at t={t}");
+            assert_eq!(
+                a.handle(&r).is_hit(),
+                b.handle(&r).is_hit(),
+                "diverged at t={t}"
+            );
         }
     }
 }

@@ -16,8 +16,8 @@ use crate::util::{Handle, LruList};
 use lhr_nn::{Activation, Mlp, TrainConfig};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lhr_util::rng::rngs::SmallRng;
+use lhr_util::rng::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Feature width: ln size, ln(1+count), ln IRT₁, ln IRT₂, ln age.
@@ -42,8 +42,13 @@ struct ObjectState {
 
 impl ObjectState {
     fn features(&self, now: Time) -> [f32; N_FEATURES] {
-        let ln =
-            |v: f64| if v > 0.0 { (v.max(1e-6)).ln() as f32 * SCALE } else { MISSING };
+        let ln = |v: f64| {
+            if v > 0.0 {
+                (v.max(1e-6)).ln() as f32 * SCALE
+            } else {
+                MISSING
+            }
+        };
         [
             (self.size.max(1) as f32).ln() * SCALE,
             (self.count as f32).ln_1p() * SCALE,
@@ -93,8 +98,16 @@ impl PopCache {
             positions: HashMap::new(),
             states: HashMap::new(),
             pending: HashMap::new(),
-            net: Mlp::new(&[N_FEATURES, 16, 1], Activation::Relu, Activation::Sigmoid, seed),
-            train: TrainConfig { learning_rate: 0.01, ..TrainConfig::default() },
+            net: Mlp::new(
+                &[N_FEATURES, 16, 1],
+                Activation::Relu,
+                Activation::Sigmoid,
+                seed,
+            ),
+            train: TrainConfig {
+                learning_rate: 0.01,
+                ..TrainConfig::default()
+            },
             horizon: Time::from_secs_f64(horizon_secs.max(1.0)),
             rng: SmallRng::seed_from_u64(seed ^ 0x9C),
             evictions: 0,

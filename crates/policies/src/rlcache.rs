@@ -23,8 +23,8 @@
 use crate::util::{Handle, LruList};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lhr_util::rng::rngs::SmallRng;
+use lhr_util::rng::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Bucket dimensions.
@@ -113,10 +113,10 @@ impl RlCache {
     }
 
     fn note_request(&mut self, req: &Request) {
-        let entry = self
-            .seen
-            .entry(req.id)
-            .or_insert(ObjectState { count: 0, last_seen: req.ts });
+        let entry = self.seen.entry(req.id).or_insert(ObjectState {
+            count: 0,
+            last_seen: req.ts,
+        });
         entry.count += 1;
         entry.last_seen = req.ts;
         if self.seen.len() > 1 << 20 {
@@ -226,7 +226,10 @@ mod tests {
         let bypasses = (0..200u64)
             .filter(|&i| c.handle(&req(4_000 + i, 50_000 + i, 100)) == Outcome::MissBypassed)
             .count();
-        assert!(bypasses > 150, "only {bypasses}/200 bypassed after training");
+        assert!(
+            bypasses > 150,
+            "only {bypasses}/200 bypassed after training"
+        );
     }
 
     #[test]
@@ -265,7 +268,9 @@ mod tests {
     fn deterministic_per_seed() {
         let run = |seed| {
             let mut c = RlCache::new(800, 60.0, seed);
-            (0..2_000u64).filter(|&i| c.handle(&req(i, i % 23, 100)).is_hit()).count()
+            (0..2_000u64)
+                .filter(|&i| c.handle(&req(i, i % 23, 100)).is_hit())
+                .count()
         };
         assert_eq!(run(9), run(9));
     }

@@ -177,7 +177,10 @@ mod tests {
         for i in 0..20u64 {
             c.handle(&req(100 + i, 1_000 + i, 100));
         }
-        assert!(c.contains(1) && c.contains(2), "protected objects evicted by a scan");
+        assert!(
+            c.contains(1) && c.contains(2),
+            "protected objects evicted by a scan"
+        );
     }
 
     #[test]

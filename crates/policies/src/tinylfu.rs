@@ -274,7 +274,11 @@ impl CachePolicy for WTinyLfu {
             let was_cached = self.map.contains_key(&req.id);
             self.offer_to_main((req.id, req.size));
             let admitted = self.map.contains_key(&req.id) != was_cached;
-            return if admitted { Outcome::MissAdmitted } else { Outcome::MissBypassed };
+            return if admitted {
+                Outcome::MissAdmitted
+            } else {
+                Outcome::MissBypassed
+            };
         }
         // Admit into the window unconditionally; window evictees duel.
         while self.window_bytes + req.size > self.window_cap {
@@ -376,7 +380,10 @@ mod tests {
             c.handle(&req(100 + i, 10_000 + i, 500));
         }
         let survivors = [1, 2, 3].iter().filter(|&&id| c.contains(id)).count();
-        assert!(survivors >= 2, "scan displaced hot objects: {survivors}/3 left");
+        assert!(
+            survivors >= 2,
+            "scan displaced hot objects: {survivors}/3 left"
+        );
     }
 
     #[test]

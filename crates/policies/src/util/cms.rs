@@ -61,7 +61,10 @@ impl CountMinSketch {
 
     /// Estimated frequency of `key` (min over rows, ≤ 15).
     pub fn estimate(&self, key: u64) -> u64 {
-        (0..self.rows).map(|row| self.counters[self.index(row, key)]).min().unwrap_or(0) as u64
+        (0..self.rows)
+            .map(|row| self.counters[self.index(row, key)])
+            .min()
+            .unwrap_or(0) as u64
     }
 
     fn age(&mut self) {

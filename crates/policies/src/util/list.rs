@@ -39,7 +39,13 @@ impl<T> Default for LruList<T> {
 impl<T> LruList<T> {
     /// An empty list.
     pub fn new() -> Self {
-        LruList { nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL, len: 0 }
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
     }
 
     /// Number of elements.
@@ -54,10 +60,18 @@ impl<T> LruList<T> {
 
     fn alloc(&mut self, value: T) -> u32 {
         if let Some(idx) = self.free.pop() {
-            self.nodes[idx as usize] = Node { prev: NIL, next: NIL, value: Some(value) };
+            self.nodes[idx as usize] = Node {
+                prev: NIL,
+                next: NIL,
+                value: Some(value),
+            };
             idx
         } else {
-            self.nodes.push(Node { prev: NIL, next: NIL, value: Some(value) });
+            self.nodes.push(Node {
+                prev: NIL,
+                next: NIL,
+                value: Some(value),
+            });
             (self.nodes.len() - 1) as u32
         }
     }
@@ -113,7 +127,10 @@ impl<T> LruList<T> {
         self.unlink(handle.0);
         self.free.push(handle.0);
         self.len -= 1;
-        self.nodes[handle.0 as usize].value.take().expect("handle was stale")
+        self.nodes[handle.0 as usize]
+            .value
+            .take()
+            .expect("handle was stale")
     }
 
     /// Removes and returns the back (LRU) element.
@@ -144,12 +161,18 @@ impl<T> LruList<T> {
 
     /// The value behind a live handle.
     pub fn get(&self, handle: Handle) -> &T {
-        self.nodes[handle.0 as usize].value.as_ref().expect("handle was stale")
+        self.nodes[handle.0 as usize]
+            .value
+            .as_ref()
+            .expect("handle was stale")
     }
 
     /// Mutable access to the value behind a live handle.
     pub fn get_mut(&mut self, handle: Handle) -> &mut T {
-        self.nodes[handle.0 as usize].value.as_mut().expect("handle was stale")
+        self.nodes[handle.0 as usize]
+            .value
+            .as_mut()
+            .expect("handle was stale")
     }
 
     /// Iterates from front (MRU) to back (LRU).

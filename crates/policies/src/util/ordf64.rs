@@ -38,7 +38,10 @@ mod tests {
     fn ordering_is_numeric() {
         let mut v = vec![OrdF64::new(3.0), OrdF64::new(-1.0), OrdF64::new(2.5)];
         v.sort();
-        assert_eq!(v, vec![OrdF64::new(-1.0), OrdF64::new(2.5), OrdF64::new(3.0)]);
+        assert_eq!(
+            v,
+            vec![OrdF64::new(-1.0), OrdF64::new(2.5), OrdF64::new(3.0)]
+        );
     }
 
     #[test]

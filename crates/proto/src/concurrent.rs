@@ -10,7 +10,7 @@
 
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
-use parking_lot::Mutex;
+use lhr_util::sync::Mutex;
 
 /// A sharded wrapper over any cache policy. Shared by reference across
 /// threads (`&ConcurrentCache<P>` is `Sync` when `P: Send`).
@@ -26,7 +26,9 @@ impl<P: CachePolicy> ConcurrentCache<P> {
         assert!(n_shards > 0, "need at least one shard");
         let shard_capacity = (total_capacity / n_shards as u64).max(1);
         ConcurrentCache {
-            shards: (0..n_shards).map(|_| Mutex::new(build(shard_capacity))).collect(),
+            shards: (0..n_shards)
+                .map(|_| Mutex::new(build(shard_capacity)))
+                .collect(),
             shard_capacity,
         }
     }
@@ -104,10 +106,10 @@ mod tests {
         let cache = ConcurrentCache::new(1 << 24, 16, Lru::new);
         let threads = 8;
         let per_thread = 5_000u64;
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..threads {
                 let cache = &cache;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for i in 0..per_thread {
                         // Each thread touches its own id range twice.
                         let id = t * per_thread + i;
@@ -119,25 +121,23 @@ mod tests {
                     }
                 });
             }
-        })
-        .expect("no thread panicked");
+        });
         assert_eq!(cache.used_bytes(), threads * per_thread * 100);
     }
 
     #[test]
     fn contended_hot_keys_do_not_corrupt_accounting() {
         let cache = ConcurrentCache::new(1_000_000, 4, Lru::new);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..8 {
                 let cache = &cache;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for i in 0..10_000u64 {
                         cache.handle(&req(i, i % 64, 1_000));
                     }
                 });
             }
-        })
-        .expect("no thread panicked");
+        });
         // 64 distinct objects of 1 000 B cached exactly once each.
         assert_eq!(cache.used_bytes(), 64 * 1_000);
     }

@@ -2,10 +2,8 @@
 //! edge link transmits at 8 Gbps and latency is driven by distance (RTTs)
 //! and content size.
 
-use serde::{Deserialize, Serialize};
-
 /// Deterministic service-time model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyModel {
     /// User ↔ edge round-trip time in milliseconds.
     pub edge_rtt_ms: f64,
@@ -17,9 +15,16 @@ pub struct LatencyModel {
     pub origin_gbps: f64,
 }
 
+lhr_util::impl_json!(struct LatencyModel { edge_rtt_ms, origin_rtt_ms, edge_gbps, origin_gbps });
+
 impl Default for LatencyModel {
     fn default() -> Self {
-        LatencyModel { edge_rtt_ms: 10.0, origin_rtt_ms: 60.0, edge_gbps: 8.0, origin_gbps: 2.0 }
+        LatencyModel {
+            edge_rtt_ms: 10.0,
+            origin_rtt_ms: 60.0,
+            edge_gbps: 8.0,
+            origin_gbps: 2.0,
+        }
     }
 }
 

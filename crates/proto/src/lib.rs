@@ -24,11 +24,11 @@
 
 pub mod concurrent;
 pub mod latency;
-pub mod tiered;
 pub mod presets;
 pub mod server;
+pub mod tiered;
 
 pub use concurrent::ConcurrentCache;
-pub use tiered::{Tier, TieredCache};
 pub use latency::LatencyModel;
 pub use server::{CdnServer, ServerConfig, ServerReport};
+pub use tiered::{Tier, TieredCache};

@@ -57,11 +57,13 @@ mod tests {
 
     #[test]
     fn lhr_prototype_beats_or_matches_nothing_crashes_end_to_end() {
-        let trace = IrmConfig::new(200, 5_000).zipf_alpha(1.0).seed(1).generate();
+        let trace = IrmConfig::new(200, 5_000)
+            .zipf_alpha(1.0)
+            .seed(1)
+            .generate();
         let mut ats = ats_server(20 << 20, ServerConfig::default());
         let ats_report = ats.replay(&trace);
-        let mut lhr =
-            lhr_server(20 << 20, lhr::LhrConfig::default(), ServerConfig::default());
+        let mut lhr = lhr_server(20 << 20, lhr::LhrConfig::default(), ServerConfig::default());
         let lhr_report = lhr.replay(&trace);
         assert!(ats_report.content_hit_pct >= 0.0);
         assert!(lhr_report.content_hit_pct >= 0.0);

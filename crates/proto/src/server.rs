@@ -3,7 +3,6 @@
 use crate::latency::LatencyModel;
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Time, Trace};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -38,7 +37,7 @@ impl Default for ServerConfig {
 }
 
 /// Everything the prototype experiments report (Tables 2–4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ServerReport {
     /// Policy (prototype) name.
     pub name: String,
@@ -68,6 +67,21 @@ pub struct ServerReport {
     pub replay_wall_secs: f64,
 }
 
+lhr_util::impl_json!(struct ServerReport {
+    name,
+    trace,
+    content_hit_pct,
+    throughput_gbps,
+    peak_cpu_pct,
+    peak_mem_gb,
+    p90_latency_ms,
+    p99_latency_ms,
+    mean_latency_ms,
+    wan_gbps,
+    series,
+    replay_wall_secs,
+});
+
 /// A CDN server wrapping a cache policy.
 pub struct CdnServer<P: CachePolicy> {
     policy: P,
@@ -79,7 +93,11 @@ pub struct CdnServer<P: CachePolicy> {
 impl<P: CachePolicy> CdnServer<P> {
     /// Wraps `policy` in a server with the given configuration.
     pub fn new(policy: P, config: ServerConfig) -> Self {
-        CdnServer { policy, config, admitted_at: HashMap::new() }
+        CdnServer {
+            policy,
+            config,
+            admitted_at: HashMap::new(),
+        }
     }
 
     /// Access to the wrapped policy (e.g. to read LHR stats afterwards).
@@ -111,8 +129,7 @@ impl<P: CachePolicy> CdnServer<P> {
             let lat = &self.config.latency;
             let (latency_ms, service_ms, wan) = match outcome {
                 Outcome::Hit => {
-                    let stale = match (self.config.freshness_secs, self.admitted_at.get(&req.id))
-                    {
+                    let stale = match (self.config.freshness_secs, self.admitted_at.get(&req.id)) {
                         (Some(limit), Some(&admitted)) => {
                             req.ts.saturating_sub(admitted).as_secs_f64() > limit
                         }
@@ -122,8 +139,8 @@ impl<P: CachePolicy> CdnServer<P> {
                         let epoch = (req.ts.as_secs_f64()
                             / self.config.freshness_secs.unwrap_or(f64::INFINITY))
                             as u64;
-                        let still_fresh = pseudo_uniform(req.id, epoch)
-                            < self.config.revalidate_fresh_prob;
+                        let still_fresh =
+                            pseudo_uniform(req.id, epoch) < self.config.revalidate_fresh_prob;
                         self.admitted_at.insert(req.id, req.ts);
                         if still_fresh {
                             (
@@ -256,7 +273,11 @@ mod tests {
     fn trace(n: usize, objects: u64, size: u64) -> Trace {
         let mut t = Trace::new("t");
         for i in 0..n {
-            t.push(Request::new(Time::from_secs(i as u64), i as u64 % objects, size));
+            t.push(Request::new(
+                Time::from_secs(i as u64),
+                i as u64 % objects,
+                size,
+            ));
         }
         t
     }
@@ -265,13 +286,19 @@ mod tests {
     fn report_counts_hits_and_wan() {
         let mut server = CdnServer::new(
             Lru::new(10 << 20),
-            ServerConfig { freshness_secs: None, ..ServerConfig::default() },
+            ServerConfig {
+                freshness_secs: None,
+                ..ServerConfig::default()
+            },
         );
         let report = server.replay(&trace(100, 2, 1 << 20));
         assert!((report.content_hit_pct - 98.0).abs() < 1e-9);
         // WAN carried exactly the two compulsory misses.
         let wan_bytes = report.wan_gbps * 99.0 * 1e9 / 8.0;
-        assert!((wan_bytes - 2.0 * (1 << 20) as f64).abs() < 1.0, "{wan_bytes}");
+        assert!(
+            (wan_bytes - 2.0 * (1 << 20) as f64).abs() < 1.0,
+            "{wan_bytes}"
+        );
     }
 
     #[test]
@@ -327,7 +354,10 @@ mod tests {
         // All 50 requests move a full object across the WAN (1 compulsory
         // miss + 49 refetches).
         let wan_bytes = report.wan_gbps * t.duration().as_secs_f64() * 1e9 / 8.0;
-        assert!((wan_bytes - 50.0 * (1 << 20) as f64).abs() < 10.0, "{wan_bytes}");
+        assert!(
+            (wan_bytes - 50.0 * (1 << 20) as f64).abs() < 10.0,
+            "{wan_bytes}"
+        );
     }
 
     #[test]

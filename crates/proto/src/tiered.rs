@@ -207,7 +207,13 @@ mod tests {
         use lhr::cache::{LhrCache, LhrConfig};
         let mut c = TieredCache::new(
             Lru::new(10_000),
-            LhrCache::new(100_000, LhrConfig { min_window_requests: 64, ..LhrConfig::default() }),
+            LhrCache::new(
+                100_000,
+                LhrConfig {
+                    min_window_requests: 64,
+                    ..LhrConfig::default()
+                },
+            ),
         );
         for i in 0..5_000u64 {
             c.handle(&req(i, i % 70, 1_500));

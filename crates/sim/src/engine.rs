@@ -3,12 +3,10 @@
 use crate::metrics::{SeriesPoint, SimMetrics};
 use crate::policy::CachePolicy;
 use lhr_trace::Trace;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Simulator configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SimConfig {
     /// Number of leading requests excluded from the metrics. The policy
     /// still sees them (they warm the cache and, for learned policies, the
@@ -19,9 +17,10 @@ pub struct SimConfig {
     pub series_every: Option<usize>,
 }
 
+lhr_util::impl_json!(struct SimConfig { warmup_requests, series_every });
 
 /// Everything a simulation run produces.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Policy name, copied for convenience.
     pub policy: String,
@@ -42,6 +41,16 @@ pub struct SimResult {
     /// Evictions performed by the policy over the whole trace.
     pub evictions: u64,
 }
+
+lhr_util::impl_json!(struct SimResult {
+    policy,
+    trace,
+    metrics,
+    series,
+    wall_secs,
+    peak_metadata_bytes,
+    evictions,
+});
 
 /// Drives traces through policies.
 #[derive(Debug, Clone, Default)]
@@ -65,7 +74,11 @@ impl Simulator {
         let mut peak_meta = 0u64;
         let start_ts = trace
             .requests
-            .get(self.config.warmup_requests.min(trace.len().saturating_sub(1)))
+            .get(
+                self.config
+                    .warmup_requests
+                    .min(trace.len().saturating_sub(1)),
+            )
             .map(|r| r.ts);
 
         let wall_start = Instant::now();
@@ -145,7 +158,10 @@ mod tests {
 
     impl Infinite {
         fn new() -> Self {
-            Infinite { cached: HashSet::new(), used: 0 }
+            Infinite {
+                cached: HashSet::new(),
+                used: 0,
+            }
         }
     }
 
@@ -198,7 +214,10 @@ mod tests {
     #[test]
     fn warmup_excludes_leading_requests() {
         let mut p = Infinite::new();
-        let cfg = SimConfig { warmup_requests: 2, series_every: None };
+        let cfg = SimConfig {
+            warmup_requests: 2,
+            series_every: None,
+        };
         let r = Simulator::new(cfg).run(&mut p, &abab_trace(10));
         // Both objects enter during warmup; all 8 measured requests hit.
         assert_eq!(r.metrics.requests, 8);
@@ -209,7 +228,10 @@ mod tests {
     #[test]
     fn series_buckets_are_emitted() {
         let mut p = Infinite::new();
-        let cfg = SimConfig { warmup_requests: 0, series_every: Some(5) };
+        let cfg = SimConfig {
+            warmup_requests: 0,
+            series_every: Some(5),
+        };
         let r = Simulator::new(cfg).run(&mut p, &abab_trace(20));
         assert_eq!(r.series.len(), 4);
         // Hit ratio climbs to 1 as the two objects get cached.
@@ -220,7 +242,10 @@ mod tests {
     #[test]
     fn duration_covers_measured_interval() {
         let mut p = Infinite::new();
-        let cfg = SimConfig { warmup_requests: 4, series_every: None };
+        let cfg = SimConfig {
+            warmup_requests: 4,
+            series_every: None,
+        };
         let r = Simulator::new(cfg).run(&mut p, &abab_trace(10));
         // Measured interval runs from t=4s to t=9s.
         assert!((r.metrics.duration_secs - 5.0).abs() < 1e-9);
@@ -244,7 +269,10 @@ mod tests {
     #[test]
     fn warmup_longer_than_trace_measures_nothing() {
         let mut p = Infinite::new();
-        let cfg = SimConfig { warmup_requests: 100, series_every: None };
+        let cfg = SimConfig {
+            warmup_requests: 100,
+            series_every: None,
+        };
         let r = Simulator::new(cfg).run(&mut p, &abab_trace(10));
         assert_eq!(r.metrics.requests, 0);
     }

@@ -1,9 +1,7 @@
 //! Hit/traffic accounting.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by the simulator over the measured part of a trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimMetrics {
     /// Requests measured (excludes warmup).
     pub requests: u64,
@@ -20,6 +18,16 @@ pub struct SimMetrics {
     /// Trace-time duration of the measured interval, seconds.
     pub duration_secs: f64,
 }
+
+lhr_util::impl_json!(struct SimMetrics {
+    requests,
+    hits,
+    misses_admitted,
+    misses_bypassed,
+    bytes_requested,
+    bytes_hit,
+    duration_secs,
+});
 
 impl SimMetrics {
     /// Object hit probability — the paper's headline "content hit" metric.
@@ -64,7 +72,7 @@ impl SimMetrics {
 
 /// One point of a hit-probability time series (Figures 7 and 13): the
 /// cumulative object hit ratio after `requests` measured requests.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeriesPoint {
     /// Number of measured requests so far.
     pub requests: u64,
@@ -75,6 +83,8 @@ pub struct SeriesPoint {
     /// Hit ratio within this bucket alone.
     pub window_hit_ratio: f64,
 }
+
+lhr_util::impl_json!(struct SeriesPoint { requests, time_secs, cumulative_hit_ratio, window_hit_ratio });
 
 #[cfg(test)]
 mod tests {

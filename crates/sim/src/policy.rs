@@ -32,6 +32,46 @@ impl Outcome {
 /// - `contains(id)` must agree with what `handle` would report as a hit.
 /// - Policies must be deterministic given their construction parameters
 ///   (randomized policies take an explicit seed).
+///
+/// # Example
+///
+/// A minimal admit-all policy that evicts nothing and therefore only works
+/// while everything fits (real policies evict inside `handle` to maintain
+/// the capacity contract):
+///
+/// ```
+/// use lhr_sim::{CachePolicy, Outcome};
+/// use lhr_trace::{ObjectId, Request, Time};
+/// use std::collections::HashMap;
+///
+/// struct Unbounded {
+///     capacity: u64,
+///     cached: HashMap<ObjectId, u64>,
+/// }
+///
+/// impl CachePolicy for Unbounded {
+///     fn name(&self) -> &str { "Unbounded" }
+///     fn capacity(&self) -> u64 { self.capacity }
+///     fn used_bytes(&self) -> u64 { self.cached.values().sum() }
+///     fn contains(&self, id: ObjectId) -> bool { self.cached.contains_key(&id) }
+///     fn handle(&mut self, req: &Request) -> Outcome {
+///         if self.cached.contains_key(&req.id) {
+///             return Outcome::Hit;
+///         }
+///         if self.used_bytes() + req.size > self.capacity {
+///             return Outcome::MissBypassed; // never overflow the contract
+///         }
+///         self.cached.insert(req.id, req.size);
+///         Outcome::MissAdmitted
+///     }
+/// }
+///
+/// let mut policy = Unbounded { capacity: 1_000, cached: HashMap::new() };
+/// let req = Request::new(Time::from_secs(0), 7, 100);
+/// assert_eq!(policy.handle(&req), Outcome::MissAdmitted);
+/// assert_eq!(policy.handle(&req), Outcome::Hit);
+/// assert!(policy.contains(7));
+/// ```
 pub trait CachePolicy {
     /// Human-readable policy name, e.g. `"LRU"` or `"LHR"`.
     fn name(&self) -> &str;

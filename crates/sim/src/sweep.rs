@@ -24,7 +24,10 @@ impl PolicyFactory {
         name: impl Into<String>,
         build: impl Fn(u64) -> Box<dyn CachePolicy> + Sync + 'static,
     ) -> Self {
-        PolicyFactory { name: name.into(), build: Box::new(build) }
+        PolicyFactory {
+            name: name.into(),
+            build: Box::new(build),
+        }
     }
 }
 
@@ -53,9 +56,9 @@ pub fn run_grid(
     let slots: Vec<std::sync::Mutex<&mut Option<SimResult>>> =
         results.iter_mut().map(std::sync::Mutex::new).collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(cells.len().max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
                 let factory = &factories[cell.policy];
@@ -64,10 +67,12 @@ pub fn run_grid(
                 **slots[i].lock().expect("slot poisoned") = Some(result);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
-    results.into_iter().map(|r| r.expect("every cell ran")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every cell ran"))
+        .collect()
 }
 
 /// Sweeps one policy over several capacities on one trace — the common
@@ -80,8 +85,14 @@ pub fn capacity_sweep(
     threads: usize,
 ) -> Vec<SimResult> {
     let factories = std::slice::from_ref(factory);
-    let cells: Vec<Cell<'_>> =
-        capacities.iter().map(|&capacity| Cell { policy: 0, trace, capacity }).collect();
+    let cells: Vec<Cell<'_>> = capacities
+        .iter()
+        .map(|&capacity| Cell {
+            policy: 0,
+            trace,
+            capacity,
+        })
+        .collect();
     run_grid(factories_ref(factories), &cells, config, threads)
 }
 
@@ -140,22 +151,23 @@ mod tests {
 
     fn factory() -> PolicyFactory {
         PolicyFactory::new("fill-once", |capacity| {
-            Box::new(FillOnce { capacity, used: 0, cached: HashSet::new() })
+            Box::new(FillOnce {
+                capacity,
+                used: 0,
+                cached: HashSet::new(),
+            })
         })
     }
 
     #[test]
     fn capacity_sweep_is_monotone_for_fill_once() {
         let t = trace();
-        let results = capacity_sweep(
-            &factory(),
-            &t,
-            &[100, 200, 300],
-            &SimConfig::default(),
-            2,
-        );
+        let results = capacity_sweep(&factory(), &t, &[100, 200, 300], &SimConfig::default(), 2);
         assert_eq!(results.len(), 3);
-        let ratios: Vec<f64> = results.iter().map(|r| r.metrics.object_hit_ratio()).collect();
+        let ratios: Vec<f64> = results
+            .iter()
+            .map(|r| r.metrics.object_hit_ratio())
+            .collect();
         assert!(ratios[0] < ratios[1] && ratios[1] < ratios[2], "{ratios:?}");
     }
 
@@ -164,8 +176,16 @@ mod tests {
         let t = trace();
         let factories = vec![factory(), factory()];
         let cells = vec![
-            Cell { policy: 0, trace: &t, capacity: 100 },
-            Cell { policy: 1, trace: &t, capacity: 300 },
+            Cell {
+                policy: 0,
+                trace: &t,
+                capacity: 100,
+            },
+            Cell {
+                policy: 1,
+                trace: &t,
+                capacity: 300,
+            },
         ];
         let results = run_grid(&factories, &cells, &SimConfig::default(), 4);
         assert_eq!(results.len(), 2);
@@ -175,8 +195,7 @@ mod tests {
     #[test]
     fn single_thread_works() {
         let t = trace();
-        let results =
-            capacity_sweep(&factory(), &t, &[300], &SimConfig::default(), 1);
+        let results = capacity_sweep(&factory(), &t, &[300], &SimConfig::default(), 1);
         assert_eq!(results.len(), 1);
     }
 

@@ -11,7 +11,7 @@
 //!   generated traces.
 
 use crate::request::{Request, Time, Trace};
-use bytes::{Buf, BufMut, BytesMut};
+use lhr_util::buf::{Buf, BytesMut};
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -77,7 +77,9 @@ pub fn read_csv<R: Read>(reader: R, name: impl Into<String>) -> Result<Trace, Pa
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut fields = line.split(|c: char| c == ',' || c.is_whitespace()).filter(|s| !s.is_empty());
+        let mut fields = line
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|s| !s.is_empty());
         let loc = lineno + 1;
         let mut next_u64 = |what: &str| -> Result<u64, ParseError> {
             fields
@@ -121,7 +123,10 @@ pub fn write_csv<W: Write>(trace: &Trace, writer: W) -> io::Result<()> {
 /// Reads a trace from a CSV file; the file stem becomes the trace name.
 pub fn read_csv_file(path: impl AsRef<Path>) -> Result<Trace, ParseError> {
     let path = path.as_ref();
-    let name = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
     read_csv(std::fs::File::open(path)?, name)
 }
 
@@ -207,7 +212,10 @@ mod tests {
         let text = "# comment\n0 1 100\n5\t2\t2000\n";
         let trace = read_csv(text.as_bytes(), "ws").unwrap();
         assert_eq!(trace.len(), 2);
-        assert_eq!(trace.requests[1], Request::new(Time::from_micros(5), 2, 2000));
+        assert_eq!(
+            trace.requests[1],
+            Request::new(Time::from_micros(5), 2, 2000)
+        );
     }
 
     #[test]

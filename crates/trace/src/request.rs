@@ -3,7 +3,6 @@
 //! Timestamps are stored as integer microseconds so that every type in the
 //! workspace is `Ord + Hash` and simulations are bit-for-bit deterministic.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -14,10 +13,10 @@ use std::ops::{Add, AddAssign, Sub};
 /// workspace must be driven exclusively by trace time so that runs are
 /// reproducible. Wall-clock measurement is confined to resource accounting in
 /// `lhr-proto` and the bench harness.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(pub u64);
+
+lhr_util::impl_json!(newtype Time);
 
 impl Time {
     /// The origin of trace time.
@@ -101,7 +100,7 @@ impl fmt::Display for Time {
 pub type ObjectId = u64;
 
 /// A single content request: the unit every cache policy consumes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Request {
     /// Time at which the request arrives (trace clock).
     pub ts: Time,
@@ -111,6 +110,8 @@ pub struct Request {
     /// truth for sizes; policies must use this value, never a guess.
     pub size: u64,
 }
+
+lhr_util::impl_json!(struct Request { ts, id, size });
 
 impl Request {
     /// Convenience constructor.
@@ -127,7 +128,7 @@ impl Request {
 /// recent prior request (sizes may change over a trace in real CDNs, but our
 /// simulators treat a size change as a new version of the object and the
 /// generators never produce one).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Display name, e.g. `"CDN-A"` or `"zipf-0.9"`.
     pub name: String,
@@ -135,16 +136,24 @@ pub struct Trace {
     pub requests: Vec<Request>,
 }
 
+lhr_util::impl_json!(struct Trace { name, requests });
+
 impl Trace {
     /// Creates an empty trace with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Trace { name: name.into(), requests: Vec::new() }
+        Trace {
+            name: name.into(),
+            requests: Vec::new(),
+        }
     }
 
     /// Creates a trace from parts. Prefer this over struct literal syntax so
     /// call sites read uniformly.
     pub fn from_requests(name: impl Into<String>, requests: Vec<Request>) -> Self {
-        Trace { name: name.into(), requests }
+        Trace {
+            name: name.into(),
+            requests,
+        }
     }
 
     /// Number of requests.
@@ -201,7 +210,10 @@ impl Trace {
             }
             match sizes.insert(req.id, req.size) {
                 Some(prev) if prev != req.size => {
-                    return Err(TraceError::SizeChanged { index: idx, id: req.id })
+                    return Err(TraceError::SizeChanged {
+                        index: idx,
+                        id: req.id,
+                    })
                 }
                 _ => {}
             }
@@ -308,7 +320,10 @@ mod tests {
                 Request::new(Time::from_secs(1), 2, 10),
             ],
         );
-        assert_eq!(t.validate(), Err(TraceError::NonMonotoneTimestamp { index: 1 }));
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::NonMonotoneTimestamp { index: 1 })
+        );
     }
 
     #[test]
@@ -321,9 +336,15 @@ mod tests {
     fn validate_rejects_size_change() {
         let t = Trace::from_requests(
             "bad",
-            vec![Request::new(Time::ZERO, 7, 10), Request::new(Time::from_secs(1), 7, 11)],
+            vec![
+                Request::new(Time::ZERO, 7, 10),
+                Request::new(Time::from_secs(1), 7, 11),
+            ],
         );
-        assert_eq!(t.validate(), Err(TraceError::SizeChanged { index: 1, id: 7 }));
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::SizeChanged { index: 1, id: 7 })
+        );
     }
 
     #[test]

@@ -3,11 +3,10 @@
 //! paper).
 
 use crate::request::{ObjectId, Time, Trace};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The per-trace characteristics reported in the paper's Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Trace name.
     pub name: String,
@@ -31,6 +30,18 @@ pub struct TraceStats {
     /// Largest object size in bytes.
     pub max_content_size: u64,
 }
+
+lhr_util::impl_json!(struct TraceStats {
+    name,
+    duration_hours,
+    unique_contents,
+    total_requests,
+    total_bytes_requested,
+    unique_bytes_requested,
+    peak_active_bytes,
+    mean_content_size,
+    max_content_size,
+});
 
 impl TraceStats {
     /// Computes all Table 1 statistics in a single pass (plus one sort for

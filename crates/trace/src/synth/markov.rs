@@ -11,8 +11,8 @@ use crate::request::{Request, Time, Trace};
 use crate::synth::irm::exp_variate;
 use crate::synth::size::SizeModel;
 use crate::synth::zipf::ZipfSampler;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lhr_util::rng::rngs::StdRng;
+use lhr_util::rng::SeedableRng;
 
 /// One state of the modulated process: a popularity distribution over the
 /// shared object population.
@@ -64,8 +64,11 @@ impl MarkovConfig {
             "state sequence indexes out of range"
         );
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let samplers: Vec<ZipfSampler> =
-            self.states.iter().map(|s| ZipfSampler::new(self.n_objects, s.alpha)).collect();
+        let samplers: Vec<ZipfSampler> = self
+            .states
+            .iter()
+            .map(|s| ZipfSampler::new(self.n_objects, s.alpha))
+            .collect();
         let mut trace = Trace::new(self.name.clone());
         trace.requests.reserve_exact(self.n_requests);
         let mut now = 0.0f64;
@@ -108,11 +111,21 @@ pub fn syn_one(n_objects: usize, n_requests: usize, r: usize, alpha: f64, seed: 
         requests_per_state: r,
         state_sequence: vec![0, 1],
         states: vec![
-            PopularityState { alpha, reversed: false },
-            PopularityState { alpha, reversed: true },
+            PopularityState {
+                alpha,
+                reversed: false,
+            },
+            PopularityState {
+                alpha,
+                reversed: true,
+            },
         ],
         requests_per_sec: 1_000.0,
-        size_model: SizeModel::BoundedPareto { alpha: 1.3, min: 10_000, max: 100_000_000 },
+        size_model: SizeModel::BoundedPareto {
+            alpha: 1.3,
+            min: 10_000,
+            max: 100_000_000,
+        },
         seed,
     }
     .generate()
@@ -128,12 +141,25 @@ pub fn syn_two(n_objects: usize, n_requests: usize, r: usize, seed: u64) -> Trac
         requests_per_state: r,
         state_sequence: vec![0, 1, 2, 1],
         states: vec![
-            PopularityState { alpha: 0.7, reversed: false },
-            PopularityState { alpha: 0.9, reversed: false },
-            PopularityState { alpha: 1.1, reversed: false },
+            PopularityState {
+                alpha: 0.7,
+                reversed: false,
+            },
+            PopularityState {
+                alpha: 0.9,
+                reversed: false,
+            },
+            PopularityState {
+                alpha: 1.1,
+                reversed: false,
+            },
         ],
         requests_per_sec: 1_000.0,
-        size_model: SizeModel::BoundedPareto { alpha: 1.3, min: 10_000, max: 100_000_000 },
+        size_model: SizeModel::BoundedPareto {
+            alpha: 1.3,
+            min: 10_000,
+            max: 100_000_000,
+        },
         seed,
     }
     .generate()
@@ -202,7 +228,10 @@ mod tests {
             n_requests: 10,
             requests_per_state: 5,
             state_sequence: vec![2],
-            states: vec![PopularityState { alpha: 1.0, reversed: false }],
+            states: vec![PopularityState {
+                alpha: 1.0,
+                reversed: false,
+            }],
             requests_per_sec: 1.0,
             size_model: SizeModel::Fixed { bytes: 1 },
             seed: 0,

@@ -21,12 +21,11 @@ use crate::request::{Request, Time, Trace};
 use crate::synth::irm::{exp_variate, IrmConfig};
 use crate::synth::size::SizeModel;
 use crate::synth::zipf::ZipfSampler;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use lhr_util::rng::rngs::StdRng;
+use lhr_util::rng::{Rng, SeedableRng};
 
 /// Scale factor for the production-like traces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProductionScale {
     /// Paper scale: ~1 M requests, hundreds of thousands of objects.
     Full,
@@ -37,6 +36,15 @@ pub enum ProductionScale {
     /// ~1/100 scale; used by unit tests only.
     Tiny,
 }
+
+lhr_util::impl_json!(
+    enum ProductionScale {
+        Full,
+        Medium,
+        Small,
+        Tiny,
+    }
+);
 
 impl ProductionScale {
     /// Divisor applied to request and object counts.
@@ -74,9 +82,9 @@ pub fn cdn_a(scale: ProductionScale, seed: u64) -> Trace {
         .requests_per_sec(n_requests as f64 / duration_secs)
         .size_model(SizeModel::BimodalLogNormal {
             p_small: 0.5,
-            small_median: 120_000,      // ~120 KB web objects
+            small_median: 120_000, // ~120 KB web objects
             small_sigma: 1.2,
-            large_median: 30_000_000,   // ~30 MB video segments
+            large_median: 30_000_000, // ~30 MB video segments
             large_sigma: 1.1,
         })
         .seed(seed ^ 0xA)
@@ -96,7 +104,7 @@ pub fn cdn_b(scale: ProductionScale, seed: u64) -> Trace {
     let rate = n_requests as f64 / duration_secs;
     let size_model = SizeModel::BoundedPareto {
         alpha: 0.55,
-        min: 500_000,            // 500 KB segments
+        min: 500_000,                                        // 500 KB segments
         max: 38_000_000_000 / scale.divisor().max(1) as u64, // cap scales so tiny traces stay tiny
     };
 
@@ -135,8 +143,11 @@ pub fn cdn_c(scale: ProductionScale, seed: u64) -> Trace {
     let n_objects = scale.scaled(297_920);
     let duration_secs = 330.0 * 3600.0;
     let rate = n_requests as f64 / duration_secs;
-    let size_model =
-        SizeModel::BoundedPareto { alpha: 6.0, min: 95_000_000, max: 101_000_000 };
+    let size_model = SizeModel::BoundedPareto {
+        alpha: 6.0,
+        min: 95_000_000,
+        max: 101_000_000,
+    };
 
     // Mixture: with probability `q` a request targets a small Zipf head of
     // repeatedly-requested contents; otherwise it targets a fresh,
@@ -192,7 +203,12 @@ pub fn wiki(scale: ProductionScale, seed: u64) -> Trace {
 
 /// All four production-like traces at the given scale.
 pub fn all_production(scale: ProductionScale, seed: u64) -> Vec<Trace> {
-    vec![cdn_a(scale, seed), cdn_b(scale, seed), cdn_c(scale, seed), wiki(scale, seed)]
+    vec![
+        cdn_a(scale, seed),
+        cdn_b(scale, seed),
+        cdn_c(scale, seed),
+        wiki(scale, seed),
+    ]
 }
 
 /// The paper's per-trace simulator cache sizes for the single-size
@@ -248,8 +264,16 @@ mod tests {
         let s = TraceStats::compute(&t);
         assert_eq!(s.total_requests, 9_700);
         // Mean size within a factor of ~3 of 25.5 MB.
-        assert!(s.mean_content_size > 8e6 && s.mean_content_size < 8e7, "{}", s.mean_content_size);
-        assert!((s.duration_hours - 24.0).abs() < 2.0, "{}", s.duration_hours);
+        assert!(
+            s.mean_content_size > 8e6 && s.mean_content_size < 8e7,
+            "{}",
+            s.mean_content_size
+        );
+        assert!(
+            (s.duration_hours - 24.0).abs() < 2.0,
+            "{}",
+            s.duration_hours
+        );
     }
 
     #[test]
@@ -258,8 +282,7 @@ mod tests {
         assert!(t.validate().is_ok());
         let n = t.len();
         let early_max = t.requests[..n / 10].iter().map(|r| r.id).max().unwrap();
-        let late_min_popular =
-            t.requests[9 * n / 10..].iter().map(|r| r.id).min().unwrap();
+        let late_min_popular = t.requests[9 * n / 10..].iter().map(|r| r.id).min().unwrap();
         // The late popular window starts beyond where the early window ended.
         assert!(late_min_popular > 0 && early_max < t.requests.iter().map(|r| r.id).max().unwrap());
     }

@@ -11,8 +11,8 @@
 
 use crate::request::{Request, Time, Trace};
 use crate::synth::size::SizeModel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lhr_util::rng::rngs::StdRng;
+use lhr_util::rng::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -137,7 +137,7 @@ pub fn bursty_trace(n_objects: usize, duration_secs: f64, seed: u64) -> Trace {
     let laws = (1..=n_objects)
         .map(|rank| {
             let mean_rate = 2.0 / (rank as f64).powf(0.8); // Zipf-ish rates
-            // Bursts 20× faster than the mean, long gaps 5× slower.
+                                                           // Bursts 20× faster than the mean, long gaps 5× slower.
             IrtLaw::Hyperexponential {
                 p_fast: 0.8,
                 fast: mean_rate * 20.0,
@@ -149,7 +149,11 @@ pub fn bursty_trace(n_objects: usize, duration_secs: f64, seed: u64) -> Trace {
         name: "bursty".into(),
         laws,
         duration_secs,
-        size_model: SizeModel::BoundedPareto { alpha: 1.4, min: 10_000, max: 5_000_000 },
+        size_model: SizeModel::BoundedPareto {
+            alpha: 1.4,
+            min: 10_000,
+            max: 5_000_000,
+        },
         seed,
     }
     .generate()
@@ -189,20 +193,25 @@ mod tests {
             let trace = config.generate();
             let irts = inter_request_times(&trace);
             let mean = irts.iter().sum::<f64>() / irts.len() as f64;
-            let var =
-                irts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / irts.len() as f64;
+            let var = irts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / irts.len() as f64;
             var / (mean * mean)
         };
         let poisson = scv(IrtLaw::Exponential { rate: 2.0 });
-        let bursty =
-            scv(IrtLaw::Hyperexponential { p_fast: 0.9, fast: 20.0, slow: 0.25 });
+        let bursty = scv(IrtLaw::Hyperexponential {
+            p_fast: 0.9,
+            fast: 20.0,
+            slow: 0.25,
+        });
         assert!((poisson - 1.0).abs() < 0.2, "Poisson SCV {poisson}");
         assert!(bursty > 2.0, "hyperexponential SCV {bursty}");
     }
 
     #[test]
     fn pareto_mean_is_finite_and_matches() {
-        let law = IrtLaw::Pareto { xm: 0.5, alpha: 2.5 };
+        let law = IrtLaw::Pareto {
+            xm: 0.5,
+            alpha: 2.5,
+        };
         let expected = law.mean_secs();
         let config = RenewalConfig {
             name: "pareto".into(),
@@ -214,7 +223,10 @@ mod tests {
         let trace = config.generate();
         let irts = inter_request_times(&trace);
         let mean = irts.iter().sum::<f64>() / irts.len() as f64;
-        assert!((mean - expected).abs() / expected < 0.15, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() / expected < 0.15,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]
@@ -236,6 +248,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn pareto_alpha_below_one_rejected_in_mean() {
-        IrtLaw::Pareto { xm: 1.0, alpha: 0.9 }.mean_secs();
+        IrtLaw::Pareto {
+            xm: 1.0,
+            alpha: 0.9,
+        }
+        .mean_secs();
     }
 }

@@ -5,13 +5,12 @@
 //! so that a given object always has the same size regardless of how many
 //! times or in which order it is requested.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use lhr_util::rng::rngs::SmallRng;
+use lhr_util::rng::{Rng, SeedableRng};
 
 /// How object sizes are drawn. All variants are deterministic per
 /// `(seed, object id)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SizeModel {
     /// Every object has the same size — the classic equal-size caching
     /// setting in which Belady is exactly optimal.
@@ -53,6 +52,13 @@ pub enum SizeModel {
     },
 }
 
+lhr_util::impl_json!(enum SizeModel {
+    Fixed { bytes },
+    LogNormal { median, sigma },
+    BoundedPareto { alpha, min, max },
+    BimodalLogNormal { p_small, small_median, small_sigma, large_median, large_sigma },
+});
+
 impl SizeModel {
     /// Size in bytes for `id` under this model, deterministic in
     /// `(seed, id)`.
@@ -63,9 +69,7 @@ impl SizeModel {
         let mut rng = SmallRng::seed_from_u64(mixed);
         match *self {
             SizeModel::Fixed { bytes } => bytes.max(1),
-            SizeModel::LogNormal { median, sigma } => {
-                lognormal(&mut rng, median as f64, sigma)
-            }
+            SizeModel::LogNormal { median, sigma } => lognormal(&mut rng, median as f64, sigma),
             SizeModel::BoundedPareto { alpha, min, max } => {
                 bounded_pareto(&mut rng, alpha, min as f64, max as f64)
             }
@@ -128,7 +132,10 @@ mod tests {
 
     #[test]
     fn sizes_are_deterministic_per_seed_and_id() {
-        let m = SizeModel::LogNormal { median: 1 << 20, sigma: 1.5 };
+        let m = SizeModel::LogNormal {
+            median: 1 << 20,
+            sigma: 1.5,
+        };
         assert_eq!(m.size_for(5, 10), m.size_for(5, 10));
         // Different ids should (overwhelmingly) differ.
         assert_ne!(m.size_for(5, 10), m.size_for(5, 11));
@@ -149,7 +156,11 @@ mod tests {
 
     #[test]
     fn bounded_pareto_respects_bounds() {
-        let m = SizeModel::BoundedPareto { alpha: 1.2, min: 1_000, max: 1_000_000 };
+        let m = SizeModel::BoundedPareto {
+            alpha: 1.2,
+            min: 1_000,
+            max: 1_000_000,
+        };
         for id in 0..10_000 {
             let s = m.size_for(3, id);
             assert!((1_000..=1_000_000).contains(&s), "size {s} out of bounds");
@@ -160,9 +171,18 @@ mod tests {
     fn bounded_pareto_is_heavy_tailed() {
         // With alpha close to 1 a visible fraction of mass sits near max.
         // P(X > 1e6) ≈ 1.8e-3 for these parameters, so ~36 of 20 000.
-        let m = SizeModel::BoundedPareto { alpha: 0.9, min: 1_000, max: 10_000_000 };
-        let big = (0..20_000).filter(|&id| m.size_for(11, id) > 1_000_000).count();
-        assert!((15..=80).contains(&big), "expected ~36 large objects, got {big}");
+        let m = SizeModel::BoundedPareto {
+            alpha: 0.9,
+            min: 1_000,
+            max: 10_000_000,
+        };
+        let big = (0..20_000)
+            .filter(|&id| m.size_for(11, id) > 1_000_000)
+            .count();
+        assert!(
+            (15..=80).contains(&big),
+            "expected ~36 large objects, got {big}"
+        );
     }
 
     #[test]
@@ -185,8 +205,15 @@ mod tests {
     fn sizes_never_zero() {
         for m in [
             SizeModel::Fixed { bytes: 1 },
-            SizeModel::LogNormal { median: 2, sigma: 3.0 },
-            SizeModel::BoundedPareto { alpha: 2.0, min: 1, max: 10 },
+            SizeModel::LogNormal {
+                median: 2,
+                sigma: 3.0,
+            },
+            SizeModel::BoundedPareto {
+                alpha: 2.0,
+                min: 1,
+                max: 10,
+            },
         ] {
             for id in 0..1_000 {
                 assert!(m.size_for(0, id) >= 1);

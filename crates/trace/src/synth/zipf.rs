@@ -5,7 +5,7 @@
 //! uses both for its detection mechanism (§5.2.2) and its synthetic
 //! responsiveness workloads (§7.6).
 
-use rand::Rng;
+use lhr_util::rng::Rng;
 
 /// Samples object ranks from a Zipf(α) distribution over `n` objects using a
 /// precomputed CDF table and binary search (O(n) build, O(log n) sample).
@@ -24,7 +24,10 @@ impl ZipfSampler {
     /// Panics if `n == 0` or `α` is not finite.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "Zipf distribution needs at least one object");
-        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and non-negative");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for rank in 1..=n {
@@ -75,8 +78,8 @@ pub fn zipf_pmf(n: usize, alpha: f64) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lhr_util::rng::rngs::StdRng;
+    use lhr_util::rng::SeedableRng;
 
     #[test]
     fn pmf_sums_to_one() {

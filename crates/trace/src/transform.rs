@@ -42,7 +42,11 @@ pub fn time_slice(trace: &Trace, from: Time, to: Time) -> Trace {
     assert!(from <= to, "empty interval");
     Trace::from_requests(
         format!("{}-slice", trace.name),
-        trace.iter().filter(|r| r.ts >= from && r.ts < to).copied().collect(),
+        trace
+            .iter()
+            .filter(|r| r.ts >= from && r.ts < to)
+            .copied()
+            .collect(),
     )
 }
 
@@ -54,7 +58,13 @@ pub fn scale_time(trace: &Trace, factor: f64) -> Trace {
         format!("{}-x{factor}", trace.name),
         trace
             .iter()
-            .map(|r| Request::new(Time::from_secs_f64(r.ts.as_secs_f64() * factor), r.id, r.size))
+            .map(|r| {
+                Request::new(
+                    Time::from_secs_f64(r.ts.as_secs_f64() * factor),
+                    r.id,
+                    r.size,
+                )
+            })
             .collect(),
     )
 }
@@ -88,7 +98,9 @@ pub fn interleave(traces: &[Trace]) -> Trace {
     all.sort_by_key(|&(ts, which, idx)| (ts, which, idx));
     Trace::from_requests(
         "interleaved",
-        all.into_iter().map(|(_, which, idx)| traces[which].requests[idx]).collect(),
+        all.into_iter()
+            .map(|(_, which, idx)| traces[which].requests[idx])
+            .collect(),
     )
 }
 
@@ -97,7 +109,10 @@ pub fn interleave(traces: &[Trace]) -> Trace {
 pub fn offset_ids(trace: &Trace, offset: u64) -> Trace {
     Trace::from_requests(
         trace.name.clone(),
-        trace.iter().map(|r| Request::new(r.ts, r.id + offset, r.size)).collect(),
+        trace
+            .iter()
+            .map(|r| Request::new(r.ts, r.id + offset, r.size))
+            .collect(),
     )
 }
 
@@ -108,7 +123,10 @@ mod tests {
     use crate::synth::IrmConfig;
 
     fn trace() -> Trace {
-        IrmConfig::new(100, 2_000).zipf_alpha(0.8).seed(1).generate()
+        IrmConfig::new(100, 2_000)
+            .zipf_alpha(0.8)
+            .seed(1)
+            .generate()
     }
 
     #[test]
@@ -200,7 +218,10 @@ mod tests {
         let t = head(&trace(), 100);
         let shifted = offset_ids(&t, 10_000);
         let stats = TraceStats::compute(&interleave(&[t.clone(), shifted]));
-        assert_eq!(stats.unique_contents, 2 * TraceStats::compute(&t).unique_contents);
+        assert_eq!(
+            stats.unique_contents,
+            2 * TraceStats::compute(&t).unique_contents
+        );
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Little-endian byte-buffer helpers for the binary trace format.
+//!
+//! A `Vec<u8>`-backed replacement for the slice of the `bytes` crate API
+//! the workspace used: an append-only [`BytesMut`] writer and a [`Buf`]
+//! reader trait implemented for `&[u8]` that consumes from the front.
+//!
+//! # Example
+//!
+//! ```
+//! use lhr_util::buf::{Buf, BytesMut};
+//!
+//! let mut w = BytesMut::with_capacity(16);
+//! w.put_slice(b"HDR!");
+//! w.put_u64_le(123_456);
+//! let mut r: &[u8] = &w[4..];
+//! assert_eq!(r.get_u64_le(), 123_456);
+//! assert!(r.is_empty()); // the read consumed the slice
+//! ```
+
+use std::ops::Deref;
+
+/// A growable, append-only byte buffer (the write half).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends raw bytes.
+    #[inline]
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Appends one byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` in little-endian order.
+    #[inline]
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian order.
+    #[inline]
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Bytes written so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written (or after [`clear`](Self::clear)).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Empties the buffer, keeping its allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Consumes the buffer into its backing vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Front-consuming little-endian reads (the read half).
+///
+/// Implemented for `&[u8]`: each `get_*` advances the slice past the bytes
+/// it read.
+///
+/// # Panics
+/// All reads panic when fewer bytes remain than requested — binary trace
+/// headers are length-checked before decoding, so short reads are bugs.
+pub trait Buf {
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("split_at(4)"))
+    }
+
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("split_at(8)"))
+    }
+
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(8);
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_slice(&[1, 2, 3]);
+        assert_eq!(w.len(), 1 + 4 + 8 + 3);
+
+        let mut r: &[u8] = &w;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.remaining(), 3);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_u64_le(1);
+        w.clear();
+        assert!(w.is_empty());
+        w.put_u64_le(2);
+        let mut r: &[u8] = &w;
+        assert_eq!(r.get_u64_le(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_read_panics() {
+        let mut r: &[u8] = &[1, 2, 3];
+        r.get_u64_le();
+    }
+}

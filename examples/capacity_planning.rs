@@ -38,7 +38,10 @@ fn main() {
     let che = CheModel::from_trace(&trace);
 
     let target = 0.45;
-    println!("\n{:<14} {:>9} {:>9}", "capacity(GB)", "MRC hit%", "Che hit%");
+    println!(
+        "\n{:<14} {:>9} {:>9}",
+        "capacity(GB)", "MRC hit%", "Che hit%"
+    );
     let mut planned: Option<u64> = None;
     for &(capacity, hit) in &curve.points {
         println!(
@@ -52,7 +55,10 @@ fn main() {
         }
     }
     let Some(capacity) = planned else {
-        println!("\ntarget {:.0}% not reachable with LRU in the swept range", target * 100.0);
+        println!(
+            "\ntarget {:.0}% not reachable with LRU in the swept range",
+            target * 100.0
+        );
         return;
     };
     println!(
@@ -63,7 +69,10 @@ fn main() {
 
     // 3. Verify by simulation, and compare what LHR does with the same
     //    budget.
-    let config = SimConfig { warmup_requests: trace.len() / 5, series_every: None };
+    let config = SimConfig {
+        warmup_requests: trace.len() / 5,
+        series_every: None,
+    };
     let mut lru = Lru::new(capacity);
     let lru_hit = Simulator::new(config.clone())
         .run(&mut lru, &trace)
@@ -74,6 +83,10 @@ fn main() {
         .run(&mut lhr, &trace)
         .metrics
         .object_hit_ratio();
-    println!("simulated at that capacity: LRU {:.2}%  LHR {:.2}%", lru_hit * 100.0, lhr_hit * 100.0);
+    println!(
+        "simulated at that capacity: LRU {:.2}%  LHR {:.2}%",
+        lru_hit * 100.0,
+        lhr_hit * 100.0
+    );
     println!("(the gap is the capacity a learned policy hands back to the operator)");
 }

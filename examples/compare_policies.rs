@@ -7,8 +7,8 @@
 
 use lhr_repro::core::cache::{LhrCache, LhrConfig};
 use lhr_repro::policies::{
-    s4lru, slru, AdaptSize, Arc, BLru, Fifo, Gdsf, Hawkeye, Hyperbolic, Lfo, LfuDa, Lhd,
-    Lrb, Lru, LruK, PopCache, RandomEviction, RlCache, TinyLfu, WTinyLfu,
+    s4lru, slru, AdaptSize, Arc, BLru, Fifo, Gdsf, Hawkeye, Hyperbolic, Lfo, LfuDa, Lhd, Lrb, Lru,
+    LruK, PopCache, RandomEviction, RlCache, TinyLfu, WTinyLfu,
 };
 use lhr_repro::sim::sweep::{run_grid, Cell, PolicyFactory};
 use lhr_repro::sim::SimConfig;
@@ -23,7 +23,13 @@ fn main() {
 
     let factories: Vec<PolicyFactory> = vec![
         PolicyFactory::new("LHR", move |c| {
-            Box::new(LhrCache::new(c, LhrConfig { seed, ..LhrConfig::default() }))
+            Box::new(LhrCache::new(
+                c,
+                LhrConfig {
+                    seed,
+                    ..LhrConfig::default()
+                },
+            ))
         }),
         PolicyFactory::new("LRU", |c| Box::new(Lru::new(c))),
         PolicyFactory::new("FIFO", |c| Box::new(Fifo::new(c))),
@@ -42,23 +48,33 @@ fn main() {
         PolicyFactory::new("LHD", move |c| Box::new(Lhd::new(c, seed))),
         PolicyFactory::new("LFO", |c| Box::new(Lfo::new(c, 4_096))),
         PolicyFactory::new("RL-Cache", move |c| Box::new(RlCache::new(c, window, seed))),
-        PolicyFactory::new("PopCache", move |c| Box::new(PopCache::new(c, window, seed))),
+        PolicyFactory::new("PopCache", move |c| {
+            Box::new(PopCache::new(c, window, seed))
+        }),
         PolicyFactory::new("LRB", move |c| Box::new(Lrb::new(c, window, seed))),
         PolicyFactory::new("Hawkeye", |c| Box::new(Hawkeye::new(c))),
     ];
 
     // Cache sizes: 2%, 6%, and 12% of the unique bytes.
-    let capacities: Vec<u64> =
-        [0.02, 0.06, 0.12].iter().map(|f| (unique * f) as u64).collect();
+    let capacities: Vec<u64> = [0.02, 0.06, 0.12]
+        .iter()
+        .map(|f| (unique * f) as u64)
+        .collect();
     let trace_ref = &trace;
     let cells: Vec<Cell<'_>> = capacities
         .iter()
         .flat_map(|&capacity| {
-            (0..factories.len())
-                .map(move |policy| Cell { policy, trace: trace_ref, capacity })
+            (0..factories.len()).map(move |policy| Cell {
+                policy,
+                trace: trace_ref,
+                capacity,
+            })
         })
         .collect();
-    let config = SimConfig { warmup_requests: trace.len() / 5, series_every: None };
+    let config = SimConfig {
+        warmup_requests: trace.len() / 5,
+        series_every: None,
+    };
     let results = run_grid(&factories, &cells, &config, 8);
 
     println!(
@@ -75,6 +91,9 @@ fn main() {
                 format!("{:6.2}%", r.metrics.object_hit_ratio() * 100.0)
             })
             .collect();
-        println!("{:<10} {:>12} {:>12} {:>12}", factory.name, hits[0], hits[1], hits[2]);
+        println!(
+            "{:<10} {:>12} {:>12} {:>12}",
+            factory.name, hits[0], hits[1], hits[2]
+        );
     }
 }

@@ -29,12 +29,18 @@ fn main() {
             let generated = IrmConfig::new(1_000, 50_000)
                 .name("roundtrip-demo")
                 .zipf_alpha(0.9)
-                .size_model(SizeModel::LogNormal { median: 1 << 20, sigma: 1.3 })
+                .size_model(SizeModel::LogNormal {
+                    median: 1 << 20,
+                    sigma: 1.3,
+                })
                 .seed(3)
                 .generate();
             let path = std::env::temp_dir().join("lhr-custom-trace-demo.csv");
             io::write_csv_file(&generated, &path).expect("write temp CSV");
-            println!("no trace given; wrote + re-read demo trace at {}", path.display());
+            println!(
+                "no trace given; wrote + re-read demo trace at {}",
+                path.display()
+            );
             io::read_csv_file(&path).expect("re-read demo CSV")
         }
     };
@@ -54,7 +60,10 @@ fn main() {
     );
 
     let capacity = (stats.unique_bytes_requested / 20) as u64; // 5% of unique bytes
-    println!("\nbounds and policies at cache = {:.2} GB:", capacity as f64 / 1e9);
+    println!(
+        "\nbounds and policies at cache = {:.2} GB:",
+        capacity as f64 / 1e9
+    );
 
     for bound in [
         &InfiniteCap as &dyn OfflineBound,
@@ -63,7 +72,11 @@ fn main() {
         &Hro::default(),
     ] {
         let m = bound.evaluate(&trace, capacity);
-        println!("  {:<12} {:5.2}%  (upper bound)", bound.name(), m.object_hit_ratio() * 100.0);
+        println!(
+            "  {:<12} {:5.2}%  (upper bound)",
+            bound.name(),
+            m.object_hit_ratio() * 100.0
+        );
     }
 
     let sim = Simulator::new(SimConfig::default());

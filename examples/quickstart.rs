@@ -17,7 +17,11 @@ fn main() {
     let trace = IrmConfig::new(2_000, 100_000)
         .name("quickstart")
         .zipf_alpha(1.0)
-        .size_model(SizeModel::BoundedPareto { alpha: 1.2, min: 10_000, max: 10_000_000 })
+        .size_model(SizeModel::BoundedPareto {
+            alpha: 1.2,
+            min: 10_000,
+            max: 10_000_000,
+        })
         .requests_per_sec(200.0)
         .seed(7)
         .generate();
@@ -33,7 +37,10 @@ fn main() {
     );
 
     // 3. Replay through LHR and LRU; skip the first fifth as warmup.
-    let sim = Simulator::new(SimConfig { warmup_requests: trace.len() / 5, series_every: None });
+    let sim = Simulator::new(SimConfig {
+        warmup_requests: trace.len() / 5,
+        series_every: None,
+    });
 
     let mut lhr = LhrCache::new(capacity, LhrConfig::default());
     let lhr_result = sim.run(&mut lhr, &trace);

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Runs entirely offline — the workspace has no
+# external dependencies, so an empty cargo registry is fine.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (warnings are errors)"
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --offline --workspace
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+echo "==> cargo test --doc"
+cargo test -q --doc --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

@@ -6,8 +6,8 @@
 
 use lhr_repro::core::cache::{LhrCache, LhrConfig};
 use lhr_repro::policies::{
-    s4lru, slru, AdaptSize, Arc, BLru, Fifo, Gdsf, Hawkeye, Hyperbolic, Lfo, LfuDa, Lhd,
-    Lrb, Lru, LruK, PopCache, RandomEviction, RlCache, TinyLfu, WTinyLfu,
+    s4lru, slru, AdaptSize, Arc, BLru, Fifo, Gdsf, Hawkeye, Hyperbolic, Lfo, LfuDa, Lhd, Lrb, Lru,
+    LruK, PopCache, RandomEviction, RlCache, TinyLfu, WTinyLfu,
 };
 use lhr_repro::sim::{CachePolicy, SimConfig, Simulator};
 use lhr_repro::trace::{Request, Time, Trace};
@@ -37,7 +37,11 @@ fn all_policies(capacity: u64) -> Vec<Box<dyn CachePolicy>> {
         Box::new(Hawkeye::new(capacity)),
         Box::new(LhrCache::new(
             capacity,
-            LhrConfig { seed, min_window_requests: 64, ..LhrConfig::default() },
+            LhrConfig {
+                seed,
+                min_window_requests: 64,
+                ..LhrConfig::default()
+            },
         )),
     ]
 }
@@ -65,13 +69,19 @@ fn sequential_scan_never_repeats() {
     // Pure scan: 0 hits possible; policies must not leak or overflow.
     let trace = Trace::from_requests(
         "scan",
-        (0..5_000u64).map(|i| Request::new(Time::from_secs(i), i, 1_000)).collect(),
+        (0..5_000u64)
+            .map(|i| Request::new(Time::from_secs(i), i, 1_000))
+            .collect(),
     );
     assert_survives(&trace, 100_000);
     // And nobody may claim a hit.
     for mut policy in all_policies(100_000) {
         let result = Simulator::new(SimConfig::default()).run(&mut policy, &trace);
-        assert_eq!(result.metrics.hits, 0, "{} hit on a pure scan", result.policy);
+        assert_eq!(
+            result.metrics.hits, 0,
+            "{} hit on a pure scan",
+            result.policy
+        );
     }
 }
 
@@ -105,7 +115,9 @@ fn identical_timestamps_burst() {
 fn all_requests_same_object() {
     let trace = Trace::from_requests(
         "mono",
-        (0..2_000u64).map(|i| Request::new(Time::from_secs(i), 7, 999)).collect(),
+        (0..2_000u64)
+            .map(|i| Request::new(Time::from_secs(i), 7, 999))
+            .collect(),
     );
     for mut policy in all_policies(10_000) {
         let result = Simulator::new(SimConfig::default()).run(&mut policy, &trace);
@@ -185,13 +197,36 @@ fn lhr_with_degenerate_configs_stays_sound() {
     );
     // Extreme knob settings must not panic or overflow.
     let configs = vec![
-        LhrConfig { window_multiplier: 0.01, min_window_requests: 1, ..LhrConfig::default() },
-        LhrConfig { window_multiplier: 1000.0, ..LhrConfig::default() },
-        LhrConfig { n_irts: 1, ..LhrConfig::default() },
-        LhrConfig { eviction_sample: 1, ..LhrConfig::default() },
-        LhrConfig { fixed_threshold: Some(1.0), ..LhrConfig::default() }, // admit ~nothing
-        LhrConfig { fixed_threshold: Some(0.0), ..LhrConfig::default() }, // admit everything
-        LhrConfig { train_window_history: 1, max_train_rows: 8, ..LhrConfig::default() },
+        LhrConfig {
+            window_multiplier: 0.01,
+            min_window_requests: 1,
+            ..LhrConfig::default()
+        },
+        LhrConfig {
+            window_multiplier: 1000.0,
+            ..LhrConfig::default()
+        },
+        LhrConfig {
+            n_irts: 1,
+            ..LhrConfig::default()
+        },
+        LhrConfig {
+            eviction_sample: 1,
+            ..LhrConfig::default()
+        },
+        LhrConfig {
+            fixed_threshold: Some(1.0),
+            ..LhrConfig::default()
+        }, // admit ~nothing
+        LhrConfig {
+            fixed_threshold: Some(0.0),
+            ..LhrConfig::default()
+        }, // admit everything
+        LhrConfig {
+            train_window_history: 1,
+            max_train_rows: 8,
+            ..LhrConfig::default()
+        },
     ];
     for config in configs {
         let mut cache = LhrCache::new(10_000, config.clone());

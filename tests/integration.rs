@@ -5,8 +5,8 @@ use lhr_repro::bounds::{Belady, BeladySize, InfiniteCap, PfooLower, PfooUpper};
 use lhr_repro::core::cache::{LhrCache, LhrConfig};
 use lhr_repro::core::hazard::Hro;
 use lhr_repro::policies::{
-    s4lru, slru, AdaptSize, Arc, BLru, Fifo, Gdsf, Hawkeye, Hyperbolic, Lfo, LfuDa, Lhd,
-    Lrb, Lru, LruK, PopCache, RandomEviction, RlCache, TinyLfu, WTinyLfu,
+    s4lru, slru, AdaptSize, Arc, BLru, Fifo, Gdsf, Hawkeye, Hyperbolic, Lfo, LfuDa, Lhd, Lrb, Lru,
+    LruK, PopCache, RandomEviction, RlCache, TinyLfu, WTinyLfu,
 };
 use lhr_repro::sim::{CachePolicy, OfflineBound, SimConfig, Simulator};
 use lhr_repro::trace::synth::{markov, IrmConfig, SizeModel};
@@ -15,7 +15,11 @@ use lhr_repro::trace::{Request, Time, Trace, TraceStats};
 fn zipf_trace(seed: u64, n_objects: usize, n_requests: usize) -> Trace {
     IrmConfig::new(n_objects, n_requests)
         .zipf_alpha(0.9)
-        .size_model(SizeModel::BoundedPareto { alpha: 1.3, min: 5_000, max: 2_000_000 })
+        .size_model(SizeModel::BoundedPareto {
+            alpha: 1.3,
+            min: 5_000,
+            max: 2_000_000,
+        })
         .seed(seed)
         .generate()
 }
@@ -43,7 +47,13 @@ fn all_policies(capacity: u64, seed: u64, trace: &Trace) -> Vec<Box<dyn CachePol
         Box::new(PopCache::new(capacity, window, seed)),
         Box::new(Lrb::new(capacity, window, seed)),
         Box::new(Hawkeye::new(capacity)),
-        Box::new(LhrCache::new(capacity, LhrConfig { seed, ..LhrConfig::default() })),
+        Box::new(LhrCache::new(
+            capacity,
+            LhrConfig {
+                seed,
+                ..LhrConfig::default()
+            },
+        )),
     ]
 }
 
@@ -61,7 +71,11 @@ fn every_policy_respects_capacity_and_accounting() {
             result.policy
         );
         assert!(m.bytes_hit <= m.bytes_requested, "{}", result.policy);
-        assert!(policy.used_bytes() <= policy.capacity(), "{}", result.policy);
+        assert!(
+            policy.used_bytes() <= policy.capacity(),
+            "{}",
+            result.policy
+        );
     }
 }
 
@@ -78,7 +92,11 @@ fn infinite_cap_dominates_every_bound_and_policy() {
         &Hro::default(),
     ] {
         let hits = bound.evaluate(&trace, capacity).hits;
-        assert!(hits <= ceiling, "{} exceeded InfiniteCap: {hits} > {ceiling}", bound.name());
+        assert!(
+            hits <= ceiling,
+            "{} exceeded InfiniteCap: {hits} > {ceiling}",
+            bound.name()
+        );
     }
     for mut policy in all_policies(capacity, 2, &trace) {
         let result = Simulator::new(SimConfig::default()).run(&mut policy, &trace);
@@ -133,13 +151,22 @@ fn belady_is_optimal_among_policies_on_equal_sizes() {
 fn lhr_beats_classic_baselines_on_skewed_workload() {
     let trace = zipf_trace(5, 1_000, 60_000);
     let capacity = (trace.total_bytes() / 200) as u64;
-    let config = SimConfig { warmup_requests: trace.len() / 5, series_every: None };
+    let config = SimConfig {
+        warmup_requests: trace.len() / 5,
+        series_every: None,
+    };
     let run = |mut p: Box<dyn CachePolicy>| {
-        Simulator::new(config.clone()).run(&mut p, &trace).metrics.object_hit_ratio()
+        Simulator::new(config.clone())
+            .run(&mut p, &trace)
+            .metrics
+            .object_hit_ratio()
     };
     let lhr = run(Box::new(LhrCache::new(
         capacity,
-        LhrConfig { seed: 5, ..LhrConfig::default() },
+        LhrConfig {
+            seed: 5,
+            ..LhrConfig::default()
+        },
     )));
     let lru = run(Box::new(Lru::new(capacity)));
     let fifo = run(Box::new(Fifo::new(capacity)));
@@ -153,23 +180,43 @@ fn lhr_adapts_to_popularity_inversion_better_than_lru() {
     let trace = markov::syn_one(500, 4 * r, r, 0.9, 6);
     let unique = TraceStats::compute(&trace).unique_bytes_requested;
     let capacity = (unique / 10) as u64;
-    let config = SimConfig { warmup_requests: r, series_every: None };
-    let mut lhr = LhrCache::new(capacity, LhrConfig { seed: 6, ..LhrConfig::default() });
+    let config = SimConfig {
+        warmup_requests: r,
+        series_every: None,
+    };
+    let mut lhr = LhrCache::new(
+        capacity,
+        LhrConfig {
+            seed: 6,
+            ..LhrConfig::default()
+        },
+    );
     let lhr_hit = Simulator::new(config.clone())
         .run(&mut lhr, &trace)
         .metrics
         .object_hit_ratio();
     let mut lru = Lru::new(capacity);
-    let lru_hit =
-        Simulator::new(config).run(&mut lru, &trace).metrics.object_hit_ratio();
-    assert!(lhr_hit > lru_hit, "LHR {lhr_hit} ≤ LRU {lru_hit} on Syn One");
+    let lru_hit = Simulator::new(config)
+        .run(&mut lru, &trace)
+        .metrics
+        .object_hit_ratio();
+    assert!(
+        lhr_hit > lru_hit,
+        "LHR {lhr_hit} ≤ LRU {lru_hit} on Syn One"
+    );
 }
 
 #[test]
 fn bounds_are_monotone_in_capacity() {
     let trace = zipf_trace(7, 200, 6_000);
-    let caps: Vec<u64> = (1..=4).map(|k| (trace.total_bytes() / 100) as u64 * k).collect();
-    for bound in [&BeladySize as &dyn OfflineBound, &PfooUpper, &Hro::default()] {
+    let caps: Vec<u64> = (1..=4)
+        .map(|k| (trace.total_bytes() / 100) as u64 * k)
+        .collect();
+    for bound in [
+        &BeladySize as &dyn OfflineBound,
+        &PfooUpper,
+        &Hro::default(),
+    ] {
         let mut prev = 0;
         for &c in &caps {
             let hits = bound.evaluate(&trace, c).hits;
@@ -194,7 +241,10 @@ fn server_report_is_consistent_with_simulator_metrics() {
     let mut sim_policy = Lru::new(capacity);
     let sim_result = Simulator::new(SimConfig::default()).run(&mut sim_policy, &trace);
 
-    let server_config = ServerConfig { freshness_secs: None, ..ServerConfig::default() };
+    let server_config = ServerConfig {
+        freshness_secs: None,
+        ..ServerConfig::default()
+    };
     let mut server = CdnServer::new(Lru::new(capacity), server_config);
     let report = server.replay(&trace);
 
@@ -227,8 +277,10 @@ fn hro_tracks_lfu_like_optimum_on_irm() {
     let capacity = 60_000u64;
     let hro = Hro::default().evaluate(&trace, capacity).hits;
     let mut lfuda = LfuDa::new(capacity);
-    let lfu_hits =
-        Simulator::new(SimConfig::default()).run(&mut lfuda, &trace).metrics.hits;
+    let lfu_hits = Simulator::new(SimConfig::default())
+        .run(&mut lfuda, &trace)
+        .metrics
+        .hits;
     assert!(hro >= lfu_hits, "HRO {hro} < LFU-DA {lfu_hits}");
 }
 
@@ -256,7 +308,10 @@ fn trace_roundtrip_preserves_simulation_results() {
     let capacity = (trace.total_bytes() / 30) as u64;
     let run = |t: &Trace| {
         let mut p = Lru::new(capacity);
-        Simulator::new(SimConfig::default()).run(&mut p, t).metrics.hits
+        Simulator::new(SimConfig::default())
+            .run(&mut p, t)
+            .metrics
+            .hits
     };
     assert_eq!(run(&trace), run(&back));
 }

@@ -4,43 +4,42 @@
 
 use lhr_repro::gbm::{Dataset, Gbm, GbmParams, Loss};
 use lhr_repro::nn::{Activation, Mlp, TrainConfig};
-use proptest::prelude::*;
+use lhr_util::prop::{any_u64, range, vec_exact};
+use lhr_util::{prop_assert, prop_assert_eq, prop_check};
 
-/// Strategy: a dataset with `rows` rows of `cols` features in [-100, 100],
-/// ~10 % NaN, labels in [0, 1].
-fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    (2usize..6, 20usize..200, any::<u64>()).prop_map(|(cols, rows, seed)| {
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let mut d = Dataset::new(cols);
-        for _ in 0..rows {
-            let row: Vec<f32> = (0..cols)
-                .map(|_| {
-                    let v = next();
-                    if v % 10 == 0 {
-                        f32::NAN
-                    } else {
-                        (v % 20_000) as f32 / 100.0 - 100.0
-                    }
-                })
-                .collect();
-            let label = (next() % 1_000) as f32 / 1_000.0;
-            d.push_row(&row, label);
-        }
-        d
-    })
+/// A dataset with `rows` rows of `cols` features in [-100, 100], ~10 % NaN,
+/// labels in [0, 1], expanded deterministically from the scalars so the
+/// shrinker works on `(cols, rows, seed)`.
+fn build_dataset(cols: usize, rows: usize, seed: u64) -> Dataset {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut d = Dataset::new(cols);
+    for _ in 0..rows {
+        let row: Vec<f32> = (0..cols)
+            .map(|_| {
+                let v = next();
+                if v % 10 == 0 {
+                    f32::NAN
+                } else {
+                    (v % 20_000) as f32 / 100.0 - 100.0
+                }
+            })
+            .collect();
+        let label = (next() % 1_000) as f32 / 1_000.0;
+        d.push_row(&row, label);
+    }
+    d
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn gbm_predictions_are_finite_and_deterministic(data in arb_dataset()) {
+#[test]
+fn gbm_predictions_are_finite_and_deterministic() {
+    prop_check!(cases: 48, (cols in range(2usize..6), rows in range(20usize..200), seed in any_u64()) => {
+        let data = build_dataset(cols, rows, seed);
         let params = GbmParams { n_trees: 10, ..GbmParams::default() };
         let a = Gbm::fit(&data, &params);
         let b = Gbm::fit(&data, &params);
@@ -51,10 +50,13 @@ proptest! {
             let p = a.predict_probability(data.row(i));
             prop_assert!((0.0..=1.0).contains(&p));
         }
-    }
+    });
+}
 
-    #[test]
-    fn gbm_logistic_outputs_probabilities(data in arb_dataset()) {
+#[test]
+fn gbm_logistic_outputs_probabilities() {
+    prop_check!(cases: 48, (cols in range(2usize..6), rows in range(20usize..200), seed in any_u64()) => {
+        let data = build_dataset(cols, rows, seed);
         let params =
             GbmParams { n_trees: 10, loss: Loss::Logistic, ..GbmParams::default() };
         let model = Gbm::fit(&data, &params);
@@ -62,10 +64,13 @@ proptest! {
             let p = model.predict(data.row(i));
             prop_assert!((0.0..=1.0).contains(&p), "logistic output {}", p);
         }
-    }
+    });
+}
 
-    #[test]
-    fn gbm_more_trees_never_hurt_training_mse(data in arb_dataset()) {
+#[test]
+fn gbm_more_trees_never_hurt_training_mse() {
+    prop_check!(cases: 48, (cols in range(2usize..6), rows in range(20usize..200), seed in any_u64()) => {
+        let data = build_dataset(cols, rows, seed);
         let weak = Gbm::fit(&data, &GbmParams { n_trees: 2, ..GbmParams::default() });
         let strong = Gbm::fit(&data, &GbmParams { n_trees: 20, ..GbmParams::default() });
         // Squared-error boosting monotonically reduces *training* error.
@@ -75,13 +80,12 @@ proptest! {
             weak.mse(&data),
             strong.mse(&data)
         );
-    }
+    });
+}
 
-    #[test]
-    fn mlp_forward_is_finite_on_bounded_inputs(
-        seed in any::<u64>(),
-        inputs in proptest::collection::vec(-5.0f32..5.0, 4),
-    ) {
+#[test]
+fn mlp_forward_is_finite_on_bounded_inputs() {
+    prop_check!(cases: 48, (seed in any_u64(), inputs in vec_exact(range(-5.0f32..5.0), 4)) => {
         let net = Mlp::new(&[4, 8, 2], Activation::Relu, Activation::Sigmoid, seed);
         let out = net.forward(&inputs);
         prop_assert_eq!(out.len(), 2);
@@ -89,13 +93,12 @@ proptest! {
             prop_assert!(y.is_finite());
             prop_assert!((0.0..=1.0).contains(&y), "sigmoid output {}", y);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mlp_training_reduces_loss_on_a_constant_target(
-        seed in any::<u64>(),
-        target in 0.1f32..0.9,
-    ) {
+#[test]
+fn mlp_training_reduces_loss_on_a_constant_target() {
+    prop_check!(cases: 48, (seed in any_u64(), target in range(0.1f32..0.9)) => {
         let mut net = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Sigmoid, seed);
         let config = TrainConfig::default();
         let x = [0.5f32, -0.5];
@@ -105,5 +108,5 @@ proptest! {
             last = net.train_step(&x, &[target], &config);
         }
         prop_assert!(last <= first + 1e-6, "loss rose: {} -> {}", first, last);
-    }
+    });
 }

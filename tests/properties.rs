@@ -1,6 +1,10 @@
-//! Property-based tests (proptest) on the workspace's core invariants:
-//! random traces through every policy, bound dominance, data-structure
-//! laws, and serialization roundtrips.
+//! Property-based tests (via `lhr_util::prop_check!`) on the workspace's
+//! core invariants: random traces through every policy, bound dominance,
+//! data-structure laws, and serialization roundtrips.
+//!
+//! Each property binds *scalar* inputs (lengths, seeds, factors) so the
+//! shrinker works on them directly; composite inputs (traces, datasets) are
+//! expanded deterministically from those scalars inside the property body.
 
 use lhr_repro::bounds::{Belady, InfiniteCap, PfooUpper};
 use lhr_repro::core::cache::{LhrCache, LhrConfig};
@@ -9,31 +13,29 @@ use lhr_repro::policies::util::{BloomFilter, CountMinSketch, LruList};
 use lhr_repro::policies::{Arc, Fifo, Gdsf, LfuDa, Lru, LruK, TinyLfu, WTinyLfu};
 use lhr_repro::sim::{CachePolicy, OfflineBound, SimConfig, Simulator};
 use lhr_repro::trace::{io, Request, Time, Trace};
-use proptest::prelude::*;
+use lhr_util::prop::{any_u64, range, vec};
+use lhr_util::{prop_assert, prop_assert_eq, prop_check};
 
-/// Strategy: a small random trace with monotone timestamps, bounded object
-/// population, and per-object-stable sizes.
-fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
-    (1usize..max_len, any::<u64>()).prop_map(|(len, seed)| {
-        // Deterministic pseudo-random expansion from the seed; proptest
-        // shrinks over (len, seed).
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let mut trace = Trace::new("prop");
-        let mut ts = 0u64;
-        for _ in 0..len {
-            ts += next() % 1_000 + 1;
-            let id = next() % 50;
-            let size = (id + 1) * 10 + 5; // deterministic per id
-            trace.push(Request::new(Time::from_micros(ts), id, size));
-        }
-        trace
-    })
+/// A small random trace with monotone timestamps, bounded object
+/// population, and per-object-stable sizes, expanded deterministically from
+/// `(len, seed)`.
+fn build_trace(len: usize, seed: u64) -> Trace {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut trace = Trace::new("prop");
+    let mut ts = 0u64;
+    for _ in 0..len {
+        ts += next() % 1_000 + 1;
+        let id = next() % 50;
+        let size = (id + 1) * 10 + 5; // deterministic per id
+        trace.push(Request::new(Time::from_micros(ts), id, size));
+    }
+    trace
 }
 
 fn policies_for(capacity: u64) -> Vec<Box<dyn CachePolicy>> {
@@ -49,14 +51,10 @@ fn policies_for(capacity: u64) -> Vec<Box<dyn CachePolicy>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn policies_never_overflow_and_account_correctly(
-        trace in arb_trace(400),
-        cap_factor in 1u64..20,
-    ) {
+#[test]
+fn policies_never_overflow_and_account_correctly() {
+    prop_check!(cases: 64, (len in range(1usize..400), seed in any_u64(), cap_factor in range(1u64..20)) => {
+        let trace = build_trace(len, seed);
         let capacity = cap_factor * 50;
         for mut policy in policies_for(capacity) {
             let result = Simulator::new(SimConfig::default()).run(&mut policy, &trace);
@@ -67,11 +65,14 @@ proptest! {
             );
             prop_assert!(result.metrics.bytes_hit <= result.metrics.bytes_requested);
         }
-    }
+    });
+}
 
-    #[test]
-    fn contains_agrees_with_hits(trace in arb_trace(300)) {
+#[test]
+fn contains_agrees_with_hits() {
+    prop_check!(cases: 64, (len in range(1usize..300), seed in any_u64()) => {
         // Replaying the same request immediately must hit iff contains().
+        let trace = build_trace(len, seed);
         let capacity = 600u64;
         for mut policy in policies_for(capacity) {
             for req in trace.iter() {
@@ -86,10 +87,13 @@ proptest! {
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn infinite_cap_dominates_all(trace in arb_trace(300), cap_factor in 1u64..10) {
+#[test]
+fn infinite_cap_dominates_all() {
+    prop_check!(cases: 64, (len in range(1usize..300), seed in any_u64(), cap_factor in range(1u64..10)) => {
+        let trace = build_trace(len, seed);
         let capacity = cap_factor * 80;
         let ceiling = InfiniteCap.evaluate(&trace, capacity).hits;
         prop_assert!(Belady.evaluate(&trace, capacity).hits <= ceiling);
@@ -101,13 +105,12 @@ proptest! {
                 .hits;
             prop_assert!(hits <= ceiling);
         }
-    }
+    });
+}
 
-    #[test]
-    fn belady_dominates_lru_on_equal_sizes(
-        ids in proptest::collection::vec(0u64..30, 1..300),
-        capacity in 1u64..20,
-    ) {
+#[test]
+fn belady_dominates_lru_on_equal_sizes() {
+    prop_check!(cases: 64, (ids in vec(range(0u64..30), 1..300), capacity in range(1u64..20)) => {
         let trace = Trace::from_requests(
             "equal",
             ids.iter()
@@ -119,13 +122,12 @@ proptest! {
         let mut lru = Lru::new(capacity);
         let hits = Simulator::new(SimConfig::default()).run(&mut lru, &trace).metrics.hits;
         prop_assert!(optimum >= hits, "Belady {} < LRU {}", optimum, hits);
-    }
+    });
+}
 
-    #[test]
-    fn lru_matches_reference_model(
-        ids in proptest::collection::vec(0u64..20, 1..200),
-        slots in 1usize..10,
-    ) {
+#[test]
+fn lru_matches_reference_model() {
+    prop_check!(cases: 64, (ids in vec(range(0u64..20), 1..200), slots in range(1usize..10)) => {
         // Reference: Vec-based LRU over unit-size objects.
         let capacity = slots as u64;
         let mut reference: Vec<u64> = Vec::new();
@@ -141,26 +143,34 @@ proptest! {
             reference.push(id);
             prop_assert_eq!(lru.handle(&req).is_hit(), expected_hit, "diverged at {}", i);
         }
-    }
+    });
+}
 
-    #[test]
-    fn csv_roundtrip(trace in arb_trace(200)) {
+#[test]
+fn csv_roundtrip() {
+    prop_check!(cases: 64, (len in range(1usize..200), seed in any_u64()) => {
+        let trace = build_trace(len, seed);
         let mut buf = Vec::new();
         io::write_csv(&trace, &mut buf).expect("write");
         let back = io::read_csv(&buf[..], "prop").expect("read");
         prop_assert_eq!(back.requests, trace.requests);
-    }
+    });
+}
 
-    #[test]
-    fn binary_roundtrip(trace in arb_trace(200)) {
+#[test]
+fn binary_roundtrip() {
+    prop_check!(cases: 64, (len in range(1usize..200), seed in any_u64()) => {
+        let trace = build_trace(len, seed);
         let mut buf = Vec::new();
         io::write_binary(&trace, &mut buf).expect("write");
         let back = io::read_binary(&buf[..], "prop").expect("read");
         prop_assert_eq!(back.requests, trace.requests);
-    }
+    });
+}
 
-    #[test]
-    fn bloom_filter_has_no_false_negatives(keys in proptest::collection::vec(any::<u64>(), 1..500)) {
+#[test]
+fn bloom_filter_has_no_false_negatives() {
+    prop_check!(cases: 64, (keys in vec(any_u64(), 1..500)) => {
         let mut filter = BloomFilter::new(10_000);
         for &k in &keys {
             filter.insert(k);
@@ -168,12 +178,12 @@ proptest! {
         for &k in &keys {
             prop_assert!(filter.contains(k), "lost key {}", k);
         }
-    }
+    });
+}
 
-    #[test]
-    fn count_min_never_underestimates_below_saturation(
-        keys in proptest::collection::vec(0u64..100, 1..400),
-    ) {
+#[test]
+fn count_min_never_underestimates_below_saturation() {
+    prop_check!(cases: 64, (keys in vec(range(0u64..100), 1..400)) => {
         let mut sketch = CountMinSketch::new(1 << 14);
         let mut true_counts = std::collections::HashMap::new();
         for &k in &keys {
@@ -184,10 +194,12 @@ proptest! {
             let est = sketch.estimate(k);
             prop_assert!(est >= c.min(15), "key {}: est {} < true {}", k, est, c);
         }
-    }
+    });
+}
 
-    #[test]
-    fn lru_list_is_a_correct_deque(ops in proptest::collection::vec(0u8..3, 1..200)) {
+#[test]
+fn lru_list_is_a_correct_deque() {
+    prop_check!(cases: 64, (ops in vec(range(0u8..3), 1..200)) => {
         let mut list = LruList::new();
         let mut model: std::collections::VecDeque<u32> = Default::default();
         let mut handles = std::collections::HashMap::new();
@@ -218,10 +230,12 @@ proptest! {
             }
             prop_assert_eq!(list.len(), model.len());
         }
-    }
+    });
+}
 
-    #[test]
-    fn zipf_estimator_recovers_alpha(alpha in 0.3f64..1.5) {
+#[test]
+fn zipf_estimator_recovers_alpha() {
+    prop_check!(cases: 64, (alpha in range(0.3f64..1.5)) => {
         use lhr_repro::trace::synth::zipf::zipf_pmf;
         let mut counts: Vec<u32> = zipf_pmf(400, alpha)
             .iter()
@@ -229,10 +243,13 @@ proptest! {
             .collect();
         let (est, _) = estimate_zipf_alpha(&mut counts);
         prop_assert!((est - alpha).abs() < 0.1, "alpha {} est {}", alpha, est);
-    }
+    });
+}
 
-    #[test]
-    fn lhr_is_deterministic(trace in arb_trace(300), seed in any::<u64>()) {
+#[test]
+fn lhr_is_deterministic() {
+    prop_check!(cases: 64, (len in range(1usize..300), trace_seed in any_u64(), seed in any_u64()) => {
+        let trace = build_trace(len, trace_seed);
         let capacity = 500u64;
         let run = || {
             let mut cache = LhrCache::new(
@@ -242,5 +259,5 @@ proptest! {
             Simulator::new(SimConfig::default()).run(&mut cache, &trace).metrics.hits
         };
         prop_assert_eq!(run(), run());
-    }
+    });
 }
