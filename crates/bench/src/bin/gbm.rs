@@ -1,0 +1,92 @@
+//! GBM training/prediction microbenchmark binary — the perf-trajectory
+//! companion to `benches/gbm.rs`, runnable via plain `cargo run` so
+//! `scripts/verify.sh` (smoke) and `scripts/bench_gbm.sh` (baseline
+//! recording) can drive it:
+//!
+//! ```text
+//! cargo run --release -p lhr-bench --bin gbm -- --scale medium
+//! ```
+//!
+//! Measures `Gbm::fit` with one thread and with `--threads` workers, plus
+//! `Gbm::predict_batch` throughput, at a per-scale row count. Set
+//! `LHR_BENCH_JSON=<path>` to append machine-readable results (the format
+//! committed as `BENCH_gbm.json`).
+
+use lhr_gbm::{Dataset, Gbm, GbmParams};
+use lhr_trace::synth::ProductionScale;
+use lhr_util::bench::{black_box, Bench};
+use lhr_util::rng::rngs::StdRng;
+use lhr_util::rng::{Rng, SeedableRng};
+
+/// LHR-shaped synthetic training set: ~10% missing values, 23 features,
+/// binary labels keyed on the first feature.
+fn synthetic_dataset(rows: usize, features: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Dataset::new(features);
+    for _ in 0..rows {
+        let row: Vec<f32> = (0..features)
+            .map(|_| {
+                if rng.gen_bool(0.1) {
+                    f32::NAN
+                } else {
+                    rng.gen::<f32>() * 10.0
+                }
+            })
+            .collect();
+        let label = if row[0].is_nan() || row[0] > 5.0 {
+            1.0
+        } else {
+            0.0
+        };
+        data.push_row(&row, label);
+    }
+    data
+}
+
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    let rows = match options.scale {
+        ProductionScale::Tiny => 2_048,
+        ProductionScale::Small => 8_192,
+        ProductionScale::Medium => 32_768,
+        ProductionScale::Full => 131_072,
+    };
+    let data = synthetic_dataset(rows, 23, options.seed);
+    let params = GbmParams {
+        n_trees: 25,
+        max_depth: 6,
+        ..GbmParams::default()
+    };
+
+    let mut fit = Bench::new("gbm_fit");
+    fit.throughput_elems(rows as u64);
+    fit.bench(format!("{rows}_t1"), || {
+        Gbm::fit(
+            black_box(&data),
+            &GbmParams {
+                threads: 1,
+                ..params.clone()
+            },
+        )
+    });
+    if options.threads > 1 {
+        fit.bench(format!("{rows}_t{}", options.threads), || {
+            Gbm::fit(
+                black_box(&data),
+                &GbmParams {
+                    threads: options.threads,
+                    ..params.clone()
+                },
+            )
+        });
+    }
+    fit.finish();
+
+    let model = Gbm::fit(&data, &params);
+    let mut predict = Bench::new("gbm_predict_batch");
+    predict.throughput_elems(rows as u64);
+    predict.bench(format!("{rows}_t{}", options.threads), || {
+        model.predict_dataset(black_box(&data), options.threads)
+    });
+    predict.finish();
+}

@@ -328,17 +328,21 @@ impl LhrCache {
             if self.config.fixed_threshold.is_none() {
                 // The shadow evaluation pairs *every* window request with
                 // its feature row (the full `rows`, not the subsampled
-                // training copy) and the fresh model's probabilities.
+                // training copy) and the fresh model's probabilities —
+                // batched (and thread-parallel) instead of row-at-a-time.
+                let probs: Vec<f64> = match &self.model {
+                    Some(model) => model
+                        .predict_batch(&rows, self.config.gbm.threads)
+                        .into_iter()
+                        .map(|p| p.clamp(0.0, 1.0) as f64)
+                        .collect(),
+                    None => vec![1.0; rows.len()],
+                };
                 let shadow: Vec<ShadowRequest> = done
                     .requests
                     .iter()
-                    .zip(rows.iter())
-                    .map(|(&(ts, id, size), row)| ShadowRequest {
-                        ts,
-                        id,
-                        size,
-                        prob: self.predict(row),
-                    })
+                    .zip(probs)
+                    .map(|(&(ts, id, size), prob)| ShadowRequest { ts, id, size, prob })
                     .collect();
                 let mut snapshot: Vec<(ObjectId, f64, u64, Time)> = self
                     .entries

@@ -1,7 +1,8 @@
 //! The gradient-boosting ensemble.
 
 use crate::dataset::{Binned, Dataset};
-use crate::tree::Tree;
+use crate::parallel;
+use crate::tree::{Tree, TreeScratch};
 
 /// Training loss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +63,12 @@ pub struct GbmParams {
     pub seed: u64,
     /// Training loss.
     pub loss: Loss,
+    /// Worker threads for the split search and the batched prediction
+    /// inside [`Gbm::fit`]; `0` auto-detects
+    /// (`std::thread::available_parallelism`). The fitted model is
+    /// byte-identical for every thread count — see the ordered reduction
+    /// in `tree::search_node`.
+    pub threads: usize,
 }
 
 lhr_util::impl_json!(struct GbmParams {
@@ -78,6 +85,7 @@ lhr_util::impl_json!(struct GbmParams {
     patience,
     seed,
     loss,
+    threads,
 });
 
 impl Default for GbmParams {
@@ -96,6 +104,7 @@ impl Default for GbmParams {
             patience: 5,
             seed: 0,
             loss: Loss::SquaredError,
+            threads: 0,
         }
     }
 }
@@ -166,12 +175,20 @@ impl Gbm {
         };
         let n_train = data.n_rows() - n_valid;
 
+        let threads = parallel::resolve_threads(params.threads);
+        let mut scratch = TreeScratch::new();
         let mut preds = vec![base_score; data.n_rows()];
         let mut gradients = vec![0f32; n_train];
         let mut hessians = match params.loss {
             Loss::SquaredError => None,
             Loss::Logistic => Some(vec![0f32; n_train]),
         };
+        // Rows a tree never saw (subsample misses + validation tail) still
+        // need its contribution each round; in-sample rows are updated by
+        // leaf propagation during growth.
+        let mut in_tree: Vec<bool> = Vec::new();
+        let mut out_rows: Vec<u32> = Vec::new();
+        let mut out_vals: Vec<f32> = Vec::new();
         let mut trees: Vec<Tree> = Vec::with_capacity(params.n_trees);
         let mut feature_gain = vec![0f64; data.n_features()];
         let mut best_valid = f64::INFINITY;
@@ -221,6 +238,14 @@ impl Gbm {
                 vec![true; data.n_features()]
             };
 
+            let subsampled = root_rows.len() < n_train;
+            if subsampled {
+                in_tree.clear();
+                in_tree.resize(n_train, false);
+                for &i in &root_rows {
+                    in_tree[i as usize] = true;
+                }
+            }
             let tree = Tree::grow_on(
                 &binned,
                 &gradients,
@@ -228,7 +253,10 @@ impl Gbm {
                 root_rows,
                 &feature_mask,
                 params,
+                threads,
                 &mut feature_gain,
+                &mut scratch,
+                Some(&mut preds),
             );
             if tree.n_nodes() == 1 && trees.is_empty() && params.subsample >= 1.0 {
                 // Even the first tree is a bare leaf: labels are (nearly)
@@ -237,8 +265,23 @@ impl Gbm {
                 best_len = trees.len();
                 break;
             }
-            for i in 0..data.n_rows() {
-                preds[i] += tree.predict(data.row(i));
+            out_rows.clear();
+            if subsampled {
+                out_rows.extend((0..n_train as u32).filter(|&i| !in_tree[i as usize]));
+            }
+            out_rows.extend(n_train as u32..data.n_rows() as u32);
+            if !out_rows.is_empty() {
+                out_vals.clear();
+                out_vals.resize(out_rows.len(), 0.0);
+                let out_rows = &out_rows;
+                parallel::for_chunks(&mut out_vals, threads, |start, chunk| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v = tree.predict(data.row(out_rows[start + k] as usize));
+                    }
+                });
+                for (&i, &v) in out_rows.iter().zip(&out_vals) {
+                    preds[i as usize] += v;
+                }
             }
             trees.push(tree);
             best_len = trees.len();
@@ -304,6 +347,39 @@ impl Gbm {
         self.predict(row).clamp(0.0, 1.0) as f64
     }
 
+    /// Batched [`Gbm::predict`] over many raw rows, fanned out over
+    /// `threads` workers (`0` = one per available core). Each output is
+    /// computed independently, so the result is bit-identical to the
+    /// per-row loop for every thread count.
+    pub fn predict_batch<R: AsRef<[f32]> + Sync>(&self, rows: &[R], threads: usize) -> Vec<f32> {
+        let mut out = vec![0f32; rows.len()];
+        parallel::for_chunks(
+            &mut out,
+            parallel::resolve_threads(threads),
+            |start, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = self.predict(rows[start + k].as_ref());
+                }
+            },
+        );
+        out
+    }
+
+    /// [`Gbm::predict_batch`] over a dataset's rows.
+    pub fn predict_dataset(&self, data: &Dataset, threads: usize) -> Vec<f32> {
+        let mut out = vec![0f32; data.n_rows()];
+        parallel::for_chunks(
+            &mut out,
+            parallel::resolve_threads(threads),
+            |start, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = self.predict(data.row(start + k));
+                }
+            },
+        );
+        out
+    }
+
     /// Number of trees in the ensemble.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
@@ -319,14 +395,18 @@ impl Gbm {
         &self.feature_gain
     }
 
-    /// Mean squared error of the model on a dataset.
+    /// Mean squared error of the model on a dataset (batched prediction).
     pub fn mse(&self, data: &Dataset) -> f64 {
         assert!(!data.is_empty());
-        let mut sum = 0.0f64;
-        for i in 0..data.n_rows() {
-            let err = (self.predict(data.row(i)) - data.labels()[i]) as f64;
-            sum += err * err;
-        }
+        let preds = self.predict_dataset(data, 0);
+        let sum: f64 = preds
+            .iter()
+            .zip(data.labels())
+            .map(|(&p, &y)| {
+                let err = (p - y) as f64;
+                err * err
+            })
+            .sum();
         sum / data.n_rows() as f64
     }
 
@@ -508,6 +588,69 @@ mod tests {
         assert_eq!(fit(1), fit(1));
         // Different seeds should (overwhelmingly) differ.
         assert_ne!(fit(1), fit(2));
+    }
+
+    fn make_messy(n: usize) -> Dataset {
+        // Missing values, repeated values, and a nonlinear label — the
+        // shape LHR's feature rows actually have.
+        let mut d = Dataset::new(3);
+        for i in 0..n {
+            let x0 = if i % 7 == 0 {
+                f32::NAN
+            } else {
+                (i % 31) as f32
+            };
+            let x1 = (i % 13) as f32 / 13.0;
+            let x2 = (i % 5) as f32;
+            let y = if x0.is_nan() || x0 > 15.0 { 1.0 } else { x1 };
+            d.push_row(&[x0, x1, x2], y);
+        }
+        d
+    }
+
+    #[test]
+    fn fit_is_byte_identical_across_thread_counts() {
+        let d = make_messy(3_000);
+        let fit = |threads: usize, loss: Loss| {
+            let params = GbmParams {
+                n_trees: 12,
+                subsample: 0.8,
+                colsample: 0.8,
+                validation_fraction: 0.2,
+                seed: 9,
+                loss,
+                threads,
+                ..GbmParams::default()
+            };
+            Gbm::fit(&d, &params).to_json_string()
+        };
+        for loss in [Loss::SquaredError, Loss::Logistic] {
+            let one = fit(1, loss);
+            assert_eq!(one, fit(2, loss), "{loss:?}: threads=2 diverged");
+            assert_eq!(one, fit(8, loss), "{loss:?}: threads=8 diverged");
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_row_predict() {
+        let d = make_messy(1_000);
+        let model = Gbm::fit(
+            &d,
+            &GbmParams {
+                n_trees: 10,
+                ..GbmParams::default()
+            },
+        );
+        let rows: Vec<Vec<f32>> = (0..d.n_rows()).map(|i| d.row(i).to_vec()).collect();
+        for threads in [1, 3, 0] {
+            let batch = model.predict_batch(&rows, threads);
+            let dataset = model.predict_dataset(&d, threads);
+            for i in 0..d.n_rows() {
+                let want = model.predict(d.row(i)).to_bits();
+                assert_eq!(batch[i].to_bits(), want, "batch row {i}");
+                assert_eq!(dataset[i].to_bits(), want, "dataset row {i}");
+            }
+        }
     }
 
     #[test]

@@ -79,15 +79,23 @@ impl Dataset {
 /// into bin `j` where `j` is the number of edges `< v` — i.e. edges are
 /// *lower-exclusive* cut points, so `tree::SplitCandidate` thresholds can be
 /// reconstructed as real feature values.
+///
+/// `codes` is stored **feature-major** (column-major): histogram
+/// construction streams one contiguous `u8` column per feature instead of
+/// striding `n_features` bytes between consecutive rows.
 #[derive(Debug, Clone)]
 pub(crate) struct Binned {
     pub n_features: usize,
     /// `edges[f]` — ascending cut values for feature `f` (may be empty when
     /// the feature is constant).
     pub edges: Vec<Vec<f32>>,
-    /// Row-major bin indices, same shape as the dataset.
+    /// Feature-major bin indices: `codes[f * n_rows + r]`.
     pub codes: Vec<u8>,
     pub n_rows: usize,
+    /// Histogram slot layout: feature `f` owns slots
+    /// `slot_offsets[f]..slot_offsets[f + 1]` in a node histogram — its
+    /// `n_bins(f)` real bins followed by one missing-value slot.
+    pub slot_offsets: Vec<usize>,
 }
 
 /// Bin code reserved for missing values.
@@ -131,29 +139,51 @@ impl Binned {
         }
 
         let mut codes = vec![0u8; n_rows * n_features];
-        for r in 0..n_rows {
-            let row = data.row(r);
-            for f in 0..n_features {
-                let v = row[f];
-                codes[r * n_features + f] = if v.is_finite() {
-                    bin_of(&edges[f], v)
+        for f in 0..n_features {
+            let col = &mut codes[f * n_rows..(f + 1) * n_rows];
+            let cuts = &edges[f];
+            for (r, slot) in col.iter_mut().enumerate() {
+                let v = data.row(r)[f];
+                *slot = if v.is_finite() {
+                    bin_of(cuts, v)
                 } else {
                     MISSING_BIN
                 };
             }
+        }
+        let mut slot_offsets = Vec::with_capacity(n_features + 1);
+        let mut total = 0usize;
+        slot_offsets.push(0);
+        for cuts in &edges {
+            total += cuts.len() + 2; // real bins (edges + 1) + missing slot
+            slot_offsets.push(total);
         }
         Binned {
             n_features,
             edges,
             codes,
             n_rows,
+            slot_offsets,
         }
     }
 
-    /// Bin index for row `r`, feature `f`.
+    /// Bin index for row `r`, feature `f` (hot paths stream [`Binned::col`]
+    /// instead; kept for tests and oracles).
+    #[cfg(test)]
     #[inline]
     pub fn code(&self, r: usize, f: usize) -> u8 {
-        self.codes[r * self.n_features + f]
+        self.codes[f * self.n_rows + r]
+    }
+
+    /// The contiguous code column of feature `f` (one `u8` per row).
+    #[inline]
+    pub fn col(&self, f: usize) -> &[u8] {
+        &self.codes[f * self.n_rows..(f + 1) * self.n_rows]
+    }
+
+    /// Total histogram slots across all features (see `slot_offsets`).
+    pub fn n_slots(&self) -> usize {
+        *self.slot_offsets.last().expect("offsets never empty")
     }
 
     /// Number of real bins for feature `f` (edges + 1).
@@ -258,6 +288,63 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn slot_offsets_cover_bins_plus_missing() {
+        let mut d = Dataset::new(2);
+        for i in 0..100 {
+            d.push_row(&[i as f32, 5.0], 0.0);
+        }
+        let b = Binned::build(&d);
+        assert_eq!(b.slot_offsets.len(), 3);
+        assert_eq!(b.slot_offsets[1], b.n_bins(0) + 1);
+        assert_eq!(b.n_slots(), b.n_bins(0) + 1 + b.n_bins(1) + 1);
+        assert_eq!(b.col(0).len(), 100);
+    }
+
+    #[test]
+    fn feature_major_codes_roundtrip_against_row_major_oracle() {
+        use lhr_util::{prop, prop_assert_eq, prop_check};
+        // The binned matrix is stored feature-major; this property rebins
+        // every value with a naive row-major oracle (including NaN rows and
+        // a constant column) and asserts `code(r, f)` / `col(f)` agree.
+        prop_check!(cases: 48, (cells in prop::vec(prop::range(0u32..9), 4..240),
+                                 extra in prop::range(1usize..5)) => {
+            let n_features = extra + 1; // feature 0 is held constant
+            let n_rows = cells.len() / extra;
+            if n_rows == 0 {
+                return Ok(());
+            }
+            let mut d = Dataset::new(n_features);
+            let mut raw: Vec<Vec<f32>> = Vec::with_capacity(n_rows);
+            for r in 0..n_rows {
+                let mut row = vec![5.0f32]; // constant column
+                for f in 0..extra {
+                    // Cell value 8 encodes a missing (NaN) entry.
+                    let c = cells[r * extra + f];
+                    row.push(if c == 8 { f32::NAN } else { c as f32 * 1.5 });
+                }
+                d.push_row(&row, 0.0);
+                raw.push(row);
+            }
+            let b = Binned::build(&d);
+            for (r, row) in raw.iter().enumerate() {
+                for (f, &v) in row.iter().enumerate() {
+                    let expected = if v.is_finite() {
+                        bin_of(&b.edges[f], v)
+                    } else {
+                        MISSING_BIN
+                    };
+                    prop_assert_eq!(b.code(r, f), expected,
+                        "row {} feature {} value {}", r, f, v);
+                    prop_assert_eq!(b.col(f)[r], expected,
+                        "column access row {} feature {}", r, f);
+                }
+            }
+            // The constant column collapses to a single real bin.
+            prop_assert_eq!(b.n_bins(0), 1);
+        });
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //! class natively:
 //!
 //! - histogram-based split finding (quantile bins, like
-//!   LightGBM/XGBoost-hist),
+//!   LightGBM/XGBoost-hist) over a **feature-major** binned matrix, with
+//!   per-node histogram caching and the LightGBM subtraction trick
+//!   (sibling = parent − smaller child),
+//! - a thread-parallel split search ([`GbmParams::threads`]) whose ordered
+//!   reduction keeps the fitted model **byte-identical for every thread
+//!   count**,
 //! - second-order boosting specialized to squared error (hessian = 1, so
 //!   gradients are plain residuals),
 //! - L2 leaf regularization (`lambda`), depth / leaf-weight constraints,
@@ -36,6 +41,7 @@
 
 mod booster;
 mod dataset;
+mod parallel;
 mod tree;
 
 pub use booster::{Gbm, GbmParams, Loss};

@@ -1,0 +1,75 @@
+//! Deterministic chunked parallelism for the training/prediction hot
+//! paths: contiguous `split_at_mut` handout over scoped threads, no locks.
+
+/// Resolves a thread-count knob: `0` means "one worker per available
+/// core", anything else is taken literally.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
+/// Splits `out` into up to `threads` contiguous chunks and runs
+/// `f(start_index, chunk)` for each — on scoped worker threads when more
+/// than one chunk exists. Every element is written independently of the
+/// chunking, so the result is identical for any thread count.
+pub(crate) fn for_chunks<T: Send>(
+    out: &mut [T],
+    threads: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.min(n).max(1);
+    if threads == 1 {
+        f(0, out);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0usize;
+        for t in 0..threads {
+            let end = ((t + 1) * n) / threads;
+            let (chunk, next) = std::mem::take(&mut rest).split_at_mut(end - start);
+            rest = next;
+            let f = &f;
+            scope.spawn(move || f(start, chunk));
+            start = end;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_every_element_once() {
+        for threads in [1, 2, 3, 7, 64] {
+            let mut out = vec![0usize; 50];
+            for_chunks(&mut out, threads, |start, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = start + k + 1;
+                }
+            });
+            let expect: Vec<usize> = (1..=50).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_output_is_fine() {
+        let mut out: Vec<u32> = Vec::new();
+        for_chunks(&mut out, 4, |_, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn resolve_is_positive() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

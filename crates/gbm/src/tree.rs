@@ -1,4 +1,12 @@
 //! A single regression tree grown on binned gradients.
+//!
+//! The growth hot path uses the classic histogram-boosting tricks:
+//! feature-major code columns (see [`Binned`]), per-node histograms cached
+//! in a reusable pool with the LightGBM subtraction trick (build the
+//! smaller child, derive the sibling as `parent − child`), and a
+//! thread-parallel split search over disjoint feature ranges reduced in
+//! fixed feature order so the grown tree is byte-identical for any thread
+//! count.
 
 use crate::booster::GbmParams;
 use crate::dataset::{Binned, MISSING_BIN};
@@ -31,6 +39,95 @@ pub struct Tree {
 
 lhr_util::impl_json!(struct Tree { nodes });
 
+/// One node's gradient/hessian/count histogram over every feature's bins,
+/// laid out by [`Binned::slot_offsets`] (per feature: real bins then one
+/// missing slot). `h` is only filled when per-sample hessians exist —
+/// squared error reads the exact integer count from `n` instead.
+struct HistBuf {
+    g: Vec<f64>,
+    h: Vec<f64>,
+    n: Vec<u32>,
+}
+
+impl HistBuf {
+    fn with_slots(slots: usize) -> HistBuf {
+        HistBuf {
+            g: vec![0.0; slots],
+            h: vec![0.0; slots],
+            n: vec![0; slots],
+        }
+    }
+
+    /// `self ← self − other`, elementwise — derives the larger child's
+    /// histogram from the parent's (in place) once the smaller child's has
+    /// been built by scanning.
+    fn subtract(&mut self, other: &HistBuf) {
+        for (a, b) in self.g.iter_mut().zip(&other.g) {
+            *a -= b;
+        }
+        for (a, b) in self.h.iter_mut().zip(&other.h) {
+            *a -= b;
+        }
+        for (a, b) in self.n.iter_mut().zip(&other.n) {
+            *a -= b;
+        }
+    }
+}
+
+/// Reusable growth scratch, shared across all trees of one `fit` so the
+/// per-node allocations of the naive implementation disappear.
+pub(crate) struct TreeScratch {
+    /// Free list of node histograms (≤ depth + 2 live at once).
+    pool: Vec<HistBuf>,
+    /// Stable-partition side buffer (replaces two per-node `Vec`s).
+    part: Vec<u32>,
+    /// Node-ordered gradients/hessians: `ordered_g[k] = gradients[indices[k]]`
+    /// so every feature's histogram scan reads them sequentially.
+    ordered_g: Vec<f32>,
+    ordered_h: Vec<f32>,
+    /// Per-feature best split, written by the (possibly parallel) feature
+    /// workers and reduced in fixed feature order.
+    best: Vec<Option<SplitCand>>,
+}
+
+impl TreeScratch {
+    pub fn new() -> TreeScratch {
+        TreeScratch {
+            pool: Vec::new(),
+            part: Vec::new(),
+            ordered_g: Vec::new(),
+            ordered_h: Vec::new(),
+            best: Vec::new(),
+        }
+    }
+
+    fn acquire(&mut self, binned: &Binned) -> HistBuf {
+        match self.pool.pop() {
+            Some(mut h) if h.g.len() == binned.n_slots() => {
+                // Masked / constant features are never (re)filled, so their
+                // slots must read as zero for the subtraction trick.
+                h.g.fill(0.0);
+                h.h.fill(0.0);
+                h.n.fill(0);
+                h
+            }
+            _ => HistBuf::with_slots(binned.n_slots()),
+        }
+    }
+}
+
+/// The best split of one feature, with the left-side sums retained so the
+/// children's node statistics need no rescan.
+#[derive(Debug, Clone, Copy)]
+struct SplitCand {
+    gain: f64,
+    bin: u8,
+    default_left: bool,
+    left_g: f64,
+    left_h: f64,
+    left_n: u32,
+}
+
 /// Shared, immutable context for one tree's growth.
 struct GrowCtx<'a> {
     binned: &'a Binned,
@@ -38,31 +135,16 @@ struct GrowCtx<'a> {
     hessians: Option<&'a [f32]>,
     feature_mask: &'a [bool],
     params: &'a GbmParams,
+    threads: usize,
 }
 
 impl GrowCtx<'_> {
-    #[inline]
-    fn hessian(&self, i: usize) -> f64 {
-        match self.hessians {
-            Some(h) => h[i] as f64,
-            None => 1.0,
-        }
-    }
-
     fn hessian_sum(&self, indices: &[u32]) -> f64 {
         match self.hessians {
             Some(h) => indices.iter().map(|&i| h[i as usize] as f64).sum(),
             None => indices.len() as f64,
         }
     }
-}
-
-/// Result of a split search over one node.
-struct BestSplit {
-    gain: f64,
-    feature: usize,
-    bin: u8,
-    default_left: bool,
 }
 
 impl Tree {
@@ -79,13 +161,32 @@ impl Tree {
     ) -> Tree {
         let indices: Vec<u32> = (0..binned.n_rows as u32).collect();
         let mask = vec![true; binned.n_features];
-        Self::grow_on(binned, gradients, None, indices, &mask, params, gains)
+        let mut scratch = TreeScratch::new();
+        Self::grow_on(
+            binned,
+            gradients,
+            None,
+            indices,
+            &mask,
+            params,
+            1,
+            gains,
+            &mut scratch,
+            None,
+        )
     }
 
     /// [`Tree::grow`] restricted to `root_rows` (stochastic-boosting row
     /// subsample) and to the features whose `feature_mask` entry is true.
     /// `hessians` is `None` for squared error (hessian ≡ 1) and per-sample
     /// second derivatives otherwise (second-order boosting, XGBoost-style).
+    ///
+    /// When `preds` is given, every in-sample row's prediction is updated
+    /// with its leaf value *during* growth (leaf-assignment propagation) —
+    /// an O(n) replacement for the per-round full-tree re-traversal.
+    /// `threads` parallelizes the per-node split search across features;
+    /// the grown tree is byte-identical for every thread count.
+    #[allow(clippy::too_many_arguments)] // one call site, in the booster
     pub(crate) fn grow_on(
         binned: &Binned,
         gradients: &[f32],
@@ -93,7 +194,10 @@ impl Tree {
         mut root_rows: Vec<u32>,
         feature_mask: &[bool],
         params: &GbmParams,
+        threads: usize,
         gains: &mut [f64],
+        scratch: &mut TreeScratch,
+        mut preds: Option<&mut [f32]>,
     ) -> Tree {
         debug_assert_eq!(feature_mask.len(), binned.n_features);
         let mut tree = Tree { nodes: Vec::new() };
@@ -103,69 +207,220 @@ impl Tree {
             hessians,
             feature_mask,
             params,
+            threads: threads.max(1),
         };
-        tree.grow_node2(&ctx, &mut root_rows, 0, gains);
+        scratch.best.clear();
+        scratch.best.resize(binned.n_features, None);
+        let g_sum: f64 = root_rows
+            .iter()
+            .map(|&i| gradients[i as usize] as f64)
+            .sum();
+        let h_sum = ctx.hessian_sum(&root_rows);
+        tree.grow_node(
+            &ctx,
+            &mut root_rows,
+            0,
+            g_sum,
+            h_sum,
+            None,
+            gains,
+            scratch,
+            preds.as_deref_mut(),
+        );
         tree
     }
 
-    /// Recursively grows the subtree over `indices`, returning its arena id.
-    fn grow_node2(
+    /// Recursively grows the subtree over `indices`, returning its arena
+    /// id. `hist_in` is this node's histogram when the parent derived it by
+    /// subtraction; `None` means build-by-scanning (root, or a sibling of a
+    /// leaf-bound child).
+    #[allow(clippy::too_many_arguments)] // recursion threads growth state
+    fn grow_node(
         &mut self,
         ctx: &GrowCtx<'_>,
         indices: &mut [u32],
         depth: usize,
+        g_sum: f64,
+        h_sum: f64,
+        hist_in: Option<HistBuf>,
         gains: &mut [f64],
+        scratch: &mut TreeScratch,
+        mut preds: Option<&mut [f32]>,
     ) -> u32 {
         let params = ctx.params;
-        let g_sum: f64 = indices
-            .iter()
-            .map(|&i| ctx.gradients[i as usize] as f64)
-            .sum();
-        let h_sum: f64 = ctx.hessian_sum(indices);
-        let leaf_value = || (g_sum / (h_sum + params.lambda)) as f32 * params.learning_rate;
+        let leaf_value = (g_sum / (h_sum + params.lambda)) as f32 * params.learning_rate;
 
-        if depth >= params.max_depth || indices.len() < 2 * params.min_child_count {
-            return self.push_leaf(leaf_value());
+        if leaf_bound(indices.len(), depth, params) {
+            if let Some(h) = hist_in {
+                scratch.pool.push(h);
+            }
+            return self.push_leaf(leaf_value, indices, preds);
         }
 
-        let best = self.find_best_split(ctx, indices, g_sum, h_sum);
-        let Some(best) = best else {
-            return self.push_leaf(leaf_value());
+        // Node histogram: reuse the subtraction-derived one, or build by
+        // scanning the node's rows (feature-parallel; index order per
+        // feature is thread-count independent).
+        let build = hist_in.is_none();
+        let mut hist = match hist_in {
+            Some(h) => h,
+            None => scratch.acquire(ctx.binned),
+        };
+        if build {
+            scratch.ordered_g.clear();
+            scratch
+                .ordered_g
+                .extend(indices.iter().map(|&i| ctx.gradients[i as usize]));
+            if let Some(h) = ctx.hessians {
+                scratch.ordered_h.clear();
+                scratch
+                    .ordered_h
+                    .extend(indices.iter().map(|&i| h[i as usize]));
+            }
+        }
+        search_node(
+            ctx,
+            indices,
+            &mut hist,
+            build,
+            &scratch.ordered_g,
+            &scratch.ordered_h,
+            g_sum,
+            h_sum,
+            &mut scratch.best,
+        );
+
+        // Ordered reduction: ascending feature index, strictly-greater gain
+        // wins — the same winner a sequential scan would pick, independent
+        // of how features were assigned to threads.
+        let mut best: Option<(usize, SplitCand)> = None;
+        for (feature, cand) in scratch.best.iter().enumerate() {
+            if let Some(cand) = cand {
+                if best.is_none_or(|(_, b)| cand.gain > b.gain) {
+                    best = Some((feature, *cand));
+                }
+            }
+        }
+        let Some((feature, cand)) = best else {
+            scratch.pool.push(hist);
+            return self.push_leaf(leaf_value, indices, preds);
         };
 
-        gains[best.feature] += best.gain;
+        gains[feature] += cand.gain;
 
         // Partition indices in place: left = code ≤ bin, or missing when
         // default_left.
-        let goes_left = |i: u32| {
-            let code = ctx.binned.code(i as usize, best.feature);
+        let col = ctx.binned.col(feature);
+        let split_at = stable_partition(indices, &mut scratch.part, |i| {
+            let code = col[i as usize];
             if code == MISSING_BIN {
-                best.default_left
+                cand.default_left
             } else {
-                code <= best.bin
+                code <= cand.bin
             }
-        };
-        let split_at = partition_in_place(indices, goes_left);
+        });
         debug_assert!(split_at > 0 && split_at < indices.len());
 
         let node_id = self.nodes.len() as u32;
         self.nodes.push(Node {
-            feature: best.feature as u32,
-            threshold: ctx.binned.threshold(best.feature, best.bin),
+            feature: feature as u32,
+            threshold: ctx.binned.threshold(feature, cand.bin),
             left: 0,
             right: 0,
-            default_left: best.default_left,
+            default_left: cand.default_left,
             value: 0.0,
         });
+
         let (left_idx, right_idx) = indices.split_at_mut(split_at);
-        let left = self.grow_node2(ctx, left_idx, depth + 1, gains);
-        let right = self.grow_node2(ctx, right_idx, depth + 1, gains);
+        let (left_g, left_h) = (
+            cand.left_g,
+            match ctx.hessians {
+                Some(_) => cand.left_h,
+                None => cand.left_n as f64,
+            },
+        );
+        let (right_g, right_h) = (g_sum - left_g, h_sum - left_h);
+
+        // Histogram subtraction: scan only the smaller child; the sibling's
+        // histogram is `parent − child`, computed in the parent's buffer.
+        let left_splittable = !leaf_bound(left_idx.len(), depth + 1, params);
+        let right_splittable = !leaf_bound(right_idx.len(), depth + 1, params);
+        let (mut left_hist, mut right_hist) = (None, None);
+        if left_splittable || right_splittable {
+            let left_smaller = left_idx.len() <= right_idx.len();
+            let small_idx: &[u32] = if left_smaller { left_idx } else { right_idx };
+            let mut small = scratch.acquire(ctx.binned);
+            scratch.ordered_g.clear();
+            scratch
+                .ordered_g
+                .extend(small_idx.iter().map(|&i| ctx.gradients[i as usize]));
+            if let Some(h) = ctx.hessians {
+                scratch.ordered_h.clear();
+                scratch
+                    .ordered_h
+                    .extend(small_idx.iter().map(|&i| h[i as usize]));
+            }
+            build_hist(
+                ctx,
+                small_idx,
+                &mut small,
+                &scratch.ordered_g,
+                &scratch.ordered_h,
+            );
+            hist.subtract(&small);
+            let (l, r) = if left_smaller {
+                (small, hist)
+            } else {
+                (hist, small)
+            };
+            if left_splittable {
+                left_hist = Some(l);
+            } else {
+                scratch.pool.push(l);
+            }
+            if right_splittable {
+                right_hist = Some(r);
+            } else {
+                scratch.pool.push(r);
+            }
+        } else {
+            scratch.pool.push(hist);
+        }
+
+        let left = self.grow_node(
+            ctx,
+            left_idx,
+            depth + 1,
+            left_g,
+            left_h,
+            left_hist,
+            gains,
+            scratch,
+            preds.as_deref_mut(),
+        );
+        let right = self.grow_node(
+            ctx,
+            right_idx,
+            depth + 1,
+            right_g,
+            right_h,
+            right_hist,
+            gains,
+            scratch,
+            preds,
+        );
         self.nodes[node_id as usize].left = left;
         self.nodes[node_id as usize].right = right;
         node_id
     }
 
-    fn push_leaf(&mut self, value: f32) -> u32 {
+    /// Appends a leaf and, when `preds` is given, adds the leaf value to
+    /// every member row's running prediction (leaf propagation).
+    fn push_leaf(&mut self, value: f32, indices: &[u32], preds: Option<&mut [f32]>) -> u32 {
+        if let Some(p) = preds {
+            for &i in indices {
+                p[i as usize] += value;
+            }
+        }
         let id = self.nodes.len() as u32;
         self.nodes.push(Node {
             feature: u32::MAX,
@@ -176,89 +431,6 @@ impl Tree {
             value,
         });
         id
-    }
-
-    /// Histogram scan over every unmasked feature for the best
-    /// second-order-gain split:
-    /// `gain = GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ)` (H = N for squared
-    /// error, where every hessian is 1).
-    fn find_best_split(
-        &self,
-        ctx: &GrowCtx<'_>,
-        indices: &[u32],
-        g_total: f64,
-        h_total: f64,
-    ) -> Option<BestSplit> {
-        let params = ctx.params;
-        let parent_score = g_total * g_total / (h_total + params.lambda);
-        let mut best: Option<BestSplit> = None;
-
-        let mut hist_g = [0f64; 256];
-        let mut hist_h = [0f64; 256];
-        let mut hist_n = [0u32; 256];
-        for feature in 0..ctx.binned.n_features {
-            if !ctx.feature_mask[feature] {
-                continue;
-            }
-            let n_bins = ctx.binned.n_bins(feature);
-            if n_bins < 2 {
-                continue;
-            }
-            hist_g[..n_bins].fill(0.0);
-            hist_h[..n_bins].fill(0.0);
-            hist_n[..n_bins].fill(0);
-            let mut miss_g = 0f64;
-            let mut miss_h = 0f64;
-            let mut miss_n = 0u32;
-            for &i in indices {
-                let code = ctx.binned.code(i as usize, feature);
-                let g = ctx.gradients[i as usize] as f64;
-                let h = ctx.hessian(i as usize);
-                if code == MISSING_BIN {
-                    miss_g += g;
-                    miss_h += h;
-                    miss_n += 1;
-                } else {
-                    hist_g[code as usize] += g;
-                    hist_h[code as usize] += h;
-                    hist_n[code as usize] += 1;
-                }
-            }
-
-            // Prefix scan: left gets bins 0..=b; missing tries both sides.
-            let mut left_g = 0f64;
-            let mut left_h = 0f64;
-            let mut left_n = 0u32;
-            for b in 0..(n_bins - 1) {
-                left_g += hist_g[b];
-                left_h += hist_h[b];
-                left_n += hist_n[b];
-                for &default_left in &[true, false] {
-                    let (lg, lh, ln) = if default_left {
-                        (left_g + miss_g, left_h + miss_h, left_n + miss_n)
-                    } else {
-                        (left_g, left_h, left_n)
-                    };
-                    let (rg, rh, rn) = (g_total - lg, h_total - lh, indices.len() as u32 - ln);
-                    if (ln as usize) < params.min_child_count
-                        || (rn as usize) < params.min_child_count
-                    {
-                        continue;
-                    }
-                    let score = lg * lg / (lh + params.lambda) + rg * rg / (rh + params.lambda);
-                    let gain = score - parent_score;
-                    if gain > params.min_split_gain && best.as_ref().is_none_or(|b| gain > b.gain) {
-                        best = Some(BestSplit {
-                            gain,
-                            feature,
-                            bin: b as u8,
-                            default_left,
-                        });
-                    }
-                }
-            }
-        }
-        best
     }
 
     /// Predicts the tree's contribution for one raw feature row.
@@ -288,24 +460,280 @@ impl Tree {
     }
 }
 
-/// Stable-order in-place partition; returns the number of elements for which
-/// `pred` holds (they end up first).
-fn partition_in_place(xs: &mut [u32], pred: impl Fn(u32) -> bool) -> usize {
-    // Simple two-buffer partition preserving relative order; allocation is
-    // proportional to the node size, which keeps recursion predictable.
-    let mut left = Vec::with_capacity(xs.len());
-    let mut right = Vec::with_capacity(xs.len());
-    for &x in xs.iter() {
-        if pred(x) {
-            left.push(x);
-        } else {
-            right.push(x);
+/// Whether a node of `len` rows at `depth` must become a leaf without a
+/// split search (mirrored by the parent to skip useless histograms).
+#[inline]
+fn leaf_bound(len: usize, depth: usize, params: &GbmParams) -> bool {
+    depth >= params.max_depth || len < 2 * params.min_child_count
+}
+
+/// Builds the node histogram for every unmasked feature and finds each
+/// feature's best split, fanning the features out over `ctx.threads`
+/// scoped workers that own disjoint feature ranges (and hence disjoint
+/// histogram slot ranges — plain `split_at_mut`, no locks). With
+/// `build == false` the histogram is already populated (subtraction) and
+/// only the split scan runs.
+#[allow(clippy::too_many_arguments)] // flat hot-path plumbing
+fn search_node(
+    ctx: &GrowCtx<'_>,
+    indices: &[u32],
+    hist: &mut HistBuf,
+    build: bool,
+    ordered_g: &[f32],
+    ordered_h: &[f32],
+    g_total: f64,
+    h_total: f64,
+    best: &mut [Option<SplitCand>],
+) {
+    let n_features = ctx.binned.n_features;
+    let offsets = &ctx.binned.slot_offsets;
+    let parent_score = g_total * g_total / (h_total + ctx.params.lambda);
+    let n_total = indices.len() as u32;
+
+    // Per-feature worker: (re)build the feature's histogram slice, then
+    // scan its bins for the best candidate. Identical arithmetic whatever
+    // thread runs it, so the outcome is thread-count independent.
+    let run_feature = |feature: usize, fg: &mut [f64], fh: &mut [f64], fn_: &mut [u32]| {
+        if !ctx.feature_mask[feature] || ctx.binned.n_bins(feature) < 2 {
+            return None;
+        }
+        let col = ctx.binned.col(feature);
+        if build {
+            fill_feature_hist(
+                col,
+                indices,
+                ordered_g,
+                ordered_h,
+                ctx.hessians.is_some(),
+                fg,
+                fh,
+                fn_,
+            );
+        }
+        scan_feature(
+            ctx.params,
+            fg,
+            fh,
+            fn_,
+            ctx.hessians.is_some(),
+            g_total,
+            h_total,
+            n_total,
+            parent_score,
+        )
+    };
+
+    // Parallelism only pays off when the node has real work; the cutoff
+    // depends on the data alone, never on the thread count.
+    let threads = if (indices.len() * n_features) < 16_384 {
+        1
+    } else {
+        ctx.threads.min(n_features).max(1)
+    };
+    if threads == 1 {
+        for (feature, out) in best.iter_mut().enumerate() {
+            let (lo, hi) = (offsets[feature], offsets[feature + 1]);
+            *out = run_feature(
+                feature,
+                &mut hist.g[lo..hi],
+                &mut hist.h[lo..hi],
+                &mut hist.n[lo..hi],
+            );
+        }
+        return;
+    }
+
+    // Hand each worker a contiguous feature range and the matching
+    // histogram/result slices.
+    let mut g_rest: &mut [f64] = &mut hist.g;
+    let mut h_rest: &mut [f64] = &mut hist.h;
+    let mut n_rest: &mut [u32] = &mut hist.n;
+    let mut best_rest: &mut [Option<SplitCand>] = best;
+    let mut f0 = 0usize;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let f1 = ((t + 1) * n_features) / threads;
+            let slots = offsets[f1] - offsets[f0];
+            let (g_chunk, g_next) = std::mem::take(&mut g_rest).split_at_mut(slots);
+            let (h_chunk, h_next) = std::mem::take(&mut h_rest).split_at_mut(slots);
+            let (n_chunk, n_next) = std::mem::take(&mut n_rest).split_at_mut(slots);
+            let (b_chunk, b_next) = std::mem::take(&mut best_rest).split_at_mut(f1 - f0);
+            g_rest = g_next;
+            h_rest = h_next;
+            n_rest = n_next;
+            best_rest = b_next;
+            let run_feature = &run_feature;
+            let base = offsets[f0];
+            let lo_feature = f0;
+            scope.spawn(move || {
+                for (k, out) in b_chunk.iter_mut().enumerate() {
+                    let feature = lo_feature + k;
+                    let (lo, hi) = (offsets[feature] - base, offsets[feature + 1] - base);
+                    *out = run_feature(
+                        feature,
+                        &mut g_chunk[lo..hi],
+                        &mut h_chunk[lo..hi],
+                        &mut n_chunk[lo..hi],
+                    );
+                }
+            });
+            f0 = f1;
+        }
+    });
+}
+
+/// Builds the full node histogram (every unmasked feature) by scanning —
+/// the subtraction path's "smaller child" build, which needs no split scan.
+fn build_hist(
+    ctx: &GrowCtx<'_>,
+    indices: &[u32],
+    hist: &mut HistBuf,
+    ordered_g: &[f32],
+    ordered_h: &[f32],
+) {
+    let offsets = &ctx.binned.slot_offsets;
+    for feature in 0..ctx.binned.n_features {
+        if !ctx.feature_mask[feature] || ctx.binned.n_bins(feature) < 2 {
+            continue;
+        }
+        let (lo, hi) = (offsets[feature], offsets[feature + 1]);
+        fill_feature_hist(
+            ctx.binned.col(feature),
+            indices,
+            ordered_g,
+            ordered_h,
+            ctx.hessians.is_some(),
+            &mut hist.g[lo..hi],
+            &mut hist.h[lo..hi],
+            &mut hist.n[lo..hi],
+        );
+    }
+}
+
+/// Accumulates one feature's histogram slice from a contiguous code column.
+#[allow(clippy::too_many_arguments)] // hot inner loop, keep it flat
+fn fill_feature_hist(
+    col: &[u8],
+    indices: &[u32],
+    ordered_g: &[f32],
+    ordered_h: &[f32],
+    has_h: bool,
+    fg: &mut [f64],
+    fh: &mut [f64],
+    fn_: &mut [u32],
+) {
+    let miss = fg.len() - 1;
+    fg.fill(0.0);
+    fn_.fill(0);
+    if has_h {
+        fh.fill(0.0);
+        for (k, &i) in indices.iter().enumerate() {
+            let code = col[i as usize];
+            let slot = if code == MISSING_BIN {
+                miss
+            } else {
+                code as usize
+            };
+            fg[slot] += ordered_g[k] as f64;
+            fh[slot] += ordered_h[k] as f64;
+            fn_[slot] += 1;
+        }
+    } else {
+        for (k, &i) in indices.iter().enumerate() {
+            let code = col[i as usize];
+            let slot = if code == MISSING_BIN {
+                miss
+            } else {
+                code as usize
+            };
+            fg[slot] += ordered_g[k] as f64;
+            fn_[slot] += 1;
         }
     }
-    let split = left.len();
-    xs[..split].copy_from_slice(&left);
-    xs[split..].copy_from_slice(&right);
-    split
+}
+
+/// Prefix-scans one feature's histogram for the best second-order-gain
+/// split: `gain = GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ)` (H = N for squared
+/// error, where every hessian is 1). Missing values try both sides.
+#[allow(clippy::too_many_arguments)] // hot inner loop, keep it flat
+fn scan_feature(
+    params: &GbmParams,
+    fg: &[f64],
+    fh: &[f64],
+    fn_: &[u32],
+    has_h: bool,
+    g_total: f64,
+    h_total: f64,
+    n_total: u32,
+    parent_score: f64,
+) -> Option<SplitCand> {
+    let n_bins = fg.len() - 1;
+    let (miss_g, miss_n) = (fg[n_bins], fn_[n_bins]);
+    let miss_h = if has_h { fh[n_bins] } else { miss_n as f64 };
+    let mut left_g = 0f64;
+    let mut left_h = 0f64;
+    let mut left_n = 0u32;
+    let mut best: Option<SplitCand> = None;
+    for b in 0..(n_bins - 1) {
+        left_g += fg[b];
+        left_n += fn_[b];
+        if has_h {
+            left_h += fh[b];
+        }
+        for &default_left in &[true, false] {
+            let (lg, ln) = if default_left {
+                (left_g + miss_g, left_n + miss_n)
+            } else {
+                (left_g, left_n)
+            };
+            let lh = if has_h {
+                if default_left {
+                    left_h + miss_h
+                } else {
+                    left_h
+                }
+            } else {
+                ln as f64
+            };
+            let rn = n_total - ln;
+            if (ln as usize) < params.min_child_count || (rn as usize) < params.min_child_count {
+                continue;
+            }
+            let (rg, rh) = (g_total - lg, h_total - lh);
+            let score = lg * lg / (lh + params.lambda) + rg * rg / (rh + params.lambda);
+            let gain = score - parent_score;
+            if gain > params.min_split_gain && best.as_ref().is_none_or(|b| gain > b.gain) {
+                best = Some(SplitCand {
+                    gain,
+                    bin: b as u8,
+                    default_left,
+                    left_g: lg,
+                    left_h: lh,
+                    left_n: ln,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Stable-order in-place partition using a caller-provided side buffer;
+/// returns the number of elements for which `pred` holds (they end up
+/// first).
+fn stable_partition(xs: &mut [u32], scratch: &mut Vec<u32>, pred: impl Fn(u32) -> bool) -> usize {
+    scratch.clear();
+    let mut write = 0usize;
+    for k in 0..xs.len() {
+        let x = xs[k];
+        if pred(x) {
+            xs[write] = x;
+            write += 1;
+        } else {
+            scratch.push(x);
+        }
+    }
+    xs[write..].copy_from_slice(scratch);
+    write
 }
 
 #[cfg(test)]
@@ -438,12 +866,54 @@ mod tests {
     #[test]
     fn partition_preserves_all_elements() {
         let mut xs: Vec<u32> = (0..100).collect();
-        let split = partition_in_place(&mut xs, |x| x % 3 == 0);
+        let mut buf = Vec::new();
+        let split = stable_partition(&mut xs, &mut buf, |x| x % 3 == 0);
         assert_eq!(split, 34);
         assert!(xs[..split].iter().all(|x| x % 3 == 0));
         assert!(xs[split..].iter().all(|x| x % 3 != 0));
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn leaf_propagation_matches_per_row_predict() {
+        // Growing with `preds` must add exactly `tree.predict(row)` to each
+        // in-sample row — bin thresholds reconstruct the training-time
+        // routing bit-exactly.
+        let mut d = Dataset::new(2);
+        for i in 0..300 {
+            let x0 = if i % 7 == 0 {
+                f32::NAN
+            } else {
+                (i % 31) as f32
+            };
+            d.push_row(&[x0, (i % 13) as f32], ((i * 5) % 17) as f32 / 17.0);
+        }
+        let binned = Binned::build(&d);
+        let residuals: Vec<f32> = d.labels().to_vec();
+        let mut gains = vec![0.0; d.n_features()];
+        let mut scratch = TreeScratch::new();
+        let mut preds = vec![0f32; d.n_rows()];
+        let params = GbmParams::default();
+        let tree = Tree::grow_on(
+            &binned,
+            &residuals,
+            None,
+            (0..d.n_rows() as u32).collect(),
+            &vec![true; d.n_features()],
+            &params,
+            1,
+            &mut gains,
+            &mut scratch,
+            Some(&mut preds),
+        );
+        for i in 0..d.n_rows() {
+            assert_eq!(
+                preds[i].to_bits(),
+                tree.predict(d.row(i)).to_bits(),
+                "row {i} diverged"
+            );
+        }
     }
 }

@@ -53,19 +53,27 @@ pub fn run_grid(
     assert!(threads > 0, "need at least one worker");
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Option<SimResult>> = (0..cells.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<&mut Option<SimResult>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
+    // Workers claim cells off a shared counter and send `(index, result)`
+    // back over a channel; the scope's owning thread reorders into the
+    // input-order result vector (no per-slot locks).
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, SimResult)>();
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(cells.len().max(1)) {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
                 let factory = &factories[cell.policy];
                 let mut policy = (factory.build)(cell.capacity);
                 let result = Simulator::new(config.clone()).run(&mut policy, cell.trace);
-                **slots[i].lock().expect("slot poisoned") = Some(result);
+                tx.send((i, result)).expect("receiver outlives the scope");
             });
+        }
+        drop(tx); // the iterator below ends once every worker is done
+        for (i, result) in rx {
+            results[i] = Some(result);
         }
     });
 
@@ -93,11 +101,7 @@ pub fn capacity_sweep(
             capacity,
         })
         .collect();
-    run_grid(factories_ref(factories), &cells, config, threads)
-}
-
-fn factories_ref(f: &[PolicyFactory]) -> &[PolicyFactory] {
-    f
+    run_grid(factories, &cells, config, threads)
 }
 
 #[cfg(test)]

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Records the GBM training/prediction baseline into BENCH_gbm.json (one
+# JSON line per bench group, small + medium scales). Re-run after any
+# change to the lhr-gbm hot path and commit the refreshed file so the
+# perf trajectory stays in history.
+#
+# Usage: scripts/bench_gbm.sh [output-file]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_gbm.json}"
+
+cargo build --release --offline -p lhr-bench --bin gbm
+
+: > "$out"
+for scale in small medium; do
+  echo "==> gbm bench, scale=$scale"
+  LHR_BENCH_JSON="$out" \
+    cargo run --release --offline -p lhr-bench --bin gbm -- --scale "$scale"
+done
+
+echo "wrote $out"

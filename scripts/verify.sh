@@ -18,4 +18,8 @@ cargo test -q --doc --offline --workspace
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> gbm bench smoke (tiny scale)"
+LHR_BENCH_WARMUP_MS=20 LHR_BENCH_MEASURE_MS=100 \
+  cargo run --release --offline -p lhr-bench --bin gbm -- --scale tiny
+
 echo "verify: OK"
