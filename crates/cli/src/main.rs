@@ -67,25 +67,47 @@ USAGE:
   lhr-cache bound --capacity SIZE PATH             offline/online bounds
   lhr-cache mrc [--points N] [--sample R] PATH     LRU miss-ratio curve +
                                                    Che-approximation prediction
-  lhr-cache server --policy NAME --capacity SIZE PATH
+  lhr-cache server --policy NAME --capacity SIZE [--faults PRESET] PATH
                                                    replay through the simulated
                                                    CDN serving path (latency,
-                                                   throughput, WAN)
+                                                   throughput, WAN); PRESET
+                                                   injects origin faults:
+                                                   none | flaky | brownout |
+                                                   outage | recovery
 
   SIZE accepts raw bytes or suffixes KB/MB/GB/TB (powers of 10).
+  Trace-reading commands accept --lossy true to skip malformed CSV lines
+  (the skip count is reported on stderr) instead of failing.
   Policies: {}",
         registry::policy_names().join(", ")
     );
     ExitCode::FAILURE
 }
 
+/// One-line rendering of a trace parse failure: malformed records point at
+/// their line (`path:line: reason`), everything else is `path: error`.
+fn format_parse_error(path: &str, e: io::ParseError) -> String {
+    match e {
+        io::ParseError::Malformed { location, reason } => format!("{path}:{location}: {reason}"),
+        other => format!("{path}: {other}"),
+    }
+}
+
 fn load_trace(args: &Args) -> Result<Trace, String> {
     let path = args.positional.first().ok_or("missing trace path")?;
+    let lossy = args.get_parse("lossy")?.unwrap_or(false);
     let trace = if path.ends_with(".bin") {
         let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-        io::read_binary(file, path_stem(path)).map_err(|e| format!("{path}: {e}"))?
+        io::read_binary(file, path_stem(path)).map_err(|e| format_parse_error(path, e))?
+    } else if lossy {
+        let (trace, skipped) =
+            io::read_csv_file_lossy(path).map_err(|e| format_parse_error(path, e))?;
+        if skipped > 0 {
+            eprintln!("warning: {path}: skipped {skipped} malformed line(s)");
+        }
+        trace
     } else {
-        io::read_csv_file(path).map_err(|e| format!("{path}: {e}"))?
+        io::read_csv_file(path).map_err(|e| format_parse_error(path, e))?
     };
     trace
         .validate()
@@ -260,14 +282,25 @@ fn cmd_mrc(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_server(args: &Args) -> Result<(), String> {
-    use lhr_proto::{CdnServer, ServerConfig};
+    use lhr_proto::{presets, CdnServer, FaultConfig, ServerConfig};
     let trace = load_trace(args)?;
     let name = args.get("policy").ok_or("--policy is required")?;
     let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
     let seed = args.get_parse("seed")?.unwrap_or(42u64);
     let policy = registry::build(name, capacity, seed, &trace)
         .ok_or_else(|| format!("unknown policy `{name}`"))?;
-    let mut server = CdnServer::new(policy, ServerConfig::default());
+    let faulted = args.get("faults").map(|s| s.as_str()).unwrap_or("none") != "none";
+    let config = match args.get("faults") {
+        Some(preset) => presets::fault_preset(preset, seed, trace.duration().as_secs_f64())
+            .ok_or_else(|| {
+                format!(
+                    "unknown fault preset `{preset}` (try: {})",
+                    FaultConfig::preset_names().join(", ")
+                )
+            })?,
+        None => ServerConfig::default(),
+    };
+    let mut server = CdnServer::new(policy, config);
     let r = server.replay(&trace);
     println!("policy:          {}", r.name);
     println!("content hit:     {:.2} %", r.content_hit_pct);
@@ -277,6 +310,21 @@ fn cmd_server(args: &Args) -> Result<(), String> {
     println!("P99 latency:     {:.1} ms", r.p99_latency_ms);
     println!("WAN traffic:     {:.3} Gbps", r.wan_gbps);
     println!("peak metadata:   {:.2} MB", r.peak_mem_gb * 1e3);
+    if faulted {
+        println!("availability:    {:.2} %", r.availability_pct);
+        println!("errors served:   {}", r.errors_served);
+        println!("stale served:    {}", r.stale_served);
+        println!("retries:         {}", r.retries);
+        println!("coalesced:       {}", r.coalesced_fetches);
+        println!(
+            "breaker:         {} open / {} close",
+            r.breaker_opens, r.breaker_closes
+        );
+        println!(
+            "degraded P90/99: {:.1} / {:.1} ms",
+            r.degraded_p90_latency_ms, r.degraded_p99_latency_ms
+        );
+    }
     println!("replay wall:     {:.2} s", r.replay_wall_secs);
     Ok(())
 }

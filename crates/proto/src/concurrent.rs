@@ -11,12 +11,19 @@
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
 use lhr_util::sync::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A sharded wrapper over any cache policy. Shared by reference across
 /// threads (`&ConcurrentCache<P>` is `Sync` when `P: Send`).
 pub struct ConcurrentCache<P> {
+    name: String,
     shards: Vec<Mutex<P>>,
     shard_capacity: u64,
+    /// Per-shard set of objects with an origin fetch in flight (the
+    /// request-coalescing primitive: one leader fetches, followers wait).
+    pending: Vec<Mutex<HashSet<ObjectId>>>,
+    coalesced: AtomicU64,
 }
 
 impl<P: CachePolicy> ConcurrentCache<P> {
@@ -25,11 +32,16 @@ impl<P: CachePolicy> ConcurrentCache<P> {
     pub fn new(total_capacity: u64, n_shards: usize, build: impl Fn(u64) -> P) -> Self {
         assert!(n_shards > 0, "need at least one shard");
         let shard_capacity = (total_capacity / n_shards as u64).max(1);
+        let shards: Vec<Mutex<P>> = (0..n_shards)
+            .map(|_| Mutex::new(build(shard_capacity)))
+            .collect();
+        let name = format!("sharded({})x{}", shards[0].lock().name(), n_shards);
         ConcurrentCache {
-            shards: (0..n_shards)
-                .map(|_| Mutex::new(build(shard_capacity)))
-                .collect(),
+            name,
+            shards,
             shard_capacity,
+            pending: (0..n_shards).map(|_| Mutex::new(HashSet::new())).collect(),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -69,6 +81,70 @@ impl<P: CachePolicy> ConcurrentCache<P> {
     /// Number of shards.
     pub fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Total policy metadata across shards.
+    pub fn metadata_overhead_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().metadata_overhead_bytes())
+            .sum()
+    }
+
+    /// Claims the origin fetch for `id`. Returns `true` for the leader
+    /// (the caller must fetch and then call [`Self::finish_fetch`]);
+    /// `false` means another request's fetch is already in flight and this
+    /// one was counted as coalesced.
+    pub fn begin_fetch(&self, id: ObjectId) -> bool {
+        if self.pending[self.shard_of(id)].lock().insert(id) {
+            true
+        } else {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Releases the in-flight claim taken by [`Self::begin_fetch`].
+    pub fn finish_fetch(&self, id: ObjectId) {
+        self.pending[self.shard_of(id)].lock().remove(&id);
+    }
+
+    /// How many fetches were coalesced into an already in-flight one.
+    pub fn coalesced_fetches(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
+
+/// The sharded front end is itself a [`CachePolicy`], so it can sit behind
+/// a [`crate::CdnServer`] or any harness written against the trait (the
+/// `&mut self` methods simply delegate to the lock-per-shard `&self` path).
+impl<P: CachePolicy> CachePolicy for ConcurrentCache<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capacity(&self) -> u64 {
+        ConcurrentCache::capacity(self)
+    }
+
+    fn used_bytes(&self) -> u64 {
+        ConcurrentCache::used_bytes(self)
+    }
+
+    fn contains(&self, id: ObjectId) -> bool {
+        ConcurrentCache::contains(self, id)
+    }
+
+    fn handle(&mut self, req: &Request) -> Outcome {
+        ConcurrentCache::handle(&*self, req)
+    }
+
+    fn evictions(&self) -> u64 {
+        ConcurrentCache::evictions(self)
+    }
+
+    fn metadata_overhead_bytes(&self) -> u64 {
+        ConcurrentCache::metadata_overhead_bytes(self)
     }
 }
 
@@ -140,6 +216,48 @@ mod tests {
         });
         // 64 distinct objects of 1 000 B cached exactly once each.
         assert_eq!(cache.used_bytes(), 64 * 1_000);
+    }
+
+    #[test]
+    fn begin_fetch_elects_one_leader_and_counts_followers() {
+        let cache = ConcurrentCache::new(1 << 20, 4, Lru::new);
+        assert!(cache.begin_fetch(7), "first claimant leads");
+        assert!(!cache.begin_fetch(7), "second coalesces");
+        assert!(!cache.begin_fetch(7));
+        assert!(cache.begin_fetch(8), "other objects are independent");
+        cache.finish_fetch(7);
+        assert!(cache.begin_fetch(7), "claim released after finish");
+        assert_eq!(cache.coalesced_fetches(), 2);
+    }
+
+    #[test]
+    fn coalescing_under_contention_elects_exactly_one_leader() {
+        let cache = ConcurrentCache::new(1 << 20, 4, Lru::new);
+        let threads = 8u64;
+        let leaders: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cache = &cache;
+                    scope.spawn(move || u64::from(cache.begin_fetch(99)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("join")).sum()
+        });
+        assert_eq!(leaders, 1, "exactly one fetch leader per object");
+        assert_eq!(cache.coalesced_fetches(), threads - 1);
+    }
+
+    #[test]
+    fn implements_cache_policy_trait() {
+        fn exercise<P: CachePolicy>(p: &mut P) {
+            p.handle(&req(0, 1, 100));
+            assert!(p.contains(1));
+            assert!(p.used_bytes() <= p.capacity());
+            assert!(p.metadata_overhead_bytes() > 0);
+        }
+        let mut cache = ConcurrentCache::new(1 << 20, 8, Lru::new);
+        exercise(&mut cache);
+        assert_eq!(CachePolicy::name(&cache), "sharded(LRU)x8");
     }
 
     #[test]

@@ -53,6 +53,30 @@ impl LatencyModel {
         self.hit_latency_ms(size, compute_ms) + self.origin_rtt_ms
     }
 
+    /// Miss latency when the origin transfers at `rate_scale` of its
+    /// nominal rate (latency spikes and slow-start epochs; `1.0` is
+    /// [`LatencyModel::miss_latency_ms`]).
+    pub fn miss_latency_scaled_ms(&self, size: u64, compute_ms: f64, rate_scale: f64) -> f64 {
+        self.edge_rtt_ms
+            + self.origin_fetch_ms(size, rate_scale)
+            + transfer_ms(size, self.edge_gbps)
+            + compute_ms
+    }
+
+    /// How long an origin fetch occupies the WAN side: one origin RTT plus
+    /// the transfer at `rate_scale` of the nominal origin rate. This is the
+    /// in-flight window concurrent misses coalesce into.
+    pub fn origin_fetch_ms(&self, size: u64, rate_scale: f64) -> f64 {
+        self.origin_rtt_ms + transfer_ms(size, self.origin_gbps * rate_scale.max(1e-6))
+    }
+
+    /// Latency of a request the serving path could not satisfy: the error
+    /// response itself is tiny, so only the edge RTT (plus compute) remains;
+    /// retry backoffs and timeouts are charged by the caller.
+    pub fn error_latency_ms(&self, compute_ms: f64) -> f64 {
+        self.edge_rtt_ms + compute_ms
+    }
+
     /// Server-side occupancy of one request in milliseconds — the time the
     /// serving path is busy with it. Throughput in the "max" experiment is
     /// `total bytes / Σ service time`.
@@ -100,6 +124,20 @@ mod tests {
     fn hit_service_uses_edge_rate() {
         let m = LatencyModel::default();
         assert!(m.service_ms(1 << 20, true, 0.0) < m.service_ms(1 << 20, false, 0.0));
+    }
+
+    #[test]
+    fn scaled_miss_latency_degrades_with_rate() {
+        let m = LatencyModel::default();
+        let size = 1 << 20;
+        assert!(
+            (m.miss_latency_scaled_ms(size, 0.0, 1.0) - m.miss_latency_ms(size, 0.0)).abs() < 1e-9
+        );
+        assert!(m.miss_latency_scaled_ms(size, 0.0, 0.1) > m.miss_latency_ms(size, 0.0));
+        // The in-flight window grows as the origin slows.
+        assert!(m.origin_fetch_ms(size, 0.25) > m.origin_fetch_ms(size, 1.0));
+        // Error responses cost no transfer.
+        assert!((m.error_latency_ms(0.0) - m.edge_rtt_ms).abs() < 1e-9);
     }
 
     #[test]

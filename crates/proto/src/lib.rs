@@ -18,17 +18,29 @@
 //! (ATS's default), "Caffeine" around W-TinyLFU (Caffeine's policy), and
 //! the LHR prototype around [`lhr::LhrCache`] — constructors in
 //! [`presets`].
+//!
+//! The origin side is fallible: [`fault`] provides a deterministic seeded
+//! fault schedule (errors, timeouts, latency spikes, outage windows,
+//! slow-start recovery) and the resilience primitives the hardened serving
+//! path layers over it — retries with backoff and jitter, a per-origin
+//! circuit breaker, RFC 5861 stale serving, and request coalescing. The
+//! report's availability/degradation counters quantify what survived.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod fault;
 pub mod latency;
 pub mod presets;
 pub mod server;
 pub mod tiered;
 
 pub use concurrent::ConcurrentCache;
+pub use fault::{
+    BreakerConfig, BreakerState, CircuitBreaker, FaultConfig, FaultPlan, OriginOutcome,
+    ResilienceConfig, RetryPolicy,
+};
 pub use latency::LatencyModel;
 pub use server::{CdnServer, ServerConfig, ServerReport};
 pub use tiered::{Tier, TieredCache};

@@ -1,5 +1,6 @@
 //! Prototype constructors matching the paper's three servers.
 
+use crate::fault::{FaultConfig, ResilienceConfig};
 use crate::server::{CdnServer, ServerConfig};
 use lhr::cache::{LhrCache, LhrConfig};
 use lhr_policies::{Lru, WTinyLfu};
@@ -39,6 +40,19 @@ pub fn lhr_caffeine_server(
     CdnServer::new(LhrCache::new(capacity, lhr_config), config)
 }
 
+/// A [`ServerConfig`] with the named fault preset (see
+/// [`FaultConfig::preset_names`]) scaled to a trace of `duration_secs`,
+/// and the full graceful-degradation stack enabled
+/// ([`ResilienceConfig::hardened`]). `None` for an unknown preset name.
+pub fn fault_preset(name: &str, seed: u64, duration_secs: f64) -> Option<ServerConfig> {
+    let faults = FaultConfig::preset(name, seed, duration_secs)?;
+    Some(ServerConfig {
+        faults,
+        resilience: ResilienceConfig::hardened(),
+        ..ServerConfig::default()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +82,18 @@ mod tests {
         assert!(ats_report.content_hit_pct >= 0.0);
         assert!(lhr_report.content_hit_pct >= 0.0);
         assert!(lhr_report.mean_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn fault_presets_resolve_and_harden() {
+        for name in FaultConfig::preset_names() {
+            let cfg = fault_preset(name, 42, 1_000.0).expect(name);
+            assert_eq!(cfg.faults.seed, 42);
+            assert!(cfg.resilience.stale_if_error_secs > 0.0);
+        }
+        assert!(fault_preset("bogus", 42, 1_000.0).is_none());
+        // The outage preset scales its window to the trace duration.
+        let outage = fault_preset("outage", 1, 1_000.0).unwrap();
+        assert_eq!(outage.faults.outages, vec![(400.0, 600.0)]);
     }
 }

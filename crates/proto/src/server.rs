@@ -1,8 +1,18 @@
 //! The simulated CDN server and its resource report.
+//!
+//! The serving path layers graceful degradation over the origin fetch (see
+//! [`crate::fault`]): retries with exponential backoff and jitter, a
+//! per-origin circuit breaker, RFC 5861 stale serving from expired-but-
+//! cached copies, and coalescing of concurrent misses into one in-flight
+//! fetch. With the default [`ServerConfig`] (no injected faults) the path
+//! behaves exactly like the original infallible-origin model.
 
-use crate::latency::LatencyModel;
+use crate::fault::FaultConfig;
+use crate::fault::{CircuitBreaker, FaultPlan, OriginOutcome, ResilienceConfig, RetryPolicy};
+use crate::latency::{transfer_ms, LatencyModel};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Time, Trace};
+use lhr_util::json::ToJson;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -22,6 +32,14 @@ pub struct ServerConfig {
     /// Record a hit-ratio series point every this many requests (Figures 7
     /// and 13); `None` disables.
     pub series_every: Option<usize>,
+    /// The injected origin fault schedule (default: infallible origin).
+    pub faults: FaultConfig,
+    /// Retry / circuit-breaker / stale-serving / coalescing settings.
+    pub resilience: ResilienceConfig,
+    /// When true, wall-clock policy compute time is excluded from the
+    /// latency and CPU model so two replays with the same fault seed
+    /// produce byte-identical reports (see [`ServerReport::stable_json`]).
+    pub deterministic: bool,
 }
 
 impl Default for ServerConfig {
@@ -32,18 +50,23 @@ impl Default for ServerConfig {
             revalidate_fresh_prob: 0.9,
             warmup_requests: 0,
             series_every: None,
+            faults: FaultConfig::default(),
+            resilience: ResilienceConfig::default(),
+            deterministic: false,
         }
     }
 }
 
-/// Everything the prototype experiments report (Tables 2–4).
+/// Everything the prototype experiments report (Tables 2–4), plus the
+/// degraded-mode counters of the fault-injected serving path.
 #[derive(Debug, Clone)]
 pub struct ServerReport {
     /// Policy (prototype) name.
     pub name: String,
     /// Trace name.
     pub trace: String,
-    /// Content (object) hit ratio, percent.
+    /// Content (object) hit ratio, percent. Stale serves count as hits
+    /// (they are served from the cache); error responses never do.
     pub content_hit_pct: f64,
     /// "max" experiment throughput in Gbps: total bytes served over the
     /// serving path's busy time.
@@ -60,6 +83,29 @@ pub struct ServerReport {
     pub mean_latency_ms: f64,
     /// Average WAN traffic in Gbps over the trace duration.
     pub wan_gbps: f64,
+    /// Percent of measured requests served successfully (fresh, revalidated,
+    /// coalesced, or stale — everything except error responses).
+    pub availability_pct: f64,
+    /// Measured requests that got an error response (origin unreachable and
+    /// no servable stale copy).
+    pub errors_served: u64,
+    /// Measured requests served from an expired cached copy (stale-if-error
+    /// + stale-while-revalidate).
+    pub stale_served: u64,
+    /// Origin fetch retries over the whole replay (including warmup).
+    pub retries: u64,
+    /// Measured misses that joined an already in-flight origin fetch
+    /// instead of issuing their own.
+    pub coalesced_fetches: u64,
+    /// Circuit-breaker transitions to open over the whole replay.
+    pub breaker_opens: u64,
+    /// Circuit-breaker transitions back to closed over the whole replay.
+    pub breaker_closes: u64,
+    /// P90 latency over degraded requests only (retried, stale-served,
+    /// coalesced, or errored), ms; 0 when nothing degraded.
+    pub degraded_p90_latency_ms: f64,
+    /// P99 latency over degraded requests only, ms.
+    pub degraded_p99_latency_ms: f64,
     /// Hit-ratio time series (cumulative), if requested.
     pub series: Vec<(u64, f64)>,
     /// Wall-clock seconds the replay took (simulation cost, not modeled
@@ -78,9 +124,100 @@ lhr_util::impl_json!(struct ServerReport {
     p99_latency_ms,
     mean_latency_ms,
     wan_gbps,
+    availability_pct,
+    errors_served,
+    stale_served,
+    retries,
+    coalesced_fetches,
+    breaker_opens,
+    breaker_closes,
+    degraded_p90_latency_ms,
+    degraded_p99_latency_ms,
     series,
     replay_wall_secs,
 });
+
+impl ServerReport {
+    /// JSON with the wall-clock field zeroed: with
+    /// [`ServerConfig::deterministic`] set, two replays of the same trace,
+    /// policy, and fault seed produce byte-identical output.
+    pub fn stable_json(&self) -> String {
+        let mut stable = self.clone();
+        stable.replay_wall_secs = 0.0;
+        stable.to_json().to_string()
+    }
+}
+
+/// Result of one hardened origin fetch (the retry chain as a whole).
+struct FetchResult {
+    /// Whether any attempt ultimately succeeded.
+    ok: bool,
+    /// Milliseconds burned before the successful transfer started (or
+    /// before giving up): error RTTs, timeouts, and retry backoffs.
+    delay_ms: f64,
+    /// Rate multiplier of the successful attempt (1.0 nominal).
+    rate_scale: f64,
+    /// False when the circuit breaker failed the fetch fast without
+    /// contacting the origin.
+    attempted: bool,
+}
+
+/// Runs one fetch through the breaker and the retry chain.
+fn origin_fetch(
+    lat: &LatencyModel,
+    retry: &RetryPolicy,
+    plan: &mut FaultPlan,
+    breaker: &mut CircuitBreaker,
+    now: Time,
+    retries: &mut u64,
+) -> FetchResult {
+    if !breaker.allow(now) {
+        return FetchResult {
+            ok: false,
+            delay_ms: 0.0,
+            rate_scale: 1.0,
+            attempted: false,
+        };
+    }
+    let mut delay_ms = 0.0;
+    let mut attempt = 0u32;
+    loop {
+        match plan.outcome(now) {
+            OriginOutcome::Success => {
+                breaker.record_success();
+                return FetchResult {
+                    ok: true,
+                    delay_ms,
+                    rate_scale: 1.0,
+                    attempted: true,
+                };
+            }
+            OriginOutcome::Slow { rate_scale } => {
+                breaker.record_success();
+                return FetchResult {
+                    ok: true,
+                    delay_ms,
+                    rate_scale,
+                    attempted: true,
+                };
+            }
+            OriginOutcome::Error => delay_ms += lat.origin_rtt_ms,
+            OriginOutcome::Timeout => delay_ms += retry.timeout_ms,
+        }
+        if attempt >= retry.max_retries {
+            breaker.record_failure(now);
+            return FetchResult {
+                ok: false,
+                delay_ms,
+                rate_scale: 1.0,
+                attempted: true,
+            };
+        }
+        delay_ms += retry.backoff_ms(attempt, plan.jitter());
+        *retries += 1;
+        attempt += 1;
+    }
+}
 
 /// A CDN server wrapping a cache policy.
 pub struct CdnServer<P: CachePolicy> {
@@ -88,6 +225,18 @@ pub struct CdnServer<P: CachePolicy> {
     config: ServerConfig,
     /// Admission time of cached contents (for freshness).
     admitted_at: HashMap<ObjectId, Time>,
+}
+
+/// How one request was ultimately served (bookkeeping for the report).
+struct ServeOutcome {
+    latency_ms: f64,
+    service_ms: f64,
+    wan: u64,
+    hit: bool,
+    stale: bool,
+    error: bool,
+    coalesced: bool,
+    degraded: bool,
 }
 
 impl<P: CachePolicy> CdnServer<P> {
@@ -108,86 +257,45 @@ impl<P: CachePolicy> CdnServer<P> {
     /// Replays `trace` through the serving path, producing the full report.
     pub fn replay(&mut self, trace: &Trace) -> ServerReport {
         let mut latencies: Vec<f64> = Vec::with_capacity(trace.len());
+        let mut degraded_latencies: Vec<f64> = Vec::new();
         let mut busy_ms = 0.0f64;
         let mut compute_ms_total = 0.0f64;
         let mut bytes_served = 0u128;
         let mut wan_bytes = 0u128;
         let mut hits = 0u64;
+        let mut errors = 0u64;
+        let mut stale_served = 0u64;
+        let mut coalesced = 0u64;
+        let mut retries = 0u64;
         let mut measured = 0u64;
         let mut peak_meta = 0u64;
         let mut series = Vec::new();
+        let mut plan = FaultPlan::new(self.config.faults.clone());
+        let mut breaker = CircuitBreaker::new(self.config.resilience.breaker.clone());
+        // Object → (fetch completion time, fetch succeeded): the in-flight
+        // window concurrent misses coalesce into.
+        let mut in_flight: HashMap<ObjectId, (Time, bool)> = HashMap::new();
         let wall = Instant::now();
 
         for (i, req) in trace.iter().enumerate() {
-            let t0 = Instant::now();
-            let outcome = self.policy.handle(req);
-            let compute_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-            // Freshness (ATS step 2): a cached hit older than the lifetime
-            // must revalidate with the origin; a deterministic per-object
-            // hash decides whether it changed (refetch) or not.
-            let lat = &self.config.latency;
-            let (latency_ms, service_ms, wan) = match outcome {
-                Outcome::Hit => {
-                    let stale = match (self.config.freshness_secs, self.admitted_at.get(&req.id)) {
-                        (Some(limit), Some(&admitted)) => {
-                            req.ts.saturating_sub(admitted).as_secs_f64() > limit
-                        }
-                        _ => false,
-                    };
-                    if stale {
-                        let epoch = (req.ts.as_secs_f64()
-                            / self.config.freshness_secs.unwrap_or(f64::INFINITY))
-                            as u64;
-                        let still_fresh =
-                            pseudo_uniform(req.id, epoch) < self.config.revalidate_fresh_prob;
-                        self.admitted_at.insert(req.id, req.ts);
-                        if still_fresh {
-                            (
-                                lat.revalidate_latency_ms(req.size, compute_ms),
-                                lat.service_ms(req.size, true, compute_ms),
-                                0u64,
-                            )
-                        } else {
-                            // Changed at origin: refetch (WAN traffic) and
-                            // deliver.
-                            (
-                                lat.miss_latency_ms(req.size, compute_ms),
-                                lat.service_ms(req.size, false, compute_ms),
-                                req.size,
-                            )
-                        }
-                    } else {
-                        (
-                            lat.hit_latency_ms(req.size, compute_ms),
-                            lat.service_ms(req.size, true, compute_ms),
-                            0,
-                        )
-                    }
-                }
-                Outcome::MissAdmitted => {
-                    self.admitted_at.insert(req.id, req.ts);
-                    (
-                        lat.miss_latency_ms(req.size, compute_ms),
-                        lat.service_ms(req.size, false, compute_ms),
-                        req.size,
-                    )
-                }
-                Outcome::MissBypassed => (
-                    lat.miss_latency_ms(req.size, compute_ms),
-                    lat.service_ms(req.size, false, compute_ms),
-                    req.size,
-                ),
-            };
+            let served = self.serve(
+                req,
+                &mut plan,
+                &mut breaker,
+                &mut in_flight,
+                &mut retries,
+                &mut compute_ms_total,
+            );
 
             if i % 512 == 0 {
                 peak_meta = peak_meta.max(self.policy.metadata_overhead_bytes());
                 // Opportunistic cleanup of freshness entries for evicted
-                // contents.
+                // contents and of expired in-flight windows.
                 if self.admitted_at.len() > 4 * 1024 * 1024 {
                     let policy = &self.policy;
                     self.admitted_at.retain(|&id, _| policy.contains(id));
                 }
+                in_flight.retain(|_, &mut (done_at, _)| req.ts < done_at);
             }
 
             if i < self.config.warmup_requests {
@@ -195,13 +303,24 @@ impl<P: CachePolicy> CdnServer<P> {
             }
             measured += 1;
             bytes_served += req.size as u128;
-            wan_bytes += wan as u128;
-            busy_ms += service_ms;
-            compute_ms_total += compute_ms;
-            if outcome.is_hit() {
+            wan_bytes += served.wan as u128;
+            busy_ms += served.service_ms;
+            if served.hit {
                 hits += 1;
             }
-            latencies.push(latency_ms);
+            if served.error {
+                errors += 1;
+            }
+            if served.stale {
+                stale_served += 1;
+            }
+            if served.coalesced {
+                coalesced += 1;
+            }
+            latencies.push(served.latency_ms);
+            if served.degraded {
+                degraded_latencies.push(served.latency_ms);
+            }
             if let Some(every) = self.config.series_every {
                 if measured.is_multiple_of(every as u64) {
                     series.push((measured, hits as f64 / measured as f64));
@@ -210,13 +329,16 @@ impl<P: CachePolicy> CdnServer<P> {
         }
 
         peak_meta = peak_meta.max(self.policy.metadata_overhead_bytes());
-        latencies.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let pct = |p: f64| -> f64 {
-            if latencies.is_empty() {
+        // NaN latencies (a degenerate latency model) sort last and degrade
+        // the percentile instead of panicking the whole replay.
+        latencies.sort_unstable_by(f64::total_cmp);
+        degraded_latencies.sort_unstable_by(f64::total_cmp);
+        let pct = |sorted: &[f64], p: f64| -> f64 {
+            if sorted.is_empty() {
                 return 0.0;
             }
-            let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
-            latencies[idx - 1]
+            let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+            sorted[idx - 1]
         };
         let mean = if latencies.is_empty() {
             0.0
@@ -244,13 +366,316 @@ impl<P: CachePolicy> CdnServer<P> {
                 (compute_ms_total / busy_ms * 100.0).min(100.0)
             },
             peak_mem_gb: peak_meta as f64 / 1e9,
-            p90_latency_ms: pct(0.90),
-            p99_latency_ms: pct(0.99),
+            p90_latency_ms: pct(&latencies, 0.90),
+            p99_latency_ms: pct(&latencies, 0.99),
             mean_latency_ms: mean,
             wan_gbps: wan_bytes as f64 * 8.0 / duration / 1e9,
+            availability_pct: if measured == 0 {
+                100.0
+            } else {
+                (measured - errors) as f64 / measured as f64 * 100.0
+            },
+            errors_served: errors,
+            stale_served,
+            retries,
+            coalesced_fetches: coalesced,
+            breaker_opens: breaker.opens(),
+            breaker_closes: breaker.closes(),
+            degraded_p90_latency_ms: pct(&degraded_latencies, 0.90),
+            degraded_p99_latency_ms: pct(&degraded_latencies, 0.99),
             series,
             replay_wall_secs: wall.elapsed().as_secs_f64(),
         }
+    }
+
+    /// Runs the policy on `req`, timing the call (zeroed in deterministic
+    /// mode) and accumulating total compute.
+    fn handle_timed(
+        &mut self,
+        req: &lhr_trace::Request,
+        compute_total: &mut f64,
+    ) -> (Outcome, f64) {
+        let t0 = Instant::now();
+        let outcome = self.policy.handle(req);
+        let compute_ms = if self.config.deterministic {
+            0.0
+        } else {
+            t0.elapsed().as_secs_f64() * 1e3
+        };
+        *compute_total += compute_ms;
+        (outcome, compute_ms)
+    }
+
+    /// Serves one request through the hardened path.
+    fn serve(
+        &mut self,
+        req: &lhr_trace::Request,
+        plan: &mut FaultPlan,
+        breaker: &mut CircuitBreaker,
+        in_flight: &mut HashMap<ObjectId, (Time, bool)>,
+        retries: &mut u64,
+        compute_total: &mut f64,
+    ) -> ServeOutcome {
+        let lat = self.config.latency.clone();
+        let res = self.config.resilience.clone();
+        let now = req.ts;
+
+        if self.policy.contains(req.id) {
+            let (outcome, compute_ms) = self.handle_timed(req, compute_total);
+            if outcome.is_hit() {
+                return self.serve_cached(req, compute_ms, &lat, &res, plan, breaker, retries);
+            }
+            // Contract violation (contains() disagreed with handle()): fall
+            // through to the miss path; the policy has already decided
+            // admission, so only the origin side remains.
+            return self.serve_miss_fetch(
+                req, compute_ms, false, &lat, &res, plan, breaker, in_flight, retries,
+            );
+        }
+
+        // Miss. A fetch for this object may already be in flight.
+        if res.coalesce {
+            if let Some(&(done_at, ok)) = in_flight.get(&req.id) {
+                if now < done_at {
+                    let remaining_ms = (done_at - now).as_secs_f64() * 1e3;
+                    if ok {
+                        // Join the leader's fetch: the body arrives when the
+                        // fetch completes, then is served over the edge link.
+                        // The access still informs the policy's admission
+                        // stats, but no second origin fetch happens.
+                        let (outcome, compute_ms) = self.handle_timed(req, compute_total);
+                        if matches!(outcome, Outcome::MissAdmitted | Outcome::Hit) {
+                            self.admitted_at.insert(req.id, now);
+                        }
+                        return ServeOutcome {
+                            latency_ms: remaining_ms + lat.hit_latency_ms(req.size, compute_ms),
+                            service_ms: lat.service_ms(req.size, true, compute_ms),
+                            wan: 0,
+                            hit: false,
+                            stale: false,
+                            error: false,
+                            coalesced: true,
+                            degraded: true,
+                        };
+                    }
+                    // Sharing a fetch that is going to fail: the follower
+                    // learns the failure when the leader does.
+                    return ServeOutcome {
+                        latency_ms: remaining_ms + lat.error_latency_ms(0.0),
+                        service_ms: 0.0,
+                        wan: 0,
+                        hit: false,
+                        stale: false,
+                        error: true,
+                        coalesced: true,
+                        degraded: true,
+                    };
+                }
+                in_flight.remove(&req.id);
+            }
+        }
+
+        self.serve_miss_fetch(
+            req, 0.0, true, &lat, &res, plan, breaker, in_flight, retries,
+        )
+    }
+
+    /// The cached-object path: freshness check, revalidation (synchronous
+    /// or stale-while-revalidate), stale-if-error fallback.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_cached(
+        &mut self,
+        req: &lhr_trace::Request,
+        compute_ms: f64,
+        lat: &LatencyModel,
+        res: &ResilienceConfig,
+        plan: &mut FaultPlan,
+        breaker: &mut CircuitBreaker,
+        retries: &mut u64,
+    ) -> ServeOutcome {
+        let fresh_limit = self.config.freshness_secs;
+        let now = req.ts;
+        let age_past_fresh = match (fresh_limit, self.admitted_at.get(&req.id)) {
+            (Some(limit), Some(&admitted)) => {
+                let age = now.saturating_sub(admitted).as_secs_f64();
+                if age > limit {
+                    Some(age - limit)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+
+        let ok_hit = |latency_ms: f64, service_ms: f64, wan: u64, stale: bool, degraded: bool| {
+            ServeOutcome {
+                latency_ms,
+                service_ms,
+                wan,
+                hit: true,
+                stale,
+                error: false,
+                coalesced: false,
+                degraded,
+            }
+        };
+
+        let Some(age_past_fresh) = age_past_fresh else {
+            // Fresh hit: the fast path.
+            return ok_hit(
+                lat.hit_latency_ms(req.size, compute_ms),
+                lat.service_ms(req.size, true, compute_ms),
+                0,
+                false,
+                false,
+            );
+        };
+
+        // Stale-while-revalidate: serve the expired copy immediately and
+        // revalidate off the critical path.
+        if res.stale_while_revalidate_secs > 0.0
+            && age_past_fresh <= res.stale_while_revalidate_secs
+        {
+            let fetch = origin_fetch(lat, &res.retry, plan, breaker, now, retries);
+            let mut wan = 0u64;
+            if fetch.ok {
+                let changed = !self.revalidation_fresh(req.id, now);
+                self.admitted_at.insert(req.id, now);
+                if changed {
+                    wan = req.size;
+                }
+            }
+            // Background failure leaves the copy stale; a later request
+            // will retry (or fall back to stale-if-error).
+            return ok_hit(
+                lat.hit_latency_ms(req.size, compute_ms),
+                lat.service_ms(req.size, true, compute_ms),
+                wan,
+                true,
+                true,
+            );
+        }
+
+        // Synchronous revalidation with the origin.
+        let fetch = origin_fetch(lat, &res.retry, plan, breaker, now, retries);
+        if fetch.ok {
+            let still_fresh = self.revalidation_fresh(req.id, now);
+            self.admitted_at.insert(req.id, now);
+            let degraded = fetch.delay_ms > 0.0 || fetch.rate_scale < 1.0;
+            if still_fresh {
+                return ok_hit(
+                    lat.revalidate_latency_ms(req.size, compute_ms) + fetch.delay_ms,
+                    lat.service_ms(req.size, true, compute_ms),
+                    0,
+                    false,
+                    degraded,
+                );
+            }
+            // Changed at origin: refetch (WAN traffic) and deliver.
+            return ok_hit(
+                lat.miss_latency_scaled_ms(req.size, compute_ms, fetch.rate_scale) + fetch.delay_ms,
+                transfer_ms(req.size, lat.origin_gbps * fetch.rate_scale.max(1e-6)) + compute_ms,
+                req.size,
+                false,
+                degraded,
+            );
+        }
+
+        // Revalidation failed: stale-if-error if the copy is still within
+        // its stale window, otherwise an error response.
+        if res.stale_if_error_secs > 0.0 && age_past_fresh <= res.stale_if_error_secs {
+            return ok_hit(
+                lat.hit_latency_ms(req.size, compute_ms) + fetch.delay_ms,
+                lat.service_ms(req.size, true, compute_ms),
+                0,
+                true,
+                true,
+            );
+        }
+        ServeOutcome {
+            latency_ms: lat.error_latency_ms(compute_ms) + fetch.delay_ms,
+            service_ms: compute_ms,
+            wan: 0,
+            hit: false,
+            stale: false,
+            error: true,
+            coalesced: false,
+            degraded: true,
+        }
+    }
+
+    /// The miss path: hardened origin fetch, then admission on success.
+    /// `run_policy` is false when the policy already handled the request
+    /// (the contains/handle contract-violation fallback).
+    #[allow(clippy::too_many_arguments)]
+    fn serve_miss_fetch(
+        &mut self,
+        req: &lhr_trace::Request,
+        pre_compute_ms: f64,
+        run_policy: bool,
+        lat: &LatencyModel,
+        res: &ResilienceConfig,
+        plan: &mut FaultPlan,
+        breaker: &mut CircuitBreaker,
+        in_flight: &mut HashMap<ObjectId, (Time, bool)>,
+        retries: &mut u64,
+    ) -> ServeOutcome {
+        let now = req.ts;
+        let mut compute_total_local = 0.0;
+        let fetch = origin_fetch(lat, &res.retry, plan, breaker, now, retries);
+        if fetch.ok {
+            let compute_ms = if run_policy {
+                let (outcome, compute_ms) = self.handle_timed(req, &mut compute_total_local);
+                if matches!(outcome, Outcome::MissAdmitted) {
+                    self.admitted_at.insert(req.id, now);
+                }
+                compute_ms
+            } else {
+                self.admitted_at.insert(req.id, now);
+                pre_compute_ms
+            };
+            if res.coalesce {
+                let fetch_ms = fetch.delay_ms + lat.origin_fetch_ms(req.size, fetch.rate_scale);
+                in_flight.insert(req.id, (now + Time::from_secs_f64(fetch_ms / 1e3), true));
+            }
+            return ServeOutcome {
+                latency_ms: lat.miss_latency_scaled_ms(req.size, compute_ms, fetch.rate_scale)
+                    + fetch.delay_ms,
+                service_ms: transfer_ms(req.size, lat.origin_gbps * fetch.rate_scale.max(1e-6))
+                    + compute_ms,
+                wan: req.size,
+                hit: false,
+                stale: false,
+                error: false,
+                coalesced: false,
+                degraded: fetch.delay_ms > 0.0 || fetch.rate_scale < 1.0,
+            };
+        }
+        // Fetch failed and there is no cached copy to fall back on.
+        if res.coalesce && fetch.attempted && fetch.delay_ms > 0.0 {
+            in_flight.insert(
+                req.id,
+                (now + Time::from_secs_f64(fetch.delay_ms / 1e3), false),
+            );
+        }
+        ServeOutcome {
+            latency_ms: lat.error_latency_ms(pre_compute_ms) + fetch.delay_ms,
+            service_ms: pre_compute_ms,
+            wan: 0,
+            hit: false,
+            stale: false,
+            error: true,
+            coalesced: false,
+            degraded: true,
+        }
+    }
+
+    /// Deterministic per-(object, freshness-epoch) draw of whether a
+    /// revalidation found the content unchanged.
+    fn revalidation_fresh(&self, id: ObjectId, now: Time) -> bool {
+        let epoch =
+            (now.as_secs_f64() / self.config.freshness_secs.unwrap_or(f64::INFINITY)) as u64;
+        pseudo_uniform(id, epoch) < self.config.revalidate_fresh_prob
     }
 }
 
@@ -299,6 +724,12 @@ mod tests {
             (wan_bytes - 2.0 * (1 << 20) as f64).abs() < 1.0,
             "{wan_bytes}"
         );
+        // Infallible origin: fully available, nothing degraded.
+        assert!((report.availability_pct - 100.0).abs() < 1e-9);
+        assert_eq!(report.errors_served, 0);
+        assert_eq!(report.stale_served, 0);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.breaker_opens, 0);
     }
 
     #[test]
@@ -310,6 +741,23 @@ mod tests {
         assert!(report.p90_latency_ms <= report.p99_latency_ms);
         assert!(report.mean_latency_ms <= report.p99_latency_ms);
         assert!(report.mean_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn nan_latency_degrades_percentile_instead_of_panicking() {
+        // A degenerate latency model producing NaN (0/0-style rates) must
+        // not panic the replay; NaNs sort last via total_cmp.
+        let cfg = ServerConfig {
+            latency: LatencyModel {
+                edge_rtt_ms: f64::NAN,
+                ..LatencyModel::default()
+            },
+            freshness_secs: None,
+            ..ServerConfig::default()
+        };
+        let mut server = CdnServer::new(Lru::new(10 << 20), cfg);
+        let report = server.replay(&trace(50, 2, 1 << 20));
+        assert!(report.p99_latency_ms.is_nan());
     }
 
     #[test]
@@ -383,6 +831,61 @@ mod tests {
         let report = server.replay(&trace(100, 2, 1 << 20));
         assert_eq!(report.series.len(), 10);
         assert!(report.series.last().expect("non-empty").1 > 0.9);
+    }
+
+    #[test]
+    fn stale_while_revalidate_hides_revalidation_latency() {
+        // Freshness 10 s, requests every 30 s → always 20 s past freshness,
+        // inside a 25 s stale-while-revalidate window.
+        let mut t = Trace::new("swr");
+        for i in 0..20u64 {
+            t.push(Request::new(Time::from_secs(i * 30), 1, 1 << 20));
+        }
+        let cfg = ServerConfig {
+            freshness_secs: Some(10.0),
+            revalidate_fresh_prob: 1.0,
+            resilience: ResilienceConfig {
+                stale_while_revalidate_secs: 25.0,
+                ..ResilienceConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let mut server = CdnServer::new(Lru::new(10 << 20), cfg);
+        let report = server.replay(&t);
+        // Stale serves are hits at hit latency — no revalidation RTT on the
+        // user path (compare `stale_contents_revalidate` above).
+        let pure_hit = LatencyModel::default().hit_latency_ms(1 << 20, 0.0);
+        assert_eq!(report.stale_served, 19);
+        assert!(report.content_hit_pct > 90.0);
+        assert!(
+            report.mean_latency_ms < pure_hit + 0.5 * LatencyModel::default().origin_rtt_ms,
+            "mean {}",
+            report.mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn full_outage_without_stale_serving_errors_every_revalidation() {
+        // Origin down for the whole trace; freshness 10 s, requests every
+        // 30 s. The first request errors (miss, no copy); every later one
+        // has a cached-but-stale copy it may not serve.
+        let mut t = Trace::new("outage");
+        for i in 0..10u64 {
+            t.push(Request::new(Time::from_secs(i * 30), 1, 1 << 20));
+        }
+        let cfg = ServerConfig {
+            freshness_secs: Some(10.0),
+            faults: FaultConfig {
+                outages: vec![(0.0, 1e9)],
+                ..FaultConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let mut server = CdnServer::new(Lru::new(10 << 20), cfg);
+        let report = server.replay(&t);
+        assert_eq!(report.errors_served, 10);
+        assert!((report.availability_pct - 0.0).abs() < 1e-9);
+        assert!(report.breaker_opens >= 1);
     }
 
     #[test]

@@ -64,6 +64,16 @@ impl<M: CachePolicy, D: CachePolicy> TieredCache<M, D> {
     pub fn memory(&self) -> &M {
         &self.memory
     }
+
+    /// Per-tier serve shares in percent `[memory, disk, origin]`
+    /// (all zeros before any request).
+    pub fn served_pct(&self) -> [f64; 3] {
+        let total: u64 = self.served.iter().sum();
+        if total == 0 {
+            return [0.0; 3];
+        }
+        self.served.map(|n| n as f64 / total as f64 * 100.0)
+    }
 }
 
 impl<M: CachePolicy, D: CachePolicy> CachePolicy for TieredCache<M, D> {
@@ -166,6 +176,19 @@ mod tests {
         c.handle(&req(3, 3, 100)); // origin → memory now 3,2 (cap 200: 3,2)
         c.handle(&req(4, 1, 100)); // memory evicted 1 → disk hit
         assert_eq!(c.served, [1, 1, 3]);
+    }
+
+    #[test]
+    fn served_pct_sums_to_hundred() {
+        let mut c = tiered(200, 1_000);
+        assert_eq!(c.served_pct(), [0.0; 3]);
+        for i in 0..100u64 {
+            c.handle(&req(i, i % 7, 100));
+        }
+        let pct = c.served_pct();
+        assert!((pct.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        // The 7-object cycle outgrows the 200 B memory tier but fits disk.
+        assert!(pct[1] > 0.0, "some disk hits expected: {pct:?}");
     }
 
     #[test]

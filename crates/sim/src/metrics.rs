@@ -15,6 +15,10 @@ pub struct SimMetrics {
     pub bytes_requested: u128,
     /// Bytes served from cache.
     pub bytes_hit: u128,
+    /// Requests that could not be served at all (origin failure with no
+    /// cached fallback — only fault-injected serving paths produce these;
+    /// plain simulation leaves the field 0).
+    pub errors: u64,
     /// Trace-time duration of the measured interval, seconds.
     pub duration_secs: f64,
 }
@@ -26,6 +30,7 @@ lhr_util::impl_json!(struct SimMetrics {
     misses_bypassed,
     bytes_requested,
     bytes_hit,
+    errors,
     duration_secs,
 });
 
@@ -68,6 +73,16 @@ impl SimMetrics {
     pub fn misses(&self) -> u64 {
         self.misses_admitted + self.misses_bypassed
     }
+
+    /// Fraction of measured requests served successfully (1.0 when nothing
+    /// was measured — an empty interval has no failures).
+    pub fn availability(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            (self.requests - self.errors.min(self.requests)) as f64 / self.requests as f64
+        }
+    }
 }
 
 /// One point of a hit-probability time series (Figures 7 and 13): the
@@ -99,6 +114,7 @@ mod tests {
             misses_bypassed: 1,
             bytes_requested: 1_000,
             bytes_hit: 250,
+            errors: 2,
             duration_secs: 2.0,
         };
         assert!((m.object_hit_ratio() - 0.4).abs() < 1e-12);
@@ -106,6 +122,7 @@ mod tests {
         assert_eq!(m.wan_bytes(), 750);
         assert_eq!(m.misses(), 6);
         assert!((m.wan_gbps() - 750.0 * 8.0 / 1e9 / 2.0).abs() < 1e-15);
+        assert!((m.availability() - 0.8).abs() < 1e-12);
     }
 
     #[test]
@@ -114,5 +131,7 @@ mod tests {
         assert_eq!(m.object_hit_ratio(), 0.0);
         assert_eq!(m.byte_hit_ratio(), 0.0);
         assert_eq!(m.wan_gbps(), 0.0);
+        // Vacuous availability: no measured requests, no failures.
+        assert_eq!(m.availability(), 1.0);
     }
 }

@@ -62,51 +62,81 @@ impl From<io::Error> for ParseError {
     }
 }
 
-/// Reads a CSV/whitespace trace from any reader.
-///
-/// Each non-empty, non-`#` line must contain three integer fields —
-/// `timestamp_us`, `object_id`, `size_bytes` — separated by commas or
-/// whitespace. Lines are required to be time-ordered.
-pub fn read_csv<R: Read>(reader: R, name: impl Into<String>) -> Result<Trace, ParseError> {
+/// Parses one CSV/whitespace line into a request, checking time ordering
+/// against `prev_ts` (the last accepted request).
+fn parse_csv_line(line: &str, loc: usize, prev_ts: Time) -> Result<Request, ParseError> {
+    let mut fields = line
+        .split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|s| !s.is_empty());
+    let mut next_u64 = |what: &str| -> Result<u64, ParseError> {
+        fields
+            .next()
+            .ok_or_else(|| ParseError::Malformed {
+                location: loc,
+                reason: format!("missing field `{what}`"),
+            })?
+            .parse()
+            .map_err(|e| ParseError::Malformed {
+                location: loc,
+                reason: format!("bad `{what}`: {e}"),
+            })
+    };
+    let ts = Time::from_micros(next_u64("timestamp")?);
+    let id = next_u64("id")?;
+    let size = next_u64("size")?;
+    if ts < prev_ts {
+        return Err(ParseError::Malformed {
+            location: loc,
+            reason: "timestamp goes backwards".into(),
+        });
+    }
+    Ok(Request::new(ts, id, size))
+}
+
+fn read_csv_inner<R: Read>(
+    reader: R,
+    name: impl Into<String>,
+    lossy: bool,
+) -> Result<(Trace, usize), ParseError> {
     let mut trace = Trace::new(name);
     let reader = BufReader::new(reader);
     let mut prev_ts = Time::ZERO;
+    let mut skipped = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut fields = line
-            .split(|c: char| c == ',' || c.is_whitespace())
-            .filter(|s| !s.is_empty());
-        let loc = lineno + 1;
-        let mut next_u64 = |what: &str| -> Result<u64, ParseError> {
-            fields
-                .next()
-                .ok_or_else(|| ParseError::Malformed {
-                    location: loc,
-                    reason: format!("missing field `{what}`"),
-                })?
-                .parse()
-                .map_err(|e| ParseError::Malformed {
-                    location: loc,
-                    reason: format!("bad `{what}`: {e}"),
-                })
-        };
-        let ts = Time::from_micros(next_u64("timestamp")?);
-        let id = next_u64("id")?;
-        let size = next_u64("size")?;
-        if ts < prev_ts {
-            return Err(ParseError::Malformed {
-                location: loc,
-                reason: "timestamp goes backwards".into(),
-            });
+        match parse_csv_line(line, lineno + 1, prev_ts) {
+            Ok(req) => {
+                prev_ts = req.ts;
+                trace.requests.push(req);
+            }
+            Err(_) if lossy => skipped += 1,
+            Err(e) => return Err(e),
         }
-        prev_ts = ts;
-        trace.requests.push(Request::new(ts, id, size));
     }
-    Ok(trace)
+    Ok((trace, skipped))
+}
+
+/// Reads a CSV/whitespace trace from any reader.
+///
+/// Each non-empty, non-`#` line must contain three integer fields —
+/// `timestamp_us`, `object_id`, `size_bytes` — separated by commas or
+/// whitespace. Lines are required to be time-ordered.
+pub fn read_csv<R: Read>(reader: R, name: impl Into<String>) -> Result<Trace, ParseError> {
+    read_csv_inner(reader, name, false).map(|(trace, _)| trace)
+}
+
+/// Like [`read_csv`] but skips malformed lines (bad fields, backwards
+/// timestamps) instead of failing, returning the trace plus the number of
+/// lines skipped. I/O errors still surface as [`ParseError::Io`].
+pub fn read_csv_lossy<R: Read>(
+    reader: R,
+    name: impl Into<String>,
+) -> Result<(Trace, usize), ParseError> {
+    read_csv_inner(reader, name, true)
 }
 
 /// Writes a trace as CSV (`ts_us,id,size` lines with a header comment).
@@ -128,6 +158,17 @@ pub fn read_csv_file(path: impl AsRef<Path>) -> Result<Trace, ParseError> {
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_default();
     read_csv(std::fs::File::open(path)?, name)
+}
+
+/// Reads a CSV file lossily (see [`read_csv_lossy`]); the file stem becomes
+/// the trace name.
+pub fn read_csv_file_lossy(path: impl AsRef<Path>) -> Result<(Trace, usize), ParseError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    read_csv_lossy(std::fs::File::open(path)?, name)
 }
 
 /// Writes a trace to a CSV file.
@@ -235,6 +276,36 @@ mod tests {
     fn csv_rejects_garbage() {
         let err = read_csv("a,b,c\n".as_bytes(), "bad").unwrap_err();
         assert!(matches!(err, ParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn lossy_skips_bad_lines_and_counts_them() {
+        let text = "5,1,100\ngarbage\n7,2\n3,9,10\n9,3,30\n";
+        let (trace, skipped) = read_csv_lossy(text.as_bytes(), "lossy").unwrap();
+        // Bad fields, a short line, and a backwards timestamp all skip.
+        assert_eq!(skipped, 3);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.requests[1], Request::new(Time::from_micros(9), 3, 30));
+    }
+
+    #[test]
+    fn lossy_ordering_tracks_last_accepted_line() {
+        // The backwards line is skipped; the next line only needs to be
+        // ordered after the last *accepted* timestamp, not the skipped one.
+        let text = "10,1,100\n4,2,100\n11,3,100\n";
+        let (trace, skipped) = read_csv_lossy(text.as_bytes(), "lossy").unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn lossy_on_clean_input_matches_strict() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_csv(&trace, &mut buf).unwrap();
+        let (back, skipped) = read_csv_lossy(&buf[..], "sample").unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(back.requests, trace.requests);
     }
 
     #[test]

@@ -22,4 +22,16 @@ echo "==> gbm bench smoke (tiny scale)"
 LHR_BENCH_WARMUP_MS=20 LHR_BENCH_MEASURE_MS=100 \
   cargo run --release --offline -p lhr-bench --bin gbm -- --scale tiny
 
+echo "==> chaos suite (fault-injected serving path)"
+cargo test -q --offline --test chaos
+
+echo "==> CLI fault-preset smoke (--faults flaky)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release --offline -p lhr-cli -- generate \
+  --kind zipf --objects 200 --requests 5000 --seed 7 --out "$smoke_dir/t.csv"
+cargo run --release --offline -p lhr-cli -- server \
+  --policy LRU --capacity 50MB --faults flaky "$smoke_dir/t.csv" \
+  | grep -q "availability:"
+
 echo "verify: OK"

@@ -169,6 +169,69 @@ fn binary_roundtrip() {
 }
 
 #[test]
+fn truncated_binary_always_errors_never_panics() {
+    prop_check!(cases: 64, (len in range(1usize..100), seed in any_u64(), cut in range(1usize..64)) => {
+        let trace = build_trace(len, seed);
+        let mut buf = Vec::new();
+        io::write_binary(&trace, &mut buf).expect("write");
+        // Cut anywhere strictly inside the stream: header, mid-record, or
+        // record boundary. The reader must return an error, not panic,
+        // because the header's count no longer matches the payload.
+        let cut = cut.min(buf.len() - 1);
+        buf.truncate(buf.len() - cut);
+        prop_assert!(io::read_binary(&buf[..], "trunc").is_err());
+    });
+}
+
+#[test]
+fn garbage_bytes_never_panic_either_reader() {
+    prop_check!(cases: 64, (bytes in vec(range(0u64..256), 0..200)) => {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        // Any byte soup: both readers must return Ok or Err, never panic,
+        // and the lossy reader must account for every non-blank line.
+        let _ = io::read_binary(&raw[..], "garbage");
+        let _ = io::read_csv(&raw[..], "garbage");
+        if let Ok((trace, skipped)) = io::read_csv_lossy(&raw[..], "garbage") {
+            let lines = raw
+                .split(|&b| b == b'\n')
+                .filter(|l| {
+                    let t = String::from_utf8_lossy(l);
+                    let t = t.trim();
+                    !t.is_empty() && !t.starts_with('#')
+                })
+                .count();
+            prop_assert!(trace.len() + skipped <= lines);
+        }
+    });
+}
+
+#[test]
+fn lossy_read_recovers_clean_lines_around_corruption() {
+    prop_check!(cases: 64, (len in range(2usize..100), seed in any_u64(), corrupt in range(0usize..100)) => {
+        let trace = build_trace(len, seed);
+        let mut buf = Vec::new();
+        io::write_csv(&trace, &mut buf).expect("write");
+        // Corrupt one data line into garbage (the first two lines are
+        // comments written by write_csv).
+        let text = String::from_utf8(buf).expect("utf8");
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let victim = 2 + corrupt % len;
+        lines[victim] = "x,y,z".into();
+        let corrupted = lines.join("\n");
+        // Strict reading fails pointing at the corrupted line...
+        let err = io::read_csv(corrupted.as_bytes(), "prop").expect_err("must fail");
+        prop_assert!(matches!(
+            err,
+            io::ParseError::Malformed { location, .. } if location == victim + 1
+        ));
+        // ...lossy reading skips exactly that line and keeps the rest.
+        let (back, skipped) = io::read_csv_lossy(corrupted.as_bytes(), "prop").expect("lossy");
+        prop_assert_eq!(skipped, 1);
+        prop_assert_eq!(back.len(), trace.len() - 1);
+    });
+}
+
+#[test]
 fn bloom_filter_has_no_false_negatives() {
     prop_check!(cases: 64, (keys in vec(any_u64(), 1..500)) => {
         let mut filter = BloomFilter::new(10_000);
