@@ -1,0 +1,91 @@
+//! Observability overhead microbenchmark — replays the same trace through
+//! the simulator with and without an attached [`lhr_obs::Obs`] recorder and
+//! reports the relative overhead, which the obs layer budgets at < 5 %:
+//!
+//! ```text
+//! cargo run --release -p lhr-bench --bin obs -- --scale small
+//! ```
+//!
+//! The instrumented side measures the full cost an `--obs` CLI run pays:
+//! per-request series accumulation, the eviction-counter watermark, and the
+//! end-of-run JSONL export. Set `LHR_BENCH_JSON=<path>` to append
+//! machine-readable results plus an `obs_overhead` summary line (the format
+//! committed as `BENCH_obs.json`).
+
+use lhr_obs::{Obs, ObsConfig, ObsWindow};
+use lhr_policies::Lru;
+use lhr_sim::{SimConfig, Simulator};
+use lhr_trace::synth::{IrmConfig, ProductionScale, SizeModel};
+use lhr_util::bench::{black_box, Bench};
+use lhr_util::json::{Json, ToJson};
+use std::io::Write;
+
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    let requests = match options.scale {
+        ProductionScale::Tiny => 50_000,
+        ProductionScale::Small => 200_000,
+        ProductionScale::Medium => 800_000,
+        ProductionScale::Full => 3_000_000,
+    };
+    let trace = IrmConfig::new(10_000, requests)
+        .zipf_alpha(0.9)
+        .size_model(SizeModel::BoundedPareto {
+            alpha: 1.2,
+            min: 10_000,
+            max: 10_000_000,
+        })
+        .seed(options.seed)
+        .generate();
+    // Small enough relative to the working set that the eviction path (the
+    // part the obs watermark samples) stays hot.
+    let capacity = 25_000_000;
+
+    let mut sim = Bench::new("sim_lru_replay");
+    sim.throughput_elems(requests as u64);
+    sim.bench(format!("{requests}_plain"), || {
+        let mut policy = Lru::new(capacity);
+        Simulator::new(SimConfig::default())
+            .run(&mut policy, black_box(&trace))
+            .metrics
+            .hits
+    });
+    sim.bench(format!("{requests}_obs"), || {
+        let obs = Obs::new(ObsConfig {
+            window: ObsWindow::Requests(10_000),
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        let mut policy = Lru::new(capacity);
+        Simulator::new(SimConfig::default())
+            .with_obs(obs.clone())
+            .run(&mut policy, black_box(&trace));
+        obs.to_jsonl().len()
+    });
+    let results = sim.finish();
+
+    let (plain, instrumented) = (&results[0], &results[1]);
+    let overhead_pct = (instrumented.mean_ns / plain.mean_ns - 1.0) * 100.0;
+    println!(
+        "obs overhead: {overhead_pct:+.2}%  (plain {:.2} ms/replay, obs {:.2} ms/replay)",
+        plain.mean_ns / 1e6,
+        instrumented.mean_ns / 1e6,
+    );
+    if let Ok(path) = std::env::var("LHR_BENCH_JSON") {
+        let record = Json::Object(vec![
+            ("group".to_string(), "obs_overhead".to_json()),
+            ("requests".to_string(), (requests as u64).to_json()),
+            ("plain_mean_ns".to_string(), plain.mean_ns.to_json()),
+            ("obs_mean_ns".to_string(), instrumented.mean_ns.to_json()),
+            ("overhead_pct".to_string(), overhead_pct.to_json()),
+        ]);
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{record}"));
+        if let Err(e) = appended {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+}

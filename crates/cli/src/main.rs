@@ -14,6 +14,7 @@ mod args;
 mod registry;
 
 use args::{parse_size, Args};
+use lhr_obs::{Obs, ObsConfig, ObsWindow};
 use lhr_sim::{OfflineBound, SimConfig, Simulator};
 use lhr_trace::stats::one_hit_wonder_ratio;
 use lhr_trace::{io, Trace, TraceStats};
@@ -40,6 +41,7 @@ fn main() -> ExitCode {
         "bound" => cmd_bound(&args),
         "mrc" => cmd_mrc(&args),
         "server" => cmd_server(&args),
+        "obs" => cmd_obs(&args),
         "--help" | "-h" | "help" => return usage(),
         other => Err(format!("unknown command `{other}`")),
     };
@@ -74,6 +76,19 @@ USAGE:
                                                    injects origin faults:
                                                    none | flaky | brownout |
                                                    outage | recovery
+  lhr-cache obs summarize PATH                     render an --obs recording
+                                                   as a text report (series
+                                                   sparklines, events, spans)
+
+  simulate and server also accept:
+    --obs PATH                record windowed metric series, structured
+                              events, and profiling spans; PATH ending in
+                              .csv writes the window series as CSV, any
+                              other path the full JSONL export
+    --obs-window SPEC         series window: `300s` (trace seconds), `5000r`
+                              or a bare integer (requests); default 10000r
+    --obs-deterministic true  zero wall-clock readings so fixed-seed
+                              recordings are byte-identical
 
   SIZE accepts raw bytes or suffixes KB/MB/GB/TB (powers of 10).
   Trace-reading commands accept --lossy true to skip malformed CSV lines
@@ -190,6 +205,60 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the shared observability flags: `--obs PATH` turns recording on,
+/// `--obs-window SPEC` sets the series windowing (`300s`, `5000r`, or a bare
+/// request count), `--obs-deterministic true` zeroes wall-clock readings so
+/// fixed-seed recordings are byte-identical.
+fn obs_from_args(args: &Args) -> Result<Option<(Obs, String)>, String> {
+    let Some(path) = args.get("obs") else {
+        if args.get("obs-window").is_some() || args.get("obs-deterministic").is_some() {
+            return Err("--obs-window/--obs-deterministic require --obs PATH".to_string());
+        }
+        return Ok(None);
+    };
+    let window: ObsWindow = args.get_parse("obs-window")?.unwrap_or_default();
+    let deterministic = args.get_parse("obs-deterministic")?.unwrap_or(false);
+    let obs = Obs::new(ObsConfig {
+        window,
+        deterministic,
+        ..ObsConfig::default()
+    });
+    Ok(Some((obs, path.clone())))
+}
+
+/// Writes a finished recording: `.csv` paths get the windowed series only,
+/// everything else the full JSONL export.
+fn write_obs(obs: &Obs, path: &str) -> Result<(), String> {
+    let body = if path.ends_with(".csv") {
+        obs.windows_csv()
+    } else {
+        obs.to_jsonl()
+    };
+    std::fs::write(path, &body).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("obs: wrote {} bytes to {path}", body.len());
+    Ok(())
+}
+
+fn cmd_obs(args: &Args) -> Result<(), String> {
+    match args.positional.first().map(String::as_str) {
+        Some("summarize") => {
+            let path = args
+                .positional
+                .get(1)
+                .ok_or("obs summarize expects a recording path")?;
+            let jsonl = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let report = lhr_obs::summary::summarize(&jsonl).map_err(|e| format!("{path}: {e}"))?;
+            print!("{report}");
+            if !report.ends_with('\n') {
+                println!();
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown obs action `{other}` (try: summarize)")),
+        None => Err("obs expects an action: summarize PATH".to_string()),
+    }
+}
+
 fn sim_config(args: &Args) -> Result<SimConfig, String> {
     Ok(SimConfig {
         warmup_requests: args.get_parse("warmup")?.unwrap_or(0usize),
@@ -202,13 +271,20 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let name = args.get("policy").ok_or("--policy is required")?;
     let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
     let seed = args.get_parse("seed")?.unwrap_or(42u64);
-    let mut policy = registry::build(name, capacity, seed, &trace).ok_or_else(|| {
-        format!(
-            "unknown policy `{name}` (try: {})",
-            registry::policy_names().join(", ")
-        )
-    })?;
-    let result = Simulator::new(sim_config(args)?).run(&mut policy, &trace);
+    let obs = obs_from_args(args)?;
+    let mut policy =
+        registry::build_with_obs(name, capacity, seed, &trace, obs.as_ref().map(|(o, _)| o))
+            .ok_or_else(|| {
+                format!(
+                    "unknown policy `{name}` (try: {})",
+                    registry::policy_names().join(", ")
+                )
+            })?;
+    let mut sim = Simulator::new(sim_config(args)?);
+    if let Some((o, _)) = &obs {
+        sim = sim.with_obs(o.clone());
+    }
+    let result = sim.run(&mut policy, &trace);
     println!(
         "{} @ {:.2} GB on {}: hit {:.2}%  byte-hit {:.2}%  WAN {:.3} Gbps  \
          evictions {}  wall {:.2}s",
@@ -221,6 +297,9 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         result.evictions,
         result.wall_secs,
     );
+    if let Some((o, path)) = &obs {
+        write_obs(o, path)?;
+    }
     Ok(())
 }
 
@@ -287,8 +366,10 @@ fn cmd_server(args: &Args) -> Result<(), String> {
     let name = args.get("policy").ok_or("--policy is required")?;
     let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
     let seed = args.get_parse("seed")?.unwrap_or(42u64);
-    let policy = registry::build(name, capacity, seed, &trace)
-        .ok_or_else(|| format!("unknown policy `{name}`"))?;
+    let obs = obs_from_args(args)?;
+    let policy =
+        registry::build_with_obs(name, capacity, seed, &trace, obs.as_ref().map(|(o, _)| o))
+            .ok_or_else(|| format!("unknown policy `{name}`"))?;
     let faulted = args.get("faults").map(|s| s.as_str()).unwrap_or("none") != "none";
     let config = match args.get("faults") {
         Some(preset) => presets::fault_preset(preset, seed, trace.duration().as_secs_f64())
@@ -301,6 +382,9 @@ fn cmd_server(args: &Args) -> Result<(), String> {
         None => ServerConfig::default(),
     };
     let mut server = CdnServer::new(policy, config);
+    if let Some((o, _)) = &obs {
+        server = server.with_obs(o.clone());
+    }
     let r = server.replay(&trace);
     println!("policy:          {}", r.name);
     println!("content hit:     {:.2} %", r.content_hit_pct);
@@ -326,6 +410,9 @@ fn cmd_server(args: &Args) -> Result<(), String> {
         );
     }
     println!("replay wall:     {:.2} s", r.replay_wall_secs);
+    if let Some((o, path)) = &obs {
+        write_obs(o, path)?;
+    }
     Ok(())
 }
 

@@ -1,6 +1,7 @@
 //! Name → policy constructor registry for the CLI.
 
 use lhr::cache::{LhrCache, LhrConfig};
+use lhr_obs::Obs;
 use lhr_policies::{
     s4lru, slru, AdaptSize, Arc, BLru, Fifo, Gdsf, Hawkeye, Hyperbolic, Lfo, LfuDa, Lhd, Lrb, Lru,
     LruK, PopCache, RandomEviction, RlCache, TinyLfu, WTinyLfu,
@@ -37,30 +38,41 @@ pub fn policy_names() -> &'static [&'static str] {
 
 /// Builds a policy by (case-insensitive) name.
 pub fn build(name: &str, capacity: u64, seed: u64, trace: &Trace) -> Option<Box<dyn CachePolicy>> {
+    build_with_obs(name, capacity, seed, trace, None)
+}
+
+/// [`build`], plus an optional observability recorder. Only the learning
+/// policies (LHR variants) carry instrumentation; other policies ignore it
+/// (the simulator/server layer still records their request series).
+pub fn build_with_obs(
+    name: &str,
+    capacity: u64,
+    seed: u64,
+    trace: &Trace,
+    obs: Option<&Obs>,
+) -> Option<Box<dyn CachePolicy>> {
     let objects = 1u64 << 16;
     let lrb_window = (trace.duration().as_secs_f64() / 4.0).max(60.0);
+    let lhr = |config: LhrConfig| {
+        let mut cache = LhrCache::new(capacity, config);
+        if let Some(obs) = obs {
+            cache.set_obs(obs.clone());
+        }
+        cache
+    };
     Some(match name.to_ascii_uppercase().as_str() {
-        "LHR" => Box::new(LhrCache::new(
-            capacity,
-            LhrConfig {
-                seed,
-                ..LhrConfig::default()
-            },
-        )),
-        "D-LHR" => Box::new(LhrCache::new(
-            capacity,
-            LhrConfig {
-                seed,
-                ..LhrConfig::d_lhr()
-            },
-        )),
-        "N-LHR" => Box::new(LhrCache::new(
-            capacity,
-            LhrConfig {
-                seed,
-                ..LhrConfig::n_lhr()
-            },
-        )),
+        "LHR" => Box::new(lhr(LhrConfig {
+            seed,
+            ..LhrConfig::default()
+        })),
+        "D-LHR" => Box::new(lhr(LhrConfig {
+            seed,
+            ..LhrConfig::d_lhr()
+        })),
+        "N-LHR" => Box::new(lhr(LhrConfig {
+            seed,
+            ..LhrConfig::n_lhr()
+        })),
         "LRU" => Box::new(Lru::new(capacity)),
         "FIFO" => Box::new(Fifo::new(capacity)),
         "RANDOM" => Box::new(RandomEviction::new(capacity, seed)),

@@ -7,6 +7,7 @@ use crate::hazard::hro_top_set;
 use crate::threshold::{ShadowRequest, ThresholdEstimator};
 use crate::window::{WindowData, WindowTracker};
 use lhr_gbm::{Dataset, Gbm, GbmParams};
+use lhr_obs::{Event, EventKind, Obs};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
 use lhr_util::rng::rngs::SmallRng;
@@ -165,6 +166,7 @@ pub struct LhrCache {
 
     evictions: u64,
     stats: LhrStats,
+    obs: Option<Obs>,
 }
 
 impl LhrCache {
@@ -194,8 +196,24 @@ impl LhrCache {
             positions: HashMap::new(),
             evictions: 0,
             stats: LhrStats::default(),
+            obs: None,
             config,
         }
+    }
+
+    /// Attaches an observability recorder: the learning loop emits
+    /// `Detect` / `Retrain` / `ThresholdUpdate` events, profiling spans
+    /// around detection, labeling, and training, and the `lhr.threshold`
+    /// gauge. Wall-clock event fields are zeroed when the recorder is in
+    /// deterministic mode.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// In-place form of [`LhrCache::with_obs`].
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     /// Ablation / experiment counters.
@@ -292,7 +310,24 @@ impl LhrCache {
     /// (Algorithm 1).
     fn finalize_window(&mut self, done: WindowData) {
         self.stats.windows += 1;
-        let detection = self.detector.observe(&done);
+        let t_end = done
+            .requests
+            .last()
+            .map(|&(ts, _, _)| ts.as_secs_f64())
+            .unwrap_or(0.0);
+        let detection = {
+            let _detect_span = self.obs.as_ref().map(|o| o.span("lhr.detect"));
+            self.detector.observe(&done)
+        };
+        if let Some(obs) = &self.obs {
+            obs.counter_add("lhr.windows", 1);
+            obs.emit(
+                Event::new(t_end, EventKind::Detect)
+                    .field("window", done.index)
+                    .field("alpha", detection.alpha)
+                    .field("retrain", detection.retrain),
+            );
+        }
         let retrain = self.model.is_none()
             || (if self.config.detection {
                 detection.retrain
@@ -305,6 +340,7 @@ impl LhrCache {
         // subsampled so the retained history never exceeds
         // `max_train_rows` rows in total.
         debug_assert_eq!(done.requests.len(), self.window_rows.len());
+        let label_span = self.obs.as_ref().map(|o| o.span("lhr.label"));
         let top = hro_top_set(&done, self.capacity);
         let rows = std::mem::take(&mut self.window_rows);
         let per_window_cap =
@@ -322,9 +358,22 @@ impl LhrCache {
         while self.labeled_history.len() > self.config.train_window_history.max(1) {
             self.labeled_history.pop_front();
         }
+        drop(label_span);
 
         if retrain {
-            self.train();
+            let trained = self.train();
+            if let (Some(obs), Some((rows, wall_secs))) = (self.obs.as_ref(), trained) {
+                obs.emit(
+                    Event::new(t_end, EventKind::Retrain)
+                        .field("window", done.index)
+                        .field("rows", rows as u64)
+                        .field("trainings", self.stats.trainings)
+                        .field(
+                            "wall_secs",
+                            if obs.deterministic() { 0.0 } else { wall_secs },
+                        ),
+                );
+            }
             if self.config.fixed_threshold.is_none() {
                 // The shadow evaluation pairs *every* window request with
                 // its feature row (the full `rows`, not the subsampled
@@ -353,8 +402,26 @@ impl LhrCache {
                 // truncation-at-capacity depends on order, so sort for
                 // determinism.
                 snapshot.sort_unstable_by_key(|&(id, ..)| id);
-                self.threshold.update(&shadow, self.capacity, &snapshot);
+                let old_delta = self.threshold.delta;
+                let old_updates = self.threshold.updates;
+                {
+                    let _threshold_span = self.obs.as_ref().map(|o| o.span("lhr.threshold"));
+                    self.threshold.update(&shadow, self.capacity, &snapshot);
+                }
+                if let Some(obs) = &self.obs {
+                    if self.threshold.updates > old_updates {
+                        obs.emit(
+                            Event::new(t_end, EventKind::ThresholdUpdate)
+                                .field("window", done.index)
+                                .field("old", old_delta)
+                                .field("new", self.threshold.delta),
+                        );
+                    }
+                }
             }
+        }
+        if let Some(obs) = &self.obs {
+            obs.gauge_set("lhr.threshold", self.threshold.delta);
         }
 
         self.window_probs.clear();
@@ -364,15 +431,16 @@ impl LhrCache {
 
     /// Trains the admission model on HRO's decisions over the recent
     /// windows (§5.2.4: squared-error regression on the 0/1 HRO labels),
-    /// newest window first, truncated at `max_train_rows`.
-    fn train(&mut self) {
+    /// newest window first, truncated at `max_train_rows`. Returns
+    /// `(rows_trained, wall_secs)` when a model was actually fit.
+    fn train(&mut self) -> Option<(usize, f64)> {
         let total: usize = self
             .labeled_history
             .iter()
             .map(|(rows, _)| rows.len())
             .sum();
         if total == 0 {
-            return;
+            return None;
         }
         let stride = (total / self.config.max_train_rows.max(1)).max(1);
         let mut data = Dataset::new(self.features.n_features());
@@ -387,12 +455,15 @@ impl LhrCache {
             }
         }
         if data.is_empty() {
-            return;
+            return None;
         }
+        let n_rows = data.n_rows();
         let t0 = std::time::Instant::now();
-        self.model = Some(Gbm::fit(&data, &self.config.gbm));
-        self.stats.train_wall_secs += t0.elapsed().as_secs_f64();
+        self.model = Some(Gbm::fit_traced(&data, &self.config.gbm, self.obs.as_ref()));
+        let wall_secs = t0.elapsed().as_secs_f64();
+        self.stats.train_wall_secs += wall_secs;
         self.stats.trainings += 1;
+        Some((n_rows, wall_secs))
     }
 }
 
@@ -609,6 +680,43 @@ mod tests {
             (r.metrics.hits, cache.stats().trainings)
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn obs_records_the_learning_loop() {
+        use lhr_obs::{EventKind, Obs, ObsConfig};
+        let trace = zipf_trace(8);
+        let obs = Obs::new(ObsConfig {
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        let mut cache = LhrCache::new(120_000, LhrConfig::default()).with_obs(obs.clone());
+        Simulator::new(SimConfig::default())
+            .with_obs(obs.clone())
+            .run(&mut cache, &trace);
+        let stats = cache.stats();
+        let events = obs.events();
+        let detects = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Detect)
+            .count() as u64;
+        let retrains = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Retrain)
+            .count() as u64;
+        assert_eq!(detects, stats.windows, "one Detect per completed window");
+        assert_eq!(retrains, stats.trainings, "one Retrain per training");
+        // Deterministic mode: every Retrain reports zero wall-clock.
+        for e in events.iter().filter(|e| e.kind == EventKind::Retrain) {
+            assert_eq!(e.get("wall_secs").and_then(|v| v.as_f64()), Some(0.0));
+        }
+        let jsonl = obs.to_jsonl();
+        assert!(jsonl.contains("\"name\":\"lhr.threshold\""), "{jsonl}");
+        assert!(jsonl.contains("\"path\":\"sim.run/lhr.detect\""), "{jsonl}");
+        assert!(
+            jsonl.contains("\"path\":\"sim.run/gbm.fit/gbm.tree\""),
+            "{jsonl}"
+        );
     }
 
     #[test]

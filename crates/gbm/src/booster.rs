@@ -132,10 +132,22 @@ impl Gbm {
     ///
     /// # Panics
     /// Panics if `data` is empty.
-    #[allow(clippy::needless_range_loop)] // gradient updates index parallel arrays
     pub fn fit(data: &Dataset, params: &GbmParams) -> Gbm {
+        Gbm::fit_traced(data, params, None)
+    }
+
+    /// Like [`Gbm::fit`], recording profiling spans into `obs`: `gbm.fit`
+    /// around the whole call, `gbm.bin` around feature binning, and one
+    /// aggregated `gbm.tree` per boosting round.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    #[allow(clippy::needless_range_loop)] // gradient updates index parallel arrays
+    pub fn fit_traced(data: &Dataset, params: &GbmParams, obs: Option<&lhr_obs::Obs>) -> Gbm {
         use lhr_util::rng::rngs::SmallRng;
         use lhr_util::rng::{Rng, SeedableRng};
+
+        let _fit_span = obs.map(|o| o.span("gbm.fit"));
 
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
         assert!(
@@ -150,7 +162,10 @@ impl Gbm {
             (0.0..1.0).contains(&params.validation_fraction),
             "bad validation_fraction"
         );
-        let binned = Binned::build(data);
+        let binned = {
+            let _bin_span = obs.map(|o| o.span("gbm.bin"));
+            Binned::build(data)
+        };
         debug_assert_eq!(binned.n_rows, data.n_rows());
         let labels = data.labels();
         let mean = (labels.iter().map(|&y| y as f64).sum::<f64>() / labels.len() as f64) as f32;
@@ -196,6 +211,7 @@ impl Gbm {
         let mut stall = 0usize;
 
         for _round in 0..params.n_trees {
+            let _round_span = obs.map(|o| o.span("gbm.tree"));
             match (&params.loss, &mut hessians) {
                 (Loss::SquaredError, _) => {
                     for i in 0..n_train {
@@ -313,6 +329,10 @@ impl Gbm {
             }
         }
         trees.truncate(best_len.max(1));
+        if let Some(o) = obs {
+            o.counter_add("gbm.fits", 1);
+            o.counter_add("gbm.trees", trees.len() as u64);
+        }
 
         Gbm {
             base_score,

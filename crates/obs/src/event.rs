@@ -1,0 +1,154 @@
+//! The structured event bus: typed, trace-timestamped records of the
+//! discrete things that happen during a run.
+//!
+//! Events answer the questions aggregates cannot: *why* did a retrain fire
+//! (which detection, at what α), *when* did the circuit breaker flap,
+//! *which* requests rode out an outage on stale copies. Emitters build an
+//! [`Event`] with the fluent [`Event::field`] builder and hand it to
+//! [`crate::Obs::emit`]; events serialize one per JSONL line in emission
+//! order (trace order for all workspace emitters).
+
+use lhr_util::json::{FromJson, Json, JsonError, ToJson};
+
+/// The event taxonomy. One variant per discrete occurrence the workspace
+/// instruments; the JSONL encoding is the variant name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// LHR retrained its admission model (fields: `window`, `rows`,
+    /// `trainings`, `wall_secs` — zeroed in deterministic mode).
+    Retrain,
+    /// The Zipf-α detector examined a completed window (fields: `window`,
+    /// `alpha`, `retrain` — whether the shift exceeded ε).
+    Detect,
+    /// The δ-threshold estimator adopted a new admission threshold
+    /// (fields: `window`, `old`, `new`).
+    ThresholdUpdate,
+    /// The circuit breaker tripped open (fields: `opens`).
+    BreakerOpen,
+    /// The circuit breaker closed again after half-open probes
+    /// (fields: `closes`).
+    BreakerClose,
+    /// An injected origin outage began (fields: `until_secs`).
+    OutageStart,
+    /// An injected origin outage ended.
+    OutageEnd,
+    /// A request was served from an expired cached copy (fields: `id`).
+    StaleServe,
+    /// A request got an error response (fields: `id`).
+    ErrorServe,
+    /// A miss joined an already in-flight origin fetch (fields: `id`).
+    Coalesce,
+}
+
+lhr_util::impl_json!(
+    enum EventKind {
+        Retrain,
+        Detect,
+        ThresholdUpdate,
+        BreakerOpen,
+        BreakerClose,
+        OutageStart,
+        OutageEnd,
+        StaleServe,
+        ErrorServe,
+        Coalesce,
+    }
+);
+
+/// One typed, trace-timestamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Trace time, seconds.
+    pub t: f64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload, in insertion order.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl Event {
+    /// An event with no payload yet.
+    pub fn new(t: f64, kind: EventKind) -> Self {
+        Event {
+            t,
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends one payload field (builder style).
+    pub fn field(mut self, name: &str, value: impl ToJson) -> Self {
+        self.fields.push((name.to_string(), value.to_json()));
+        self
+    }
+
+    /// Payload field lookup.
+    pub fn get(&self, name: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+impl ToJson for Event {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("t".to_string(), self.t.to_json()),
+            ("kind".to_string(), self.kind.to_json()),
+            ("fields".to_string(), Json::Object(self.fields.clone())),
+        ])
+    }
+}
+
+impl FromJson for Event {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let fields = match v.get("fields") {
+            Some(Json::Object(fields)) => fields.clone(),
+            Some(other) => return Err(JsonError::new(format!("bad event fields: {other}"))),
+            None => Vec::new(),
+        };
+        Ok(Event {
+            t: lhr_util::json::field(v, "t")?,
+            kind: lhr_util::json::field(v, "kind")?,
+            fields,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_roundtrip_is_byte_identical() {
+        let e = Event::new(12.5, EventKind::Retrain)
+            .field("window", 3u64)
+            .field("rows", 4096u64)
+            .field("wall_secs", 0.25f64);
+        let text = e.to_json().to_string();
+        let back = Event::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.to_json().to_string(), text);
+        assert_eq!(back.get("rows").unwrap().as_f64().unwrap(), 4096.0);
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        for kind in [
+            EventKind::Retrain,
+            EventKind::Detect,
+            EventKind::ThresholdUpdate,
+            EventKind::BreakerOpen,
+            EventKind::BreakerClose,
+            EventKind::OutageStart,
+            EventKind::OutageEnd,
+            EventKind::StaleServe,
+            EventKind::ErrorServe,
+            EventKind::Coalesce,
+        ] {
+            let text = kind.to_json().to_string();
+            assert_eq!(
+                EventKind::from_json(&Json::parse(&text).unwrap()).unwrap(),
+                kind
+            );
+        }
+    }
+}

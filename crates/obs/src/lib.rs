@@ -1,0 +1,79 @@
+//! `lhr-obs` — the workspace's deterministic observability layer.
+//!
+//! Every result in the paper is a *time-evolving* quantity — hit ratio over
+//! sliding windows, HRO's per-window bound, LHR's retrain cadence — yet a
+//! simulation that only reports end-of-run aggregates cannot show *when*
+//! LHR converges, *why* a retrain fired, or *where* wall-clock goes. This
+//! crate is the replayable-telemetry substrate the rest of the workspace
+//! instruments itself with, in the zero-external-dependency style of
+//! `lhr-util`:
+//!
+//! - [`series`] — **trace-time windowed metric series**: hit ratio, byte
+//!   hit ratio, admission rate, eviction pressure, and availability per
+//!   N-second or N-request window, accumulated locally (no locking on the
+//!   per-request hot path) and exported as JSONL or CSV.
+//! - [`event`] — a structured **event bus**: typed records
+//!   (`Event { t, kind, fields }`) for LHR retrains, δ-threshold updates,
+//!   Zipf-α detection triggers, circuit-breaker transitions, outage
+//!   windows, stale serves, and coalescing collapses.
+//! - [`span`] — lightweight **profiling spans**: scoped timers aggregated
+//!   into a self-time/total-time tree (`obs.span("gbm.fit")`), with a
+//!   *deterministic* mode that records span counts but zeroes wall-clock so
+//!   fixed-seed reports stay byte-identical.
+//! - [`hist`] — log-bucketed histograms (powers of two) for latency and
+//!   size distributions.
+//! - [`record`] — the JSONL line model tying it all together, parseable
+//!   back for offline analysis (`lhr-cache obs summarize`).
+//! - [`summary`] — the text report renderer (sparklines, event taxonomy,
+//!   span tree) behind the `obs summarize` CLI subcommand.
+//!
+//! # Determinism contract
+//!
+//! With [`ObsConfig::deterministic`] set, the serialized output
+//! ([`Obs::to_jsonl`]) of two runs with the same seed, trace, and
+//! configuration is **byte-identical**: window records and events derive
+//! only from trace time and seeded PRNG draws, and spans report counts with
+//! zeroed durations. With it unset, span durations and any wall-clock
+//! gauges are real, and only those fields may differ between runs.
+//!
+//! # Example
+//!
+//! ```
+//! use lhr_obs::{Obs, ObsConfig, ObsWindow};
+//! use lhr_obs::series::{ReqSample, SeriesAcc};
+//!
+//! let obs = Obs::new(ObsConfig {
+//!     window: ObsWindow::Requests(2),
+//!     deterministic: true,
+//!     ..ObsConfig::default()
+//! });
+//! let mut acc = SeriesAcc::new(obs.window());
+//! for i in 0..5u64 {
+//!     acc.on_request(if i % 2 == 0 {
+//!         ReqSample::hit(i, 100)
+//!     } else {
+//!         ReqSample::miss_admitted(i, 100)
+//!     });
+//! }
+//! obs.push_windows(acc.finish());
+//! let jsonl = obs.to_jsonl();
+//! assert_eq!(jsonl.lines().count(), 1 + 3); // meta + 2 full windows + 1 partial
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod hist;
+pub mod record;
+mod recorder;
+pub mod series;
+pub mod span;
+pub mod summary;
+
+pub use event::{Event, EventKind};
+pub use hist::LogHistogram;
+pub use record::ObsRecord;
+pub use recorder::{Obs, ObsConfig};
+pub use series::{ObsWindow, WindowRecord};
+pub use span::SpanRecord;

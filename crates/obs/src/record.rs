@@ -1,0 +1,211 @@
+//! The JSONL line model: everything [`crate::Obs`] exports is one
+//! [`ObsRecord`] per line, tagged by a leading `"record"` field so a
+//! stream can be parsed back without knowing what produced it.
+//!
+//! Line shapes (field order is fixed — output is byte-deterministic):
+//!
+//! ```text
+//! {"record":"meta","policy":"lhr","seed":42,...}
+//! {"record":"window","index":0,"start_requests":0,...}
+//! {"record":"event","t":12.5,"kind":"Retrain","fields":{...}}
+//! {"record":"counter","name":"sim.requests","value":100000}
+//! {"record":"gauge","name":"lhr.threshold","value":0.37}
+//! {"record":"hist","name":"server.latency_us","total":...,"buckets":[[...]]}
+//! {"record":"span","path":"sim.run","count":1,"total_secs":0,"self_secs":0}
+//! ```
+
+use crate::event::Event;
+use crate::hist::LogHistogram;
+use crate::series::WindowRecord;
+use crate::span::SpanRecord;
+use lhr_util::json::{FromJson, Json, JsonError, ToJson};
+
+/// One line of an obs JSONL stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsRecord {
+    /// Run-level metadata (policy, preset, seed, window spec, …).
+    Meta(Vec<(String, Json)>),
+    /// One completed window of the metric series.
+    Window(WindowRecord),
+    /// One structured event.
+    Event(Event),
+    /// A named monotonic counter's final value.
+    Counter {
+        /// Counter name, dot-namespaced (`sim.requests`).
+        name: String,
+        /// Final value.
+        value: u64,
+    },
+    /// A named gauge's final value.
+    Gauge {
+        /// Gauge name, dot-namespaced (`lhr.threshold`).
+        name: String,
+        /// Final value.
+        value: f64,
+    },
+    /// A named histogram.
+    Hist {
+        /// Histogram name, dot-namespaced (`server.latency_us`).
+        name: String,
+        /// The aggregated distribution.
+        hist: LogHistogram,
+    },
+    /// One node of the profiling span tree.
+    Span(SpanRecord),
+}
+
+impl ObsRecord {
+    /// The value of the `"record"` tag this variant serializes with.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ObsRecord::Meta(_) => "meta",
+            ObsRecord::Window(_) => "window",
+            ObsRecord::Event(_) => "event",
+            ObsRecord::Counter { .. } => "counter",
+            ObsRecord::Gauge { .. } => "gauge",
+            ObsRecord::Hist { .. } => "hist",
+            ObsRecord::Span(_) => "span",
+        }
+    }
+
+    /// Serializes to one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parses one JSONL line.
+    pub fn parse_line(line: &str) -> Result<ObsRecord, JsonError> {
+        ObsRecord::from_json(&Json::parse(line)?)
+    }
+}
+
+/// Prepends the `"record"` tag to a payload object's fields.
+fn tagged(tag: &str, payload: Json) -> Json {
+    let mut fields = vec![("record".to_string(), Json::Str(tag.to_string()))];
+    match payload {
+        Json::Object(rest) => fields.extend(rest),
+        other => fields.push(("value".to_string(), other)),
+    }
+    Json::Object(fields)
+}
+
+impl ToJson for ObsRecord {
+    fn to_json(&self) -> Json {
+        let payload = match self {
+            ObsRecord::Meta(fields) => Json::Object(fields.clone()),
+            ObsRecord::Window(w) => w.to_json(),
+            ObsRecord::Event(e) => e.to_json(),
+            ObsRecord::Counter { name, value } => Json::Object(vec![
+                ("name".to_string(), name.to_json()),
+                ("value".to_string(), value.to_json()),
+            ]),
+            ObsRecord::Gauge { name, value } => Json::Object(vec![
+                ("name".to_string(), name.to_json()),
+                ("value".to_string(), value.to_json()),
+            ]),
+            ObsRecord::Hist { name, hist } => {
+                let mut fields = vec![("name".to_string(), name.to_json())];
+                match hist.to_json() {
+                    Json::Object(rest) => fields.extend(rest),
+                    _ => unreachable!("histograms serialize as objects"),
+                }
+                Json::Object(fields)
+            }
+            ObsRecord::Span(s) => s.to_json(),
+        };
+        tagged(self.tag(), payload)
+    }
+}
+
+impl FromJson for ObsRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let tag: String = lhr_util::json::field(v, "record")?;
+        // The struct FromJson impls look fields up by name and ignore the
+        // extra "record" key, so the tagged object parses directly.
+        match tag.as_str() {
+            "meta" => {
+                let fields = match v {
+                    Json::Object(fields) => fields
+                        .iter()
+                        .filter(|(k, _)| k != "record")
+                        .cloned()
+                        .collect(),
+                    _ => return Err(JsonError::new("meta record must be an object")),
+                };
+                Ok(ObsRecord::Meta(fields))
+            }
+            "window" => Ok(ObsRecord::Window(WindowRecord::from_json(v)?)),
+            "event" => Ok(ObsRecord::Event(Event::from_json(v)?)),
+            "counter" => Ok(ObsRecord::Counter {
+                name: lhr_util::json::field(v, "name")?,
+                value: lhr_util::json::field(v, "value")?,
+            }),
+            "gauge" => Ok(ObsRecord::Gauge {
+                name: lhr_util::json::field(v, "name")?,
+                value: lhr_util::json::field(v, "value")?,
+            }),
+            "hist" => Ok(ObsRecord::Hist {
+                name: lhr_util::json::field(v, "name")?,
+                hist: LogHistogram::from_json(v)?,
+            }),
+            "span" => Ok(ObsRecord::Span(SpanRecord::from_json(v)?)),
+            other => Err(JsonError::new(format!("unknown obs record tag `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn every_variant_roundtrips_byte_identically() {
+        let mut hist = LogHistogram::new();
+        hist.record(100);
+        let records = vec![
+            ObsRecord::Meta(vec![
+                ("policy".to_string(), "lhr".to_json()),
+                ("seed".to_string(), 42u64.to_json()),
+            ]),
+            ObsRecord::Window(WindowRecord {
+                index: 1,
+                requests: 10,
+                hits: 7,
+                ..WindowRecord::default()
+            }),
+            ObsRecord::Event(Event::new(3.5, EventKind::Detect).field("alpha", 0.8f64)),
+            ObsRecord::Counter {
+                name: "sim.requests".to_string(),
+                value: 100_000,
+            },
+            ObsRecord::Gauge {
+                name: "lhr.threshold".to_string(),
+                value: 0.375,
+            },
+            ObsRecord::Hist {
+                name: "server.latency_us".to_string(),
+                hist,
+            },
+            ObsRecord::Span(SpanRecord {
+                path: "sim.run".to_string(),
+                count: 1,
+                total_secs: 0.0,
+                self_secs: 0.0,
+            }),
+        ];
+        for r in records {
+            let line = r.to_line();
+            assert!(line.starts_with("{\"record\":\""), "{line}");
+            let back = ObsRecord::parse_line(&line).unwrap();
+            assert_eq!(back, r, "{line}");
+            assert_eq!(back.to_line(), line);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        assert!(ObsRecord::parse_line("{\"record\":\"nope\"}").is_err());
+        assert!(ObsRecord::parse_line("not json").is_err());
+    }
+}

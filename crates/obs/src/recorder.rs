@@ -1,0 +1,342 @@
+//! The shared recorder: a cheap-to-clone handle ([`Obs`]) that collects
+//! windows, events, counters, gauges, histograms, and spans, then exports
+//! them as section-ordered JSONL.
+//!
+//! The handle is deliberately *not* touched on per-request hot paths —
+//! instrumented loops accumulate locally ([`crate::series::SeriesAcc`],
+//! [`LogHistogram`]) and submit in bulk at window boundaries or run end.
+//! Spans lock the handle on enter/exit, which is fine at their coarse
+//! granularity (per run, per training window, per boosting phase).
+
+use crate::event::Event;
+use crate::hist::LogHistogram;
+use crate::record::ObsRecord;
+use crate::series::{ObsWindow, WindowRecord};
+use crate::span::SpanTree;
+use lhr_util::json::{Json, ToJson};
+use lhr_util::sync::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Recorder configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// Windowing rule for the metric series.
+    pub window: ObsWindow,
+    /// Record span counts but zero all wall-clock readings so fixed-seed
+    /// output is byte-identical across runs.
+    pub deterministic: bool,
+    /// Cap on buffered events; past it events are counted as dropped (the
+    /// `obs.events_dropped` counter) instead of growing without bound.
+    pub max_events: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            window: ObsWindow::default(),
+            deterministic: false,
+            max_events: 1_000_000,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    meta: Vec<(String, Json)>,
+    windows: Vec<WindowRecord>,
+    events: Vec<Event>,
+    events_dropped: u64,
+    spans: SpanTree,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, LogHistogram>,
+}
+
+/// The shared observability recorder. Cloning is cheap (one `Arc`); all
+/// clones feed the same buffers.
+#[derive(Clone)]
+pub struct Obs {
+    config: ObsConfig,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs").field("config", &self.config).finish()
+    }
+}
+
+impl Obs {
+    /// A fresh recorder.
+    pub fn new(config: ObsConfig) -> Self {
+        Obs {
+            config,
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
+    }
+
+    /// The configured windowing rule (what instrumented loops should feed
+    /// their [`crate::series::SeriesAcc`]).
+    pub fn window(&self) -> ObsWindow {
+        self.config.window
+    }
+
+    /// Whether wall-clock readings are zeroed for byte-identical output.
+    pub fn deterministic(&self) -> bool {
+        self.config.deterministic
+    }
+
+    /// Sets (or replaces) one run-metadata field, serialized on the
+    /// leading `meta` line.
+    pub fn set_meta(&self, name: &str, value: impl ToJson) {
+        let mut inner = self.inner.lock();
+        let value = value.to_json();
+        match inner.meta.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v = value,
+            None => inner.meta.push((name.to_string(), value)),
+        }
+    }
+
+    /// Appends one event (dropped and counted past
+    /// [`ObsConfig::max_events`]).
+    pub fn emit(&self, event: Event) {
+        let mut inner = self.inner.lock();
+        if inner.events.len() < self.config.max_events {
+            inner.events.push(event);
+        } else {
+            inner.events_dropped += 1;
+        }
+    }
+
+    /// Adds `n` to a named counter.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        let mut inner = self.inner.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets a named gauge to its latest value.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Merges a locally-accumulated histogram into the named one.
+    pub fn hist_merge(&self, name: &str, hist: &LogHistogram) {
+        let mut inner = self.inner.lock();
+        inner
+            .hists
+            .entry(name.to_string())
+            .or_insert_with(LogHistogram::new)
+            .merge(hist);
+    }
+
+    /// Appends completed windows from a [`crate::series::SeriesAcc`].
+    pub fn push_windows(&self, windows: Vec<WindowRecord>) {
+        self.inner.lock().windows.extend(windows);
+    }
+
+    /// Enters a profiling span; it exits when the guard drops. In
+    /// deterministic mode the clock is never read and the span's recorded
+    /// duration is zero.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let idx = self.inner.lock().spans.enter(name);
+        SpanGuard {
+            obs: self.clone(),
+            idx,
+            start: if self.config.deterministic {
+                None
+            } else {
+                Some(Instant::now())
+            },
+        }
+    }
+
+    /// Completed windows recorded so far.
+    pub fn windows(&self) -> Vec<WindowRecord> {
+        self.inner.lock().windows.clone()
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Everything recorded, in the fixed export order: meta, windows,
+    /// events, counters, gauges, histograms, spans.
+    pub fn records(&self) -> Vec<ObsRecord> {
+        let inner = self.inner.lock();
+        let mut meta = vec![
+            ("window".to_string(), self.config.window.to_json()),
+            (
+                "deterministic".to_string(),
+                self.config.deterministic.to_json(),
+            ),
+        ];
+        meta.extend(inner.meta.iter().cloned());
+        let mut out = vec![ObsRecord::Meta(meta)];
+        out.extend(inner.windows.iter().cloned().map(ObsRecord::Window));
+        out.extend(inner.events.iter().cloned().map(ObsRecord::Event));
+        for (name, &value) in &inner.counters {
+            out.push(ObsRecord::Counter {
+                name: name.clone(),
+                value,
+            });
+        }
+        if inner.events_dropped > 0 {
+            out.push(ObsRecord::Counter {
+                name: "obs.events_dropped".to_string(),
+                value: inner.events_dropped,
+            });
+        }
+        for (name, &value) in &inner.gauges {
+            out.push(ObsRecord::Gauge {
+                name: name.clone(),
+                value,
+            });
+        }
+        for (name, hist) in &inner.hists {
+            out.push(ObsRecord::Hist {
+                name: name.clone(),
+                hist: hist.clone(),
+            });
+        }
+        out.extend(inner.spans.records().into_iter().map(ObsRecord::Span));
+        out
+    }
+
+    /// The full JSONL export (one record per line, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.records() {
+            out.push_str(&r.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The windowed series as CSV (header plus one row per window).
+    pub fn windows_csv(&self) -> String {
+        let mut out = String::from(WindowRecord::csv_header());
+        out.push('\n');
+        for w in self.inner.lock().windows.iter() {
+            out.push_str(&w.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// RAII guard returned by [`Obs::span`]; credits elapsed time on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    obs: Obs,
+    idx: usize,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed_ns = self.start.map(|s| s.elapsed().as_nanos()).unwrap_or(0);
+        self.obs.inner.lock().spans.exit(self.idx, elapsed_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::record::ObsRecord;
+
+    #[test]
+    fn export_order_is_fixed_and_parses_back() {
+        let obs = Obs::new(ObsConfig {
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        obs.set_meta("policy", "lru");
+        obs.counter_add("sim.requests", 10);
+        obs.gauge_set("lhr.threshold", 0.5);
+        let mut h = LogHistogram::new();
+        h.record(7);
+        obs.hist_merge("lat", &h);
+        obs.emit(Event::new(1.0, EventKind::Detect).field("alpha", 0.8f64));
+        obs.push_windows(vec![WindowRecord {
+            requests: 10,
+            hits: 3,
+            ..WindowRecord::default()
+        }]);
+        {
+            let _outer = obs.span("run");
+            let _inner = obs.span("fit");
+        }
+        let jsonl = obs.to_jsonl();
+        let records: Vec<ObsRecord> = jsonl
+            .lines()
+            .map(|l| ObsRecord::parse_line(l).unwrap())
+            .collect();
+        let tags: Vec<&str> = records.iter().map(|r| r.tag()).collect();
+        assert_eq!(
+            tags,
+            ["meta", "window", "event", "counter", "gauge", "hist", "span", "span"]
+        );
+        // Deterministic mode: spans exist with counts but zero time.
+        match &records[6] {
+            ObsRecord::Span(s) => {
+                assert_eq!(s.path, "run");
+                assert_eq!(s.count, 1);
+                assert_eq!(s.total_secs, 0.0);
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_exports_are_byte_identical() {
+        let run = || {
+            let obs = Obs::new(ObsConfig {
+                deterministic: true,
+                ..ObsConfig::default()
+            });
+            obs.set_meta("seed", 42u64);
+            for i in 0..5u64 {
+                obs.counter_add("n", i);
+                obs.emit(Event::new(i as f64, EventKind::StaleServe).field("id", i));
+            }
+            let _g = obs.span("work");
+            drop(_g);
+            obs.to_jsonl()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn event_cap_counts_drops() {
+        let obs = Obs::new(ObsConfig {
+            max_events: 2,
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        for i in 0..5u64 {
+            obs.emit(Event::new(i as f64, EventKind::Coalesce));
+        }
+        assert_eq!(obs.events().len(), 2);
+        let jsonl = obs.to_jsonl();
+        assert!(
+            jsonl.contains("{\"record\":\"counter\",\"name\":\"obs.events_dropped\",\"value\":3}"),
+            "{jsonl}"
+        );
+    }
+
+    #[test]
+    fn clones_share_buffers() {
+        let obs = Obs::new(ObsConfig::default());
+        let clone = obs.clone();
+        clone.counter_add("x", 1);
+        obs.counter_add("x", 2);
+        let jsonl = obs.to_jsonl();
+        assert!(jsonl.contains("\"name\":\"x\",\"value\":3"), "{jsonl}");
+    }
+}

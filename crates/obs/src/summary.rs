@@ -1,0 +1,291 @@
+//! Offline rendering of an obs JSONL stream into a human-readable text
+//! report — the engine behind `lhr-cache obs summarize`.
+//!
+//! The report shows run metadata, aggregate ratios, a sparkline of the
+//! per-window hit ratio (and availability when any errors occurred), event
+//! counts by kind with the first few learning-loop events spelled out, the
+//! profiling span tree indented by depth, and the counter / gauge /
+//! histogram registries.
+
+use crate::event::{Event, EventKind};
+use crate::hist::LogHistogram;
+use crate::record::ObsRecord;
+use crate::series::WindowRecord;
+use crate::span::SpanRecord;
+use lhr_util::json::ToJson;
+use std::fmt::Write as _;
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+const SPARK_WIDTH: usize = 60;
+const EVENT_DETAIL_LIMIT: usize = 10;
+
+/// Renders a sequence of `[0, 1]` values as a sparkline, averaging down to
+/// at most [`SPARK_WIDTH`] characters.
+fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let chunks = values.len().min(SPARK_WIDTH);
+    let mut out = String::with_capacity(chunks * 3);
+    for c in 0..chunks {
+        let lo = c * values.len() / chunks;
+        let hi = ((c + 1) * values.len() / chunks).max(lo + 1);
+        let mean = values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        let level = (mean.clamp(0.0, 1.0) * (SPARK.len() - 1) as f64).round() as usize;
+        out.push(SPARK[level]);
+    }
+    out
+}
+
+fn kind_name(kind: EventKind) -> String {
+    match kind.to_json() {
+        lhr_util::json::Json::Str(s) => s,
+        other => other.to_string(),
+    }
+}
+
+fn render_windows(out: &mut String, windows: &[WindowRecord]) {
+    let requests: u64 = windows.iter().map(|w| w.requests).sum();
+    let hits: u64 = windows.iter().map(|w| w.hits).sum();
+    let bytes_requested: u128 = windows.iter().map(|w| w.bytes_requested).sum();
+    let bytes_hit: u128 = windows.iter().map(|w| w.bytes_hit).sum();
+    let errors: u64 = windows.iter().map(|w| w.errors).sum();
+    let evictions: u64 = windows.iter().map(|w| w.evictions).sum();
+    let _ = writeln!(
+        out,
+        "windows: {} ({} measured requests)",
+        windows.len(),
+        requests
+    );
+    if requests > 0 {
+        let _ = writeln!(
+            out,
+            "  hit ratio       {:.4}",
+            hits as f64 / requests as f64
+        );
+    }
+    if bytes_requested > 0 {
+        let _ = writeln!(
+            out,
+            "  byte hit ratio  {:.4}",
+            bytes_hit as f64 / bytes_requested as f64
+        );
+    }
+    if evictions > 0 {
+        let _ = writeln!(out, "  evictions       {evictions}");
+    }
+    let ratios: Vec<f64> = windows.iter().map(|w| w.hit_ratio()).collect();
+    let _ = writeln!(out, "  hit ratio/win   {}", sparkline(&ratios));
+    if errors > 0 {
+        let avail: Vec<f64> = windows.iter().map(|w| w.availability()).collect();
+        let _ = writeln!(out, "  availability    {}", sparkline(&avail));
+        let _ = writeln!(out, "  errors          {errors}");
+    }
+}
+
+fn render_events(out: &mut String, events: &[Event]) {
+    let _ = writeln!(out, "events: {}", events.len());
+    // Counts per kind, in first-seen order.
+    let mut counts: Vec<(String, u64)> = Vec::new();
+    for e in events {
+        let name = kind_name(e.kind);
+        match counts.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((name, 1)),
+        }
+    }
+    for (kind, n) in &counts {
+        let _ = writeln!(out, "  {kind:<16} {n}");
+    }
+    // The learning loop's story, spelled out.
+    let learning: Vec<&Event> = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::Detect | EventKind::Retrain | EventKind::ThresholdUpdate
+            )
+        })
+        .collect();
+    if !learning.is_empty() {
+        let shown = learning.len().min(EVENT_DETAIL_LIMIT);
+        let _ = writeln!(out, "  first {shown} learning events:");
+        for e in &learning[..shown] {
+            let fields: Vec<String> = e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(
+                out,
+                "    t={:<10} {:<16} {}",
+                e.t,
+                kind_name(e.kind),
+                fields.join(" ")
+            );
+        }
+        if learning.len() > shown {
+            let _ = writeln!(out, "    … {} more", learning.len() - shown);
+        }
+    }
+}
+
+fn render_spans(out: &mut String, spans: &[SpanRecord]) {
+    let _ = writeln!(out, "spans:");
+    let _ = writeln!(
+        out,
+        "  {:<40} {:>10} {:>12} {:>12}",
+        "span", "count", "total_s", "self_s"
+    );
+    for s in spans {
+        let depth = s.path.matches('/').count();
+        let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+        let label = format!("{}{}", "  ".repeat(depth), name);
+        let _ = writeln!(
+            out,
+            "  {:<40} {:>10} {:>12.6} {:>12.6}",
+            label, s.count, s.total_secs, s.self_secs
+        );
+    }
+}
+
+fn render_hist(out: &mut String, name: &str, h: &LogHistogram) {
+    let _ = writeln!(
+        out,
+        "  {:<24} n={} mean={:.1} min={} max={} p50≥{} p99≥{}",
+        name,
+        h.total(),
+        h.mean(),
+        h.min(),
+        h.max(),
+        h.quantile_floor(0.5),
+        h.quantile_floor(0.99),
+    );
+}
+
+/// Parses an obs JSONL stream and renders the text report. Returns an error
+/// string naming the first malformed line.
+pub fn summarize(jsonl: &str) -> Result<String, String> {
+    let mut meta: Vec<(String, String)> = Vec::new();
+    let mut windows: Vec<WindowRecord> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut gauges: Vec<(String, f64)> = Vec::new();
+    let mut hists: Vec<(String, LogHistogram)> = Vec::new();
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = ObsRecord::parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        match record {
+            ObsRecord::Meta(fields) => {
+                meta.extend(fields.into_iter().map(|(k, v)| (k, v.to_string())))
+            }
+            ObsRecord::Window(w) => windows.push(w),
+            ObsRecord::Event(e) => events.push(e),
+            ObsRecord::Counter { name, value } => counters.push((name, value)),
+            ObsRecord::Gauge { name, value } => gauges.push((name, value)),
+            ObsRecord::Hist { name, hist } => hists.push((name, hist)),
+            ObsRecord::Span(s) => spans.push(s),
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== obs summary ==");
+    if !meta.is_empty() {
+        let rendered: Vec<String> = meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let _ = writeln!(out, "meta: {}", rendered.join(" "));
+    }
+    if !windows.is_empty() {
+        render_windows(&mut out, &windows);
+    }
+    if !events.is_empty() {
+        render_events(&mut out, &events);
+    }
+    if !counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, value) in &counters {
+            let _ = writeln!(out, "  {name:<24} {value}");
+        }
+    }
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for (name, value) in &gauges {
+            let _ = writeln!(out, "  {name:<24} {value}");
+        }
+    }
+    if !hists.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        for (name, h) in &hists {
+            render_hist(&mut out, name, h);
+        }
+    }
+    if !spans.is_empty() {
+        render_spans(&mut out, &spans);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Obs, ObsConfig};
+    use crate::series::{ObsWindow, ReqSample, SeriesAcc};
+
+    #[test]
+    fn sparkline_scales_and_downsamples() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0.0, 1.0]), "▁█");
+        let many: Vec<f64> = (0..600).map(|i| i as f64 / 599.0).collect();
+        assert_eq!(sparkline(&many).chars().count(), SPARK_WIDTH);
+    }
+
+    #[test]
+    fn summarize_renders_a_full_report() {
+        let obs = Obs::new(ObsConfig {
+            window: ObsWindow::Requests(2),
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        obs.set_meta("policy", "lhr");
+        let mut acc = SeriesAcc::new(obs.window());
+        for i in 0..6u64 {
+            let s = if i % 2 == 0 {
+                ReqSample::hit(i, 100)
+            } else {
+                ReqSample::miss_admitted(i, 100)
+            };
+            acc.on_request(s);
+        }
+        obs.push_windows(acc.finish());
+        obs.emit(crate::Event::new(2.0, EventKind::Detect).field("alpha", 0.9f64));
+        obs.emit(crate::Event::new(2.0, EventKind::Retrain).field("rows", 128u64));
+        obs.counter_add("sim.requests", 6);
+        obs.gauge_set("lhr.threshold", 0.25);
+        let mut h = LogHistogram::new();
+        h.record(500);
+        obs.hist_merge("latency_us", &h);
+        {
+            let _g = obs.span("sim.run");
+        }
+        let report = summarize(&obs.to_jsonl()).unwrap();
+        for needle in [
+            "== obs summary ==",
+            "policy=\"lhr\"",
+            "windows: 3",
+            "hit ratio       0.5000",
+            "Detect",
+            "Retrain",
+            "alpha=0.9",
+            "sim.requests",
+            "lhr.threshold",
+            "latency_us",
+            "sim.run",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+        }
+    }
+
+    #[test]
+    fn summarize_rejects_garbage() {
+        assert!(summarize("{\"record\":\"window\"").is_err());
+        assert!(summarize("").unwrap().contains("obs summary"));
+    }
+}

@@ -10,6 +10,8 @@
 use crate::fault::FaultConfig;
 use crate::fault::{CircuitBreaker, FaultPlan, OriginOutcome, ResilienceConfig, RetryPolicy};
 use crate::latency::{transfer_ms, LatencyModel};
+use lhr_obs::series::{ReqSample, SeriesAcc};
+use lhr_obs::{Event, EventKind, LogHistogram, Obs};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Time, Trace};
 use lhr_util::json::ToJson;
@@ -225,6 +227,7 @@ pub struct CdnServer<P: CachePolicy> {
     config: ServerConfig,
     /// Admission time of cached contents (for freshness).
     admitted_at: HashMap<ObjectId, Time>,
+    obs: Option<Obs>,
 }
 
 /// How one request was ultimately served (bookkeeping for the report).
@@ -246,7 +249,16 @@ impl<P: CachePolicy> CdnServer<P> {
             policy,
             config,
             admitted_at: HashMap::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability recorder: the replay feeds it a windowed
+    /// metric series, a latency histogram (µs), circuit-breaker / outage /
+    /// stale-serve / coalescing events, and a `server.replay` span.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Access to the wrapped policy (e.g. to read LHR stats afterwards).
@@ -275,6 +287,22 @@ impl<P: CachePolicy> CdnServer<P> {
         // Object → (fetch completion time, fetch succeeded): the in-flight
         // window concurrent misses coalesce into.
         let mut in_flight: HashMap<ObjectId, (Time, bool)> = HashMap::new();
+
+        // Obs state stays local to the loop (no locking per request); the
+        // injected outage schedule is emitted up front so the event stream
+        // explains any availability dip that follows.
+        let _replay_span = self.obs.as_ref().map(|o| o.span("server.replay"));
+        let mut acc = self.obs.as_ref().map(|o| SeriesAcc::new(o.window()));
+        let mut lat_hist = LogHistogram::new();
+        let mut last_evictions = 0u64;
+        let mut last_opens = 0u64;
+        let mut last_closes = 0u64;
+        if let Some(obs) = &self.obs {
+            for &(start, end) in &self.config.faults.outages {
+                obs.emit(Event::new(start, EventKind::OutageStart).field("until_secs", end));
+                obs.emit(Event::new(end, EventKind::OutageEnd));
+            }
+        }
         let wall = Instant::now();
 
         for (i, req) in trace.iter().enumerate() {
@@ -296,6 +324,30 @@ impl<P: CachePolicy> CdnServer<P> {
                     self.admitted_at.retain(|&id, _| policy.contains(id));
                 }
                 in_flight.retain(|_, &mut (done_at, _)| req.ts < done_at);
+            }
+
+            let evict_delta = if acc.is_some() {
+                let cur = self.policy.evictions();
+                let delta = cur.saturating_sub(last_evictions);
+                last_evictions = cur;
+                delta
+            } else {
+                0
+            };
+            if let Some(obs) = &self.obs {
+                // Breaker transitions matter during warmup too (the breaker
+                // carries state into the measured interval).
+                let t = req.ts.as_secs_f64();
+                let opens = breaker.opens();
+                if opens > last_opens {
+                    obs.emit(Event::new(t, EventKind::BreakerOpen).field("opens", opens));
+                    last_opens = opens;
+                }
+                let closes = breaker.closes();
+                if closes > last_closes {
+                    obs.emit(Event::new(t, EventKind::BreakerClose).field("closes", closes));
+                    last_closes = closes;
+                }
             }
 
             if i < self.config.warmup_requests {
@@ -321,6 +373,33 @@ impl<P: CachePolicy> CdnServer<P> {
             if served.degraded {
                 degraded_latencies.push(served.latency_ms);
             }
+            if let Some(acc) = acc.as_mut() {
+                let t = req.ts.as_secs_f64();
+                acc.on_request(ReqSample {
+                    t_micros: req.ts.as_micros(),
+                    bytes: req.size,
+                    hit: served.hit,
+                    admitted: false,
+                    bypassed: false,
+                    error: served.error,
+                    stale: served.stale,
+                    coalesced: served.coalesced,
+                });
+                acc.on_evictions(evict_delta);
+                if served.latency_ms.is_finite() && served.latency_ms >= 0.0 {
+                    lat_hist.record((served.latency_ms * 1e3) as u64);
+                }
+                let obs = self.obs.as_ref().expect("acc implies obs");
+                if served.stale {
+                    obs.emit(Event::new(t, EventKind::StaleServe).field("id", req.id));
+                }
+                if served.error {
+                    obs.emit(Event::new(t, EventKind::ErrorServe).field("id", req.id));
+                }
+                if served.coalesced {
+                    obs.emit(Event::new(t, EventKind::Coalesce).field("id", req.id));
+                }
+            }
             if let Some(every) = self.config.series_every {
                 if measured.is_multiple_of(every as u64) {
                     series.push((measured, hits as f64 / measured as f64));
@@ -329,6 +408,28 @@ impl<P: CachePolicy> CdnServer<P> {
         }
 
         peak_meta = peak_meta.max(self.policy.metadata_overhead_bytes());
+        if let (Some(obs), Some(acc)) = (self.obs.as_ref(), acc) {
+            obs.push_windows(acc.finish());
+            obs.set_meta("policy", self.policy.name());
+            obs.set_meta("trace", trace.name.as_str());
+            obs.counter_add("server.requests", measured);
+            obs.counter_add("server.hits", hits);
+            obs.counter_add("server.errors", errors);
+            obs.counter_add("server.stale_served", stale_served);
+            obs.counter_add("server.coalesced", coalesced);
+            obs.counter_add("server.retries", retries);
+            if lat_hist.total() > 0 {
+                obs.hist_merge("server.latency_us", &lat_hist);
+            }
+            obs.gauge_set(
+                "server.replay_wall_secs",
+                if obs.deterministic() {
+                    0.0
+                } else {
+                    wall.elapsed().as_secs_f64()
+                },
+            );
+        }
         // NaN latencies (a degenerate latency model) sort last and degrade
         // the percentile instead of panicking the whole replay.
         latencies.sort_unstable_by(f64::total_cmp);
@@ -886,6 +987,81 @@ mod tests {
         assert_eq!(report.errors_served, 10);
         assert!((report.availability_pct - 0.0).abs() < 1e-9);
         assert!(report.breaker_opens >= 1);
+    }
+
+    #[test]
+    fn obs_records_outage_breaker_and_errors() {
+        use lhr_obs::{ObsConfig, ObsWindow};
+        let mut t = Trace::new("outage");
+        for i in 0..10u64 {
+            t.push(Request::new(Time::from_secs(i * 30), 1, 1 << 20));
+        }
+        let obs = Obs::new(ObsConfig {
+            window: ObsWindow::Requests(4),
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        let cfg = ServerConfig {
+            freshness_secs: Some(10.0),
+            faults: FaultConfig {
+                outages: vec![(0.0, 1e9)],
+                ..FaultConfig::default()
+            },
+            deterministic: true,
+            ..ServerConfig::default()
+        };
+        let mut server = CdnServer::new(Lru::new(10 << 20), cfg).with_obs(obs.clone());
+        let report = server.replay(&t);
+        let events = obs.events();
+        let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count() as u64;
+        assert_eq!(count(EventKind::OutageStart), 1);
+        assert_eq!(count(EventKind::OutageEnd), 1);
+        assert_eq!(count(EventKind::ErrorServe), report.errors_served);
+        assert_eq!(count(EventKind::BreakerOpen), report.breaker_opens);
+        let windows = obs.windows();
+        assert_eq!(
+            windows.iter().map(|w| w.errors).sum::<u64>(),
+            report.errors_served
+        );
+        assert!(windows.iter().all(|w| w.availability() == 0.0));
+        assert!(obs.to_jsonl().contains("\"path\":\"server.replay\""));
+    }
+
+    #[test]
+    fn obs_records_stale_serves() {
+        use lhr_obs::ObsConfig;
+        let mut t = Trace::new("swr");
+        for i in 0..20u64 {
+            t.push(Request::new(Time::from_secs(i * 30), 1, 1 << 20));
+        }
+        let cfg = ServerConfig {
+            freshness_secs: Some(10.0),
+            revalidate_fresh_prob: 1.0,
+            resilience: ResilienceConfig {
+                stale_while_revalidate_secs: 25.0,
+                ..ResilienceConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let obs = Obs::new(ObsConfig {
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        let mut server = CdnServer::new(Lru::new(10 << 20), cfg).with_obs(obs.clone());
+        let report = server.replay(&t);
+        let stale_events = obs
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::StaleServe)
+            .count() as u64;
+        assert_eq!(stale_events, report.stale_served);
+        assert_eq!(
+            obs.windows().iter().map(|w| w.stale_served).sum::<u64>(),
+            report.stale_served
+        );
+        // Latency histogram captured every measured request.
+        let jsonl = obs.to_jsonl();
+        assert!(jsonl.contains("\"name\":\"server.latency_us\""), "{jsonl}");
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use crate::metrics::{SeriesPoint, SimMetrics};
 use crate::policy::CachePolicy;
+use lhr_obs::series::{SeriesAcc, Totals};
+use lhr_obs::Obs;
 use lhr_trace::Trace;
 use std::time::Instant;
 
@@ -56,12 +58,20 @@ lhr_util::impl_json!(struct SimResult {
 #[derive(Debug, Clone, Default)]
 pub struct Simulator {
     config: SimConfig,
+    obs: Option<Obs>,
 }
 
 impl Simulator {
     /// Creates a simulator with the given configuration.
     pub fn new(config: SimConfig) -> Self {
-        Simulator { config }
+        Simulator { config, obs: None }
+    }
+
+    /// Attaches an observability recorder: the run feeds it a windowed
+    /// metric series, run counters, and a `sim.run` profiling span.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Runs `policy` over `trace`, returning metrics for the measured
@@ -81,8 +91,38 @@ impl Simulator {
             )
             .map(|r| r.ts);
 
+        // Obs state lives outside the request loop: a local accumulator
+        // (no locking per request) fed through the delta fast path — the
+        // engine already keeps cumulative counters in `metrics`, so per
+        // request the series costs one boundary compare, and the totals
+        // snapshot (including the eviction-counter read through the trait
+        // object, which costs more than the rest of the instrumentation)
+        // only happens at window edges.
+        let _run_span = self.obs.as_ref().map(|o| o.span("sim.run"));
+        let mut acc = self.obs.as_ref().map(|o| SeriesAcc::new(o.window()));
+        let mut warmup_evictions = 0u64;
+
         let wall_start = Instant::now();
         for (i, req) in trace.iter().enumerate() {
+            if let Some(acc) = acc.as_mut() {
+                if i >= self.config.warmup_requests {
+                    if i == self.config.warmup_requests {
+                        warmup_evictions = policy.evictions();
+                    }
+                    // Observed before `metrics` and the policy see the
+                    // request, so each flushed window's delta covers
+                    // exactly the requests and evictions it contained.
+                    acc.observe(req.ts.as_micros(), || Totals {
+                        requests: metrics.requests,
+                        hits: metrics.hits,
+                        misses_admitted: metrics.misses_admitted,
+                        misses_bypassed: metrics.misses_bypassed,
+                        bytes_requested: metrics.bytes_requested,
+                        bytes_hit: metrics.bytes_hit,
+                        evictions: policy.evictions(),
+                    });
+                }
+            }
             let outcome = policy.handle(req);
             debug_assert!(
                 policy.used_bytes() <= policy.capacity(),
@@ -110,7 +150,6 @@ impl Simulator {
                 crate::policy::Outcome::MissBypassed => metrics.misses_bypassed += 1,
             }
             bucket_requests += 1;
-
             if let Some(every) = self.config.series_every {
                 if bucket_requests as usize >= every {
                     series.push(SeriesPoint {
@@ -129,6 +168,37 @@ impl Simulator {
 
         if let (Some(start), Some(last)) = (start_ts, trace.requests.last()) {
             metrics.duration_secs = last.ts.saturating_sub(start).as_secs_f64();
+        }
+
+        if let (Some(obs), Some(acc)) = (self.obs.as_ref(), acc) {
+            if trace.len() <= self.config.warmup_requests {
+                // The warmup-boundary sample never ran: everything was warmup.
+                warmup_evictions = policy.evictions();
+            }
+            obs.push_windows(acc.finish_observed(Totals {
+                requests: metrics.requests,
+                hits: metrics.hits,
+                misses_admitted: metrics.misses_admitted,
+                misses_bypassed: metrics.misses_bypassed,
+                bytes_requested: metrics.bytes_requested,
+                bytes_hit: metrics.bytes_hit,
+                evictions: policy.evictions(),
+            }));
+            obs.set_meta("policy", policy.name());
+            obs.set_meta("trace", trace.name.as_str());
+            obs.counter_add("sim.requests", metrics.requests);
+            obs.counter_add("sim.hits", metrics.hits);
+            obs.counter_add("sim.evictions", policy.evictions());
+            if warmup_evictions > 0 {
+                obs.counter_add("sim.warmup_evictions", warmup_evictions);
+            }
+            obs.gauge_set("sim.peak_metadata_bytes", peak_meta as f64);
+            // The one wall-clock quantity; zeroed under the determinism
+            // contract so fixed-seed exports stay byte-identical.
+            obs.gauge_set(
+                "sim.wall_secs",
+                if obs.deterministic() { 0.0 } else { wall_secs },
+            );
         }
 
         SimResult {
@@ -264,6 +334,38 @@ mod tests {
         let r = Simulator::new(SimConfig::default()).run(&mut p, &Trace::new("e"));
         assert_eq!(r.metrics.requests, 0);
         assert_eq!(r.metrics.object_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn obs_windows_reconcile_with_metrics() {
+        use lhr_obs::{Obs, ObsConfig};
+        let obs = Obs::new(ObsConfig {
+            window: lhr_obs::ObsWindow::Requests(3),
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        let mut p = Infinite::new();
+        let cfg = SimConfig {
+            warmup_requests: 2,
+            series_every: None,
+        };
+        let r = Simulator::new(cfg)
+            .with_obs(obs.clone())
+            .run(&mut p, &abab_trace(10));
+        let windows = obs.windows();
+        assert_eq!(windows.len(), 3); // 8 measured requests / 3 per window
+        assert_eq!(
+            windows.iter().map(|w| w.requests).sum::<u64>(),
+            r.metrics.requests
+        );
+        assert_eq!(windows.iter().map(|w| w.hits).sum::<u64>(), r.metrics.hits);
+        let jsonl = obs.to_jsonl();
+        assert!(jsonl.contains("\"record\":\"meta\""), "{jsonl}");
+        assert!(jsonl.contains("\"policy\":\"infinite\""), "{jsonl}");
+        assert!(
+            jsonl.contains("\"name\":\"sim.requests\",\"value\":8"),
+            "{jsonl}"
+        );
     }
 
     #[test]

@@ -54,9 +54,10 @@ impl SimMetrics {
     }
 
     /// WAN bytes fetched from origin (every miss is an origin fetch whether
-    /// or not the object is admitted).
+    /// or not the object is admitted). Saturates rather than panicking if
+    /// hand-built metrics claim more bytes hit than requested.
     pub fn wan_bytes(&self) -> u128 {
-        self.bytes_requested - self.bytes_hit
+        self.bytes_requested.saturating_sub(self.bytes_hit)
     }
 
     /// WAN traffic rate in Gbps over the measured interval (the paper's
@@ -123,6 +124,18 @@ mod tests {
         assert_eq!(m.misses(), 6);
         assert!((m.wan_gbps() - 750.0 * 8.0 / 1e9 / 2.0).abs() < 1e-15);
         assert!((m.availability() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wan_bytes_saturates_instead_of_panicking() {
+        let m = SimMetrics {
+            bytes_requested: 100,
+            bytes_hit: 250,
+            duration_secs: 1.0,
+            ..SimMetrics::default()
+        };
+        assert_eq!(m.wan_bytes(), 0);
+        assert_eq!(m.wan_gbps(), 0.0);
     }
 
     #[test]

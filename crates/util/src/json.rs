@@ -616,6 +616,12 @@ impl ToJson for str {
     }
 }
 
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
 macro_rules! json_uint {
     ($($t:ty),+) => {$(
         impl ToJson for $t {

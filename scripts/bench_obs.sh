@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Records the observability-overhead baseline into BENCH_obs.json (one JSON
+# line per bench group plus an `obs_overhead` summary, small + medium
+# scales). The obs layer budgets instrumented replays at < 5 % over plain
+# ones — re-run after any change to the obs hot path (SeriesAcc, the
+# engine/server watermarks) and commit the refreshed file.
+#
+# Usage: scripts/bench_obs.sh [output-file]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_obs.json}"
+
+cargo build --release --offline -p lhr-bench --bin obs
+
+: > "$out"
+for scale in small medium; do
+  echo "==> obs bench, scale=$scale"
+  LHR_BENCH_JSON="$out" \
+    cargo run --release --offline -p lhr-bench --bin obs -- --scale "$scale"
+done
+
+echo "wrote $out"

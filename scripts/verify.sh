@@ -30,8 +30,23 @@ smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 cargo run --release --offline -p lhr-cli -- generate \
   --kind zipf --objects 200 --requests 5000 --seed 7 --out "$smoke_dir/t.csv"
+# Capture instead of piping into `grep -q`: grep would exit at the first
+# match and the CLI's line-buffered stdout then panics on EPIPE.
 cargo run --release --offline -p lhr-cli -- server \
   --policy LRU --capacity 50MB --faults flaky "$smoke_dir/t.csv" \
-  | grep -q "availability:"
+  > "$smoke_dir/server.out"
+grep -q "availability:" "$smoke_dir/server.out"
+
+echo "==> CLI observability smoke (--obs + obs summarize)"
+cargo run --release --offline -p lhr-cli -- simulate \
+  --policy LHR --capacity 1MB --obs "$smoke_dir/obs.jsonl" \
+  --obs-window 1000r --obs-deterministic true "$smoke_dir/t.csv"
+cargo run --release --offline -p lhr-cli -- obs summarize "$smoke_dir/obs.jsonl" \
+  > "$smoke_dir/summary.out"
+grep -q "== obs summary ==" "$smoke_dir/summary.out"
+
+echo "==> obs overhead bench smoke (tiny scale)"
+LHR_BENCH_WARMUP_MS=20 LHR_BENCH_MEASURE_MS=100 \
+  cargo run --release --offline -p lhr-bench --bin obs -- --scale tiny
 
 echo "verify: OK"

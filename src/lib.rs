@@ -14,12 +14,14 @@
 //! - [`core`] — HRO online bound and the LHR cache (the paper's contribution)
 //! - [`proto`] — simulated CDN server prototypes (ATS-like / Caffeine-like)
 //! - [`analysis`] — analytic models: Che approximation, miss-ratio curves, working sets
+//! - [`obs`] — deterministic observability: windowed series, event bus, profiling spans
 
 pub use lhr as core;
 pub use lhr_analysis as analysis;
 pub use lhr_bounds as bounds;
 pub use lhr_gbm as gbm;
 pub use lhr_nn as nn;
+pub use lhr_obs as obs;
 pub use lhr_policies as policies;
 pub use lhr_proto as proto;
 pub use lhr_sim as sim;

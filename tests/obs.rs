@@ -1,0 +1,201 @@
+//! Observability integration tests: the determinism contract of the obs
+//! layer end-to-end (fixed seed ⇒ byte-identical recordings), the
+//! detection-gated retrain events on a shifting-α workload, and
+//! byte-identical JSON round-trips for every exported record shape.
+
+use lhr_repro::core::cache::{LhrCache, LhrConfig};
+use lhr_repro::obs::{EventKind, Obs, ObsConfig, ObsRecord, ObsWindow};
+use lhr_repro::policies::Lru;
+use lhr_repro::proto::{presets, CdnServer};
+use lhr_repro::sim::{CachePolicy, SimConfig, SimMetrics, Simulator};
+use lhr_repro::trace::synth::{IrmConfig, SizeModel};
+use lhr_repro::trace::{Request, Time, Trace};
+use lhr_util::json::{FromJson, Json, ToJson};
+
+fn zipf_trace(seed: u64) -> Trace {
+    IrmConfig::new(400, 20_000)
+        .zipf_alpha(1.0)
+        .size_model(SizeModel::BoundedPareto {
+            alpha: 1.2,
+            min: 1_000,
+            max: 100_000,
+        })
+        .seed(seed)
+        .generate()
+}
+
+fn deterministic_obs() -> Obs {
+    Obs::new(ObsConfig {
+        window: ObsWindow::Requests(2_000),
+        deterministic: true,
+        ..ObsConfig::default()
+    })
+}
+
+/// One instrumented simulator run, returning the full JSONL export.
+fn record_sim(build: &dyn Fn(&Obs) -> Box<dyn CachePolicy>) -> String {
+    let trace = zipf_trace(11);
+    let obs = deterministic_obs();
+    let mut policy = build(&obs);
+    Simulator::new(SimConfig::default())
+        .with_obs(obs.clone())
+        .run(&mut policy, &trace);
+    obs.to_jsonl()
+}
+
+#[test]
+fn fixed_seed_deterministic_recordings_are_byte_identical() {
+    let builders: Vec<(&str, Box<dyn Fn(&Obs) -> Box<dyn CachePolicy>>)> = vec![
+        (
+            "LRU",
+            Box::new(|_: &Obs| -> Box<dyn CachePolicy> { Box::new(Lru::new(200_000)) }),
+        ),
+        (
+            "LHR",
+            Box::new(|obs: &Obs| -> Box<dyn CachePolicy> {
+                Box::new(LhrCache::new(120_000, LhrConfig::default()).with_obs(obs.clone()))
+            }),
+        ),
+    ];
+    for (name, build) in &builders {
+        let a = record_sim(build);
+        let b = record_sim(build);
+        assert!(!a.is_empty(), "{name}: recording must not be empty");
+        assert!(a.contains("\"record\":\"window\""), "{name}: {a}");
+        assert_eq!(a, b, "{name}: two fixed-seed runs must record identically");
+    }
+}
+
+#[test]
+fn server_deterministic_recording_is_byte_identical() {
+    let trace = zipf_trace(5);
+    let run = || {
+        let obs = deterministic_obs();
+        let mut config =
+            presets::fault_preset("outage", 7, trace.duration().as_secs_f64()).unwrap();
+        config.deterministic = true;
+        let mut server = CdnServer::new(Box::new(Lru::new(200_000)), config).with_obs(obs.clone());
+        let report = server.replay(&trace);
+        (obs.to_jsonl(), report.stable_json())
+    };
+    let (jsonl_a, report_a) = run();
+    let (jsonl_b, report_b) = run();
+    assert_eq!(jsonl_a, jsonl_b);
+    assert_eq!(report_a, report_b);
+    assert!(jsonl_a.contains("\"kind\":\"OutageStart\""), "{jsonl_a}");
+}
+
+/// Two IRM halves over the same object population with very different Zipf
+/// exponents, the second shifted past the end of the first. Fixed sizes keep
+/// the per-object size invariant across the seam.
+fn shifting_alpha_trace() -> Trace {
+    let half = |alpha: f64, seed: u64| {
+        IrmConfig::new(400, 25_000)
+            .zipf_alpha(alpha)
+            .size_model(SizeModel::Fixed { bytes: 2_000 })
+            .seed(seed)
+            .generate()
+    };
+    let a = half(0.5, 3);
+    let b = half(1.3, 4);
+    let offset = a.duration().as_micros() + 1_000_000;
+    let mut out = Trace::new("alpha-shift");
+    for r in &a {
+        out.push(Request::new(r.ts, r.id, r.size));
+    }
+    for r in &b {
+        out.push(Request::new(
+            Time::from_micros(r.ts.as_micros() + offset),
+            r.id,
+            r.size,
+        ));
+    }
+    out.validate().expect("seam must preserve trace invariants");
+    out
+}
+
+#[test]
+fn shifting_alpha_triggers_a_detection_gated_retrain() {
+    let trace = shifting_alpha_trace();
+    let obs = deterministic_obs();
+    let mut cache = LhrCache::new(100_000, LhrConfig::default()).with_obs(obs.clone());
+    Simulator::new(SimConfig::default())
+        .with_obs(obs.clone())
+        .run(&mut cache, &trace);
+    let events = obs.events();
+    // A Detect event past the first window must have fired with
+    // retrain=true (the α shift crosses ε), and the retrain it gated must
+    // have actually happened on the same window.
+    let gated: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Detect)
+        .filter(|e| matches!(e.get("retrain"), Some(Json::Bool(true))))
+        .filter_map(|e| e.get("window").and_then(|v| v.as_f64()))
+        .map(|w| w as u64)
+        .filter(|&w| w > 0)
+        .collect();
+    assert!(
+        !gated.is_empty(),
+        "no detection-gated retrain on an α 0.5→1.3 shift; events: {events:?}"
+    );
+    for window in &gated {
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::Retrain
+                && e.get("window").and_then(|v| v.as_f64()) == Some(*window as f64)),
+            "Detect(window={window}, retrain=true) without a matching Retrain"
+        );
+    }
+}
+
+#[test]
+fn every_obs_jsonl_line_round_trips_byte_identically() {
+    // One learning-loop recording and one faulted-server recording between
+    // them exercise every record shape: meta, window, event, counter,
+    // gauge, hist, span.
+    let sim_jsonl = record_sim(&|obs: &Obs| -> Box<dyn CachePolicy> {
+        Box::new(LhrCache::new(120_000, LhrConfig::default()).with_obs(obs.clone()))
+    });
+    let trace = zipf_trace(5);
+    let server_jsonl = {
+        let obs = deterministic_obs();
+        let config = presets::fault_preset("outage", 7, trace.duration().as_secs_f64()).unwrap();
+        CdnServer::new(Box::new(Lru::new(200_000)), config)
+            .with_obs(obs.clone())
+            .replay(&trace);
+        obs.to_jsonl()
+    };
+    let mut tags_seen = std::collections::BTreeSet::new();
+    for line in sim_jsonl.lines().chain(server_jsonl.lines()) {
+        let record = ObsRecord::parse_line(line).expect(line);
+        tags_seen.insert(record.tag());
+        assert_eq!(record.to_line(), line, "round-trip must be byte-identical");
+    }
+    for tag in [
+        "meta", "window", "event", "counter", "gauge", "hist", "span",
+    ] {
+        assert!(tags_seen.contains(tag), "no `{tag}` record exercised");
+    }
+}
+
+#[test]
+fn sim_metrics_json_round_trips_byte_identically() {
+    let trace = zipf_trace(2);
+    let mut policy = Lru::new(150_000);
+    let result = Simulator::new(SimConfig::default()).run(&mut policy, &trace);
+    let text = result.metrics.to_json().to_string();
+    let back = SimMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back, result.metrics);
+    assert_eq!(back.to_json().to_string(), text);
+}
+
+#[test]
+fn server_report_stable_json_round_trips_byte_identically() {
+    use lhr_repro::proto::ServerReport;
+    let trace = zipf_trace(9);
+    let mut config = presets::fault_preset("flaky", 3, trace.duration().as_secs_f64()).unwrap();
+    config.deterministic = true;
+    let report = CdnServer::new(Box::new(Lru::new(200_000)), config).replay(&trace);
+    let text = report.stable_json();
+    let back = ServerReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back.to_json().to_string(), text);
+}

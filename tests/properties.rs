@@ -324,3 +324,51 @@ fn lhr_is_deterministic() {
         prop_assert_eq!(run(), run());
     });
 }
+
+#[test]
+fn obs_windows_partition_the_measured_request_stream() {
+    use lhr_repro::obs::{Obs, ObsConfig, ObsWindow};
+    prop_check!(cases: 64, (len in range(1usize..400), seed in any_u64(), win in range(1u64..60), cap_factor in range(1u64..20)) => {
+        let trace = build_trace(len, seed);
+        let obs = Obs::new(ObsConfig {
+            window: ObsWindow::Requests(win),
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        let mut policy = Lru::new(cap_factor * 50);
+        let result = Simulator::new(SimConfig::default())
+            .with_obs(obs.clone())
+            .run(&mut policy, &trace);
+        let windows = obs.windows();
+
+        // The windows partition the measured stream exactly: nothing lost,
+        // nothing double-counted.
+        prop_assert_eq!(windows.iter().map(|w| w.requests).sum::<u64>(), result.metrics.requests);
+        prop_assert_eq!(windows.iter().map(|w| w.hits).sum::<u64>(), result.metrics.hits);
+        prop_assert_eq!(
+            windows.iter().map(|w| w.bytes_requested).sum::<u128>(),
+            result.metrics.bytes_requested
+        );
+        prop_assert_eq!(
+            windows.iter().map(|w| w.bytes_hit).sum::<u128>(),
+            result.metrics.bytes_hit
+        );
+        prop_assert_eq!(windows.iter().map(|w| w.evictions).sum::<u64>(), result.evictions);
+
+        // Half-open request windows: every window before the final flush
+        // holds exactly `win` requests at its `k·win` offset; the final
+        // partial window is flushed, never dropped.
+        for (k, w) in windows.iter().enumerate() {
+            prop_assert_eq!(w.index, k as u64);
+            prop_assert_eq!(w.start_requests, k as u64 * win);
+            if k + 1 < windows.len() {
+                prop_assert_eq!(w.requests, win);
+            } else {
+                prop_assert!(w.requests >= 1 && w.requests <= win);
+            }
+        }
+        if len > 0 {
+            prop_assert!(!windows.is_empty(), "measured requests must produce windows");
+        }
+    });
+}
