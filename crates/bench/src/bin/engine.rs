@@ -1,0 +1,96 @@
+//! Sharded-engine throughput benchmark — replays the same trace through
+//! [`lhr_proto::ShardedEngine`] at several thread counts and reports
+//! requests/second per count plus the 8-thread speedup over 1 thread:
+//!
+//! ```text
+//! cargo run --release -p lhr-bench --bin engine -- --scale medium
+//! ```
+//!
+//! Set `LHR_BENCH_JSON=<path>` to append machine-readable results plus an
+//! `engine_scaling` summary line (the format committed as
+//! `BENCH_engine.json`). The summary records `host_cpus`: scaling beyond
+//! that core count is physically impossible, so read `speedup_t8` against
+//! it (a 1-CPU CI container will honestly report ~1x).
+
+use lhr_policies::Lru;
+use lhr_proto::{EngineConfig, ShardedEngine};
+use lhr_sim::shard::RouteConfig;
+use lhr_trace::synth::{IrmConfig, ProductionScale, SizeModel};
+use lhr_util::bench::{black_box, Bench};
+use lhr_util::json::{Json, ToJson};
+use std::io::Write;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    let requests = match options.scale {
+        ProductionScale::Tiny => 50_000,
+        ProductionScale::Small => 200_000,
+        ProductionScale::Medium => 800_000,
+        ProductionScale::Full => 3_000_000,
+    };
+    let trace = IrmConfig::new(10_000, requests)
+        .zipf_alpha(0.9)
+        .size_model(SizeModel::BoundedPareto {
+            alpha: 1.2,
+            min: 10_000,
+            max: 10_000_000,
+        })
+        .seed(options.seed)
+        .generate();
+    let capacity = 25_000_000u64;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut group = Bench::new("engine_replay");
+    group.throughput_elems(requests as u64);
+    for threads in THREAD_COUNTS {
+        group.bench(format!("{requests}_t{threads}"), || {
+            let engine = ShardedEngine::new(EngineConfig {
+                n_shards: 16,
+                route: RouteConfig {
+                    threads,
+                    ..RouteConfig::default()
+                },
+                ..EngineConfig::new(capacity)
+            });
+            engine
+                .replay(black_box(&trace), |_, cap, _| Lru::new(cap))
+                .report
+                .errors_served
+        });
+    }
+    let results = group.finish();
+
+    let rps: Vec<f64> = results
+        .iter()
+        .map(|r| requests as f64 / (r.mean_ns / 1e9))
+        .collect();
+    let speedup_t8 = rps.last().copied().unwrap_or(0.0) / rps[0].max(1e-9);
+    println!(
+        "engine scaling on {host_cpus} host cpu(s): t1 {:.0} req/s, t2 {:.0} req/s, \
+         t8 {:.0} req/s (t8/t1 = {speedup_t8:.2}x)",
+        rps[0], rps[1], rps[2],
+    );
+    if let Ok(path) = std::env::var("LHR_BENCH_JSON") {
+        let mut fields = vec![
+            ("group".to_string(), "engine_scaling".to_json()),
+            ("requests".to_string(), (requests as u64).to_json()),
+            ("host_cpus".to_string(), (host_cpus as u64).to_json()),
+        ];
+        for (threads, (result, rps)) in THREAD_COUNTS.iter().zip(results.iter().zip(&rps)) {
+            fields.push((format!("t{threads}_mean_ns"), result.mean_ns.to_json()));
+            fields.push((format!("t{threads}_requests_per_sec"), rps.to_json()));
+        }
+        fields.push(("speedup_t8".to_string(), speedup_t8.to_json()));
+        let record = Json::Object(fields);
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{record}"));
+        if let Err(e) = appended {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+}

@@ -69,8 +69,8 @@ USAGE:
   lhr-cache bound --capacity SIZE PATH             offline/online bounds
   lhr-cache mrc [--points N] [--sample R] PATH     LRU miss-ratio curve +
                                                    Che-approximation prediction
-  lhr-cache server --policy NAME --capacity SIZE [--faults PRESET] PATH
-                                                   replay through the simulated
+  lhr-cache server --policy NAME --capacity SIZE [--faults PRESET]
+                   [--report PATH] PATH            replay through the simulated
                                                    CDN serving path (latency,
                                                    throughput, WAN); PRESET
                                                    injects origin faults:
@@ -80,11 +80,23 @@ USAGE:
                                                    as a text report (series
                                                    sparklines, events, spans)
 
-  simulate and server also accept:
+  simulate and server also accept the sharded-engine flags:
+    --threads N               replay with N worker threads (0 = one per
+                              core); reports and --obs exports are
+                              byte-identical at any thread count
+    --shards N                shard the keyspace (and capacity) across N
+                              independent policy instances (default 16
+                              when --threads is given)
+  server --report PATH writes the engine's stable JSON report (wall-clock
+  and thread-count fields zeroed) for determinism diffing.
+
+  simulate, compare, and server also accept:
     --obs PATH                record windowed metric series, structured
                               events, and profiling spans; PATH ending in
                               .csv writes the window series as CSV, any
-                              other path the full JSONL export
+                              other path the full JSONL export (compare
+                              writes one recording per policy, inserting
+                              the policy name before the extension)
     --obs-window SPEC         series window: `300s` (trace seconds), `5000r`
                               or a bare integer (requests); default 10000r
     --obs-deterministic true  zero wall-clock readings so fixed-seed
@@ -205,11 +217,13 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses the shared observability flags: `--obs PATH` turns recording on,
-/// `--obs-window SPEC` sets the series windowing (`300s`, `5000r`, or a bare
-/// request count), `--obs-deterministic true` zeroes wall-clock readings so
-/// fixed-seed recordings are byte-identical.
-fn obs_from_args(args: &Args) -> Result<Option<(Obs, String)>, String> {
+/// Parses the shared observability flags into a recorder configuration:
+/// `--obs PATH` turns recording on, `--obs-window SPEC` sets the series
+/// windowing (`300s`, `5000r`, or a bare request count),
+/// `--obs-deterministic true` zeroes wall-clock readings so fixed-seed
+/// recordings are byte-identical. `compare` builds one recorder per policy
+/// from this configuration; the other commands build exactly one.
+fn obs_config_from_args(args: &Args) -> Result<Option<(ObsConfig, String)>, String> {
     let Some(path) = args.get("obs") else {
         if args.get("obs-window").is_some() || args.get("obs-deterministic").is_some() {
             return Err("--obs-window/--obs-deterministic require --obs PATH".to_string());
@@ -218,12 +232,39 @@ fn obs_from_args(args: &Args) -> Result<Option<(Obs, String)>, String> {
     };
     let window: ObsWindow = args.get_parse("obs-window")?.unwrap_or_default();
     let deterministic = args.get_parse("obs-deterministic")?.unwrap_or(false);
-    let obs = Obs::new(ObsConfig {
+    let config = ObsConfig {
         window,
         deterministic,
         ..ObsConfig::default()
-    });
-    Ok(Some((obs, path.clone())))
+    };
+    Ok(Some((config, path.clone())))
+}
+
+/// [`obs_config_from_args`] plus the recorder itself, for the
+/// one-recording-per-run commands.
+fn obs_from_args(args: &Args) -> Result<Option<(Obs, String)>, String> {
+    Ok(obs_config_from_args(args)?.map(|(config, path)| (Obs::new(config), path)))
+}
+
+/// Derives a per-policy recording path by inserting the sanitized policy
+/// name before the extension: `out.jsonl` + `W-TinyLFU` → `out.w-tinylfu.jsonl`.
+fn obs_path_for_policy(path: &str, policy: &str) -> String {
+    let tag: String = policy
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    match path.rfind('.') {
+        Some(dot) if dot > path.rfind('/').map_or(0, |s| s + 1) => {
+            format!("{}.{tag}{}", &path[..dot], &path[dot..])
+        }
+        _ => format!("{path}.{tag}"),
+    }
 }
 
 /// Writes a finished recording: `.csv` paths get the windowed series only,
@@ -266,20 +307,72 @@ fn sim_config(args: &Args) -> Result<SimConfig, String> {
     })
 }
 
+/// The threading flags shared by `simulate` and `server`: `--threads N`
+/// (0 = one per core) and `--shards N`. Returns `None` when neither is
+/// given (single-threaded replay).
+fn shard_args(args: &Args) -> Result<Option<(usize, usize)>, String> {
+    let threads: Option<usize> = args.get_parse("threads")?;
+    let shards: Option<usize> = args.get_parse("shards")?;
+    if threads.is_none() && shards.is_none() {
+        return Ok(None);
+    }
+    let shards = shards.unwrap_or(16).max(1);
+    Ok(Some((threads.unwrap_or(1), shards)))
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let trace = load_trace(args)?;
     let name = args.get("policy").ok_or("--policy is required")?;
     let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
     let seed = args.get_parse("seed")?.unwrap_or(42u64);
     let obs = obs_from_args(args)?;
+    let unknown = || {
+        format!(
+            "unknown policy `{name}` (try: {})",
+            registry::policy_names().join(", ")
+        )
+    };
+
+    if let Some((threads, n_shards)) = shard_args(args)? {
+        use lhr_sim::shard::{RouteConfig, ShardedSimConfig, ShardedSimulator};
+        registry::build(name, capacity, seed, &trace).ok_or_else(unknown)?;
+        let mut sim = ShardedSimulator::new(ShardedSimConfig {
+            warmup_requests: args.get_parse("warmup")?.unwrap_or(0usize),
+            n_shards,
+            route: RouteConfig {
+                threads,
+                ..RouteConfig::default()
+            },
+        });
+        if let Some((o, _)) = &obs {
+            sim = sim.with_obs(o.clone());
+        }
+        let shard_capacity = (capacity / n_shards as u64).max(1);
+        let result = sim.run(&trace, |shard, shard_obs| {
+            registry::build_for_shard(name, shard_capacity, seed, &trace, shard, shard_obs)
+                .expect("name validated above")
+        });
+        println!(
+            "{} @ {:.2} GB on {}: hit {:.2}%  byte-hit {:.2}%  WAN {:.3} Gbps  \
+             evictions {}  wall {:.2}s",
+            result.policy,
+            capacity as f64 / 1e9,
+            result.trace,
+            result.metrics.object_hit_ratio() * 100.0,
+            result.metrics.byte_hit_ratio() * 100.0,
+            result.metrics.wan_gbps(),
+            result.evictions,
+            result.wall_secs,
+        );
+        if let Some((o, path)) = &obs {
+            write_obs(o, path)?;
+        }
+        return Ok(());
+    }
+
     let mut policy =
         registry::build_with_obs(name, capacity, seed, &trace, obs.as_ref().map(|(o, _)| o))
-            .ok_or_else(|| {
-                format!(
-                    "unknown policy `{name}` (try: {})",
-                    registry::policy_names().join(", ")
-                )
-            })?;
+            .ok_or_else(unknown)?;
     let mut sim = Simulator::new(sim_config(args)?);
     if let Some((o, _)) = &obs {
         sim = sim.with_obs(o.clone());
@@ -308,13 +401,25 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
     let seed = args.get_parse("seed")?.unwrap_or(42u64);
     let config = sim_config(args)?;
+    // With `--obs PATH`, every policy gets its own recorder and its own
+    // recording file (the policy name is inserted before the extension).
+    let obs_config = obs_config_from_args(args)?;
     println!(
         "{:<11} {:>8} {:>9} {:>10} {:>9}",
         "policy", "hit%", "byte-hit%", "WAN(Gbps)", "wall(s)"
     );
     for name in registry::policy_names() {
-        let mut policy = registry::build(name, capacity, seed, &trace).expect("registry name");
-        let result = Simulator::new(config.clone()).run(&mut policy, &trace);
+        let obs = obs_config
+            .as_ref()
+            .map(|(cfg, path)| (Obs::new(cfg.clone()), obs_path_for_policy(path, name)));
+        let mut policy =
+            registry::build_with_obs(name, capacity, seed, &trace, obs.as_ref().map(|(o, _)| o))
+                .expect("registry name");
+        let mut sim = Simulator::new(config.clone());
+        if let Some((o, _)) = &obs {
+            sim = sim.with_obs(o.clone());
+        }
+        let result = sim.run(&mut policy, &trace);
         println!(
             "{:<11} {:>8.2} {:>9.2} {:>10.3} {:>9.2}",
             result.policy,
@@ -323,6 +428,9 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
             result.metrics.wan_gbps(),
             result.wall_secs,
         );
+        if let Some((o, path)) = &obs {
+            write_obs(o, path)?;
+        }
     }
     Ok(())
 }
@@ -367,9 +475,6 @@ fn cmd_server(args: &Args) -> Result<(), String> {
     let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
     let seed = args.get_parse("seed")?.unwrap_or(42u64);
     let obs = obs_from_args(args)?;
-    let policy =
-        registry::build_with_obs(name, capacity, seed, &trace, obs.as_ref().map(|(o, _)| o))
-            .ok_or_else(|| format!("unknown policy `{name}`"))?;
     let faulted = args.get("faults").map(|s| s.as_str()).unwrap_or("none") != "none";
     let config = match args.get("faults") {
         Some(preset) => presets::fault_preset(preset, seed, trace.duration().as_secs_f64())
@@ -381,6 +486,70 @@ fn cmd_server(args: &Args) -> Result<(), String> {
             })?,
         None => ServerConfig::default(),
     };
+
+    // `--threads`/`--shards`/`--report` select the sharded engine; its
+    // stable report is byte-identical at any thread count.
+    let engine_requested = shard_args(args)?.is_some() || args.get("report").is_some();
+    if engine_requested {
+        use lhr_proto::{EngineConfig, ShardedEngine};
+        use lhr_sim::shard::RouteConfig;
+        registry::build(name, capacity, seed, &trace)
+            .ok_or_else(|| format!("unknown policy `{name}`"))?;
+        let (threads, n_shards) = shard_args(args)?.unwrap_or((1, 16));
+        let mut engine = ShardedEngine::new(EngineConfig {
+            total_capacity: capacity,
+            n_shards,
+            route: RouteConfig {
+                threads,
+                ..RouteConfig::default()
+            },
+            server: config,
+        });
+        if let Some((o, _)) = &obs {
+            engine = engine.with_obs(o.clone());
+        }
+        let er = engine.replay(&trace, |shard, shard_capacity, shard_obs| {
+            registry::build_for_shard(name, shard_capacity, seed, &trace, shard, shard_obs)
+                .expect("name validated above")
+        });
+        let r = &er.report;
+        println!("policy:          {}", r.name);
+        println!(
+            "engine:          {} shards, {} threads, {:.0} req/s",
+            er.n_shards, er.threads, er.requests_per_sec
+        );
+        println!("content hit:     {:.2} %", r.content_hit_pct);
+        println!("mean latency:    {:.1} ms", r.mean_latency_ms);
+        println!("P90 latency:     {:.1} ms", r.p90_latency_ms);
+        println!("P99 latency:     {:.1} ms", r.p99_latency_ms);
+        println!("WAN traffic:     {:.3} Gbps", r.wan_gbps);
+        println!("peak metadata:   {:.2} MB", r.peak_mem_gb * 1e3);
+        if faulted {
+            println!("availability:    {:.2} %", r.availability_pct);
+            println!("errors served:   {}", r.errors_served);
+            println!("stale served:    {}", r.stale_served);
+            println!("retries:         {}", r.retries);
+            println!("coalesced:       {}", r.coalesced_fetches);
+            println!(
+                "breaker:         {} open / {} close",
+                r.breaker_opens, r.breaker_closes
+            );
+        }
+        println!("replay wall:     {:.2} s", r.replay_wall_secs);
+        if let Some(path) = args.get("report") {
+            let body = er.stable_json();
+            std::fs::write(path, &body).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("report: wrote {} bytes to {path}", body.len());
+        }
+        if let Some((o, path)) = &obs {
+            write_obs(o, path)?;
+        }
+        return Ok(());
+    }
+
+    let policy =
+        registry::build_with_obs(name, capacity, seed, &trace, obs.as_ref().map(|(o, _)| o))
+            .ok_or_else(|| format!("unknown policy `{name}`"))?;
     let mut server = CdnServer::new(policy, config);
     if let Some((o, _)) = &obs {
         server = server.with_obs(o.clone());

@@ -36,9 +36,38 @@ pub fn policy_names() -> &'static [&'static str] {
     ]
 }
 
-/// Builds a policy by (case-insensitive) name.
-pub fn build(name: &str, capacity: u64, seed: u64, trace: &Trace) -> Option<Box<dyn CachePolicy>> {
+/// Builds a policy by (case-insensitive) name. The box is `Send` so the
+/// same registry feeds the single-threaded simulator and the sharded
+/// engine's worker threads.
+pub fn build(
+    name: &str,
+    capacity: u64,
+    seed: u64,
+    trace: &Trace,
+) -> Option<Box<dyn CachePolicy + Send>> {
     build_with_obs(name, capacity, seed, trace, None)
+}
+
+/// Builds one shard's policy instance for a sharded replay: same policy,
+/// capacity slice, and a per-shard seed derived with
+/// [`lhr_sim::shard::shard_seed`] (the same derivation
+/// `LhrConfig::for_shard` uses), so shards are decorrelated yet
+/// independent of the thread count.
+pub fn build_for_shard(
+    name: &str,
+    shard_capacity: u64,
+    seed: u64,
+    trace: &Trace,
+    shard: usize,
+    obs: Option<&Obs>,
+) -> Option<Box<dyn CachePolicy + Send>> {
+    build_with_obs(
+        name,
+        shard_capacity,
+        lhr_sim::shard::shard_seed(seed, shard),
+        trace,
+        obs,
+    )
 }
 
 /// [`build`], plus an optional observability recorder. Only the learning
@@ -50,7 +79,7 @@ pub fn build_with_obs(
     seed: u64,
     trace: &Trace,
     obs: Option<&Obs>,
-) -> Option<Box<dyn CachePolicy>> {
+) -> Option<Box<dyn CachePolicy + Send>> {
     let objects = 1u64 << 16;
     let lrb_window = (trace.duration().as_secs_f64() / 4.0).max(60.0);
     let lhr = |config: LhrConfig| {
@@ -117,6 +146,15 @@ mod tests {
         let trace = IrmConfig::new(10, 100).generate();
         assert!(build("lru", 1_000, 1, &trace).is_some());
         assert!(build("hawkeye", 1_000, 1, &trace).is_some());
+    }
+
+    #[test]
+    fn shard_builds_resolve_for_every_shard() {
+        let trace = IrmConfig::new(10, 100).generate();
+        for shard in 0..4 {
+            let policy = build_for_shard("LHR", 10_000, 1, &trace, shard, None);
+            assert!(policy.is_some(), "shard {shard} did not build");
+        }
     }
 
     #[test]

@@ -112,6 +112,17 @@ impl LhrConfig {
             ..LhrConfig::default()
         }
     }
+
+    /// The same configuration for shard `shard` of a sharded replay: only
+    /// the seed changes, derived with [`lhr_sim::shard::shard_seed`] so
+    /// shards' sampled evictions are decorrelated yet independent of the
+    /// thread count that replays them.
+    pub fn for_shard(&self, shard: usize) -> Self {
+        LhrConfig {
+            seed: lhr_sim::shard::shard_seed(self.seed, shard),
+            ..self.clone()
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -12,7 +12,7 @@ use crate::event::Event;
 use crate::hist::LogHistogram;
 use crate::record::ObsRecord;
 use crate::series::{ObsWindow, WindowRecord};
-use crate::span::SpanTree;
+use crate::span::{SpanRecord, SpanTree};
 use lhr_util::json::{Json, ToJson};
 use lhr_util::sync::Mutex;
 use std::collections::BTreeMap;
@@ -84,6 +84,13 @@ impl Obs {
         self.config.window
     }
 
+    /// The full recorder configuration — what per-shard child recorders
+    /// should be built from so a later [`Obs::absorb_shards`] merges
+    /// like-configured data.
+    pub fn config(&self) -> &ObsConfig {
+        &self.config
+    }
+
     /// Whether wall-clock readings are zeroed for byte-identical output.
     pub fn deterministic(&self) -> bool {
         self.config.deterministic
@@ -136,6 +143,82 @@ impl Obs {
     /// Appends completed windows from a [`crate::series::SeriesAcc`].
     pub fn push_windows(&self, windows: Vec<WindowRecord>) {
         self.inner.lock().windows.extend(windows);
+    }
+
+    /// Merges per-shard recorders into this one **in the order given** —
+    /// the caller passes shards in fixed shard order, making the merged
+    /// export independent of how many threads produced them (the
+    /// determinism contract's merge rule):
+    ///
+    /// - windows merge by index via [`crate::series::merge_windows`];
+    /// - events concatenate in shard order, then stable-sort by trace time,
+    ///   so equal-timestamp events keep shard order;
+    /// - counters sum; gauges take the last shard's value; histograms and
+    ///   span trees merge by name/path; metadata upserts in shard order.
+    ///
+    /// Shard recorders should be built from this recorder's
+    /// [`config`](Obs::config) so windowing and determinism settings agree.
+    pub fn absorb_shards(&self, shards: &[Obs]) {
+        // Copy shard state out first; each shard lock is released before
+        // the master lock is taken.
+        let mut windows_per: Vec<Vec<WindowRecord>> = Vec::with_capacity(shards.len());
+        let mut events: Vec<Event> = Vec::new();
+        let mut dropped = 0u64;
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        let mut gauges: Vec<(String, f64)> = Vec::new();
+        let mut hists: Vec<(String, LogHistogram)> = Vec::new();
+        let mut metas: Vec<(String, Json)> = Vec::new();
+        let mut span_records: Vec<SpanRecord> = Vec::new();
+        for shard in shards {
+            let inner = shard.inner.lock();
+            windows_per.push(inner.windows.clone());
+            events.extend(inner.events.iter().cloned());
+            dropped += inner.events_dropped;
+            for (k, &v) in &inner.counters {
+                counters.push((k.clone(), v));
+            }
+            for (k, &v) in &inner.gauges {
+                gauges.push((k.clone(), v));
+            }
+            for (k, h) in &inner.hists {
+                hists.push((k.clone(), h.clone()));
+            }
+            metas.extend(inner.meta.iter().cloned());
+            span_records.extend(inner.spans.records());
+        }
+        events.sort_by(|a, b| a.t.total_cmp(&b.t));
+        let merged_windows = crate::series::merge_windows(&windows_per);
+
+        let mut inner = self.inner.lock();
+        inner.windows.extend(merged_windows);
+        for e in events {
+            if inner.events.len() < self.config.max_events {
+                inner.events.push(e);
+            } else {
+                dropped += 1;
+            }
+        }
+        inner.events_dropped += dropped;
+        for (k, v) in counters {
+            *inner.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in gauges {
+            inner.gauges.insert(k, v);
+        }
+        for (k, h) in hists {
+            inner
+                .hists
+                .entry(k)
+                .or_insert_with(LogHistogram::new)
+                .merge(&h);
+        }
+        for (k, v) in metas {
+            match inner.meta.iter_mut().find(|(mk, _)| *mk == k) {
+                Some((_, mv)) => *mv = v,
+                None => inner.meta.push((k, v)),
+            }
+        }
+        inner.spans.absorb_records(&span_records);
     }
 
     /// Enters a profiling span; it exits when the guard drops. In
@@ -328,6 +411,63 @@ mod tests {
             jsonl.contains("{\"record\":\"counter\",\"name\":\"obs.events_dropped\",\"value\":3}"),
             "{jsonl}"
         );
+    }
+
+    #[test]
+    fn absorb_shards_merges_in_fixed_shard_order() {
+        let config = ObsConfig {
+            deterministic: true,
+            ..ObsConfig::default()
+        };
+        let master = Obs::new(config.clone());
+        let a = Obs::new(config.clone());
+        let b = Obs::new(config);
+
+        a.counter_add("sim.requests", 3);
+        b.counter_add("sim.requests", 7);
+        a.emit(Event::new(2.0, EventKind::Detect).field("shard", 0u64));
+        b.emit(Event::new(1.0, EventKind::Detect).field("shard", 1u64));
+        b.emit(Event::new(2.0, EventKind::Detect).field("shard", 1u64));
+        a.push_windows(vec![WindowRecord {
+            index: 0,
+            requests: 3,
+            hits: 1,
+            ..WindowRecord::default()
+        }]);
+        b.push_windows(vec![WindowRecord {
+            index: 0,
+            requests: 7,
+            hits: 2,
+            ..WindowRecord::default()
+        }]);
+        {
+            let _g = a.span("replay");
+        }
+        {
+            let _g = b.span("replay");
+        }
+
+        master.absorb_shards(&[a, b]);
+
+        let events = master.events();
+        assert_eq!(events.len(), 3);
+        // Sorted by time; ties keep shard order (shard 0's t=2 before
+        // shard 1's t=2).
+        assert_eq!(events[0].t, 1.0);
+        assert_eq!(events[1].fields[0].1.to_string(), "0");
+        assert_eq!(events[2].fields[0].1.to_string(), "1");
+
+        let windows = master.windows();
+        assert_eq!(windows.len(), 1, "same window index merges into one");
+        assert_eq!(windows[0].requests, 10);
+        assert_eq!(windows[0].hits, 3);
+
+        let jsonl = master.to_jsonl();
+        assert!(
+            jsonl.contains("\"name\":\"sim.requests\",\"value\":10"),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains("\"path\":\"replay\",\"count\":2"), "{jsonl}");
     }
 
     #[test]

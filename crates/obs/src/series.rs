@@ -236,6 +236,54 @@ impl WindowRecord {
     }
 }
 
+/// Merges per-shard window series into one series, window by window, in
+/// the order the shard slice is given (fixed shard order — the determinism
+/// contract's merge rule).
+///
+/// Windows pair up by their `index` ordinal: counters are summed,
+/// `first_secs`/`last_secs` take the min/max across shards, and
+/// `start_requests` is recomputed cumulatively over the merged series so it
+/// counts *global* measured requests. With time-based windows
+/// ([`ObsWindow::Secs`]) each shard anchors at its own first measured
+/// request, so same-index windows cover almost (not exactly) the same trace
+/// interval; with request windows the pairing is purely ordinal. Either
+/// way the result depends only on the per-shard series and their order —
+/// never on the thread count that produced them.
+pub fn merge_windows(shards: &[Vec<WindowRecord>]) -> Vec<WindowRecord> {
+    use std::collections::BTreeMap;
+    let mut merged: BTreeMap<u64, WindowRecord> = BTreeMap::new();
+    for series in shards {
+        for w in series {
+            match merged.get_mut(&w.index) {
+                None => {
+                    merged.insert(w.index, w.clone());
+                }
+                Some(m) => {
+                    m.first_secs = m.first_secs.min(w.first_secs);
+                    m.last_secs = m.last_secs.max(w.last_secs);
+                    m.requests += w.requests;
+                    m.hits += w.hits;
+                    m.misses_admitted += w.misses_admitted;
+                    m.misses_bypassed += w.misses_bypassed;
+                    m.bytes_requested += w.bytes_requested;
+                    m.bytes_hit += w.bytes_hit;
+                    m.evictions += w.evictions;
+                    m.errors += w.errors;
+                    m.stale_served += w.stale_served;
+                    m.coalesced += w.coalesced;
+                }
+            }
+        }
+    }
+    let mut out: Vec<WindowRecord> = merged.into_values().collect();
+    let mut cumulative = 0u64;
+    for w in &mut out {
+        w.start_requests = cumulative;
+        cumulative += w.requests;
+    }
+    out
+}
+
 fn ratio(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
@@ -740,6 +788,58 @@ mod tests {
         let back = WindowRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, w);
         assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn merge_windows_sums_by_index_in_shard_order() {
+        let shard0 = vec![
+            WindowRecord {
+                index: 0,
+                requests: 10,
+                hits: 5,
+                first_secs: 0.0,
+                last_secs: 9.0,
+                ..WindowRecord::default()
+            },
+            WindowRecord {
+                index: 2, // shard 0 skipped window 1 (trace gap)
+                requests: 4,
+                hits: 4,
+                first_secs: 20.0,
+                last_secs: 24.0,
+                ..WindowRecord::default()
+            },
+        ];
+        let shard1 = vec![WindowRecord {
+            index: 0,
+            requests: 6,
+            hits: 1,
+            evictions: 3,
+            first_secs: 0.5,
+            last_secs: 9.5,
+            ..WindowRecord::default()
+        }];
+        let merged = merge_windows(&[shard0, shard1]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].index, 0);
+        assert_eq!(merged[0].requests, 16);
+        assert_eq!(merged[0].hits, 6);
+        assert_eq!(merged[0].evictions, 3);
+        assert_eq!(merged[0].first_secs, 0.0);
+        assert_eq!(merged[0].last_secs, 9.5);
+        assert_eq!(merged[0].start_requests, 0);
+        assert_eq!(merged[1].index, 2);
+        assert_eq!(merged[1].start_requests, 16, "cumulative over merged");
+    }
+
+    #[test]
+    fn merge_windows_of_one_shard_is_identity_up_to_start_requests() {
+        let mut acc = SeriesAcc::new(ObsWindow::Requests(3));
+        for i in 0..7u64 {
+            acc.on_request(ReqSample::hit(i * 1_000_000, 10));
+        }
+        let windows = acc.finish();
+        assert_eq!(merge_windows(&[windows.clone()]), windows);
     }
 
     #[test]

@@ -106,6 +106,48 @@ impl SpanTree {
         out
     }
 
+    /// Merges flattened records (from another tree) into this one by path:
+    /// counts and totals add onto the node at each record's path, creating
+    /// intermediate nodes as needed. Used to fold per-shard span trees into
+    /// the master recorder in fixed shard order.
+    pub(crate) fn absorb_records(&mut self, records: &[SpanRecord]) {
+        for rec in records {
+            let mut parent: Option<usize> = None;
+            for name in rec.path.split('/') {
+                let siblings = match parent {
+                    Some(p) => &self.nodes[p].children,
+                    None => &self.roots,
+                };
+                let found = siblings
+                    .iter()
+                    .copied()
+                    .find(|&i| self.nodes[i].name == name);
+                let idx = match found {
+                    Some(i) => i,
+                    None => {
+                        let idx = self.nodes.len();
+                        self.nodes.push(Node {
+                            name: name.to_string(),
+                            children: Vec::new(),
+                            count: 0,
+                            total_ns: 0,
+                        });
+                        match parent {
+                            Some(p) => self.nodes[p].children.push(idx),
+                            None => self.roots.push(idx),
+                        }
+                        idx
+                    }
+                };
+                parent = Some(idx);
+            }
+            if let Some(leaf) = parent {
+                self.nodes[leaf].count += rec.count;
+                self.nodes[leaf].total_ns += (rec.total_secs * 1e9).round().max(0.0) as u128;
+            }
+        }
+    }
+
     fn flatten(&self, idx: usize, prefix: &str, out: &mut Vec<SpanRecord>) {
         let node = &self.nodes[idx];
         let path = if prefix.is_empty() {
@@ -166,6 +208,33 @@ mod tests {
         t.exit(c, 1);
         let records = t.records();
         assert_eq!(records.iter().find(|r| r.path == "c").unwrap().count, 1);
+    }
+
+    #[test]
+    fn absorb_records_merges_by_path() {
+        let mut a = SpanTree::default();
+        let run = a.enter("run");
+        let fit = a.enter("fit");
+        a.exit(fit, 1_000_000_000);
+        a.exit(run, 3_000_000_000);
+
+        let mut b = SpanTree::default();
+        let run_b = b.enter("run");
+        let fit_b = b.enter("fit");
+        b.exit(fit_b, 2_000_000_000);
+        b.exit(run_b, 4_000_000_000);
+        let predict = b.enter("predict");
+        b.exit(predict, 500_000_000);
+
+        a.absorb_records(&b.records());
+        let records = a.records();
+        let get = |path: &str| records.iter().find(|r| r.path == path).unwrap().clone();
+        assert_eq!(get("run").count, 2);
+        assert!((get("run").total_secs - 7.0).abs() < 1e-9);
+        assert_eq!(get("run/fit").count, 2);
+        assert!((get("run/fit").total_secs - 3.0).abs() < 1e-9);
+        assert!((get("run").self_secs - 4.0).abs() < 1e-9);
+        assert_eq!(get("predict").count, 1, "new roots are created");
     }
 
     #[test]

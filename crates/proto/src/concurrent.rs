@@ -1,29 +1,163 @@
-//! A sharded, thread-safe cache front end.
+//! A sharded, thread-safe cache front end and the fetch-coalescing table
+//! behind it.
 //!
 //! The paper's ATS prototype serves requests from many threads with the
 //! admission/lookup path asynchronous to eviction (§6.1). This module
-//! provides the equivalent building block for Rust deployments: object ids
-//! are hash-partitioned across `N` shards, each shard is an independent
-//! policy instance guarded by its own lock, and unrelated requests never
-//! contend. Capacity is split evenly across shards, so the aggregate
-//! capacity bound still holds (each shard enforces its slice).
+//! provides the equivalent building blocks for Rust deployments:
+//!
+//! - [`FetchTable`] — a hash-sharded map keyed by object id whose
+//!   `begin`/`finish` pair elects exactly one origin-fetch leader per
+//!   object and counts everyone else as coalesced. It is the coalescing
+//!   primitive shared by [`ConcurrentCache`] (as `FetchTable<()>`) and the
+//!   threaded serving engine (as `FetchTable<(Time, bool)>`, recording
+//!   when each in-flight fetch lands).
+//! - [`ConcurrentCache`] — object ids hash-partitioned across `N` shards,
+//!   each shard an independent policy instance behind its own lock, so
+//!   unrelated requests never contend. Capacity is split evenly across
+//!   shards, so the aggregate capacity bound still holds.
+//!
+//! Both use [`lhr_sim::shard::shard_of`] — the one hash every sharded
+//! component in the workspace agrees on — so a cache, a fetch table, and
+//! an engine built with the same shard count partition objects
+//! identically.
 
+use lhr_sim::shard::shard_of;
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
 use lhr_util::sync::Mutex;
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A hash-sharded in-flight fetch table with leader election.
+///
+/// One entry per object whose origin fetch is outstanding (or, for the
+/// engine's timed variant, recently landed). [`FetchTable::begin`] claims
+/// the fetch: the first caller per object becomes the leader and must
+/// eventually call [`FetchTable::finish`]; every other caller in between
+/// is counted as coalesced. The value type `V` carries whatever the
+/// claimant wants followers to see (`()` for plain leader election,
+/// `(Time, bool)` for "when does this fetch land, and did it succeed").
+///
+/// Sharding uses [`shard_of`], so a table built with the same shard count
+/// as a [`ConcurrentCache`] or an engine partitions objects identically —
+/// each table shard is then only ever touched by the component shard that
+/// owns those objects.
+///
+/// ```
+/// use lhr_proto::FetchTable;
+///
+/// let table: FetchTable<()> = FetchTable::new(4);
+/// assert!(table.begin(7, ()), "first claimant is the leader");
+/// assert!(!table.begin(7, ()), "second claimant coalesces");
+/// table.finish(7);
+/// assert!(table.begin(7, ()), "claim is released by finish");
+/// assert_eq!(table.coalesced(), 1);
+/// ```
+pub struct FetchTable<V> {
+    shards: Vec<Mutex<HashMap<ObjectId, V>>>,
+    coalesced: AtomicU64,
+}
+
+impl<V> FetchTable<V> {
+    /// An empty table with `n_shards` lock shards.
+    pub fn new(n_shards: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        FetchTable {
+            shards: (0..n_shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lock shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Claims the fetch for `id`, storing `value` if no claim exists.
+    /// Returns `true` for the leader (who must later call
+    /// [`FetchTable::finish`]); `false` means a fetch is already claimed
+    /// and this caller was counted as coalesced.
+    pub fn begin(&self, id: ObjectId, value: V) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.shards[shard_of(id, self.shards.len())]
+            .lock()
+            .entry(id)
+        {
+            Entry::Vacant(slot) => {
+                slot.insert(value);
+                true
+            }
+            Entry::Occupied(_) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Releases the claim taken by [`FetchTable::begin`], returning its
+    /// value (if a claim was held).
+    pub fn finish(&self, id: ObjectId) -> Option<V> {
+        self.shards[shard_of(id, self.shards.len())]
+            .lock()
+            .remove(&id)
+    }
+
+    /// The current claim value for `id`, if any.
+    pub fn get(&self, id: ObjectId) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shards[shard_of(id, self.shards.len())]
+            .lock()
+            .get(&id)
+            .cloned()
+    }
+
+    /// Sets (or replaces) the claim value for `id` unconditionally,
+    /// without leader election.
+    pub fn set(&self, id: ObjectId, value: V) {
+        self.shards[shard_of(id, self.shards.len())]
+            .lock()
+            .insert(id, value);
+    }
+
+    /// Keeps only the entries of lock shard `shard` satisfying `keep`.
+    /// Periodic maintenance: each engine shard prunes its own lock shard,
+    /// never touching entries owned by other shards.
+    pub fn retain_shard(&self, shard: usize, keep: impl FnMut(&ObjectId, &mut V) -> bool) {
+        self.shards[shard].lock().retain(keep);
+    }
+
+    /// How many [`FetchTable::begin`] calls found a fetch already claimed.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
 
 /// A sharded wrapper over any cache policy. Shared by reference across
 /// threads (`&ConcurrentCache<P>` is `Sync` when `P: Send`).
+///
+/// The begin/finish pair delegates to an embedded [`FetchTable`] — one
+/// leader fetches from the origin per object, followers coalesce:
+///
+/// ```
+/// use lhr_policies::Lru;
+/// use lhr_proto::ConcurrentCache;
+///
+/// let cache = ConcurrentCache::new(1 << 20, 4, Lru::new);
+/// assert!(cache.begin_fetch(7), "this request leads the origin fetch");
+/// assert!(!cache.begin_fetch(7), "concurrent request waits on the leader");
+/// cache.finish_fetch(7);
+/// assert!(cache.begin_fetch(7), "claim was released");
+/// assert_eq!(cache.coalesced_fetches(), 1);
+/// ```
 pub struct ConcurrentCache<P> {
     name: String,
     shards: Vec<Mutex<P>>,
     shard_capacity: u64,
-    /// Per-shard set of objects with an origin fetch in flight (the
-    /// request-coalescing primitive: one leader fetches, followers wait).
-    pending: Vec<Mutex<HashSet<ObjectId>>>,
-    coalesced: AtomicU64,
+    /// Objects with an origin fetch in flight (the request-coalescing
+    /// primitive: one leader fetches, followers wait).
+    pending: FetchTable<()>,
 }
 
 impl<P: CachePolicy> ConcurrentCache<P> {
@@ -40,17 +174,13 @@ impl<P: CachePolicy> ConcurrentCache<P> {
             name,
             shards,
             shard_capacity,
-            pending: (0..n_shards).map(|_| Mutex::new(HashSet::new())).collect(),
-            coalesced: AtomicU64::new(0),
+            pending: FetchTable::new(n_shards),
         }
     }
 
     #[inline]
     fn shard_of(&self, id: ObjectId) -> usize {
-        // splitmix-style avalanche so sequential ids spread across shards.
-        let mut x = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        x ^= x >> 32;
-        (x as usize) % self.shards.len()
+        shard_of(id, self.shards.len())
     }
 
     /// Processes one request on the owning shard.
@@ -96,22 +226,17 @@ impl<P: CachePolicy> ConcurrentCache<P> {
     /// `false` means another request's fetch is already in flight and this
     /// one was counted as coalesced.
     pub fn begin_fetch(&self, id: ObjectId) -> bool {
-        if self.pending[self.shard_of(id)].lock().insert(id) {
-            true
-        } else {
-            self.coalesced.fetch_add(1, Ordering::Relaxed);
-            false
-        }
+        self.pending.begin(id, ())
     }
 
     /// Releases the in-flight claim taken by [`Self::begin_fetch`].
     pub fn finish_fetch(&self, id: ObjectId) {
-        self.pending[self.shard_of(id)].lock().remove(&id);
+        self.pending.finish(id);
     }
 
     /// How many fetches were coalesced into an already in-flight one.
     pub fn coalesced_fetches(&self) -> u64 {
-        self.coalesced.load(Ordering::Relaxed)
+        self.pending.coalesced()
     }
 }
 
@@ -228,6 +353,19 @@ mod tests {
         cache.finish_fetch(7);
         assert!(cache.begin_fetch(7), "claim released after finish");
         assert_eq!(cache.coalesced_fetches(), 2);
+    }
+
+    #[test]
+    fn fetch_table_stores_and_prunes_timed_claims() {
+        let table: FetchTable<(f64, bool)> = FetchTable::new(4);
+        table.set(1, (5.0, true));
+        table.set(2, (9.0, false));
+        assert_eq!(table.get(1), Some((5.0, true)));
+        for s in 0..table.n_shards() {
+            table.retain_shard(s, |_, &mut (done_at, _)| done_at > 6.0);
+        }
+        assert_eq!(table.get(1), None, "landed fetch is pruned");
+        assert_eq!(table.get(2), Some((9.0, false)), "in-flight one stays");
     }
 
     #[test]

@@ -1,0 +1,658 @@
+//! The sharded concurrent serving engine.
+//!
+//! [`crate::CdnServer::replay`] is single-threaded: one loop owns the
+//! policy, the freshness map, and the fault machinery. This module scales
+//! that serving path across cores without giving up reproducibility. The
+//! trace is replayed by N worker threads feeding **shards** — each shard an
+//! independent [`CdnServer`] (policy + freshness state + fault plan +
+//! circuit breaker) owning a fixed slice of the keyspace — over bounded
+//! channels, and the per-shard results are merged in fixed shard order.
+//!
+//! # Determinism contract
+//!
+//! Reports and `--obs` exports are byte-identical at any `--threads`
+//! setting because (see also `ARCHITECTURE.md`):
+//!
+//! - the shard count is configuration, never derived from the thread
+//!   count, and objects map to shards with [`lhr_sim::shard::shard_of`];
+//! - each shard's subsequence of the trace is served sequentially in trace
+//!   order by exactly one worker ([`lhr_sim::shard::route`]);
+//! - per-shard fault plans are seeded with [`lhr_sim::shard::shard_seed`],
+//!   a pure function of (base seed, shard index);
+//! - the merge concatenates and sums in shard order `0..n_shards`, so
+//!   float arithmetic associates identically every run;
+//! - the engine forces [`ServerConfig::deterministic`], so wall-clock
+//!   policy compute never feeds the latency model, and
+//!   [`EngineReport::stable_json`] zeroes the fields that legitimately
+//!   depend on the machine (wall time, throughput, thread count).
+//!
+//! Origin-fetch coalescing goes through one [`FetchTable`] shared by all
+//! shards — the same leader-election primitive [`crate::ConcurrentCache`]
+//! uses — so a miss can join any in-flight fetch for its object no matter
+//! which worker claimed it. Because the table is sharded with the same
+//! hash and shard count as the engine, each table shard is only ever
+//! touched by the engine shard that owns those objects, which keeps the
+//! coalescing decisions deterministic too.
+
+use crate::fault::{CircuitBreaker, FaultPlan};
+use crate::server::{CdnServer, ServerConfig, ServerReport};
+use crate::FetchTable;
+use lhr_obs::series::{ReqSample, SeriesAcc};
+use lhr_obs::{Event, EventKind, LogHistogram, Obs};
+use lhr_sim::shard::{route, shard_seed, RouteConfig};
+use lhr_sim::CachePolicy;
+use lhr_trace::{Request, Time, Trace};
+use lhr_util::json::ToJson;
+use std::time::Instant;
+
+/// Configuration of the sharded serving engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Aggregate cache capacity in bytes, split evenly across shards.
+    pub total_capacity: u64,
+    /// Fixed shard count — part of the deterministic configuration, never
+    /// derived from the thread count.
+    pub n_shards: usize,
+    /// Worker threads and channel sizing (`threads = 0` means one per
+    /// available core).
+    pub route: RouteConfig,
+    /// The per-shard serving-path configuration. `deterministic` is forced
+    /// on and `series_every` off: the engine's reports must not depend on
+    /// wall clocks, and windowed series go through the obs layer, where
+    /// they merge deterministically.
+    pub server: ServerConfig,
+}
+
+impl EngineConfig {
+    /// A 16-shard single-threaded engine with the default serving path and
+    /// the given aggregate capacity.
+    pub fn new(total_capacity: u64) -> Self {
+        EngineConfig {
+            total_capacity,
+            n_shards: 16,
+            route: RouteConfig::default(),
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+/// What a threaded replay reports: the merged [`ServerReport`] plus the
+/// engine-level figures (shard/thread counts, throughput).
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// The merged serving-path report. `series` is always empty (use the
+    /// obs layer for windowed series) and `replay_wall_secs` is the wall
+    /// time of the whole threaded replay.
+    pub report: ServerReport,
+    /// Shards the keyspace was split across.
+    pub n_shards: u64,
+    /// Worker threads that replayed the trace (machine-dependent when
+    /// `threads = 0` was configured; zeroed by [`Self::stable_json`]).
+    pub threads: u64,
+    /// Replayed requests (including warmup) per wall-clock second — the
+    /// figure `BENCH_engine.json` records; zeroed by [`Self::stable_json`].
+    pub requests_per_sec: f64,
+    /// Requests each shard served (including warmup), in shard order.
+    pub per_shard_requests: Vec<u64>,
+}
+
+lhr_util::impl_json!(struct EngineReport {
+    report,
+    n_shards,
+    threads,
+    requests_per_sec,
+    per_shard_requests,
+});
+
+impl EngineReport {
+    /// JSON with every machine-dependent field zeroed — wall time,
+    /// requests/sec, and the thread count itself. Two replays of the same
+    /// trace, policy, and fault seed produce byte-identical output at any
+    /// `--threads` setting; `scripts/verify.sh` diffs exactly this.
+    pub fn stable_json(&self) -> String {
+        let mut stable = self.clone();
+        stable.report.replay_wall_secs = 0.0;
+        stable.threads = 0;
+        stable.requests_per_sec = 0.0;
+        stable.to_json().to_string()
+    }
+}
+
+/// One shard's replay state: a full serving path (server, fault plan,
+/// breaker) plus report accumulators, all owned by exactly one worker.
+struct EngineShard<P: CachePolicy> {
+    shard: usize,
+    server: CdnServer<P>,
+    plan: FaultPlan,
+    breaker: CircuitBreaker,
+    retries: u64,
+    compute_ms: f64,
+    latencies: Vec<f64>,
+    degraded_latencies: Vec<f64>,
+    busy_ms: f64,
+    bytes_served: u128,
+    wan_bytes: u128,
+    hits: u64,
+    errors: u64,
+    stale_served: u64,
+    coalesced: u64,
+    measured: u64,
+    seen: u64,
+    peak_meta: u64,
+    obs: Option<Obs>,
+    acc: Option<SeriesAcc>,
+    lat_hist: LogHistogram,
+    last_evictions: u64,
+    last_opens: u64,
+    last_closes: u64,
+}
+
+impl<P: CachePolicy> EngineShard<P> {
+    /// Serves one request of this shard's subsequence; mirrors the
+    /// accounting of [`CdnServer::replay`], with the in-flight map replaced
+    /// by the shared fetch table.
+    fn step(&mut self, table: &FetchTable<(Time, bool)>, warmup: usize, i: usize, req: &Request) {
+        let mut in_flight = table;
+        let served = self.server.serve(
+            req,
+            &mut self.plan,
+            &mut self.breaker,
+            &mut in_flight,
+            &mut self.retries,
+            &mut self.compute_ms,
+        );
+
+        self.seen += 1;
+        if self.seen % 512 == 1 {
+            self.peak_meta = self
+                .peak_meta
+                .max(self.server.policy().metadata_overhead_bytes());
+            self.server.prune_admitted();
+            // Each shard prunes only its own slice of the shared table.
+            table.retain_shard(self.shard, |_, &mut (done_at, _)| req.ts < done_at);
+        }
+
+        let evict_delta = if self.acc.is_some() {
+            let cur = self.server.policy().evictions();
+            let delta = cur.saturating_sub(self.last_evictions);
+            self.last_evictions = cur;
+            delta
+        } else {
+            0
+        };
+        if let Some(obs) = &self.obs {
+            let t = req.ts.as_secs_f64();
+            let opens = self.breaker.opens();
+            if opens > self.last_opens {
+                obs.emit(Event::new(t, EventKind::BreakerOpen).field("opens", opens));
+                self.last_opens = opens;
+            }
+            let closes = self.breaker.closes();
+            if closes > self.last_closes {
+                obs.emit(Event::new(t, EventKind::BreakerClose).field("closes", closes));
+                self.last_closes = closes;
+            }
+        }
+
+        // Warmup is by global trace index, identical at any thread count.
+        if i < warmup {
+            return;
+        }
+        self.measured += 1;
+        self.bytes_served += req.size as u128;
+        self.wan_bytes += served.wan as u128;
+        self.busy_ms += served.service_ms;
+        if served.hit {
+            self.hits += 1;
+        }
+        if served.error {
+            self.errors += 1;
+        }
+        if served.stale {
+            self.stale_served += 1;
+        }
+        if served.coalesced {
+            self.coalesced += 1;
+        }
+        self.latencies.push(served.latency_ms);
+        if served.degraded {
+            self.degraded_latencies.push(served.latency_ms);
+        }
+        if let Some(acc) = self.acc.as_mut() {
+            let t = req.ts.as_secs_f64();
+            acc.on_request(ReqSample {
+                t_micros: req.ts.as_micros(),
+                bytes: req.size,
+                hit: served.hit,
+                admitted: false,
+                bypassed: false,
+                error: served.error,
+                stale: served.stale,
+                coalesced: served.coalesced,
+            });
+            acc.on_evictions(evict_delta);
+            if served.latency_ms.is_finite() && served.latency_ms >= 0.0 {
+                self.lat_hist.record((served.latency_ms * 1e3) as u64);
+            }
+            let obs = self.obs.as_ref().expect("acc implies obs");
+            if served.stale {
+                obs.emit(Event::new(t, EventKind::StaleServe).field("id", req.id));
+            }
+            if served.error {
+                obs.emit(Event::new(t, EventKind::ErrorServe).field("id", req.id));
+            }
+            if served.coalesced {
+                obs.emit(Event::new(t, EventKind::Coalesce).field("id", req.id));
+            }
+        }
+    }
+
+    /// Final bookkeeping once the shard's subsequence is exhausted: flush
+    /// the shard recorder (windows, counters, histogram) and hand it back
+    /// for the in-order merge.
+    fn finalize(&mut self) -> Option<Obs> {
+        self.peak_meta = self
+            .peak_meta
+            .max(self.server.policy().metadata_overhead_bytes());
+        let obs = self.obs.take()?;
+        if let Some(acc) = self.acc.take() {
+            obs.push_windows(acc.finish());
+        }
+        obs.counter_add("server.requests", self.measured);
+        obs.counter_add("server.hits", self.hits);
+        obs.counter_add("server.errors", self.errors);
+        obs.counter_add("server.stale_served", self.stale_served);
+        obs.counter_add("server.coalesced", self.coalesced);
+        obs.counter_add("server.retries", self.retries);
+        if self.lat_hist.total() > 0 {
+            obs.hist_merge("server.latency_us", &self.lat_hist);
+        }
+        Some(obs)
+    }
+}
+
+/// The sharded concurrent serving engine: replays a trace through
+/// `n_shards` independent serving paths with N worker threads, then merges
+/// the per-shard reports in fixed shard order.
+///
+/// The hit ratio it measures is that of the *sharded* cache (capacity
+/// split evenly, no global eviction ordering) — what a concurrent
+/// production deployment measures, not a bit-for-bit reproduction of the
+/// single-server replay.
+///
+/// ```
+/// use lhr_policies::Lru;
+/// use lhr_proto::{EngineConfig, ShardedEngine};
+/// use lhr_sim::shard::RouteConfig;
+/// use lhr_trace::{Request, Time, Trace};
+///
+/// let mut trace = Trace::new("t");
+/// for i in 0..4_000u64 {
+///     trace.push(Request::new(Time::from_secs(i), (i * 7) % 100, 1 << 10));
+/// }
+/// let run = |threads: usize| {
+///     let config = EngineConfig {
+///         n_shards: 8,
+///         route: RouteConfig { threads, ..RouteConfig::default() },
+///         ..EngineConfig::new(32 << 10)
+///     };
+///     ShardedEngine::new(config).replay(&trace, |_shard, capacity, _obs| Lru::new(capacity))
+/// };
+/// // The determinism contract: byte-identical stable reports at any
+/// // thread count.
+/// assert_eq!(run(1).stable_json(), run(3).stable_json());
+/// ```
+pub struct ShardedEngine {
+    config: EngineConfig,
+    obs: Option<Obs>,
+}
+
+impl ShardedEngine {
+    /// Creates an engine; `deterministic` is forced on and per-request
+    /// series off (see [`EngineConfig::server`]).
+    pub fn new(mut config: EngineConfig) -> Self {
+        config.server.deterministic = true;
+        config.server.series_every = None;
+        ShardedEngine { config, obs: None }
+    }
+
+    /// Attaches a master observability recorder. Each shard records into a
+    /// private recorder; at the end of the replay they are merged into
+    /// this one in fixed shard order ([`Obs::absorb_shards`]).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Replays `trace` across shards built by
+    /// `build(shard_index, shard_capacity, shard_obs)` — the builder gets
+    /// the shard's capacity slice and private recorder so learned policies
+    /// can attach to it (derive per-shard seeds with
+    /// [`lhr_sim::shard::shard_seed`]).
+    pub fn replay<P: CachePolicy + Send>(
+        &self,
+        trace: &Trace,
+        mut build: impl FnMut(usize, u64, Option<&Obs>) -> P,
+    ) -> EngineReport {
+        let n_shards = self.config.n_shards.max(1);
+        let shard_capacity = (self.config.total_capacity / n_shards as u64).max(1);
+        let table: FetchTable<(Time, bool)> = FetchTable::new(n_shards);
+
+        if let Some(obs) = &self.obs {
+            for &(start, end) in &self.config.server.faults.outages {
+                obs.emit(Event::new(start, EventKind::OutageStart).field("until_secs", end));
+                obs.emit(Event::new(end, EventKind::OutageEnd));
+            }
+        }
+
+        let shards: Vec<EngineShard<P>> = (0..n_shards)
+            .map(|s| {
+                let obs = self
+                    .obs
+                    .as_ref()
+                    .map(|master| Obs::new(master.config().clone()));
+                let mut faults = self.config.server.faults.clone();
+                faults.seed = shard_seed(faults.seed, s);
+                let server_config = ServerConfig {
+                    faults: faults.clone(),
+                    ..self.config.server.clone()
+                };
+                EngineShard {
+                    shard: s,
+                    server: CdnServer::new(
+                        build(s, shard_capacity, obs.as_ref()),
+                        server_config.clone(),
+                    ),
+                    plan: FaultPlan::new(faults),
+                    breaker: CircuitBreaker::new(server_config.resilience.breaker.clone()),
+                    retries: 0,
+                    compute_ms: 0.0,
+                    latencies: Vec::new(),
+                    degraded_latencies: Vec::new(),
+                    busy_ms: 0.0,
+                    bytes_served: 0,
+                    wan_bytes: 0,
+                    hits: 0,
+                    errors: 0,
+                    stale_served: 0,
+                    coalesced: 0,
+                    measured: 0,
+                    seen: 0,
+                    peak_meta: 0,
+                    acc: obs.as_ref().map(|o| SeriesAcc::new(o.window())),
+                    obs,
+                    lat_hist: LogHistogram::new(),
+                    last_evictions: 0,
+                    last_opens: 0,
+                    last_closes: 0,
+                }
+            })
+            .collect();
+
+        let warmup = self.config.server.warmup_requests;
+        let threads = self.config.route.resolve_threads().clamp(1, n_shards);
+        let wall_start = Instant::now();
+        let table_ref = &table;
+        let mut shards = route(trace, shards, &self.config.route, |state, _s, i, req| {
+            state.step(table_ref, warmup, i, req)
+        });
+        let wall_secs = wall_start.elapsed().as_secs_f64();
+
+        // Merge in fixed shard order (0..n_shards) on this thread.
+        let mut latencies = Vec::with_capacity(trace.len());
+        let mut degraded_latencies = Vec::new();
+        let mut shard_obs = Vec::new();
+        let mut busy_ms = 0.0f64;
+        let mut compute_ms = 0.0f64;
+        let mut bytes_served = 0u128;
+        let mut wan_bytes = 0u128;
+        let mut hits = 0u64;
+        let mut errors = 0u64;
+        let mut stale_served = 0u64;
+        let mut coalesced = 0u64;
+        let mut retries = 0u64;
+        let mut measured = 0u64;
+        let mut peak_meta = 0u64;
+        let mut breaker_opens = 0u64;
+        let mut breaker_closes = 0u64;
+        let mut per_shard_requests = Vec::with_capacity(n_shards);
+        for shard in &mut shards {
+            if let Some(obs) = shard.finalize() {
+                shard_obs.push(obs);
+            }
+            latencies.append(&mut shard.latencies);
+            degraded_latencies.append(&mut shard.degraded_latencies);
+            busy_ms += shard.busy_ms;
+            compute_ms += shard.compute_ms;
+            bytes_served += shard.bytes_served;
+            wan_bytes += shard.wan_bytes;
+            hits += shard.hits;
+            errors += shard.errors;
+            stale_served += shard.stale_served;
+            coalesced += shard.coalesced;
+            retries += shard.retries;
+            measured += shard.measured;
+            peak_meta += shard.peak_meta;
+            breaker_opens += shard.breaker.opens();
+            breaker_closes += shard.breaker.closes();
+            per_shard_requests.push(shard.seen);
+        }
+        // Sorting makes the concatenation order irrelevant for the
+        // percentiles, but total_cmp keeps even NaN placement fixed.
+        latencies.sort_unstable_by(f64::total_cmp);
+        degraded_latencies.sort_unstable_by(f64::total_cmp);
+        let pct = |sorted: &[f64], p: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+            sorted[idx - 1]
+        };
+        let mean = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        let duration = trace.duration().as_secs_f64().max(1e-9);
+        let name = shards
+            .first()
+            .map(|s| format!("engine({})x{}", s.server.policy().name(), n_shards))
+            .unwrap_or_default();
+
+        if let Some(master) = &self.obs {
+            master.absorb_shards(&shard_obs);
+            master.set_meta("policy", name.as_str());
+            master.set_meta("trace", trace.name.as_str());
+            master.set_meta("shards", n_shards as u64);
+            master.gauge_set(
+                "server.replay_wall_secs",
+                if master.deterministic() {
+                    0.0
+                } else {
+                    wall_secs
+                },
+            );
+        }
+
+        let report = ServerReport {
+            name,
+            trace: trace.name.clone(),
+            content_hit_pct: if measured == 0 {
+                0.0
+            } else {
+                hits as f64 / measured as f64 * 100.0
+            },
+            throughput_gbps: if busy_ms <= 0.0 {
+                0.0
+            } else {
+                bytes_served as f64 * 8.0 / (busy_ms / 1e3) / 1e9
+            },
+            peak_cpu_pct: if busy_ms <= 0.0 {
+                0.0
+            } else {
+                (compute_ms / busy_ms * 100.0).min(100.0)
+            },
+            peak_mem_gb: peak_meta as f64 / 1e9,
+            p90_latency_ms: pct(&latencies, 0.90),
+            p99_latency_ms: pct(&latencies, 0.99),
+            mean_latency_ms: mean,
+            wan_gbps: wan_bytes as f64 * 8.0 / duration / 1e9,
+            availability_pct: if measured == 0 {
+                100.0
+            } else {
+                (measured - errors) as f64 / measured as f64 * 100.0
+            },
+            errors_served: errors,
+            stale_served,
+            retries,
+            coalesced_fetches: coalesced,
+            breaker_opens,
+            breaker_closes,
+            degraded_p90_latency_ms: pct(&degraded_latencies, 0.90),
+            degraded_p99_latency_ms: pct(&degraded_latencies, 0.99),
+            series: Vec::new(),
+            replay_wall_secs: wall_secs,
+        };
+        EngineReport {
+            report,
+            n_shards: n_shards as u64,
+            threads: threads as u64,
+            requests_per_sec: if wall_secs > 0.0 {
+                trace.len() as f64 / wall_secs
+            } else {
+                0.0
+            },
+            per_shard_requests,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_policies::Lru;
+    use lhr_util::json::{FromJson, Json};
+
+    fn trace(n: usize, objects: u64, size: u64) -> Trace {
+        let mut t = Trace::new("engine-test");
+        for i in 0..n {
+            t.push(Request::new(
+                Time::from_secs(i as u64),
+                (i as u64 * 7) % objects,
+                size,
+            ));
+        }
+        t
+    }
+
+    fn engine(threads: usize, total_capacity: u64) -> ShardedEngine {
+        ShardedEngine::new(EngineConfig {
+            n_shards: 8,
+            route: RouteConfig {
+                threads,
+                ..RouteConfig::default()
+            },
+            ..EngineConfig::new(total_capacity)
+        })
+    }
+
+    #[test]
+    fn replay_is_identical_across_thread_counts() {
+        let t = trace(20_000, 300, 1 << 16);
+        let run = |threads: usize| {
+            engine(threads, 64 << 16)
+                .replay(&t, |_, cap, _| Lru::new(cap))
+                .stable_json()
+        };
+        let baseline = run(1);
+        assert_eq!(baseline, run(2));
+        assert_eq!(baseline, run(8));
+    }
+
+    #[test]
+    fn faulted_replay_is_identical_across_thread_counts() {
+        let t = trace(10_000, 200, 1 << 16);
+        let run = |threads: usize| {
+            let mut engine = engine(threads, 32 << 16);
+            engine.config.server.faults =
+                crate::FaultConfig::preset("flaky", 7, t.duration().as_secs_f64())
+                    .expect("preset exists");
+            engine.replay(&t, |_, cap, _| Lru::new(cap)).stable_json()
+        };
+        let baseline = run(1);
+        assert_eq!(baseline, run(2));
+        assert_eq!(baseline, run(8));
+    }
+
+    #[test]
+    fn engine_matches_single_server_on_infallible_origin_counts() {
+        // Hits depend on eviction order, so use a capacity where nothing
+        // evicts: then the sharded and single-server replays must agree on
+        // every counter.
+        let t = trace(5_000, 100, 1 << 10);
+        let mut single = CdnServer::new(
+            Lru::new(100 << 10),
+            ServerConfig {
+                deterministic: true,
+                ..ServerConfig::default()
+            },
+        );
+        let expect = single.replay(&t);
+        let got = engine(2, 800 << 10).replay(&t, |_, cap, _| Lru::new(cap));
+        assert_eq!(got.report.errors_served, expect.errors_served);
+        assert!((got.report.content_hit_pct - expect.content_hit_pct).abs() < 1e-9);
+        assert!((got.report.wan_gbps - expect.wan_gbps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_is_global_and_respected() {
+        let t = trace(1_000, 50, 1 << 10);
+        let mut config = EngineConfig::new(400 << 10);
+        config.server.warmup_requests = 400;
+        let report = ShardedEngine::new(config).replay(&t, |_, cap, _| Lru::new(cap));
+        let measured: u64 = 600;
+        let total: u64 = report.per_shard_requests.iter().sum();
+        assert_eq!(total, 1_000, "every request reaches a shard");
+        let hits_plus_misses = (report.report.content_hit_pct / 100.0 * measured as f64).round()
+            as u64
+            + report.report.errors_served;
+        assert!(hits_plus_misses <= measured);
+    }
+
+    #[test]
+    fn report_json_roundtrips() {
+        let t = trace(2_000, 60, 1 << 10);
+        let report = engine(1, 128 << 10).replay(&t, |_, cap, _| Lru::new(cap));
+        let json = report.to_json().to_string();
+        let back = EngineReport::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.to_json().to_string(), json);
+        assert_eq!(back.n_shards, 8);
+    }
+
+    #[test]
+    fn obs_export_is_identical_across_thread_counts() {
+        use lhr_obs::{ObsConfig, ObsWindow};
+        let t = trace(8_000, 150, 1 << 14);
+        let run = |threads: usize| {
+            let obs = Obs::new(ObsConfig {
+                window: ObsWindow::Requests(500),
+                deterministic: true,
+                ..ObsConfig::default()
+            });
+            let mut engine = engine(threads, 64 << 14);
+            engine.config.server.faults =
+                crate::FaultConfig::preset("flaky", 11, t.duration().as_secs_f64())
+                    .expect("preset exists");
+            let _ = ShardedEngine {
+                config: engine.config,
+                obs: Some(obs.clone()),
+            }
+            .replay(&t, |_, cap, _| Lru::new(cap));
+            obs.to_jsonl()
+        };
+        let baseline = run(1);
+        assert!(baseline.contains("\"record\":\"window\""), "{baseline}");
+        assert_eq!(baseline, run(2));
+        assert_eq!(baseline, run(8));
+    }
+}

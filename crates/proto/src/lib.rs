@@ -25,18 +25,26 @@
 //! path layers over it — retries with backoff and jitter, a per-origin
 //! circuit breaker, RFC 5861 stale serving, and request coalescing. The
 //! report's availability/degradation counters quantify what survived.
+//!
+//! [`engine::ShardedEngine`] scales the serving path across cores: the
+//! keyspace is hash-sharded over independent servers, N worker threads
+//! replay the trace over bounded channels, and the per-shard results merge
+//! in fixed shard order, so reports and obs exports are byte-identical at
+//! any thread count (the determinism contract in `ARCHITECTURE.md`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod concurrent;
+pub mod engine;
 pub mod fault;
 pub mod latency;
 pub mod presets;
 pub mod server;
 pub mod tiered;
 
-pub use concurrent::ConcurrentCache;
+pub use concurrent::{ConcurrentCache, FetchTable};
+pub use engine::{EngineConfig, EngineReport, ShardedEngine};
 pub use fault::{
     BreakerConfig, BreakerState, CircuitBreaker, FaultConfig, FaultPlan, OriginOutcome,
     ResilienceConfig, RetryPolicy,

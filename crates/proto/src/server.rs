@@ -221,6 +221,44 @@ fn origin_fetch(
     }
 }
 
+/// The in-flight fetch window a serving path coalesces misses into:
+/// object → (fetch completion time, fetch succeeded). [`CdnServer::replay`]
+/// uses a request-local [`HashMap`]; the threaded engine shares one
+/// [`crate::FetchTable`] across shards so the same serve code coalesces
+/// against fetches no matter which shard claimed them.
+pub(crate) trait InFlight {
+    /// The in-flight window for `id`, if one exists.
+    fn get(&self, id: ObjectId) -> Option<(Time, bool)>;
+    /// Records that a fetch for `id` lands at `done_at` (`ok` = success).
+    fn set(&mut self, id: ObjectId, done_at: Time, ok: bool);
+    /// Drops the window for `id` (it expired).
+    fn clear(&mut self, id: ObjectId);
+}
+
+impl InFlight for HashMap<ObjectId, (Time, bool)> {
+    fn get(&self, id: ObjectId) -> Option<(Time, bool)> {
+        HashMap::get(self, &id).copied()
+    }
+    fn set(&mut self, id: ObjectId, done_at: Time, ok: bool) {
+        self.insert(id, (done_at, ok));
+    }
+    fn clear(&mut self, id: ObjectId) {
+        self.remove(&id);
+    }
+}
+
+impl InFlight for &crate::FetchTable<(Time, bool)> {
+    fn get(&self, id: ObjectId) -> Option<(Time, bool)> {
+        crate::FetchTable::get(self, id)
+    }
+    fn set(&mut self, id: ObjectId, done_at: Time, ok: bool) {
+        crate::FetchTable::set(self, id, (done_at, ok));
+    }
+    fn clear(&mut self, id: ObjectId) {
+        crate::FetchTable::finish(self, id);
+    }
+}
+
 /// A CDN server wrapping a cache policy.
 pub struct CdnServer<P: CachePolicy> {
     policy: P,
@@ -231,15 +269,15 @@ pub struct CdnServer<P: CachePolicy> {
 }
 
 /// How one request was ultimately served (bookkeeping for the report).
-struct ServeOutcome {
-    latency_ms: f64,
-    service_ms: f64,
-    wan: u64,
-    hit: bool,
-    stale: bool,
-    error: bool,
-    coalesced: bool,
-    degraded: bool,
+pub(crate) struct ServeOutcome {
+    pub(crate) latency_ms: f64,
+    pub(crate) service_ms: f64,
+    pub(crate) wan: u64,
+    pub(crate) hit: bool,
+    pub(crate) stale: bool,
+    pub(crate) error: bool,
+    pub(crate) coalesced: bool,
+    pub(crate) degraded: bool,
 }
 
 impl<P: CachePolicy> CdnServer<P> {
@@ -264,6 +302,15 @@ impl<P: CachePolicy> CdnServer<P> {
     /// Access to the wrapped policy (e.g. to read LHR stats afterwards).
     pub fn policy(&self) -> &P {
         &self.policy
+    }
+
+    /// Opportunistic cleanup of freshness entries for evicted contents
+    /// (bounded bookkeeping; called every few hundred requests).
+    pub(crate) fn prune_admitted(&mut self) {
+        if self.admitted_at.len() > 4 * 1024 * 1024 {
+            let policy = &self.policy;
+            self.admitted_at.retain(|&id, _| policy.contains(id));
+        }
     }
 
     /// Replays `trace` through the serving path, producing the full report.
@@ -319,10 +366,7 @@ impl<P: CachePolicy> CdnServer<P> {
                 peak_meta = peak_meta.max(self.policy.metadata_overhead_bytes());
                 // Opportunistic cleanup of freshness entries for evicted
                 // contents and of expired in-flight windows.
-                if self.admitted_at.len() > 4 * 1024 * 1024 {
-                    let policy = &self.policy;
-                    self.admitted_at.retain(|&id, _| policy.contains(id));
-                }
+                self.prune_admitted();
                 in_flight.retain(|_, &mut (done_at, _)| req.ts < done_at);
             }
 
@@ -507,13 +551,15 @@ impl<P: CachePolicy> CdnServer<P> {
         (outcome, compute_ms)
     }
 
-    /// Serves one request through the hardened path.
-    fn serve(
+    /// Serves one request through the hardened path. Generic over the
+    /// in-flight table so the same code runs against [`CdnServer::replay`]'s
+    /// local map and the engine's shared [`crate::FetchTable`].
+    pub(crate) fn serve(
         &mut self,
         req: &lhr_trace::Request,
         plan: &mut FaultPlan,
         breaker: &mut CircuitBreaker,
-        in_flight: &mut HashMap<ObjectId, (Time, bool)>,
+        in_flight: &mut impl InFlight,
         retries: &mut u64,
         compute_total: &mut f64,
     ) -> ServeOutcome {
@@ -536,7 +582,7 @@ impl<P: CachePolicy> CdnServer<P> {
 
         // Miss. A fetch for this object may already be in flight.
         if res.coalesce {
-            if let Some(&(done_at, ok)) = in_flight.get(&req.id) {
+            if let Some((done_at, ok)) = in_flight.get(req.id) {
                 if now < done_at {
                     let remaining_ms = (done_at - now).as_secs_f64() * 1e3;
                     if ok {
@@ -572,7 +618,7 @@ impl<P: CachePolicy> CdnServer<P> {
                         degraded: true,
                     };
                 }
-                in_flight.remove(&req.id);
+                in_flight.clear(req.id);
             }
         }
 
@@ -718,7 +764,7 @@ impl<P: CachePolicy> CdnServer<P> {
         res: &ResilienceConfig,
         plan: &mut FaultPlan,
         breaker: &mut CircuitBreaker,
-        in_flight: &mut HashMap<ObjectId, (Time, bool)>,
+        in_flight: &mut impl InFlight,
         retries: &mut u64,
     ) -> ServeOutcome {
         let now = req.ts;
@@ -737,7 +783,7 @@ impl<P: CachePolicy> CdnServer<P> {
             };
             if res.coalesce {
                 let fetch_ms = fetch.delay_ms + lat.origin_fetch_ms(req.size, fetch.rate_scale);
-                in_flight.insert(req.id, (now + Time::from_secs_f64(fetch_ms / 1e3), true));
+                in_flight.set(req.id, now + Time::from_secs_f64(fetch_ms / 1e3), true);
             }
             return ServeOutcome {
                 latency_ms: lat.miss_latency_scaled_ms(req.size, compute_ms, fetch.rate_scale)
@@ -754,9 +800,10 @@ impl<P: CachePolicy> CdnServer<P> {
         }
         // Fetch failed and there is no cached copy to fall back on.
         if res.coalesce && fetch.attempted && fetch.delay_ms > 0.0 {
-            in_flight.insert(
+            in_flight.set(
                 req.id,
-                (now + Time::from_secs_f64(fetch.delay_ms / 1e3), false),
+                now + Time::from_secs_f64(fetch.delay_ms / 1e3),
+                false,
             );
         }
         ServeOutcome {

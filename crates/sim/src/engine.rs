@@ -54,6 +54,18 @@ lhr_util::impl_json!(struct SimResult {
     evictions,
 });
 
+impl SimResult {
+    /// JSON with the wall-clock field zeroed: fixed-seed runs of the same
+    /// trace and policy produce byte-identical output regardless of host
+    /// speed or thread count (the determinism contract in ARCHITECTURE.md).
+    pub fn stable_json(&self) -> String {
+        use lhr_util::json::ToJson;
+        let mut stable = self.clone();
+        stable.wall_secs = 0.0;
+        stable.to_json().to_string()
+    }
+}
+
 /// Drives traces through policies.
 #[derive(Debug, Clone, Default)]
 pub struct Simulator {

@@ -8,6 +8,10 @@
 //!   online cache implements.
 //! - [`engine::Simulator`] — drives a trace through a policy, collecting
 //!   [`metrics::SimMetrics`] and optional hit-ratio time series.
+//! - [`shard`] — the thread-parallel replay driver: key-hash sharding,
+//!   bounded-channel routing to worker-owned shards, and the
+//!   [`shard::ShardedSimulator`] whose merged reports are byte-identical
+//!   at any thread count.
 //! - [`bound::OfflineBound`] — the interface for (offline or online) upper
 //!   bounds on OPT, which see the whole trace instead of reacting
 //!   request-by-request.
@@ -51,9 +55,11 @@ pub mod bound;
 pub mod engine;
 pub mod metrics;
 pub mod policy;
+pub mod shard;
 pub mod sweep;
 
 pub use bound::OfflineBound;
 pub use engine::{SimConfig, SimResult, Simulator};
 pub use metrics::SimMetrics;
 pub use policy::{CachePolicy, Outcome};
+pub use shard::{RouteConfig, ShardedSimConfig, ShardedSimulator};

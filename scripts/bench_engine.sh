@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Records the sharded-engine scaling baseline into BENCH_engine.json (one
+# `engine_scaling` JSON line for the medium trace: requests/sec at 1, 2,
+# and 8 worker threads plus the t8/t1 speedup). The summary also records
+# `host_cpus` — scaling beyond that core count is physically impossible, so
+# judge `speedup_t8` against it (a 1-CPU container honestly reports ~1x).
+# Re-run after any change to the engine or serving hot path and commit the
+# refreshed file.
+#
+# Usage: scripts/bench_engine.sh [output-file]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_engine.json}"
+
+cargo build --release --offline -p lhr-bench --bin engine
+
+: > "$out"
+echo "==> engine bench, scale=medium"
+LHR_BENCH_JSON="$out" \
+  cargo run --release --offline -p lhr-bench --bin engine -- --scale medium
+
+echo "wrote $out"

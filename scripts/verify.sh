@@ -49,4 +49,31 @@ echo "==> obs overhead bench smoke (tiny scale)"
 LHR_BENCH_WARMUP_MS=20 LHR_BENCH_MEASURE_MS=100 \
   cargo run --release --offline -p lhr-bench --bin obs -- --scale tiny
 
+echo "==> threaded-engine determinism smoke (--threads 1 vs 4)"
+# The determinism contract (ARCHITECTURE.md): stable reports and
+# deterministic --obs exports are byte-identical at any thread count.
+cargo run --release --offline -p lhr-cli -- server \
+  --policy LHR --capacity 1MB --faults flaky --threads 1 \
+  --report "$smoke_dir/r1.json" \
+  --obs "$smoke_dir/e1.jsonl" --obs-window 1000r --obs-deterministic true \
+  "$smoke_dir/t.csv" > /dev/null
+cargo run --release --offline -p lhr-cli -- server \
+  --policy LHR --capacity 1MB --faults flaky --threads 4 \
+  --report "$smoke_dir/r4.json" \
+  --obs "$smoke_dir/e4.jsonl" --obs-window 1000r --obs-deterministic true \
+  "$smoke_dir/t.csv" > /dev/null
+cmp "$smoke_dir/r1.json" "$smoke_dir/r4.json"
+cmp "$smoke_dir/e1.jsonl" "$smoke_dir/e4.jsonl"
+
+echo "==> CLI compare --obs smoke (one recording per policy)"
+cargo run --release --offline -p lhr-cli -- compare \
+  --capacity 1MB --obs "$smoke_dir/cmp.jsonl" --obs-window 1000r \
+  --obs-deterministic true "$smoke_dir/t.csv" > "$smoke_dir/compare.out"
+grep -q "^LRU" "$smoke_dir/compare.out"
+test -s "$smoke_dir/cmp.lru.jsonl"
+
+echo "==> engine scaling bench smoke (tiny scale)"
+LHR_BENCH_WARMUP_MS=20 LHR_BENCH_MEASURE_MS=100 \
+  cargo run --release --offline -p lhr-bench --bin engine -- --scale tiny
+
 echo "verify: OK"

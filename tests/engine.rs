@@ -1,0 +1,130 @@
+//! Sharded-engine integration tests: the determinism contract end-to-end.
+//!
+//! The contract (ARCHITECTURE.md, "Determinism contract"): with a fixed
+//! seed, the engine's stable report and the full `--obs` export are
+//! byte-identical at any thread count, under a fault-free origin and under
+//! fault presets alike.
+
+use lhr_repro::core::cache::{LhrCache, LhrConfig};
+use lhr_repro::obs::{Obs, ObsConfig, ObsWindow};
+use lhr_repro::policies::Lru;
+use lhr_repro::proto::{presets, EngineConfig, ShardedEngine};
+use lhr_repro::sim::shard::{RouteConfig, ShardedSimConfig, ShardedSimulator};
+use lhr_repro::trace::synth::{IrmConfig, SizeModel};
+use lhr_repro::trace::Trace;
+
+fn zipf_trace(seed: u64) -> Trace {
+    IrmConfig::new(300, 20_000)
+        .zipf_alpha(1.0)
+        .size_model(SizeModel::BoundedPareto {
+            alpha: 1.2,
+            min: 1_000,
+            max: 100_000,
+        })
+        .seed(seed)
+        .generate()
+}
+
+fn deterministic_obs() -> Obs {
+    Obs::new(ObsConfig {
+        window: ObsWindow::Requests(2_000),
+        deterministic: true,
+        ..ObsConfig::default()
+    })
+}
+
+/// One engine replay of the shared trace: LRU shards, the given fault
+/// preset, and an attached recorder. Returns (stable report, obs export).
+fn run_engine(trace: &Trace, threads: usize, preset: &str) -> (String, String) {
+    let server = presets::fault_preset(preset, 7, trace.duration().as_secs_f64())
+        .expect("known fault preset");
+    let config = EngineConfig {
+        total_capacity: 2 << 20,
+        n_shards: 8,
+        route: RouteConfig {
+            threads,
+            ..RouteConfig::default()
+        },
+        server,
+    };
+    let obs = deterministic_obs();
+    let engine = ShardedEngine::new(config).with_obs(obs.clone());
+    let report = engine.replay(trace, |_shard, capacity, _obs| Lru::new(capacity));
+    (report.stable_json(), obs.to_jsonl())
+}
+
+#[test]
+fn engine_report_and_obs_are_byte_identical_across_threads_fault_free() {
+    let trace = zipf_trace(3);
+    let (report1, obs1) = run_engine(&trace, 1, "none");
+    for threads in [2usize, 8] {
+        let (report, obs) = run_engine(&trace, threads, "none");
+        assert_eq!(report1, report, "report differs at {threads} threads");
+        assert_eq!(obs1, obs, "obs export differs at {threads} threads");
+    }
+    assert!(
+        report1.contains("\"threads\":0"),
+        "stable report zeroes threads"
+    );
+    assert!(obs1.contains("\"record\":\"window\""), "{obs1}");
+}
+
+#[test]
+fn engine_report_and_obs_are_byte_identical_across_threads_flaky_origin() {
+    let trace = zipf_trace(5);
+    let (report1, obs1) = run_engine(&trace, 1, "flaky");
+    for threads in [2usize, 8] {
+        let (report, obs) = run_engine(&trace, threads, "flaky");
+        assert_eq!(report1, report, "report differs at {threads} threads");
+        assert_eq!(obs1, obs, "obs export differs at {threads} threads");
+    }
+    // The flaky preset actually exercises the hardened path.
+    assert!(
+        report1.contains("\"retries\":") && !report1.contains("\"retries\":0,"),
+        "{report1}"
+    );
+}
+
+#[test]
+fn engine_with_learned_policy_is_byte_identical_across_threads() {
+    let trace = zipf_trace(9);
+    let run = |threads: usize| {
+        let config = EngineConfig {
+            total_capacity: 2 << 20,
+            n_shards: 4,
+            route: RouteConfig {
+                threads,
+                ..RouteConfig::default()
+            },
+            ..EngineConfig::new(2 << 20)
+        };
+        ShardedEngine::new(config)
+            .replay(&trace, |shard, capacity, _obs| {
+                LhrCache::new(capacity, LhrConfig::default().for_shard(shard))
+            })
+            .stable_json()
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn sharded_simulator_obs_is_byte_identical_across_threads() {
+    let trace = zipf_trace(13);
+    let run = |threads: usize| {
+        let obs = deterministic_obs();
+        let sim = ShardedSimulator::new(ShardedSimConfig {
+            warmup_requests: 1_000,
+            n_shards: 8,
+            route: RouteConfig {
+                threads,
+                ..RouteConfig::default()
+            },
+        })
+        .with_obs(obs.clone());
+        let result = sim.run(&trace, |_, _| Lru::new(256 << 10));
+        (result.stable_json(), obs.to_jsonl())
+    };
+    let baseline = run(1);
+    assert_eq!(baseline, run(2));
+    assert_eq!(baseline, run(8));
+}
