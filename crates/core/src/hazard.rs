@@ -51,11 +51,17 @@ pub fn hro_top_set(window: &WindowData, capacity: u64) -> HashSet<ObjectId> {
         .map(|(&id, &count)| {
             let size = sizes[&id];
             let rate = count as f64 / span;
-            (rate / size as f64, id, size)
+            let hazard = rate / size as f64;
+            // A zero-size object makes the hazard +inf (rate > 0) or NaN
+            // (0/0). Pin NaN below every real hazard — rates are never
+            // negative — so the ranking is total and deterministic.
+            (if hazard.is_nan() { -1.0 } else { hazard }, id, size)
         })
         .collect();
-    // Descending hazard; ties broken by id for determinism.
-    ranked.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    // Descending hazard; ties broken by id for determinism. total_cmp
+    // instead of partial_cmp().expect: ±inf hazards are legal inputs and
+    // must order, not panic, on the scoring path.
+    ranked.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
     let mut top = HashSet::new();
     let mut filled = 0u64;
@@ -229,6 +235,38 @@ mod tests {
             hro.hits,
             lfu_result.metrics.hits
         );
+    }
+
+    #[test]
+    fn zero_size_hazards_rank_without_panicking() {
+        use std::collections::HashMap;
+        // Content 2 has size 0 (hazard = rate/0 = +inf); content 3 has
+        // size 0 *and* a zero count (hazard = 0/0 = NaN). Before the
+        // total_cmp fix the sort panicked on the NaN; it must now rank
+        // deterministically, with the NaN below every real hazard.
+        let mut counts = HashMap::new();
+        counts.insert(1u64, 4u32);
+        counts.insert(2u64, 3u32);
+        counts.insert(3u64, 0u32);
+        let window = WindowData {
+            index: 0,
+            requests: vec![
+                (Time::from_secs(0), 1, 100),
+                (Time::from_secs(1), 2, 0),
+                (Time::from_secs(2), 3, 0),
+                (Time::from_secs(9), 1, 100),
+            ],
+            counts,
+            unique_bytes: 100,
+            span: (Time::from_secs(0), Time::from_secs(9)),
+        };
+        let top = hro_top_set(&window, 150);
+        // The +inf hazard and the real hazard both fit; the NaN-ranked
+        // content sorts last but capacity (100 of 150 used, size 0) still
+        // admits it — what matters is that nothing panicked and the
+        // legitimate contents are present.
+        assert!(top.contains(&1));
+        assert!(top.contains(&2));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod cache;
 pub mod detect;
 pub mod features;
 pub mod hazard;
+mod retrain;
 pub mod threshold;
 pub mod window;
 

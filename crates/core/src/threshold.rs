@@ -59,7 +59,10 @@ impl ThresholdEstimator {
             (self.delta - 0.1).max(0.0),
             (self.delta + 0.1).min(1.0),
         ];
-        c.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // total_cmp: delta is data-derived; a NaN reaching this sort must
+        // not panic the scoring path. (The max/min clamps scrub NaN from
+        // the derived candidates, but the sort stays total regardless.)
+        c.sort_unstable_by(|a, b| a.total_cmp(b));
         c.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         c
     }
@@ -202,6 +205,22 @@ mod tests {
         let mut e3 = ThresholdEstimator::new(0.002);
         e3.delta = 1.0;
         assert_eq!(e3.candidates(), vec![0.0, 0.5, 0.9, 1.0]);
+    }
+
+    #[test]
+    fn nan_delta_survives_candidates_and_update() {
+        // A NaN δ (e.g. from a degenerate shadow ratio upstream) must not
+        // panic the candidate sort — pre-fix, partial_cmp().unwrap() did.
+        let mut e = ThresholdEstimator::new(0.002);
+        e.delta = f64::NAN;
+        let c = e.candidates();
+        assert!(c.iter().all(|v| v.is_finite()), "clamps scrub NaN: {c:?}");
+        assert!(c.contains(&0.0) && c.contains(&0.5));
+        assert!(c.windows(2).all(|w| w[0] < w[1]), "sorted: {c:?}");
+        // The full update path also carries the NaN through comparisons.
+        let r = reqs(&[(0, 1, 10, 1.0), (1, 1, 10, 1.0)]);
+        let out = e.update(&r, 100, &[]);
+        assert!(out.is_nan() || (0.0..=1.0).contains(&out));
     }
 
     #[test]

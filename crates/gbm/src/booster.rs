@@ -1,6 +1,7 @@
 //! The gradient-boosting ensemble.
 
-use crate::dataset::{Binned, Dataset};
+use crate::dataset::Dataset;
+use crate::flat::{FlatForest, LANES};
 use crate::parallel;
 use crate::tree::{Tree, TreeScratch};
 
@@ -118,9 +119,37 @@ pub struct Gbm {
     feature_gain: Vec<f64>,
     n_features: usize,
     loss: Loss,
+    /// Serving-path layout, derived from `trees` at construction and on
+    /// deserialization — never serialized (see the hand-written
+    /// `ToJson`/`FromJson` below, which keep the JSON identical to the
+    /// pre-flattening `impl_json!` output).
+    flat: FlatForest,
 }
 
-lhr_util::impl_json!(struct Gbm { base_score, trees, feature_gain, n_features, loss });
+impl lhr_util::json::ToJson for Gbm {
+    fn to_json(&self) -> lhr_util::json::Json {
+        lhr_util::json::Json::Object(vec![
+            ("base_score".to_string(), self.base_score.to_json()),
+            ("trees".to_string(), self.trees.to_json()),
+            ("feature_gain".to_string(), self.feature_gain.to_json()),
+            ("n_features".to_string(), self.n_features.to_json()),
+            ("loss".to_string(), self.loss.to_json()),
+        ])
+    }
+}
+
+impl lhr_util::json::FromJson for Gbm {
+    fn from_json(v: &lhr_util::json::Json) -> Result<Self, lhr_util::json::JsonError> {
+        use lhr_util::json::field;
+        Ok(Gbm::assemble(
+            field(v, "base_score")?,
+            field(v, "trees")?,
+            field(v, "feature_gain")?,
+            field(v, "n_features")?,
+            field(v, "loss")?,
+        ))
+    }
+}
 
 #[inline]
 fn sigmoid(z: f32) -> f32 {
@@ -162,10 +191,14 @@ impl Gbm {
             (0.0..1.0).contains(&params.validation_fraction),
             "bad validation_fraction"
         );
-        let binned = {
+        // Shared with the batched scoring path: scoring the training set
+        // later reuses this exact binning (cached on the dataset), which
+        // is what makes code-space cut resolution always succeed there.
+        let cache = {
             let _bin_span = obs.map(|o| o.span("gbm.bin"));
-            Binned::build(data)
+            data.binned_cache()
         };
+        let binned = &cache.binned;
         debug_assert_eq!(binned.n_rows, data.n_rows());
         let labels = data.labels();
         let mean = (labels.iter().map(|&y| y as f64).sum::<f64>() / labels.len() as f64) as f32;
@@ -263,7 +296,7 @@ impl Gbm {
                 }
             }
             let tree = Tree::grow_on(
-                &binned,
+                binned,
                 &gradients,
                 hessians.as_deref(),
                 root_rows,
@@ -334,12 +367,73 @@ impl Gbm {
             o.counter_add("gbm.trees", trees.len() as u64);
         }
 
+        Gbm::assemble(
+            base_score,
+            trees,
+            feature_gain,
+            data.n_features(),
+            params.loss,
+        )
+    }
+
+    /// Builds the ensemble and derives its flattened serving layout — the
+    /// one construction path shared by `fit` and deserialization.
+    fn assemble(
+        base_score: f32,
+        trees: Vec<Tree>,
+        feature_gain: Vec<f64>,
+        n_features: usize,
+        loss: Loss,
+    ) -> Gbm {
+        let flat = FlatForest::build(&trees, n_features);
         Gbm {
             base_score,
             trees,
             feature_gain,
-            n_features: data.n_features(),
-            loss: params.loss,
+            n_features,
+            loss,
+            flat,
+        }
+    }
+
+    /// The flattened serving layout (crate-internal, for tests/benches).
+    #[cfg(test)]
+    pub(crate) fn flat(&self) -> &FlatForest {
+        &self.flat
+    }
+
+    #[inline]
+    fn transform(&self, score: f32) -> f32 {
+        match self.loss {
+            Loss::SquaredError => score,
+            Loss::Logistic => sigmoid(score),
+        }
+    }
+
+    /// Raw (pre-loss-transform) score of one row, tolerating any width:
+    /// short rows are padded with NaN (missing), extra columns are ignored.
+    ///
+    /// Deliberately walks the per-tree node arenas, not the flattened
+    /// branchless layout: for a *single* row the branch predictor
+    /// speculates the next level's loads ahead of the compare, while a
+    /// branchless select chain serializes them — the arena walk is ~5x
+    /// faster per row (see the `gbm_predict_paths` bench group). The
+    /// flattened layouts win only where rows are batched.
+    #[inline]
+    fn raw_score(&self, row: &[f32]) -> f32 {
+        let walk = |row: &[f32]| {
+            let mut score = self.base_score;
+            for tree in &self.trees {
+                score += tree.predict(row);
+            }
+            score
+        };
+        if row.len() >= self.n_features {
+            walk(row)
+        } else {
+            let mut padded = vec![f32::NAN; self.n_features.max(1)];
+            padded[..row.len()].copy_from_slice(row);
+            walk(&padded)
         }
     }
 
@@ -347,18 +441,33 @@ impl Gbm {
     /// the regression value for squared error, the probability (post-
     /// sigmoid) for logistic loss.
     ///
-    /// # Panics
-    /// Panics (in debug) if the row width differs from the training data.
+    /// Row width need not match the training data: columns beyond
+    /// [`Gbm::n_features`] are ignored, and a *short* row is treated as if
+    /// the absent trailing features were missing (NaN) — a deterministic,
+    /// documented behavior rather than the release-mode index panic the
+    /// unchecked path used to hit.
     pub fn predict(&self, row: &[f32]) -> f32 {
-        debug_assert_eq!(row.len(), self.n_features, "feature width mismatch");
+        self.transform(self.raw_score(row))
+    }
+
+    /// Reference prediction walking the original per-tree node arenas —
+    /// the oracle the flattened/quantized serving paths are property-tested
+    /// against. Handles row widths exactly like [`Gbm::predict`].
+    pub fn predict_reference(&self, row: &[f32]) -> f32 {
+        let padded: Vec<f32>;
+        let row = if row.len() >= self.n_features {
+            row
+        } else {
+            let mut p = vec![f32::NAN; self.n_features.max(1)];
+            p[..row.len()].copy_from_slice(row);
+            padded = p;
+            &padded
+        };
         let mut score = self.base_score;
         for tree in &self.trees {
             score += tree.predict(row);
         }
-        match self.loss {
-            Loss::SquaredError => score,
-            Loss::Logistic => sigmoid(score),
-        }
+        self.transform(score)
     }
 
     /// [`Gbm::predict`] clamped to `[0, 1]` — the admission-probability
@@ -368,36 +477,122 @@ impl Gbm {
     }
 
     /// Batched [`Gbm::predict`] over many raw rows, fanned out over
-    /// `threads` workers (`0` = one per available core). Each output is
-    /// computed independently, so the result is bit-identical to the
-    /// per-row loop for every thread count.
+    /// `threads` workers (`0` = one per available core) and lane-blocked
+    /// through the flattened forest within each worker. Each output equals
+    /// the per-row [`Gbm::predict`] bit-for-bit for every thread count.
     pub fn predict_batch<R: AsRef<[f32]> + Sync>(&self, rows: &[R], threads: usize) -> Vec<f32> {
         let mut out = vec![0f32; rows.len()];
         parallel::for_chunks(
             &mut out,
             parallel::resolve_threads(threads),
             |start, chunk| {
-                for (k, v) in chunk.iter_mut().enumerate() {
-                    *v = self.predict(rows[start + k].as_ref());
+                let nf = self.n_features;
+                let mut k = 0;
+                while k + LANES <= chunk.len() {
+                    let refs: [&[f32]; LANES] =
+                        std::array::from_fn(|l| rows[start + k + l].as_ref());
+                    if refs.iter().all(|r| r.len() >= nf) {
+                        self.flat
+                            .predict_block(&refs, &mut chunk[k..k + LANES], self.base_score);
+                    } else {
+                        for (l, r) in refs.iter().enumerate() {
+                            chunk[k + l] = self.raw_score(r);
+                        }
+                    }
+                    k += LANES;
+                }
+                for (o, r) in chunk[k..].iter_mut().zip(rows[start + k..].iter()) {
+                    *o = self.raw_score(r.as_ref());
+                }
+                if self.loss == Loss::Logistic {
+                    for o in chunk.iter_mut() {
+                        *o = sigmoid(*o);
+                    }
                 }
             },
         );
         out
     }
 
-    /// [`Gbm::predict_batch`] over a dataset's rows.
+    /// [`Gbm::predict_batch`] over a dataset's rows — the batched
+    /// quantized serving path. When the dataset's width matches the model
+    /// and its cached binning resolves every node threshold to a bin edge
+    /// (always true for the model's own training set), scoring runs
+    /// set-at-a-time on the pre-binned `u8` codes via [`crate::bitset`]:
+    /// 64-row predicate bit masks, reach propagation through padded
+    /// complete trees, and direction-bit leaf lookup — AVX-512 where the
+    /// host has it, the same-result scalar kernel everywhere else. Any row
+    /// of any dataset scores bit-identically to [`Gbm::predict`]; datasets
+    /// that don't fit the code path (width mismatch, ±inf values, foreign
+    /// bin edges, a deeper-than-layout forest) serve from the lane-blocked
+    /// raw path instead.
     pub fn predict_dataset(&self, data: &Dataset, threads: usize) -> Vec<f32> {
+        if data.n_rows() == 0 {
+            return Vec::new();
+        }
+        if data.n_features() == self.n_features {
+            if let Some(bitset) = self.flat.bitset() {
+                let cache = data.binned_cache();
+                if !cache.has_infinite {
+                    if let Some(cuts) = bitset.resolve(&cache.binned) {
+                        let mut out = vec![0f32; data.n_rows()];
+                        parallel::for_chunks(
+                            &mut out,
+                            parallel::resolve_threads(threads),
+                            |start, chunk| {
+                                bitset.score_range(
+                                    &cache.binned,
+                                    &cuts,
+                                    self.base_score,
+                                    start,
+                                    chunk,
+                                );
+                                if self.loss == Loss::Logistic {
+                                    for o in chunk.iter_mut() {
+                                        *o = sigmoid(*o);
+                                    }
+                                }
+                            },
+                        );
+                        return out;
+                    }
+                }
+            }
+        }
         let mut out = vec![0f32; data.n_rows()];
+        let full_width = data.n_features() >= self.n_features;
         parallel::for_chunks(
             &mut out,
             parallel::resolve_threads(threads),
             |start, chunk| {
-                for (k, v) in chunk.iter_mut().enumerate() {
-                    *v = self.predict(data.row(start + k));
+                let mut k = 0;
+                while full_width && k + LANES <= chunk.len() {
+                    let refs: [&[f32]; LANES] = std::array::from_fn(|l| data.row(start + k + l));
+                    self.flat
+                        .predict_block(&refs, &mut chunk[k..k + LANES], self.base_score);
+                    k += LANES;
+                }
+                for (o, i) in chunk[k..].iter_mut().zip(start + k..) {
+                    *o = self.raw_score(data.row(i));
+                }
+                if self.loss == Loss::Logistic {
+                    for o in chunk.iter_mut() {
+                        *o = sigmoid(*o);
+                    }
                 }
             },
         );
         out
+    }
+
+    /// Batched admission scoring for the LHR cache: [`Gbm::predict_batch`]
+    /// with every output clamped to `[0, 1]`, matching
+    /// [`Gbm::predict_probability`] bit-for-bit per row.
+    pub fn score_admissions<R: AsRef<[f32]> + Sync>(&self, rows: &[R], threads: usize) -> Vec<f64> {
+        self.predict_batch(rows, threads)
+            .into_iter()
+            .map(|p| p.clamp(0.0, 1.0) as f64)
+            .collect()
     }
 
     /// Number of trees in the ensemble.
@@ -806,5 +1001,96 @@ mod tests {
         let d = make_linear(200);
         let model = Gbm::fit(&d, &GbmParams::default());
         assert!(model.approx_size_bytes() > 0);
+    }
+
+    #[test]
+    fn short_rows_are_treated_as_missing_features() {
+        // Regression for the unguarded row-width mismatch: a short row used
+        // to index out of bounds in release builds. It must now behave as
+        // if the absent trailing features were NaN, in every predict path.
+        let d = make_messy(1_000);
+        let model = Gbm::fit(
+            &d,
+            &GbmParams {
+                n_trees: 10,
+                ..GbmParams::default()
+            },
+        );
+        let short: Vec<Vec<f32>> = vec![vec![], vec![3.0], vec![3.0, 0.5], vec![f32::NAN]];
+        for row in &short {
+            let mut full = vec![f32::NAN; model.n_features()];
+            full[..row.len()].copy_from_slice(row);
+            let want = model.predict(&full).to_bits();
+            assert_eq!(model.predict(row).to_bits(), want, "{row:?}");
+            assert_eq!(model.predict_reference(row).to_bits(), want, "{row:?}");
+            assert!(model.predict(row).is_finite());
+        }
+        // Batched scoring with mixed widths (some blocks all-full, some
+        // containing short rows) matches per-row predict bit-for-bit.
+        let mut rows: Vec<Vec<f32>> = (0..100).map(|i| d.row(i).to_vec()).collect();
+        rows[3] = vec![1.0];
+        rows[50] = vec![];
+        rows[97] = vec![2.0, f32::NAN];
+        let batch = model.predict_batch(&rows, 1);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(batch[i].to_bits(), model.predict(row).to_bits(), "row {i}");
+        }
+        // Extra trailing columns are ignored.
+        let mut wide = d.row(0).to_vec();
+        wide.push(123.0);
+        assert_eq!(
+            model.predict(&wide).to_bits(),
+            model.predict(d.row(0)).to_bits()
+        );
+    }
+
+    #[test]
+    fn flat_paths_match_the_reference_walk_on_extreme_rows() {
+        for loss in [Loss::SquaredError, Loss::Logistic] {
+            let d = make_messy(2_000);
+            let model = Gbm::fit(
+                &d,
+                &GbmParams {
+                    n_trees: 15,
+                    loss,
+                    ..GbmParams::default()
+                },
+            );
+            let mut rows: Vec<Vec<f32>> = (0..64).map(|i| d.row(i).to_vec()).collect();
+            rows.push(vec![f32::INFINITY, f32::NEG_INFINITY, f32::NAN]);
+            rows.push(vec![f32::NEG_INFINITY, f32::INFINITY, 0.0]);
+            rows.push(vec![f32::NAN, f32::NAN, f32::NAN]);
+            rows.push(vec![0.0, -0.0, f32::MAX]);
+            let batch = model.predict_batch(&rows, 1);
+            for (i, row) in rows.iter().enumerate() {
+                let want = model.predict_reference(row).to_bits();
+                assert_eq!(model.predict(row).to_bits(), want, "{loss:?} row {i}");
+                assert_eq!(batch[i].to_bits(), want, "{loss:?} batch row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn score_admissions_matches_predict_probability() {
+        let d = make_messy(1_000);
+        let model = Gbm::fit(
+            &d,
+            &GbmParams {
+                n_trees: 10,
+                ..GbmParams::default()
+            },
+        );
+        let rows: Vec<Vec<f32>> = (0..200).map(|i| d.row(i).to_vec()).collect();
+        for threads in [1, 3, 0] {
+            let scores = model.score_admissions(&rows, threads);
+            for (i, row) in rows.iter().enumerate() {
+                assert!((0.0..=1.0).contains(&scores[i]));
+                assert_eq!(
+                    scores[i].to_bits(),
+                    model.predict_probability(row).to_bits(),
+                    "row {i} threads {threads}"
+                );
+            }
+        }
     }
 }

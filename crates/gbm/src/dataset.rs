@@ -1,5 +1,7 @@
 //! Training data container and quantile binning.
 
+use std::sync::{Arc, OnceLock};
+
 /// A dense, row-major training set. Missing feature values are `f32::NAN`.
 #[derive(Debug, Clone, Default)]
 pub struct Dataset {
@@ -8,9 +10,32 @@ pub struct Dataset {
     features: Vec<f32>,
     /// Regression targets, one per row.
     labels: Vec<f32>,
+    /// Lazily built binning of the current rows, shared between `fit` and
+    /// the batched scoring path; reset by every mutation.
+    cache: OnceLock<Arc<BinnedCache>>,
 }
 
-lhr_util::impl_json!(struct Dataset { n_features, features, labels });
+impl lhr_util::json::ToJson for Dataset {
+    fn to_json(&self) -> lhr_util::json::Json {
+        lhr_util::json::Json::Object(vec![
+            ("n_features".to_string(), self.n_features.to_json()),
+            ("features".to_string(), self.features.to_json()),
+            ("labels".to_string(), self.labels.to_json()),
+        ])
+    }
+}
+
+impl lhr_util::json::FromJson for Dataset {
+    fn from_json(v: &lhr_util::json::Json) -> Result<Self, lhr_util::json::JsonError> {
+        use lhr_util::json::field;
+        Ok(Dataset {
+            n_features: field(v, "n_features")?,
+            features: field(v, "features")?,
+            labels: field(v, "labels")?,
+            cache: OnceLock::new(),
+        })
+    }
+}
 
 impl Dataset {
     /// An empty dataset whose rows will have `n_features` columns.
@@ -20,6 +45,7 @@ impl Dataset {
             n_features,
             features: Vec::new(),
             labels: Vec::new(),
+            cache: OnceLock::new(),
         }
     }
 
@@ -38,6 +64,7 @@ impl Dataset {
         assert!(label.is_finite(), "labels must be finite");
         self.features.extend_from_slice(row);
         self.labels.push(label);
+        self.cache = OnceLock::new();
     }
 
     /// Number of rows.
@@ -70,7 +97,33 @@ impl Dataset {
     pub fn clear(&mut self) {
         self.features.clear();
         self.labels.clear();
+        self.cache = OnceLock::new();
     }
+
+    /// The binning of the current rows, built on first use and shared
+    /// (`Arc`) by every later call until the dataset is mutated. `fit`
+    /// and the batched scoring path both go through here, so a model's
+    /// node thresholds are bin edges of *this exact* [`Binned`] whenever
+    /// it scores its own training set.
+    pub(crate) fn binned_cache(&self) -> Arc<BinnedCache> {
+        Arc::clone(self.cache.get_or_init(|| {
+            Arc::new(BinnedCache {
+                binned: Binned::build(self),
+                has_infinite: self.features.iter().any(|v| v.is_infinite()),
+            })
+        }))
+    }
+}
+
+/// [`Binned`] plus the one fact the bitset scoring path needs about the
+/// raw values: whether any is ±inf. [`Binned`] codes every non-finite
+/// value as [`MISSING_BIN`], but at predict time only NaN is "missing"
+/// (±inf routes by ordinary comparison), so code-space scoring is exact
+/// only for datasets without infinities.
+#[derive(Debug)]
+pub(crate) struct BinnedCache {
+    pub binned: Binned,
+    pub has_infinite: bool,
 }
 
 /// Per-feature quantile bin edges plus the prebinned (u8) feature matrix.
@@ -118,7 +171,11 @@ impl Binned {
                     scratch.push(v);
                 }
             }
-            scratch.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+            // total_cmp, not partial_cmp().expect: the filter above keeps
+            // only finite values today, but a NaN slipping through must
+            // degrade to an extra bin edge, never a panic on the scoring
+            // path.
+            scratch.sort_unstable_by(f32::total_cmp);
             scratch.dedup();
             let mut cuts = Vec::new();
             if scratch.len() > 1 {
@@ -345,6 +402,37 @@ mod tests {
             // The constant column collapses to a single real bin.
             prop_assert_eq!(b.n_bins(0), 1);
         });
+    }
+
+    #[test]
+    fn binning_survives_nan_and_infinite_columns() {
+        // Regression: the quantile sort must be NaN-total, and ±inf (which
+        // passes no `is_finite` gate at *predict* time) must encode
+        // deterministically. A column that is mostly NaN/±inf still bins.
+        let mut d = Dataset::new(2);
+        for i in 0..40 {
+            let x0 = match i % 4 {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                _ => i as f32,
+            };
+            d.push_row(&[x0, i as f32], 0.0);
+        }
+        let b = Binned::build(&d);
+        for r in 0..40 {
+            match r % 4 {
+                0 | 1 | 2 => assert_eq!(b.code(r, 0), MISSING_BIN, "row {r}"),
+                _ => assert_ne!(b.code(r, 0), MISSING_BIN, "row {r}"),
+            }
+        }
+        // bin_of itself is total on ±inf: -inf sorts before every edge,
+        // +inf after all of them.
+        assert_eq!(bin_of(&b.edges[0], f32::NEG_INFINITY), 0);
+        assert_eq!(
+            bin_of(&b.edges[0], f32::INFINITY) as usize,
+            b.edges[0].len()
+        );
     }
 
     #[test]

@@ -12,20 +12,22 @@ use crate::booster::GbmParams;
 use crate::dataset::{Binned, MISSING_BIN};
 
 /// A node in the flat tree arena. Leaves have `feature == u32::MAX`.
+/// Crate-visible so `flat::FlatForest` can re-lay fitted trees out for
+/// serving.
 #[derive(Debug, Clone)]
-struct Node {
+pub(crate) struct Node {
     /// Split feature index, or `u32::MAX` for a leaf.
-    feature: u32,
+    pub(crate) feature: u32,
     /// Real-valued cut: samples with `value ≤ threshold` go left.
-    threshold: f32,
+    pub(crate) threshold: f32,
     /// Arena index of the left child (valid only for internal nodes).
-    left: u32,
+    pub(crate) left: u32,
     /// Arena index of the right child (valid only for internal nodes).
-    right: u32,
+    pub(crate) right: u32,
     /// Where missing (NaN) values go.
-    default_left: bool,
+    pub(crate) default_left: bool,
     /// Prediction for a leaf (weight already includes the learning rate).
-    value: f32,
+    pub(crate) value: f32,
 }
 
 lhr_util::impl_json!(struct Node { feature, threshold, left, right, default_left, value });
@@ -34,7 +36,7 @@ lhr_util::impl_json!(struct Node { feature, threshold, left, right, default_left
 /// rows, so a serialized model is self-contained.
 #[derive(Debug, Clone)]
 pub struct Tree {
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
 }
 
 lhr_util::impl_json!(struct Tree { nodes });
@@ -434,6 +436,11 @@ impl Tree {
     }
 
     /// Predicts the tree's contribution for one raw feature row.
+    ///
+    /// This is the reference traversal (also used during training for
+    /// out-of-sample rows); batched serving goes through the flattened
+    /// forest in `crate::flat`, which is property-tested bit-identical to
+    /// this walk.
     pub fn predict(&self, row: &[f32]) -> f32 {
         let mut node = &self.nodes[0];
         loop {

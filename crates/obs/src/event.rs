@@ -23,6 +23,10 @@ pub enum EventKind {
     /// The δ-threshold estimator adopted a new admission threshold
     /// (fields: `window`, `old`, `new`).
     ThresholdUpdate,
+    /// A background-trained (shadow) admission model was atomically
+    /// installed at a window edge (fields: `window`, `rows`, `epoch`,
+    /// `wall_secs` — zeroed in deterministic mode).
+    ModelSwap,
     /// The circuit breaker tripped open (fields: `opens`).
     BreakerOpen,
     /// The circuit breaker closed again after half-open probes
@@ -45,6 +49,7 @@ lhr_util::impl_json!(
         Retrain,
         Detect,
         ThresholdUpdate,
+        ModelSwap,
         BreakerOpen,
         BreakerClose,
         OutageStart,
@@ -136,6 +141,7 @@ mod tests {
             EventKind::Retrain,
             EventKind::Detect,
             EventKind::ThresholdUpdate,
+            EventKind::ModelSwap,
             EventKind::BreakerOpen,
             EventKind::BreakerClose,
             EventKind::OutageStart,

@@ -103,7 +103,10 @@ fn render_events(out: &mut String, events: &[Event]) {
         .filter(|e| {
             matches!(
                 e.kind,
-                EventKind::Detect | EventKind::Retrain | EventKind::ThresholdUpdate
+                EventKind::Detect
+                    | EventKind::Retrain
+                    | EventKind::ThresholdUpdate
+                    | EventKind::ModelSwap
             )
         })
         .collect();

@@ -65,6 +65,29 @@ cargo run --release --offline -p lhr-cli -- server \
 cmp "$smoke_dir/r1.json" "$smoke_dir/r4.json"
 cmp "$smoke_dir/e1.jsonl" "$smoke_dir/e4.jsonl"
 
+echo "==> shadow-retrain determinism smoke (N-LHR, --threads 1 vs 4)"
+# N-LHR retrains every window, and background_retrain (the default) runs
+# each of those fits on a shadow thread with the model swap pinned to a
+# deterministic later window edge — so this run swaps models repeatedly
+# while trainer threads race the serving threads. Reports and obs
+# exports must still be byte-identical across thread counts. The trace
+# is sized so every shard crosses several retraining windows (the LHR
+# window floor is 4096 requests per shard).
+cargo run --release --offline -p lhr-cli -- generate \
+  --kind syn-one --objects 500 --requests 40000 --seed 11 \
+  --out "$smoke_dir/retrain.csv"
+for t in 1 4; do
+  cargo run --release --offline -p lhr-cli -- server \
+    --policy N-LHR --capacity 1MB --shards 2 --threads "$t" \
+    --report "$smoke_dir/nr$t.json" \
+    --obs "$smoke_dir/ne$t.jsonl" --obs-window 4000r \
+    --obs-deterministic true "$smoke_dir/retrain.csv" > /dev/null
+done
+cmp "$smoke_dir/nr1.json" "$smoke_dir/nr4.json"
+cmp "$smoke_dir/ne1.jsonl" "$smoke_dir/ne4.jsonl"
+# The run must actually have exercised the shadow path.
+grep -q '"kind":"ModelSwap"' "$smoke_dir/ne1.jsonl"
+
 echo "==> CLI compare --obs smoke (one recording per policy)"
 cargo run --release --offline -p lhr-cli -- compare \
   --capacity 1MB --obs "$smoke_dir/cmp.jsonl" --obs-window 1000r \

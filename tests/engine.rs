@@ -107,6 +107,85 @@ fn engine_with_learned_policy_is_byte_identical_across_threads() {
     assert_eq!(run(1), run(4));
 }
 
+/// Two IRM halves with very different Zipf exponents over one object
+/// population — the α shift makes every shard's detector fire, so the
+/// background shadow trainer actually spawns and swaps mid-replay.
+fn shifting_alpha_trace() -> Trace {
+    use lhr_repro::trace::{Request, Time};
+    let half = |alpha: f64, seed: u64| {
+        IrmConfig::new(400, 25_000)
+            .zipf_alpha(alpha)
+            .size_model(SizeModel::Fixed { bytes: 2_000 })
+            .seed(seed)
+            .generate()
+    };
+    let a = half(0.5, 3);
+    let b = half(1.3, 4);
+    let offset = a.duration().as_micros() + 1_000_000;
+    let mut out = Trace::new("alpha-shift");
+    for r in &a {
+        out.push(Request::new(r.ts, r.id, r.size));
+    }
+    for r in &b {
+        out.push(Request::new(
+            Time::from_micros(r.ts.as_micros() + offset),
+            r.id,
+            r.size,
+        ));
+    }
+    out.validate().expect("seam must preserve trace invariants");
+    out
+}
+
+#[test]
+fn engine_with_background_retraining_is_byte_identical_across_threads() {
+    // The zero-stall retraining contract: shadow models train on
+    // background threads, yet because installs are pinned to window
+    // *indices* (never wall-clock completion), the stable report and the
+    // obs export stay byte-identical at any thread count.
+    let trace = shifting_alpha_trace();
+    let run = |threads: usize| {
+        let config = EngineConfig {
+            total_capacity: 160_000,
+            n_shards: 4,
+            route: RouteConfig {
+                threads,
+                ..RouteConfig::default()
+            },
+            ..EngineConfig::new(160_000)
+        };
+        let obs = deterministic_obs();
+        let engine = ShardedEngine::new(config).with_obs(obs.clone());
+        let lhr = LhrConfig {
+            // Small per-shard windows so each shard sees several window
+            // edges: bootstrap inline, then detection-gated background
+            // spawns with installs one edge later.
+            min_window_requests: 2_048,
+            background_retrain: true,
+            ..LhrConfig::default()
+        };
+        let report = engine.replay(&trace, |shard, capacity, obs| {
+            let cache = LhrCache::new(capacity, lhr.for_shard(shard));
+            match obs {
+                Some(o) => cache.with_obs(o.clone()),
+                None => cache,
+            }
+        });
+        (report.stable_json(), obs.to_jsonl())
+    };
+    let (report1, obs1) = run(1);
+    assert!(
+        obs1.contains("\"kind\":\"ModelSwap\""),
+        "no background model swap happened — the test isn't exercising \
+         shadow retraining; events:\n{obs1}"
+    );
+    for threads in [2usize, 8] {
+        let (report, obs) = run(threads);
+        assert_eq!(report1, report, "report differs at {threads} threads");
+        assert_eq!(obs1, obs, "obs export differs at {threads} threads");
+    }
+}
+
 #[test]
 fn sharded_simulator_obs_is_byte_identical_across_threads() {
     let trace = zipf_trace(13);

@@ -83,6 +83,97 @@ fn gbm_more_trees_never_hurt_training_mse() {
     });
 }
 
+/// Messy inference rows of varying width: ~10 % NaN, ~10 % ±inf, negative
+/// zero, huge magnitudes — everything an untrusted feature pipeline can
+/// feed the scoring path. Widths range from empty to `cols + 2`.
+fn messy_rows(cols: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| {
+            let width = (next() % (cols as u64 + 3)) as usize;
+            (0..width)
+                .map(|_| match next() % 10 {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    2 => f32::NEG_INFINITY,
+                    3 => -0.0,
+                    4 => f32::MAX,
+                    _ => (next() % 20_000) as f32 / 100.0 - 100.0,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn gbm_flat_and_quantized_paths_match_the_reference_walk() {
+    // The flattened forest (raw and quantized-code traversals, single-row
+    // and lane-blocked, any thread count) must be bit-identical to the
+    // original per-tree reference walk — on messy rows included.
+    prop_check!(cases: 24, (cols in range(2usize..6), rows in range(30usize..120), seed in any_u64()) => {
+        let mut data = build_dataset(cols, rows, seed);
+        if seed % 2 == 0 {
+            // A constant feature (no candidate splits) must not disturb
+            // the flat layout or the quantized cut tables.
+            let constant = vec![7.25f32; cols];
+            for _ in 0..8 {
+                data.push_row(&constant, 0.5);
+            }
+        }
+        for loss in [Loss::SquaredError, Loss::Logistic] {
+            let params = GbmParams { n_trees: 8, loss, ..GbmParams::default() };
+            let model = Gbm::fit(&data, &params);
+            let queries = messy_rows(cols, 40, seed ^ 0xDEAD);
+            let expected: Vec<f32> =
+                queries.iter().map(|r| model.predict_reference(r)).collect();
+            for (q, &e) in queries.iter().zip(&expected) {
+                prop_assert_eq!(
+                    model.predict(q).to_bits(),
+                    e.to_bits(),
+                    "flat single-row diverged from the reference walk"
+                );
+            }
+            // Exact-width queries also exercise the quantized path via
+            // predict_dataset (codes compare bit-identically to raws).
+            let mut qdata = Dataset::new(cols);
+            for q in &queries {
+                let mut full = vec![f32::NAN; cols];
+                full[..q.len().min(cols)].copy_from_slice(&q[..q.len().min(cols)]);
+                qdata.push_row(&full, 0.0);
+            }
+            let qexpected: Vec<u32> = (0..qdata.n_rows())
+                .map(|i| model.predict_reference(qdata.row(i)).to_bits())
+                .collect();
+            for threads in [1usize, 3, 0] {
+                let batch = model.predict_batch(&queries, threads);
+                for (b, &e) in batch.iter().zip(&expected) {
+                    prop_assert_eq!(
+                        b.to_bits(),
+                        e.to_bits(),
+                        "blocked batch diverged at {} threads",
+                        threads
+                    );
+                }
+                let dataset = model.predict_dataset(&qdata, threads);
+                for (d, &e) in dataset.iter().zip(&qexpected) {
+                    prop_assert_eq!(
+                        d.to_bits(),
+                        e,
+                        "quantized dataset path diverged at {} threads",
+                        threads
+                    );
+                }
+            }
+        }
+    });
+}
+
 #[test]
 fn mlp_forward_is_finite_on_bounded_inputs() {
     prop_check!(cases: 48, (seed in any_u64(), inputs in vec_exact(range(-5.0f32..5.0), 4)) => {
