@@ -267,16 +267,30 @@ fn obs_path_for_policy(path: &str, policy: &str) -> String {
     }
 }
 
-/// Writes a finished recording: `.csv` paths get the windowed series only,
-/// everything else the full JSONL export.
-fn write_obs(obs: &Obs, path: &str) -> Result<(), String> {
-    let body = if path.ends_with(".csv") {
-        obs.windows_csv()
+/// Opens the `--obs` sink before replay. JSONL paths stream: window
+/// records are appended as they close instead of buffering the whole
+/// export. `.csv` paths stay buffered (the CSV needs only the windowed
+/// series, written at the end by [`finish_obs`]).
+fn start_obs(obs: &Obs, path: &str) -> Result<(), String> {
+    if !path.ends_with(".csv") {
+        obs.stream_to(path).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Finishes an `--obs` recording started by [`start_obs`]: closes the
+/// stream (appending the post-window sections — the file is byte-identical
+/// to the buffered export), or writes the windowed CSV.
+fn finish_obs(obs: &Obs, path: &str) -> Result<(), String> {
+    let bytes = if path.ends_with(".csv") {
+        let body = obs.windows_csv();
+        std::fs::write(path, &body).map_err(|e| format!("{path}: {e}"))?;
+        body.len() as u64
     } else {
-        obs.to_jsonl()
+        obs.close_stream().map_err(|e| format!("{path}: {e}"))?;
+        std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
     };
-    std::fs::write(path, &body).map_err(|e| format!("{path}: {e}"))?;
-    eprintln!("obs: wrote {} bytes to {path}", body.len());
+    eprintln!("obs: wrote {bytes} bytes to {path}");
     Ok(())
 }
 
@@ -326,6 +340,9 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
     let seed = args.get_parse("seed")?.unwrap_or(42u64);
     let obs = obs_from_args(args)?;
+    if let Some((o, path)) = &obs {
+        start_obs(o, path)?;
+    }
     let unknown = || {
         format!(
             "unknown policy `{name}` (try: {})",
@@ -365,7 +382,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             result.wall_secs,
         );
         if let Some((o, path)) = &obs {
-            write_obs(o, path)?;
+            finish_obs(o, path)?;
         }
         return Ok(());
     }
@@ -391,7 +408,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         result.wall_secs,
     );
     if let Some((o, path)) = &obs {
-        write_obs(o, path)?;
+        finish_obs(o, path)?;
     }
     Ok(())
 }
@@ -412,6 +429,9 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         let obs = obs_config
             .as_ref()
             .map(|(cfg, path)| (Obs::new(cfg.clone()), obs_path_for_policy(path, name)));
+        if let Some((o, path)) = &obs {
+            start_obs(o, path)?;
+        }
         let mut policy =
             registry::build_with_obs(name, capacity, seed, &trace, obs.as_ref().map(|(o, _)| o))
                 .expect("registry name");
@@ -429,7 +449,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
             result.wall_secs,
         );
         if let Some((o, path)) = &obs {
-            write_obs(o, path)?;
+            finish_obs(o, path)?;
         }
     }
     Ok(())
@@ -475,6 +495,9 @@ fn cmd_server(args: &Args) -> Result<(), String> {
     let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
     let seed = args.get_parse("seed")?.unwrap_or(42u64);
     let obs = obs_from_args(args)?;
+    if let Some((o, path)) = &obs {
+        start_obs(o, path)?;
+    }
     let faulted = args.get("faults").map(|s| s.as_str()).unwrap_or("none") != "none";
     let config = match args.get("faults") {
         Some(preset) => presets::fault_preset(preset, seed, trace.duration().as_secs_f64())
@@ -542,7 +565,7 @@ fn cmd_server(args: &Args) -> Result<(), String> {
             eprintln!("report: wrote {} bytes to {path}", body.len());
         }
         if let Some((o, path)) = &obs {
-            write_obs(o, path)?;
+            finish_obs(o, path)?;
         }
         return Ok(());
     }
@@ -580,7 +603,7 @@ fn cmd_server(args: &Args) -> Result<(), String> {
     }
     println!("replay wall:     {:.2} s", r.replay_wall_secs);
     if let Some((o, path)) = &obs {
-        write_obs(o, path)?;
+        finish_obs(o, path)?;
     }
     Ok(())
 }

@@ -11,9 +11,9 @@ use lhr_gbm::{Dataset, Gbm, GbmParams};
 use lhr_obs::{Event, EventKind, Obs};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
+use lhr_util::hash::FastMap;
 use lhr_util::rng::rngs::SmallRng;
 use lhr_util::rng::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Which eviction rule LHR applies (§5.2.5 discusses both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +145,9 @@ struct CachedEntry {
     /// Learned admission probability — the paper's ℒ vector entry.
     prob: f64,
     last_access: Time,
+    /// Index into `dense` (the eviction sampler's id array), fused into
+    /// the entry so eviction maintains one map instead of two.
+    pos: usize,
 }
 
 /// Counters exposed for the §7.4 ablation study (Figure 10) and Figure 9.
@@ -169,21 +172,22 @@ pub struct LhrCache {
     config: LhrConfig,
     display_name: &'static str,
 
-    entries: HashMap<ObjectId, CachedEntry>,
+    entries: FastMap<ObjectId, CachedEntry>,
     dense: Vec<ObjectId>,
-    positions: HashMap<ObjectId, usize>,
 
     features: FeatureStore,
     window: WindowTracker,
     /// Feature rows aligned one-to-one with the in-progress window's
-    /// requests (training inputs).
-    window_rows: Vec<Vec<f32>>,
+    /// requests (training inputs) — a flat row-major matrix with
+    /// `features.n_features()` columns, reused window to window so the
+    /// steady-state serve path never allocates per request.
+    window_rows: Vec<f32>,
     /// Learned probabilities aligned with the window's requests (threshold
     /// estimation inputs).
     window_probs: Vec<f64>,
     /// Labeled samples of recently completed windows, newest last:
-    /// `(rows, labels)` per window.
-    labeled_history: std::collections::VecDeque<(Vec<Vec<f32>>, Vec<f32>)>,
+    /// `(flat row matrix, labels)` per window.
+    labeled_history: std::collections::VecDeque<(Vec<f32>, Vec<f32>)>,
     model: Option<Gbm>,
     /// Background (shadow) trainer; swaps land at pinned window edges.
     trainer: ShadowTrainer,
@@ -219,9 +223,8 @@ impl LhrCache {
             detector: ZipfDetector::new(config.epsilon),
             threshold,
             rng: SmallRng::seed_from_u64(config.seed ^ 0x1117),
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             dense: Vec::new(),
-            positions: HashMap::new(),
             evictions: 0,
             stats: LhrStats::default(),
             obs: None,
@@ -256,18 +259,6 @@ impl LhrCache {
     /// Current admission threshold δ.
     pub fn delta(&self) -> f64 {
         self.threshold.delta
-    }
-
-    /// Feature row for a request: the recorded history as of `req.ts`, or a
-    /// cold row (size + zero count/age, missing IRTs) for first sightings.
-    fn row_for(&self, req: &Request) -> Vec<f32> {
-        self.features.features(req.id, req.ts).unwrap_or_else(|| {
-            let mut row = vec![f32::NAN; self.features.n_features()];
-            row[0] = (req.size.max(1) as f32).ln();
-            row[1] = 0.0; // ln(1 + 0 prior requests)
-            row[2] = (1e-6f32).ln(); // zero age
-            row
-        })
     }
 
     fn predict(&self, row: &[f32]) -> f64 {
@@ -310,10 +301,11 @@ impl LhrCache {
         let victim = best_candidate.or(best_any).expect("k >= 1").1;
         let entry = self.entries.remove(&victim).expect("sampled from cache");
         self.used -= entry.size;
-        let pos = self.positions.remove(&victim).expect("indexed");
+        let pos = entry.pos;
         self.dense.swap_remove(pos);
         if pos < self.dense.len() {
-            self.positions.insert(self.dense[pos], pos);
+            let moved = self.dense[pos];
+            self.entries.get_mut(&moved).expect("indexed").pos = pos;
         }
         self.evictions += 1;
     }
@@ -328,9 +320,9 @@ impl LhrCache {
                 size: req.size,
                 prob,
                 last_access: req.ts,
+                pos: self.dense.len(),
             },
         );
-        self.positions.insert(req.id, self.dense.len());
         self.dense.push(req.id);
         self.used += req.size;
     }
@@ -372,19 +364,25 @@ impl LhrCache {
         // retrain now — later retrains draw on it. Stored rows are
         // subsampled so the retained history never exceeds
         // `max_train_rows` rows in total.
-        debug_assert_eq!(done.requests.len(), self.window_rows.len());
+        let n_feat = self.features.n_features();
+        debug_assert_eq!(done.requests.len() * n_feat, self.window_rows.len());
         let label_span = self.obs.as_ref().map(|o| o.span("lhr.label"));
         let top = hro_top_set(&done, self.capacity);
-        let rows = std::mem::take(&mut self.window_rows);
+        let mut rows = std::mem::take(&mut self.window_rows);
+        let n_rows = done.requests.len();
         let per_window_cap =
             (self.config.max_train_rows / self.config.train_window_history.max(1)).max(1);
-        let stride = (rows.len() / per_window_cap).max(1);
-        let mut kept_rows = Vec::with_capacity(rows.len() / stride + 1);
-        let mut kept_labels = Vec::with_capacity(rows.len() / stride + 1);
-        for (i, (row, &(_, id, _))) in rows.iter().zip(done.requests.iter()).enumerate() {
+        let stride = (n_rows / per_window_cap).max(1);
+        let mut kept_rows = Vec::with_capacity((n_rows / stride + 1) * n_feat);
+        let mut kept_labels = Vec::with_capacity(n_rows / stride + 1);
+        for (i, (row, &(_, id, _))) in rows
+            .chunks_exact(n_feat)
+            .zip(done.requests.iter())
+            .enumerate()
+        {
             if i % stride == 0 {
                 kept_labels.push(if top.contains(&id) { 1.0 } else { 0.0 });
-                kept_rows.push(row.clone());
+                kept_rows.extend_from_slice(row);
             }
         }
         self.labeled_history.push_back((kept_rows, kept_labels));
@@ -440,9 +438,10 @@ impl LhrCache {
             // feature row (the full `rows`, not the subsampled training
             // copy) and the fresh model's probabilities — batched (and
             // thread-parallel) instead of row-at-a-time.
+            let row_refs: Vec<&[f32]> = rows.chunks_exact(n_feat).collect();
             let probs: Vec<f64> = match &self.model {
-                Some(model) => model.score_admissions(&rows, self.config.gbm.threads),
-                None => vec![1.0; rows.len()],
+                Some(model) => model.score_admissions(&row_refs, self.config.gbm.threads),
+                None => vec![1.0; row_refs.len()],
             };
             let shadow: Vec<ShadowRequest> = done
                 .requests
@@ -455,9 +454,9 @@ impl LhrCache {
                 .iter()
                 .map(|(&id, e)| (id, e.prob, e.size, e.last_access))
                 .collect();
-            // HashMap iteration order is randomized; the shadow's
-            // truncation-at-capacity depends on order, so sort for
-            // determinism.
+            // Map iteration order is arbitrary (FastMap pins it per
+            // process, but it still depends on insertion history); the
+            // shadow's truncation-at-capacity depends on order, so sort.
             snapshot.sort_unstable_by_key(|&(id, ..)| id);
             let old_delta = self.threshold.delta;
             let old_updates = self.threshold.updates;
@@ -483,6 +482,13 @@ impl LhrCache {
         self.window_probs.clear();
         // Keep feature history for a few windows back (§5.1).
         self.features.prune_before(done.index.saturating_sub(3));
+        // Hand buffers back for reuse: the row matrix keeps its capacity,
+        // and the tracker reopens the next window in `done`'s shells — the
+        // only steady-state allocations left are the window-edge ones
+        // above (labeling, scoring, training).
+        rows.clear();
+        self.window_rows = rows;
+        self.window.recycle(done);
     }
 
     /// Builds the training set from HRO's decisions over the recent
@@ -490,20 +496,21 @@ impl LhrCache {
     /// newest window first, truncated at `max_train_rows`. `None` when no
     /// labeled rows exist yet.
     fn build_train_data(&self) -> Option<Dataset> {
+        let n_feat = self.features.n_features();
         let total: usize = self
             .labeled_history
             .iter()
-            .map(|(rows, _)| rows.len())
+            .map(|(_, labels)| labels.len())
             .sum();
         if total == 0 {
             return None;
         }
         let stride = (total / self.config.max_train_rows.max(1)).max(1);
-        let mut data = Dataset::new(self.features.n_features());
+        let mut data = Dataset::new(n_feat);
         data.reserve(total / stride + 1);
         let mut i = 0usize;
         for (rows, labels) in self.labeled_history.iter().rev() {
-            for (row, &label) in rows.iter().zip(labels.iter()) {
+            for (row, &label) in rows.chunks_exact(n_feat).zip(labels.iter()) {
                 if i.is_multiple_of(stride) {
                     data.push_row(row, label);
                 }
@@ -591,13 +598,28 @@ impl CachePolicy for LhrCache {
     }
 
     fn handle(&mut self, req: &Request) -> Outcome {
-        // 1. Features as of this request (IRT₁ = time since previous one).
-        let row = self.row_for(req);
-        let prob = self.predict(&row);
+        // 1. Features as of this request (IRT₁ = time since previous one),
+        //    rendered in place onto the tail of the window's flat row
+        //    matrix — no per-request allocation (the matrix only grows
+        //    while a window is larger than every one before it).
+        let n_feat = self.features.n_features();
+        let start = self.window_rows.len();
+        self.window_rows.resize(start + n_feat, f32::NAN);
+        if !self
+            .features
+            .row_into(req.id, req.ts, &mut self.window_rows[start..])
+        {
+            // Cold row for a first sighting: size + zero count/age; the
+            // IRT columns stay NaN from the resize fill.
+            let row = &mut self.window_rows[start..];
+            row[0] = (req.size.max(1) as f32).ln();
+            row[1] = 0.0; // ln(1 + 0 prior requests)
+            row[2] = (1e-6f32).ln(); // zero age
+        }
+        let prob = self.predict(&self.window_rows[start..]);
 
         // 2. Window bookkeeping (the rows feed training if this window
         //    triggers a retrain).
-        self.window_rows.push(row);
         self.window_probs.push(prob);
         let completed = self.window.observe(req);
         let window_idx = self.window.current_index();
@@ -636,16 +658,17 @@ impl CachePolicy for LhrCache {
             .model
             .as_ref()
             .map_or(0, |m| m.approx_size_bytes() as u64);
-        let row_bytes = self.features.n_features() * 4 + 8;
+        let n_feat = self.features.n_features().max(1);
+        let row_bytes = n_feat * 4 + 8;
         let history_rows: usize = self
             .labeled_history
             .iter()
-            .map(|(rows, _)| rows.len())
+            .map(|(_, labels)| labels.len())
             .sum();
         self.entries.len() as u64 * 64
             + self.features.overhead_bytes()
             + self.window.overhead_bytes()
-            + ((self.window_rows.len() + history_rows) * row_bytes) as u64
+            + ((self.window_rows.len() / n_feat + history_rows) * row_bytes) as u64
             + model
     }
 }

@@ -109,10 +109,10 @@ mod tests {
     use super::*;
     use lhr_trace::synth::zipf::zipf_pmf;
     use lhr_trace::Time;
-    use std::collections::HashMap;
+    use lhr_util::hash::FastMap;
 
     fn window_with_counts(counts: &[u32]) -> WindowData {
-        let mut map = HashMap::new();
+        let mut map = FastMap::default();
         for (i, &c) in counts.iter().enumerate() {
             map.insert(i as u64, c);
         }

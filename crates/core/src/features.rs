@@ -15,7 +15,7 @@
 //! IRTs are `NaN`, which the GBM routes through learned default directions.
 
 use lhr_trace::{ObjectId, Time};
-use std::collections::HashMap;
+use lhr_util::hash::FastMap;
 
 /// Number of static features preceding the IRTs.
 pub const N_STATIC: usize = 3;
@@ -42,7 +42,11 @@ pub struct FeatureStore {
     /// Number of IRT features (the paper settles on 20; Figure 6 sweeps
     /// 10/20/30).
     pub n_irts: usize,
-    objects: HashMap<ObjectId, ObjectHistory>,
+    objects: FastMap<ObjectId, ObjectHistory>,
+    /// History shells reclaimed by [`Self::prune_before`] and reused by
+    /// [`Self::record`], so re-sighting a pruned object in steady state
+    /// does not allocate a fresh `times` vector.
+    spare: Vec<ObjectHistory>,
 }
 
 impl FeatureStore {
@@ -51,7 +55,8 @@ impl FeatureStore {
         assert!(n_irts >= 1);
         FeatureStore {
             n_irts,
-            objects: HashMap::new(),
+            objects: FastMap::default(),
+            spare: Vec::new(),
         }
     }
 
@@ -63,45 +68,71 @@ impl FeatureStore {
     /// Records a request, updating the object's history.
     pub fn record(&mut self, id: ObjectId, size: u64, ts: Time, window: u64) {
         let keep = self.n_irts + 1;
-        let entry = self.objects.entry(id).or_insert_with(|| ObjectHistory {
-            size,
-            first_seen: ts,
-            count: 0,
-            times: Vec::with_capacity(keep),
-            last_window: window,
+        let spare = &mut self.spare;
+        let entry = self.objects.entry(id).or_insert_with(|| {
+            // Prefer a shell reclaimed by pruning — its `times` allocation
+            // is already the right capacity.
+            let mut h = spare.pop().unwrap_or_else(|| ObjectHistory {
+                size,
+                first_seen: ts,
+                count: 0,
+                times: Vec::with_capacity(keep),
+                last_window: window,
+            });
+            h.size = size;
+            h.first_seen = ts;
+            h.count = 0;
+            h.times.clear();
+            h.last_window = window;
+            h
         });
         entry.count += 1;
         entry.last_window = window;
-        entry.times.push(ts);
-        if entry.times.len() > keep {
+        // Trim *before* pushing: the push then always fits in the
+        // `with_capacity(keep)` allocation, so a warm object's history
+        // never reallocates (the serve path stays allocation-free).
+        if entry.times.len() >= keep {
             entry.times.remove(0);
         }
+        entry.times.push(ts);
     }
 
     /// Renders the feature row for `id` *as of time `now`*, or `None` if the
     /// object has never been recorded.
     pub fn features(&self, id: ObjectId, now: Time) -> Option<Vec<f32>> {
-        let h = self.objects.get(&id)?;
         let mut row = vec![f32::NAN; self.n_features()];
-        row[0] = (h.size.max(1) as f32).ln();
-        row[1] = (h.count as f32).ln_1p();
-        row[2] = ln_secs(now.saturating_sub(h.first_seen));
+        self.row_into(id, now, &mut row).then_some(row)
+    }
+
+    /// In-place form of [`FeatureStore::features`]: fills `out` (which must
+    /// be `n_features()` wide) and returns `true`, or returns `false`
+    /// untouched for a never-recorded object. The serve path calls this
+    /// with a reused buffer so steady-state replay does not allocate.
+    pub fn row_into(&self, id: ObjectId, now: Time, out: &mut [f32]) -> bool {
+        debug_assert_eq!(out.len(), self.n_features());
+        let Some(h) = self.objects.get(&id) else {
+            return false;
+        };
+        out.fill(f32::NAN);
+        out[0] = (h.size.max(1) as f32).ln();
+        out[1] = (h.count as f32).ln_1p();
+        out[2] = ln_secs(now.saturating_sub(h.first_seen));
         // IRT₁ = now − most recent request; IRT_{j>1} = gaps of history.
         let times = &h.times;
         if let Some(&last) = times.last() {
-            row[N_STATIC] = ln_secs(now.saturating_sub(last));
+            out[N_STATIC] = ln_secs(now.saturating_sub(last));
         }
         for j in 1..self.n_irts {
             // IRT_{j+1} spans times[len-j-1] .. times[len-j].
             if times.len() > j {
                 let a = times[times.len() - j - 1];
                 let b = times[times.len() - j];
-                row[N_STATIC + j] = ln_secs(b.saturating_sub(a));
+                out[N_STATIC + j] = ln_secs(b.saturating_sub(a));
             } else {
                 break;
             }
         }
-        Some(row)
+        true
     }
 
     /// Per-object history, if tracked.
@@ -113,7 +144,25 @@ impl FeatureStore {
     /// store bounded to a few windows of state, mirroring §5.1's "only use
     /// data within the window").
     pub fn prune_before(&mut self, horizon_window: u64) {
-        self.objects.retain(|_, h| h.last_window >= horizon_window);
+        let spare = &mut self.spare;
+        self.objects.retain(|_, h| {
+            let keep = h.last_window >= horizon_window;
+            if !keep {
+                // Reclaim the shell (with its `times` allocation) for the
+                // next first-sighting instead of dropping it.
+                spare.push(std::mem::replace(
+                    h,
+                    ObjectHistory {
+                        size: 0,
+                        first_seen: Time::ZERO,
+                        count: 0,
+                        times: Vec::new(),
+                        last_window: 0,
+                    },
+                ));
+            }
+            keep
+        });
     }
 
     /// Number of tracked objects.
@@ -128,7 +177,7 @@ impl FeatureStore {
 
     /// Approximate metadata footprint in bytes.
     pub fn overhead_bytes(&self) -> u64 {
-        (self.objects.len() * (48 + (self.n_irts + 1) * 8)) as u64
+        ((self.objects.len() + self.spare.len()) * (48 + (self.n_irts + 1) * 8)) as u64
     }
 }
 

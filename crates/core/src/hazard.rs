@@ -16,7 +16,7 @@ use crate::window::{WindowData, WindowTracker};
 use lhr_sim::bound::{base_metrics, OfflineBound};
 use lhr_sim::SimMetrics;
 use lhr_trace::{ObjectId, Trace};
-use std::collections::{HashMap, HashSet};
+use lhr_util::hash::{FastMap, FastSet};
 
 /// The HRO bound. `window_multiplier` follows the paper's default of 4×
 /// the cache size in unique bytes.
@@ -37,9 +37,9 @@ impl Default for Hro {
 /// Per-window HRO decisions: the set of contents whose requests the bound
 /// classifies as hits. Reused by [`crate::cache::LhrCache`] to label its
 /// training samples (§5.2.4: HRO's decisions are the supervision signal).
-pub fn hro_top_set(window: &WindowData, capacity: u64) -> HashSet<ObjectId> {
+pub fn hro_top_set(window: &WindowData, capacity: u64) -> FastSet<ObjectId> {
     let span = window.span_secs();
-    let mut sizes: HashMap<ObjectId, u64> = HashMap::new();
+    let mut sizes: FastMap<ObjectId, u64> = FastMap::default();
     for &(_, id, size) in &window.requests {
         sizes.entry(id).or_insert(size);
     }
@@ -63,7 +63,7 @@ pub fn hro_top_set(window: &WindowData, capacity: u64) -> HashSet<ObjectId> {
     // must order, not panic, on the scoring path.
     ranked.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
-    let mut top = HashSet::new();
+    let mut top = FastSet::default();
     let mut filled = 0u64;
     for (_, id, size) in ranked {
         if size > capacity {
@@ -92,7 +92,7 @@ impl OfflineBound for Hro {
         }
         let target = ((capacity as f64 * self.window_multiplier) as u64).max(1);
         let mut tracker = WindowTracker::new(target);
-        let mut ever_seen: HashSet<ObjectId> = HashSet::new();
+        let mut ever_seen: FastSet<ObjectId> = FastSet::default();
         let mut windows: Vec<WindowData> = Vec::new();
         for req in trace.iter() {
             if let Some(done) = tracker.observe(req) {
@@ -239,12 +239,11 @@ mod tests {
 
     #[test]
     fn zero_size_hazards_rank_without_panicking() {
-        use std::collections::HashMap;
         // Content 2 has size 0 (hazard = rate/0 = +inf); content 3 has
         // size 0 *and* a zero count (hazard = 0/0 = NaN). Before the
         // total_cmp fix the sort panicked on the NaN; it must now rank
         // deterministically, with the NaN below every real hazard.
-        let mut counts = HashMap::new();
+        let mut counts = FastMap::default();
         counts.insert(1u64, 4u32);
         counts.insert(2u64, 3u32);
         counts.insert(3u64, 0u32);

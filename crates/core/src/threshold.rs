@@ -8,9 +8,9 @@
 //! by more than β (default 0.2%), which suppresses jitter.
 
 use lhr_trace::{ObjectId, Time};
+use lhr_util::hash::FastMap;
 use lhr_util::rng::rngs::SmallRng;
 use lhr_util::rng::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// One shadow-simulation input record: a window request annotated with its
 /// learned admission probability.
@@ -121,9 +121,9 @@ pub fn shadow_hit_ratio_from(
     if requests.is_empty() {
         return 0.0;
     }
-    let mut cached: HashMap<ObjectId, (f64, u64, Time)> = HashMap::new();
+    let mut cached: FastMap<ObjectId, (f64, u64, Time)> = FastMap::default();
     let mut dense: Vec<ObjectId> = Vec::new();
-    let mut positions: HashMap<ObjectId, usize> = HashMap::new();
+    let mut positions: FastMap<ObjectId, usize> = FastMap::default();
     let mut used = 0u64;
     let mut hits = 0usize;
     let mut rng = SmallRng::seed_from_u64(0x5AD0);

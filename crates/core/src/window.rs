@@ -5,7 +5,7 @@
 //! Figure 5), and the windows do not overlap (§3.2 footnote 3).
 
 use lhr_trace::{ObjectId, Request, Time};
-use std::collections::HashMap;
+use lhr_util::hash::FastMap;
 
 /// One completed window's worth of requests.
 #[derive(Debug, Clone)]
@@ -14,8 +14,9 @@ pub struct WindowData {
     pub index: u64,
     /// The requests, in arrival order: `(timestamp, id, size)`.
     pub requests: Vec<(Time, ObjectId, u64)>,
-    /// Per-content request counts within the window.
-    pub counts: HashMap<ObjectId, u32>,
+    /// Per-content request counts within the window. Iteration order is
+    /// arbitrary — consumers sort before any order-sensitive use.
+    pub counts: FastMap<ObjectId, u32>,
     /// Unique bytes accumulated.
     pub unique_bytes: u64,
     /// First and last timestamps.
@@ -37,7 +38,12 @@ pub struct WindowTracker {
     target_unique_bytes: u64,
     min_requests: usize,
     current: WindowData,
-    sizes: HashMap<ObjectId, u64>,
+    sizes: FastMap<ObjectId, u64>,
+    /// A recycled window shell (cleared vectors/maps with their capacity
+    /// intact) handed back via [`WindowTracker::recycle`]; reused when the
+    /// next window opens so steady-state replay does not allocate fresh
+    /// request/count buffers every window.
+    spare: Option<WindowData>,
 }
 
 impl WindowTracker {
@@ -64,7 +70,8 @@ impl WindowTracker {
             target_unique_bytes,
             min_requests,
             current: Self::empty_window(0),
-            sizes: HashMap::new(),
+            sizes: FastMap::default(),
+            spare: None,
         }
     }
 
@@ -80,10 +87,32 @@ impl WindowTracker {
         WindowData {
             index,
             requests: Vec::new(),
-            counts: HashMap::new(),
+            counts: FastMap::default(),
             unique_bytes: 0,
             span: (Time::ZERO, Time::ZERO),
         }
+    }
+
+    fn next_window(&mut self, index: u64) -> WindowData {
+        match self.spare.take() {
+            Some(mut w) => {
+                w.index = index;
+                w
+            }
+            None => Self::empty_window(index),
+        }
+    }
+
+    /// Returns a finished window's buffers for reuse. The consumer of a
+    /// completed [`WindowData`] calls this once it has extracted what it
+    /// needs; the tracker clears the shell and reuses it for the next
+    /// window.
+    pub fn recycle(&mut self, mut done: WindowData) {
+        done.requests.clear();
+        done.counts.clear();
+        done.unique_bytes = 0;
+        done.span = (Time::ZERO, Time::ZERO);
+        self.spare = Some(done);
     }
 
     /// Number of requests in the in-progress window.
@@ -114,7 +143,8 @@ impl WindowTracker {
             && self.current.requests.len() >= self.effective_min_requests()
         {
             let next_index = self.current.index + 1;
-            let done = std::mem::replace(&mut self.current, Self::empty_window(next_index));
+            let next = self.next_window(next_index);
+            let done = std::mem::replace(&mut self.current, next);
             self.sizes.clear();
             Some(done)
         } else {

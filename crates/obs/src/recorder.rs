@@ -17,6 +17,9 @@ use lhr_util::json::{Json, ToJson};
 use lhr_util::sync::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -43,6 +46,32 @@ impl Default for ObsConfig {
     }
 }
 
+/// A streaming JSONL sink attached by [`Obs::stream_to`]. The meta line is
+/// written lazily — just before the first window record — so run metadata
+/// set any time before the first window closes still lands on it. Write
+/// errors are stashed and surfaced by [`Obs::close_stream`] so the
+/// instrumented hot loop never has to handle I/O results.
+struct Sink {
+    out: BufWriter<File>,
+    meta_written: bool,
+    /// Windows already written (prefix length of `Inner::windows`).
+    streamed: usize,
+    error: Option<io::Error>,
+}
+
+impl Sink {
+    fn write_record(&mut self, record: &ObsRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = record.to_line();
+        line.push('\n');
+        if let Err(e) = self.out.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     meta: Vec<(String, Json)>,
@@ -53,6 +82,78 @@ struct Inner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     hists: BTreeMap<String, LogHistogram>,
+    sink: Option<Sink>,
+}
+
+impl Inner {
+    /// Writes any not-yet-streamed windows to the sink, preceded by the
+    /// meta line on first use. No-op without a sink or pending windows.
+    fn stream_pending(&mut self, config: &ObsConfig) {
+        let Inner {
+            sink,
+            meta,
+            windows,
+            ..
+        } = self;
+        let Some(sink) = sink.as_mut() else { return };
+        if sink.streamed == windows.len() {
+            return;
+        }
+        if !sink.meta_written {
+            sink.write_record(&meta_record(config, meta));
+            sink.meta_written = true;
+        }
+        for w in &windows[sink.streamed..] {
+            sink.write_record(&ObsRecord::Window(w.clone()));
+        }
+        sink.streamed = windows.len();
+    }
+}
+
+/// The leading `meta` line: recorder config first, then caller metadata in
+/// insertion order. Shared by the buffered export and the streaming sink
+/// so the two can never drift.
+fn meta_record(config: &ObsConfig, meta: &[(String, Json)]) -> ObsRecord {
+    let mut m = vec![
+        ("window".to_string(), config.window.to_json()),
+        ("deterministic".to_string(), config.deterministic.to_json()),
+    ];
+    m.extend(meta.iter().cloned());
+    ObsRecord::Meta(m)
+}
+
+/// Every section that follows the windows, in the fixed export order:
+/// events, counters (plus `obs.events_dropped`), gauges, histograms,
+/// spans. Shared by [`Obs::records`] and [`Obs::close_stream`].
+fn post_window_records(inner: &Inner) -> Vec<ObsRecord> {
+    let mut out = Vec::new();
+    out.extend(inner.events.iter().cloned().map(ObsRecord::Event));
+    for (name, &value) in &inner.counters {
+        out.push(ObsRecord::Counter {
+            name: name.clone(),
+            value,
+        });
+    }
+    if inner.events_dropped > 0 {
+        out.push(ObsRecord::Counter {
+            name: "obs.events_dropped".to_string(),
+            value: inner.events_dropped,
+        });
+    }
+    for (name, &value) in &inner.gauges {
+        out.push(ObsRecord::Gauge {
+            name: name.clone(),
+            value,
+        });
+    }
+    for (name, hist) in &inner.hists {
+        out.push(ObsRecord::Hist {
+            name: name.clone(),
+            hist: hist.clone(),
+        });
+    }
+    out.extend(inner.spans.records().into_iter().map(ObsRecord::Span));
+    out
 }
 
 /// The shared observability recorder. Cloning is cheap (one `Arc`); all
@@ -141,8 +242,54 @@ impl Obs {
     }
 
     /// Appends completed windows from a [`crate::series::SeriesAcc`].
+    /// When a streaming sink is attached ([`Obs::stream_to`]), each window
+    /// is also written to it immediately.
     pub fn push_windows(&self, windows: Vec<WindowRecord>) {
-        self.inner.lock().windows.extend(windows);
+        let mut inner = self.inner.lock();
+        inner.windows.extend(windows);
+        inner.stream_pending(&self.config);
+    }
+
+    /// Starts streaming this recorder's export to `path`. The leading meta
+    /// line is written when the first window arrives — run metadata must be
+    /// final by then — each completed window is appended as it is pushed,
+    /// and [`close_stream`](Obs::close_stream) writes the post-window
+    /// sections. The finished file is byte-identical to
+    /// [`to_jsonl`](Obs::to_jsonl) at close time.
+    pub fn stream_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let file = File::create(path)?;
+        self.inner.lock().sink = Some(Sink {
+            out: BufWriter::new(file),
+            meta_written: false,
+            streamed: 0,
+            error: None,
+        });
+        Ok(())
+    }
+
+    /// Finishes a streaming export: flushes any pending windows (and the
+    /// meta line, for a zero-window run), appends the post-window sections
+    /// in the fixed export order, and detaches the sink. Returns the first
+    /// write error encountered anywhere in the stream. No-op without an
+    /// attached sink.
+    pub fn close_stream(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        inner.stream_pending(&self.config);
+        let post = post_window_records(&inner);
+        let Some(mut sink) = inner.sink.take() else {
+            return Ok(());
+        };
+        if !sink.meta_written {
+            sink.write_record(&meta_record(&self.config, &inner.meta));
+            sink.meta_written = true;
+        }
+        for record in &post {
+            sink.write_record(record);
+        }
+        match sink.error {
+            Some(e) => Err(e),
+            None => sink.out.flush(),
+        }
     }
 
     /// Merges per-shard recorders into this one **in the order given** —
@@ -190,7 +337,17 @@ impl Obs {
         let merged_windows = crate::series::merge_windows(&windows_per);
 
         let mut inner = self.inner.lock();
+        // Metadata upserts first: a streaming sink writes its meta line
+        // when the merged windows land below, and shard metadata must
+        // already be on it.
+        for (k, v) in metas {
+            match inner.meta.iter_mut().find(|(mk, _)| *mk == k) {
+                Some((_, mv)) => *mv = v,
+                None => inner.meta.push((k, v)),
+            }
+        }
         inner.windows.extend(merged_windows);
+        inner.stream_pending(&self.config);
         for e in events {
             if inner.events.len() < self.config.max_events {
                 inner.events.push(e);
@@ -211,12 +368,6 @@ impl Obs {
                 .entry(k)
                 .or_insert_with(LogHistogram::new)
                 .merge(&h);
-        }
-        for (k, v) in metas {
-            match inner.meta.iter_mut().find(|(mk, _)| *mk == k) {
-                Some((_, mv)) => *mv = v,
-                None => inner.meta.push((k, v)),
-            }
         }
         inner.spans.absorb_records(&span_records);
     }
@@ -251,42 +402,9 @@ impl Obs {
     /// events, counters, gauges, histograms, spans.
     pub fn records(&self) -> Vec<ObsRecord> {
         let inner = self.inner.lock();
-        let mut meta = vec![
-            ("window".to_string(), self.config.window.to_json()),
-            (
-                "deterministic".to_string(),
-                self.config.deterministic.to_json(),
-            ),
-        ];
-        meta.extend(inner.meta.iter().cloned());
-        let mut out = vec![ObsRecord::Meta(meta)];
+        let mut out = vec![meta_record(&self.config, &inner.meta)];
         out.extend(inner.windows.iter().cloned().map(ObsRecord::Window));
-        out.extend(inner.events.iter().cloned().map(ObsRecord::Event));
-        for (name, &value) in &inner.counters {
-            out.push(ObsRecord::Counter {
-                name: name.clone(),
-                value,
-            });
-        }
-        if inner.events_dropped > 0 {
-            out.push(ObsRecord::Counter {
-                name: "obs.events_dropped".to_string(),
-                value: inner.events_dropped,
-            });
-        }
-        for (name, &value) in &inner.gauges {
-            out.push(ObsRecord::Gauge {
-                name: name.clone(),
-                value,
-            });
-        }
-        for (name, hist) in &inner.hists {
-            out.push(ObsRecord::Hist {
-                name: name.clone(),
-                hist: hist.clone(),
-            });
-        }
-        out.extend(inner.spans.records().into_iter().map(ObsRecord::Span));
+        out.extend(post_window_records(&inner));
         out
     }
 
@@ -468,6 +586,120 @@ mod tests {
             "{jsonl}"
         );
         assert!(jsonl.contains("\"path\":\"replay\",\"count\":2"), "{jsonl}");
+    }
+
+    fn stream_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lhr-obs-stream-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    /// The streaming sink's contract: the file it produces is byte-for-byte
+    /// the buffered export, with windows written incrementally as pushed.
+    #[test]
+    fn streamed_export_is_byte_identical_to_buffered() {
+        let obs = Obs::new(ObsConfig {
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        let path = stream_path("basic");
+        obs.stream_to(&path).unwrap();
+        // Metadata set before the first window closes lands on the lazily
+        // written meta line.
+        obs.set_meta("policy", "lru");
+        obs.set_meta("trace", "t");
+        for i in 0..3u64 {
+            obs.push_windows(vec![WindowRecord {
+                index: i,
+                requests: 10 + i,
+                hits: i,
+                ..WindowRecord::default()
+            }]);
+        }
+        obs.counter_add("server.requests", 33);
+        obs.gauge_set("server.replay_wall_secs", 0.0);
+        let mut h = LogHistogram::new();
+        h.record(12);
+        obs.hist_merge("server.latency_us", &h);
+        obs.emit(Event::new(1.5, EventKind::Coalesce).field("id", 7u64));
+        {
+            let _g = obs.span("server.replay");
+        }
+        obs.close_stream().unwrap();
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(streamed, obs.to_jsonl());
+        // And the windows really are on separate leading lines after meta.
+        let tags: Vec<&str> = streamed
+            .lines()
+            .map(|l| ObsRecord::parse_line(l).unwrap().tag().to_string())
+            .map(|t| if t == "window" { "window" } else { "other" })
+            .collect();
+        assert_eq!(&tags[..4], ["other", "window", "window", "window"]);
+    }
+
+    /// A run that closes no windows still produces a complete, identical
+    /// export (meta line written at close).
+    #[test]
+    fn streamed_export_without_windows_matches() {
+        let obs = Obs::new(ObsConfig {
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        let path = stream_path("empty");
+        obs.stream_to(&path).unwrap();
+        obs.set_meta("policy", "fifo");
+        obs.counter_add("server.requests", 5);
+        obs.close_stream().unwrap();
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(streamed, obs.to_jsonl());
+    }
+
+    /// Shard-merged windows stream through [`Obs::absorb_shards`] too, with
+    /// shard metadata applied before the meta line is written.
+    #[test]
+    fn streamed_absorb_shards_is_byte_identical() {
+        let config = ObsConfig {
+            deterministic: true,
+            ..ObsConfig::default()
+        };
+        let master = Obs::new(config.clone());
+        let path = stream_path("shards");
+        master.stream_to(&path).unwrap();
+        master.set_meta("policy", "engine(lru)x2");
+        let a = Obs::new(config.clone());
+        let b = Obs::new(config);
+        a.push_windows(vec![WindowRecord {
+            index: 0,
+            requests: 3,
+            ..WindowRecord::default()
+        }]);
+        b.push_windows(vec![WindowRecord {
+            index: 0,
+            requests: 7,
+            ..WindowRecord::default()
+        }]);
+        a.counter_add("server.requests", 3);
+        b.counter_add("server.requests", 7);
+        master.absorb_shards(&[a, b]);
+        master.gauge_set("engine.shard_imbalance", 1.0);
+        master.close_stream().unwrap();
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(streamed, master.to_jsonl());
+        assert!(streamed.contains("\"requests\":10"), "{streamed}");
+    }
+
+    /// `close_stream` without `stream_to` is a no-op, and a second close is
+    /// too — callers can close unconditionally.
+    #[test]
+    fn close_stream_is_idempotent() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.close_stream().unwrap();
+        let path = stream_path("idem");
+        obs.stream_to(&path).unwrap();
+        obs.close_stream().unwrap();
+        obs.close_stream().unwrap();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

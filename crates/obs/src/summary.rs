@@ -162,6 +162,30 @@ fn render_hist(out: &mut String, name: &str, h: &LogHistogram) {
     );
 }
 
+/// A hottest-shard/mean ratio above this renders the skew hint. Kept in
+/// sync with `lhr_proto::engine::SKEW_HINT_THRESHOLD` (obs can't depend on
+/// proto — the dependency points the other way).
+const SKEW_HINT_THRESHOLD: f64 = 1.25;
+
+/// One-line `--shards` hint when the engine's exported gauges say the
+/// keyspace is skewed (see `lhr_proto::engine::shard_skew`).
+fn render_skew_hint(out: &mut String, gauges: &[(String, f64)]) {
+    let find = |name: &str| gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v);
+    let (Some(imbalance), Some(suggested)) = (
+        find("engine.shard_imbalance"),
+        find("engine.suggested_shards"),
+    ) else {
+        return;
+    };
+    if imbalance > SKEW_HINT_THRESHOLD {
+        let _ = writeln!(
+            out,
+            "hint: hottest shard served {imbalance:.2}× the mean — consider --shards {}",
+            suggested as u64
+        );
+    }
+}
+
 /// Parses an obs JSONL stream and renders the text report. Returns an error
 /// string naming the first malformed line.
 pub fn summarize(jsonl: &str) -> Result<String, String> {
@@ -214,6 +238,7 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
             let _ = writeln!(out, "  {name:<24} {value}");
         }
     }
+    render_skew_hint(&mut out, &gauges);
     if !hists.is_empty() {
         let _ = writeln!(out, "histograms:");
         for (name, h) in &hists {
@@ -284,6 +309,24 @@ mod tests {
         ] {
             assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
         }
+    }
+
+    #[test]
+    fn skew_hint_appears_only_when_imbalanced() {
+        let skewed = Obs::new(ObsConfig::default());
+        skewed.gauge_set("engine.shard_imbalance", 3.4);
+        skewed.gauge_set("engine.suggested_shards", 64.0);
+        let report = summarize(&skewed.to_jsonl()).unwrap();
+        assert!(
+            report.contains("hint: hottest shard served 3.40× the mean — consider --shards 64"),
+            "{report}"
+        );
+
+        let even = Obs::new(ObsConfig::default());
+        even.gauge_set("engine.shard_imbalance", 1.01);
+        even.gauge_set("engine.suggested_shards", 16.0);
+        let report = summarize(&even.to_jsonl()).unwrap();
+        assert!(!report.contains("hint:"), "{report}");
     }
 
     #[test]

@@ -13,9 +13,9 @@
 use crate::util::{Handle, LruList};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
+use lhr_util::hash::FastMap;
 use lhr_util::rng::rngs::SmallRng;
 use lhr_util::rng::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// The AdaptSize policy.
 #[derive(Debug)]
@@ -23,7 +23,7 @@ pub struct AdaptSize {
     capacity: u64,
     used: u64,
     list: LruList<(ObjectId, u64)>,
-    map: HashMap<ObjectId, Handle>,
+    map: FastMap<ObjectId, Handle>,
     /// Admission scale parameter `c` in bytes.
     c: f64,
     rng: SmallRng,
@@ -46,7 +46,7 @@ impl AdaptSize {
             capacity,
             used: 0,
             list: LruList::new(),
-            map: HashMap::new(),
+            map: FastMap::default(),
             // Initial c: the full capacity, so any object that fits is
             // admitted with probability ≥ e^{−1}; tuning shrinks c when
             // size-selective admission pays off (the original system also
@@ -111,7 +111,7 @@ impl AdaptSize {
     /// so tuning itself is deterministic.
     fn shadow_hit_ratio(&self, c: f64) -> f64 {
         let mut list: LruList<(ObjectId, u64)> = LruList::new();
-        let mut map: HashMap<ObjectId, Handle> = HashMap::new();
+        let mut map: FastMap<ObjectId, Handle> = FastMap::default();
         let mut used = 0u64;
         let mut hits = 0usize;
         for &(id, size) in &self.window {

@@ -8,7 +8,7 @@
 use crate::util::{Handle, LruList};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
-use std::collections::HashMap;
+use lhr_util::hash::FastMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Location {
@@ -30,9 +30,9 @@ pub struct Arc {
     t2_bytes: u64,
     b1_bytes: u64,
     b2_bytes: u64,
-    cached: HashMap<ObjectId, (Handle, Location)>,
-    ghost1: HashMap<ObjectId, Handle>,
-    ghost2: HashMap<ObjectId, Handle>,
+    cached: FastMap<ObjectId, (Handle, Location)>,
+    ghost1: FastMap<ObjectId, Handle>,
+    ghost2: FastMap<ObjectId, Handle>,
     evictions: u64,
 }
 
@@ -50,9 +50,9 @@ impl Arc {
             t2_bytes: 0,
             b1_bytes: 0,
             b2_bytes: 0,
-            cached: HashMap::new(),
-            ghost1: HashMap::new(),
-            ghost2: HashMap::new(),
+            cached: FastMap::default(),
+            ghost1: FastMap::default(),
+            ghost2: FastMap::default(),
             evictions: 0,
         }
     }

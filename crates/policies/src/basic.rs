@@ -2,9 +2,10 @@
 
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
+use lhr_util::hash::FastMap;
 use lhr_util::rng::rngs::SmallRng;
 use lhr_util::rng::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// First-in first-out eviction, admit-all.
 #[derive(Debug)]
@@ -12,7 +13,7 @@ pub struct Fifo {
     capacity: u64,
     used: u64,
     queue: VecDeque<(ObjectId, u64)>,
-    cached: HashMap<ObjectId, u64>,
+    cached: FastMap<ObjectId, u64>,
     evictions: u64,
 }
 
@@ -23,7 +24,7 @@ impl Fifo {
             capacity,
             used: 0,
             queue: VecDeque::new(),
-            cached: HashMap::new(),
+            cached: FastMap::default(),
             evictions: 0,
         }
     }
@@ -79,7 +80,7 @@ pub struct RandomEviction {
     /// Dense vector of cached entries for O(1) random removal.
     entries: Vec<(ObjectId, u64)>,
     /// id → index into `entries`.
-    index: HashMap<ObjectId, usize>,
+    index: FastMap<ObjectId, usize>,
     rng: SmallRng,
     evictions: u64,
 }
@@ -91,7 +92,7 @@ impl RandomEviction {
             capacity,
             used: 0,
             entries: Vec::new(),
-            index: HashMap::new(),
+            index: FastMap::default(),
             rng: SmallRng::seed_from_u64(seed),
             evictions: 0,
         }

@@ -3,10 +3,9 @@
 //! one-hit wonders. This is Akamai's "cache on second hit" rule
 //! (Maggs & Sitaraman 2015) realized with a rotating Bloom filter.
 
-use crate::util::{BloomFilter, Handle, LruList};
+use crate::util::{BloomFilter, Handle, LruList, ObjectTable};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
-use std::collections::HashMap;
 
 /// The B-LRU policy.
 #[derive(Debug)]
@@ -14,7 +13,7 @@ pub struct BLru {
     capacity: u64,
     used: u64,
     list: LruList<(ObjectId, u64)>,
-    map: HashMap<ObjectId, Handle>,
+    map: ObjectTable<Handle>,
     seen: BloomFilter,
     evictions: u64,
 }
@@ -27,7 +26,7 @@ impl BLru {
             capacity,
             used: 0,
             list: LruList::new(),
-            map: HashMap::new(),
+            map: ObjectTable::new(),
             seen: BloomFilter::new(expected_objects),
             evictions: 0,
         }
@@ -45,11 +44,17 @@ impl CachePolicy for BLru {
         self.used
     }
     fn contains(&self, id: ObjectId) -> bool {
-        self.map.contains_key(&id)
+        self.map.contains_key(id)
+    }
+
+    fn hit_check(&mut self, req: &Request) -> Option<Outcome> {
+        let &handle = self.map.get(req.id)?;
+        self.list.move_to_front(handle);
+        Some(Outcome::Hit)
     }
 
     fn handle(&mut self, req: &Request) -> Outcome {
-        if let Some(&handle) = self.map.get(&req.id) {
+        if let Some(&handle) = self.map.get(req.id) {
             self.list.move_to_front(handle);
             return Outcome::Hit;
         }
@@ -63,7 +68,7 @@ impl CachePolicy for BLru {
         }
         while self.used + req.size > self.capacity {
             let (id, size) = self.list.pop_back().expect("full but empty");
-            self.map.remove(&id);
+            self.map.remove(id);
             self.used -= size;
             self.evictions += 1;
         }

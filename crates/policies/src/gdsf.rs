@@ -9,7 +9,8 @@
 use crate::util::OrdF64;
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
-use std::collections::{BTreeSet, HashMap};
+use lhr_util::hash::FastMap;
+use std::collections::BTreeSet;
 
 #[derive(Debug)]
 struct Entry {
@@ -23,7 +24,7 @@ struct Entry {
 pub struct Gdsf {
     capacity: u64,
     used: u64,
-    entries: HashMap<ObjectId, Entry>,
+    entries: FastMap<ObjectId, Entry>,
     queue: BTreeSet<(OrdF64, ObjectId)>,
     /// Inflation term `L`.
     inflation: f64,
@@ -36,7 +37,7 @@ impl Gdsf {
         Gdsf {
             capacity,
             used: 0,
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             queue: BTreeSet::new(),
             inflation: 0.0,
             evictions: 0,

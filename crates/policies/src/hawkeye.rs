@@ -20,7 +20,7 @@
 use crate::util::{Handle, LruList};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
-use std::collections::HashMap;
+use lhr_util::hash::FastMap;
 
 /// Requests per OPTgen occupancy slot (coarsening keeps the interval walk
 /// cheap; hardware OPTgen uses one slot per set access for the same
@@ -45,7 +45,7 @@ pub struct Hawkeye {
     used: u64,
     friendly: LruList<(ObjectId, u64)>,
     averse: LruList<(ObjectId, u64)>,
-    map: HashMap<ObjectId, (Handle, ListKind, u64)>,
+    map: FastMap<ObjectId, (Handle, ListKind, u64)>,
     /// 3-bit saturating counters indexed by hashed id; ≥ 0 ⇒ friendly.
     predictor: Vec<i8>,
     /// OPTgen ring: bytes OPT would hold during each slot.
@@ -55,7 +55,7 @@ pub struct Hawkeye {
     /// Monotone request counter.
     clock: u64,
     /// id → absolute slot of its previous request (pruned as it ages out).
-    last_seen: HashMap<ObjectId, u64>,
+    last_seen: FastMap<ObjectId, u64>,
     evictions: u64,
 }
 
@@ -67,12 +67,12 @@ impl Hawkeye {
             used: 0,
             friendly: LruList::new(),
             averse: LruList::new(),
-            map: HashMap::new(),
+            map: FastMap::default(),
             predictor: vec![0i8; PREDICTOR_SLOTS],
             occupancy: vec![0u64; SLOTS],
             first_slot: 0,
             clock: 0,
-            last_seen: HashMap::new(),
+            last_seen: FastMap::default(),
             evictions: 0,
         }
     }

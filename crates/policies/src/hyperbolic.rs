@@ -9,9 +9,9 @@
 
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
+use lhr_util::hash::FastMap;
 use lhr_util::rng::rngs::SmallRng;
 use lhr_util::rng::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Eviction candidate sample size (the paper finds 64 indistinguishable
 /// from exact).
@@ -29,9 +29,9 @@ struct Entry {
 pub struct Hyperbolic {
     capacity: u64,
     used: u64,
-    entries: HashMap<ObjectId, Entry>,
+    entries: FastMap<ObjectId, Entry>,
     dense: Vec<ObjectId>,
-    positions: HashMap<ObjectId, usize>,
+    positions: FastMap<ObjectId, usize>,
     rng: SmallRng,
     evictions: u64,
 }
@@ -42,9 +42,9 @@ impl Hyperbolic {
         Hyperbolic {
             capacity,
             used: 0,
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             dense: Vec::new(),
-            positions: HashMap::new(),
+            positions: FastMap::default(),
             rng: SmallRng::seed_from_u64(seed),
             evictions: 0,
         }

@@ -15,7 +15,8 @@ use crate::util::{Handle, LruList};
 use lhr_gbm::{Dataset, Gbm, GbmParams};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use lhr_util::hash::FastMap;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Feature width: ln(size), ln(1+count), ln(IRT₁..IRT₄).
 const N_FEATURES: usize = 6;
@@ -36,8 +37,8 @@ pub struct Lfo {
     capacity: u64,
     used: u64,
     list: LruList<(ObjectId, u64)>,
-    map: HashMap<ObjectId, Handle>,
-    history: HashMap<ObjectId, History>,
+    map: FastMap<ObjectId, Handle>,
+    history: FastMap<ObjectId, History>,
     /// The training window: (features, id, size) per request.
     window: Vec<([f32; N_FEATURES], ObjectId, u64)>,
     window_len: usize,
@@ -54,8 +55,8 @@ impl Lfo {
             capacity,
             used: 0,
             list: LruList::new(),
-            map: HashMap::new(),
-            history: HashMap::new(),
+            map: FastMap::default(),
+            history: FastMap::default(),
             window: Vec::new(),
             window_len: window_len.max(256),
             model: None,
@@ -122,7 +123,7 @@ impl Lfo {
         // next-use indices within the window
         let n = self.window.len();
         let mut next = vec![u64::MAX; n];
-        let mut last_seen: HashMap<ObjectId, u64> = HashMap::new();
+        let mut last_seen: FastMap<ObjectId, u64> = FastMap::default();
         for i in (0..n).rev() {
             let id = self.window[i].1;
             if let Some(&later) = last_seen.get(&id) {
@@ -131,7 +132,7 @@ impl Lfo {
             last_seen.insert(id, i as u64);
         }
         let mut by_next: BTreeSet<(u64, ObjectId)> = BTreeSet::new();
-        let mut cached: HashMap<ObjectId, (u64, u64)> = HashMap::new();
+        let mut cached: FastMap<ObjectId, (u64, u64)> = FastMap::default();
         let mut used = 0u64;
         let mut labels = vec![0f32; n];
         for i in 0..n {

@@ -7,7 +7,8 @@
 
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
-use std::collections::{BTreeSet, HashMap};
+use lhr_util::hash::FastMap;
+use std::collections::BTreeSet;
 
 #[derive(Debug)]
 struct Entry {
@@ -20,7 +21,7 @@ struct Entry {
 pub struct LfuDa {
     capacity: u64,
     used: u64,
-    entries: HashMap<ObjectId, Entry>,
+    entries: FastMap<ObjectId, Entry>,
     queue: BTreeSet<(u64, ObjectId)>,
     /// Cache age `L`.
     age: u64,
@@ -33,7 +34,7 @@ impl LfuDa {
         LfuDa {
             capacity,
             used: 0,
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             queue: BTreeSet::new(),
             age: 0,
             evictions: 0,

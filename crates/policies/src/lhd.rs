@@ -17,9 +17,9 @@
 
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
+use lhr_util::hash::FastMap;
 use lhr_util::rng::rngs::SmallRng;
 use lhr_util::rng::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Number of log₂ age classes (covers ~2^32 µs ≈ 1 hour per class step
 /// range comfortably).
@@ -40,9 +40,9 @@ struct Entry {
 pub struct Lhd {
     capacity: u64,
     used: u64,
-    entries: HashMap<ObjectId, Entry>,
+    entries: FastMap<ObjectId, Entry>,
     dense: Vec<ObjectId>,
-    positions: HashMap<ObjectId, usize>,
+    positions: FastMap<ObjectId, usize>,
     /// Hits observed at each age class since the last decay.
     hits_at: [f64; AGE_CLASSES],
     /// Lifetime ends (hit or eviction) at each age class.
@@ -58,9 +58,9 @@ impl Lhd {
         Lhd {
             capacity,
             used: 0,
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             dense: Vec::new(),
-            positions: HashMap::new(),
+            positions: FastMap::default(),
             hits_at: [1.0; AGE_CLASSES], // optimistic prior
             ends_at: [2.0; AGE_CLASSES],
             events: 0,

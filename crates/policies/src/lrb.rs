@@ -25,9 +25,9 @@
 use lhr_gbm::{Dataset, Gbm, GbmParams};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
+use lhr_util::hash::FastMap;
 use lhr_util::rng::rngs::SmallRng;
 use lhr_util::rng::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Number of recent inter-request gaps kept per object (LRB's 32 deltas).
 const N_DELTAS: usize = 32;
@@ -85,14 +85,14 @@ pub struct Lrb {
     used: u64,
     /// Feature state for every object requested within the memory window
     /// (cached or not).
-    meta: HashMap<ObjectId, Meta>,
+    meta: FastMap<ObjectId, Meta>,
     /// Cached objects and their sizes.
-    cached: HashMap<ObjectId, u64>,
+    cached: FastMap<ObjectId, u64>,
     /// Dense id vector of cached objects for O(1) random sampling.
     dense: Vec<ObjectId>,
-    positions: HashMap<ObjectId, usize>,
+    positions: FastMap<ObjectId, usize>,
     /// Pending training sample per object: features at its last request.
-    pending: HashMap<ObjectId, ([f32; N_FEATURES], Time)>,
+    pending: FastMap<ObjectId, ([f32; N_FEATURES], Time)>,
     training: Dataset,
     model: Option<Gbm>,
     /// The "memory window": gaps longer than this are beyond the Belady
@@ -123,11 +123,11 @@ impl Lrb {
         Lrb {
             capacity,
             used: 0,
-            meta: HashMap::new(),
-            cached: HashMap::new(),
+            meta: FastMap::default(),
+            cached: FastMap::default(),
             dense: Vec::new(),
-            positions: HashMap::new(),
-            pending: HashMap::new(),
+            positions: FastMap::default(),
+            pending: FastMap::default(),
             training: Dataset::new(N_FEATURES),
             model: None,
             memory_window_secs: window,
@@ -158,12 +158,15 @@ impl Lrb {
     /// them "beyond boundary", and prunes stale (uncached) metadata.
     fn expire_and_prune(&mut self, now: Time) {
         let boundary = Time::from_secs_f64(self.memory_window_secs);
-        let expired: Vec<ObjectId> = self
+        let mut expired: Vec<ObjectId> = self
             .pending
             .iter()
             .filter(|(_, (_, then))| now.saturating_sub(*then) > boundary)
             .map(|(&id, _)| id)
             .collect();
+        // Map iteration order is arbitrary; training-row order feeds GBM
+        // fitting, so pin it (id order) or replay reports drift.
+        expired.sort_unstable();
         let beyond = ln_gap(2.0 * self.memory_window_secs as f32);
         for id in expired {
             let (features, _) = self.pending.remove(&id).expect("just seen");

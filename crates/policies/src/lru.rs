@@ -1,10 +1,9 @@
 //! Least Recently Used — the production default the paper says major CDNs
 //! still run (§1), and the baseline policy of Apache Traffic Server.
 
-use crate::util::{Handle, LruList};
+use crate::util::{Handle, LruList, ObjectTable};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
-use std::collections::HashMap;
 
 /// Classic LRU with admit-all admission.
 #[derive(Debug)]
@@ -12,7 +11,7 @@ pub struct Lru {
     capacity: u64,
     used: u64,
     list: LruList<(ObjectId, u64)>,
-    map: HashMap<ObjectId, Handle>,
+    map: ObjectTable<Handle>,
     evictions: u64,
 }
 
@@ -23,7 +22,7 @@ impl Lru {
             capacity,
             used: 0,
             list: LruList::new(),
-            map: HashMap::new(),
+            map: ObjectTable::new(),
             evictions: 0,
         }
     }
@@ -32,7 +31,7 @@ impl Lru {
     fn make_room(&mut self, needed: u64) {
         while self.used + needed > self.capacity {
             let (id, size) = self.list.pop_back().expect("cache is empty but still full");
-            self.map.remove(&id);
+            self.map.remove(id);
             self.used -= size;
             self.evictions += 1;
         }
@@ -53,11 +52,19 @@ impl CachePolicy for Lru {
     }
 
     fn contains(&self, id: ObjectId) -> bool {
-        self.map.contains_key(&id)
+        self.map.contains_key(id)
+    }
+
+    fn hit_check(&mut self, req: &Request) -> Option<Outcome> {
+        // Single probe: the fused table stores the list handle inline, so
+        // a hit is one lookup plus one splice — no second `contains` pass.
+        let &handle = self.map.get(req.id)?;
+        self.list.move_to_front(handle);
+        Some(Outcome::Hit)
     }
 
     fn handle(&mut self, req: &Request) -> Outcome {
-        if let Some(&handle) = self.map.get(&req.id) {
+        if let Some(&handle) = self.map.get(req.id) {
             self.list.move_to_front(handle);
             return Outcome::Hit;
         }

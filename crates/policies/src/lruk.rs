@@ -9,9 +9,11 @@
 //! implementations bound the "retained information" the original algorithm
 //! calls for.
 
+use crate::util::ObjectTable;
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use lhr_util::hash::FastMap;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Eviction key: uncached-history objects sort before K-referenced ones,
 /// then by the relevant timestamp (older = evicted first).
@@ -32,10 +34,10 @@ pub struct LruK {
     k: usize,
     capacity: u64,
     used: u64,
-    entries: HashMap<ObjectId, Entry>,
+    entries: ObjectTable<Entry>,
     queue: BTreeSet<EvictKey>,
     /// History of objects no longer cached (id → reference times), bounded.
-    retained: HashMap<ObjectId, VecDeque<Time>>,
+    retained: FastMap<ObjectId, VecDeque<Time>>,
     retained_order: VecDeque<ObjectId>,
     retained_limit: usize,
     evictions: u64,
@@ -50,17 +52,17 @@ impl LruK {
             k,
             capacity,
             used: 0,
-            entries: HashMap::new(),
+            entries: ObjectTable::new(),
             queue: BTreeSet::new(),
-            retained: HashMap::new(),
+            retained: FastMap::default(),
             retained_order: VecDeque::new(),
             retained_limit: 65_536,
             evictions: 0,
         }
     }
 
-    fn key_for(&self, id: ObjectId, history: &VecDeque<Time>) -> EvictKey {
-        if history.len() >= self.k {
+    fn key_for(k: usize, id: ObjectId, history: &VecDeque<Time>) -> EvictKey {
+        if history.len() >= k {
             // K-th most recent reference = front of the deque.
             (1, *history.front().expect("non-empty"), id)
         } else {
@@ -70,15 +72,16 @@ impl LruK {
     }
 
     fn touch(&mut self, id: ObjectId, ts: Time) {
-        let entry = self.entries.get_mut(&id).expect("cached");
+        // One probe: the slot's entry is updated in place.
+        let k = self.k;
+        let entry = self.entries.get_mut(id).expect("cached");
         self.queue.remove(&entry.key);
         entry.history.push_back(ts);
-        if entry.history.len() > self.k {
+        if entry.history.len() > k {
             entry.history.pop_front();
         }
-        let history = entry.history.clone();
-        let key = self.key_for(id, &history);
-        self.entries.get_mut(&id).expect("cached").key = key;
+        let key = Self::key_for(k, id, &entry.history);
+        entry.key = key;
         self.queue.insert(key);
     }
 
@@ -90,7 +93,7 @@ impl LruK {
             .expect("queue empty while cache full");
         self.queue.remove(&key);
         let id = key.2;
-        let entry = self.entries.remove(&id).expect("queued but not cached");
+        let entry = self.entries.remove(id).expect("queued but not cached");
         self.used -= entry.size;
         self.evictions += 1;
         self.retain_history(id, entry.history);
@@ -118,11 +121,11 @@ impl CachePolicy for LruK {
         self.used
     }
     fn contains(&self, id: ObjectId) -> bool {
-        self.entries.contains_key(&id)
+        self.entries.contains_key(id)
     }
 
     fn handle(&mut self, req: &Request) -> Outcome {
-        if self.entries.contains_key(&req.id) {
+        if self.entries.contains_key(req.id) {
             self.touch(req.id, req.ts);
             return Outcome::Hit;
         }
@@ -138,7 +141,7 @@ impl CachePolicy for LruK {
         while history.len() > self.k {
             history.pop_front();
         }
-        let key = self.key_for(req.id, &history);
+        let key = Self::key_for(self.k, req.id, &history);
         self.entries.insert(
             req.id,
             Entry {
@@ -209,7 +212,7 @@ mod tests {
         c.handle(&req(10, 2, 100)); // evicts 3 (single-ref) to make room
         assert!(c.contains(2));
         // Object 2 should now rank as a 2-referenced object.
-        let e = &c.entries[&2];
+        let e = c.entries.get(2).expect("cached");
         assert_eq!(e.history.len(), 2);
         assert_eq!(e.key.0, 1);
     }

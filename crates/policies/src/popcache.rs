@@ -16,9 +16,9 @@ use crate::util::{Handle, LruList};
 use lhr_nn::{Activation, Mlp, TrainConfig};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
+use lhr_util::hash::FastMap;
 use lhr_util::rng::rngs::SmallRng;
 use lhr_util::rng::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Feature width: ln size, ln(1+count), ln IRT₁, ln IRT₂, ln age.
 const N_FEATURES: usize = 5;
@@ -68,13 +68,13 @@ pub struct PopCache {
     capacity: u64,
     used: u64,
     list: LruList<(ObjectId, u64)>,
-    map: HashMap<ObjectId, Handle>,
+    map: FastMap<ObjectId, Handle>,
     /// Dense cached-id vector for deterministic O(1) eviction sampling.
     dense: Vec<ObjectId>,
-    positions: HashMap<ObjectId, usize>,
-    states: HashMap<ObjectId, ObjectState>,
+    positions: FastMap<ObjectId, usize>,
+    states: FastMap<ObjectId, ObjectState>,
     /// Pending delayed labels: features at the time of the request.
-    pending: HashMap<ObjectId, ([f32; N_FEATURES], Time)>,
+    pending: FastMap<ObjectId, ([f32; N_FEATURES], Time)>,
     net: Mlp,
     train: TrainConfig,
     horizon: Time,
@@ -93,11 +93,11 @@ impl PopCache {
             capacity,
             used: 0,
             list: LruList::new(),
-            map: HashMap::new(),
+            map: FastMap::default(),
             dense: Vec::new(),
-            positions: HashMap::new(),
-            states: HashMap::new(),
-            pending: HashMap::new(),
+            positions: FastMap::default(),
+            states: FastMap::default(),
+            pending: FastMap::default(),
             net: Mlp::new(
                 &[N_FEATURES, 16, 1],
                 Activation::Relu,
@@ -138,7 +138,8 @@ impl PopCache {
             .filter(|(_, (_, then))| now.saturating_sub(*then) > self.horizon)
             .map(|(&id, _)| id)
             .collect();
-        // HashMap iteration order is randomized; SGD is order-sensitive, so
+        // Map iteration order is arbitrary (though now process-stable with
+        // FastMap); SGD is order-sensitive, so
         // sort for run-to-run determinism.
         expired.sort_unstable();
         for id in expired {

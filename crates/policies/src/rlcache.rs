@@ -23,9 +23,9 @@
 use crate::util::{Handle, LruList};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request, Time};
+use lhr_util::hash::FastMap;
 use lhr_util::rng::rngs::SmallRng;
 use lhr_util::rng::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Bucket dimensions.
 const SIZE_BUCKETS: usize = 32;
@@ -48,13 +48,13 @@ pub struct RlCache {
     capacity: u64,
     used: u64,
     list: LruList<(ObjectId, u64)>,
-    map: HashMap<ObjectId, Handle>,
+    map: FastMap<ObjectId, Handle>,
     /// Bucket of the admission decision + whether it has hit since.
-    admitted_info: HashMap<ObjectId, (usize, bool)>,
+    admitted_info: FastMap<ObjectId, (usize, bool)>,
     /// Bypassed objects awaiting a possible regret signal.
-    bypassed: HashMap<ObjectId, (usize, Time)>,
+    bypassed: FastMap<ObjectId, (usize, Time)>,
     /// Request history for features.
-    seen: HashMap<ObjectId, ObjectState>,
+    seen: FastMap<ObjectId, ObjectState>,
     /// Admission scores per bucket; ≥ 0 ⇒ admit.
     scores: Vec<f32>,
     /// Regret horizon: a bypass re-requested within this window counts as
@@ -72,10 +72,10 @@ impl RlCache {
             capacity,
             used: 0,
             list: LruList::new(),
-            map: HashMap::new(),
-            admitted_info: HashMap::new(),
-            bypassed: HashMap::new(),
-            seen: HashMap::new(),
+            map: FastMap::default(),
+            admitted_info: FastMap::default(),
+            bypassed: FastMap::default(),
+            seen: FastMap::default(),
             // Optimistic initialization: start admitting everything.
             scores: vec![0.5; SIZE_BUCKETS * FREQ_BUCKETS * IRT_BUCKETS],
             regret_horizon: Time::from_secs_f64(regret_horizon_secs.max(1.0)),

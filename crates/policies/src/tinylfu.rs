@@ -15,7 +15,7 @@
 use crate::util::{CountMinSketch, Handle, LruList};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
-use std::collections::HashMap;
+use lhr_util::hash::FastMap;
 
 /// Plain TinyLFU: LRU eviction + frequency admission gate.
 #[derive(Debug)]
@@ -23,7 +23,7 @@ pub struct TinyLfu {
     capacity: u64,
     used: u64,
     list: LruList<(ObjectId, u64)>,
-    map: HashMap<ObjectId, Handle>,
+    map: FastMap<ObjectId, Handle>,
     sketch: CountMinSketch,
     evictions: u64,
 }
@@ -36,7 +36,7 @@ impl TinyLfu {
             capacity,
             used: 0,
             list: LruList::new(),
-            map: HashMap::new(),
+            map: FastMap::default(),
             sketch: CountMinSketch::new(expected_objects),
             evictions: 0,
         }
@@ -125,7 +125,7 @@ pub struct WTinyLfu {
     window_bytes: u64,
     probation_bytes: u64,
     protected_bytes: u64,
-    map: HashMap<ObjectId, (Handle, Segment)>,
+    map: FastMap<ObjectId, (Handle, Segment)>,
     sketch: CountMinSketch,
     evictions: u64,
 }
@@ -149,7 +149,7 @@ impl WTinyLfu {
             window_bytes: 0,
             probation_bytes: 0,
             protected_bytes: 0,
-            map: HashMap::new(),
+            map: FastMap::default(),
             sketch: CountMinSketch::new(expected_objects),
             evictions: 0,
         }

@@ -3,9 +3,11 @@
 pub mod bloom;
 pub mod cms;
 pub mod list;
+pub mod object_table;
 pub mod ordf64;
 
 pub use bloom::BloomFilter;
 pub use cms::CountMinSketch;
 pub use list::{Handle, LruList};
+pub use object_table::ObjectTable;
 pub use ordf64::OrdF64;

@@ -1,0 +1,420 @@
+//! A fused open-addressing object table — the hit path of the classic
+//! policies in one probe.
+//!
+//! `std::collections::HashMap<ObjectId, Handle>` pays for generality the
+//! recency policies don't need: SipHash, a two-array control/slot layout,
+//! and `Option`-returning APIs that force a second lookup on the
+//! miss→insert path. [`ObjectTable`] specializes for this repo's shape —
+//! key is always an `ObjectId` (u64), value is a small inline payload (an
+//! [`super::LruList`] `Handle`, optionally with a size or segment index) —
+//! and stores key, state, and payload in a single slot, so a hit is one
+//! hashed probe over a contiguous array followed by one list splice.
+//!
+//! Scheme: power-of-two capacity, linear probing with the fixed-seed
+//! [`lhr_util::hash::hash_u64`] hash, byte-tagged slots (empty / full /
+//! tombstone). Deletions leave tombstones; probes skip them, inserts
+//! reuse the first one seen, and the table rehashes (dropping all
+//! tombstones) when live + dead slots exceed ⅞ of capacity. Iteration
+//! order is slot order — arbitrary and **never load-bearing** (see
+//! DESIGN.md, "Hot-path memory layout"); decision paths sort before use.
+//!
+//! # Example
+//!
+//! ```
+//! use lhr_policies::util::ObjectTable;
+//!
+//! let mut t: ObjectTable<u64> = ObjectTable::new();
+//! t.insert(7, 700);
+//! assert_eq!(t.get(7), Some(&700));
+//! assert_eq!(t.remove(7), Some(700));
+//! assert_eq!(t.get(7), None);
+//! ```
+
+use lhr_trace::ObjectId;
+use lhr_util::hash::hash_u64;
+
+const EMPTY: u8 = 0;
+const FULL: u8 = 1;
+const TOMB: u8 = 2;
+/// Transient marker used only inside [`ObjectTable::rehash_in_place`]: a
+/// live entry that has not been re-placed yet.
+const PENDING: u8 = 3;
+
+const MIN_CAPACITY: usize = 8;
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    ctrl: u8,
+    key: ObjectId,
+    value: Option<V>,
+}
+
+impl<V> Slot<V> {
+    fn empty() -> Self {
+        Slot {
+            ctrl: EMPTY,
+            key: 0,
+            value: None,
+        }
+    }
+}
+
+/// Open-addressing hash table keyed by [`ObjectId`] with the payload
+/// inline in the slot. See the module docs for the scheme.
+#[derive(Debug, Clone)]
+pub struct ObjectTable<V> {
+    slots: Vec<Slot<V>>,
+    mask: usize,
+    len: usize,
+    /// Dead (tombstoned) slots — counted against the load factor so probe
+    /// chains stay short even under heavy churn.
+    tombs: usize,
+}
+
+impl<V> Default for ObjectTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> ObjectTable<V> {
+    /// An empty table (no allocation until the first insert).
+    pub fn new() -> Self {
+        ObjectTable {
+            slots: Vec::new(),
+            mask: 0,
+            len: 0,
+            tombs: 0,
+        }
+    }
+
+    /// An empty table pre-sized so `capacity` objects fit without rehash.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut t = Self::new();
+        if capacity > 0 {
+            // ⅞ load factor ⇒ size for capacity * 8/7, rounded up to a
+            // power of two.
+            let want = (capacity * 8 / 7 + 1).max(MIN_CAPACITY).next_power_of_two();
+            t.allocate(want);
+        }
+        t
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot-array size (for tests and load-factor introspection).
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn allocate(&mut self, capacity: usize) {
+        debug_assert!(capacity.is_power_of_two());
+        self.slots = (0..capacity).map(|_| Slot::empty()).collect();
+        self.mask = capacity - 1;
+        self.tombs = 0;
+    }
+
+    #[inline]
+    fn index_of(&self, id: ObjectId) -> usize {
+        hash_u64(id) as usize & self.mask
+    }
+
+    /// Finds the slot holding `id`, if present. One linear probe chain.
+    #[inline]
+    fn probe(&self, id: ObjectId) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut i = self.index_of(id);
+        loop {
+            let slot = &self.slots[i];
+            match slot.ctrl {
+                EMPTY => return None,
+                FULL if slot.key == id => return Some(i),
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    /// True when `id` is present.
+    #[inline]
+    pub fn contains_key(&self, id: ObjectId) -> bool {
+        self.probe(id).is_some()
+    }
+
+    /// The payload for `id`, if present.
+    #[inline]
+    pub fn get(&self, id: ObjectId) -> Option<&V> {
+        self.probe(id)
+            .map(|i| self.slots[i].value.as_ref().expect("full slot has value"))
+    }
+
+    /// Mutable payload for `id`, if present — the policy hit path.
+    #[inline]
+    pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut V> {
+        self.probe(id)
+            .map(|i| self.slots[i].value.as_mut().expect("full slot has value"))
+    }
+
+    /// Inserts or replaces, returning the previous payload if any.
+    pub fn insert(&mut self, id: ObjectId, value: V) -> Option<V> {
+        self.reserve_one();
+        let mut i = self.index_of(id);
+        let mut first_tomb: Option<usize> = None;
+        loop {
+            let slot = &self.slots[i];
+            match slot.ctrl {
+                FULL if slot.key == id => {
+                    return self.slots[i].value.replace(value);
+                }
+                FULL => {}
+                TOMB => {
+                    if first_tomb.is_none() {
+                        first_tomb = Some(i);
+                    }
+                }
+                _ => {
+                    // EMPTY terminates the chain: `id` is absent. Prefer
+                    // recycling the first tombstone passed on the way.
+                    let dst = first_tomb.unwrap_or(i);
+                    if self.slots[dst].ctrl == TOMB {
+                        self.tombs -= 1;
+                    }
+                    self.slots[dst] = Slot {
+                        ctrl: FULL,
+                        key: id,
+                        value: Some(value),
+                    };
+                    self.len += 1;
+                    return None;
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes `id`, returning its payload. Leaves a tombstone.
+    pub fn remove(&mut self, id: ObjectId) -> Option<V> {
+        let i = self.probe(id)?;
+        let slot = &mut self.slots[i];
+        slot.ctrl = TOMB;
+        slot.key = 0;
+        self.len -= 1;
+        self.tombs += 1;
+        slot.value.take()
+    }
+
+    /// Drops all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            slot.ctrl = EMPTY;
+            slot.key = 0;
+            slot.value = None;
+        }
+        self.len = 0;
+        self.tombs = 0;
+    }
+
+    /// Iterates live `(id, &payload)` pairs in slot order — arbitrary;
+    /// never let decisions or reports depend on it without sorting.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &V)> {
+        self.slots
+            .iter()
+            .filter(|s| s.ctrl == FULL)
+            .map(|s| (s.key, s.value.as_ref().expect("full slot has value")))
+    }
+
+    /// Grows or compacts ahead of one insertion so the probe loop always
+    /// terminates at an EMPTY slot and chains stay short.
+    fn reserve_one(&mut self) {
+        if self.slots.is_empty() {
+            self.allocate(MIN_CAPACITY);
+            return;
+        }
+        let cap = self.slots.len();
+        if (self.len + self.tombs + 1) * 8 <= cap * 7 {
+            return;
+        }
+        // Mostly-live table ⇒ grow; tombstone-heavy ⇒ rehash in place at
+        // the same capacity (churny steady state never grows unboundedly
+        // — and never allocates: growth is the only allocating path).
+        if (self.len + 1) * 2 > cap {
+            let old = std::mem::take(&mut self.slots);
+            self.allocate(cap * 2);
+            self.len = 0;
+            for slot in old {
+                if slot.ctrl == FULL {
+                    self.insert(slot.key, slot.value.expect("full slot has value"));
+                }
+            }
+        } else {
+            self.rehash_in_place();
+        }
+    }
+
+    /// Drops every tombstone and re-places the live entries without
+    /// touching the allocator — the steady-state half of [`Self::reserve_one`].
+    ///
+    /// Classic pending-swap scheme: mark live slots `PENDING`, clear the
+    /// rest, then re-probe each pending entry from its home slot. A probe
+    /// that lands on another pending entry swaps with it and re-places the
+    /// displaced entry next, so each step retires one pending slot and the
+    /// loop terminates.
+    fn rehash_in_place(&mut self) {
+        for slot in &mut self.slots {
+            slot.ctrl = if slot.ctrl == FULL { PENDING } else { EMPTY };
+            if slot.ctrl == EMPTY {
+                slot.key = 0;
+            }
+        }
+        self.tombs = 0;
+        for i in 0..self.slots.len() {
+            if self.slots[i].ctrl != PENDING {
+                continue;
+            }
+            self.slots[i].ctrl = EMPTY;
+            let mut key = std::mem::replace(&mut self.slots[i].key, 0);
+            let mut value = self.slots[i].value.take();
+            loop {
+                let mut j = self.index_of(key);
+                while self.slots[j].ctrl == FULL {
+                    j = (j + 1) & self.mask;
+                }
+                let dst = &mut self.slots[j];
+                if dst.ctrl == EMPTY {
+                    dst.ctrl = FULL;
+                    dst.key = key;
+                    dst.value = value;
+                    break;
+                }
+                // PENDING: this slot's entry hasn't found its place yet —
+                // displace it and re-place it in turn.
+                dst.ctrl = FULL;
+                key = std::mem::replace(&mut dst.key, key);
+                value = std::mem::replace(&mut dst.value, value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t: ObjectTable<u32> = ObjectTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(10, 1), None);
+        assert_eq!(t.insert(20, 2), None);
+        assert_eq!(t.insert(10, 3), Some(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(10), Some(&3));
+        assert_eq!(t.get(30), None);
+        assert_eq!(t.remove(10), Some(3));
+        assert_eq!(t.remove(10), None);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains_key(20) && !t.contains_key(10));
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t: ObjectTable<u64> = ObjectTable::new();
+        t.insert(5, 100);
+        *t.get_mut(5).expect("present") += 1;
+        assert_eq!(t.get(5), Some(&101));
+        assert_eq!(t.get_mut(6), None);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut t: ObjectTable<u64> = ObjectTable::with_capacity(4);
+        for i in 0..10_000u64 {
+            t.insert(i, i * 2);
+        }
+        assert_eq!(t.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(t.get(i), Some(&(i * 2)), "key {i}");
+        }
+    }
+
+    #[test]
+    fn churn_reuses_tombstones_without_growing() {
+        // Steady-state eviction churn: bounded live set, endless
+        // insert/remove. The table must stabilize at a bounded slot count
+        // (tombstone rehash-in-place), not grow forever.
+        let mut t: ObjectTable<u64> = ObjectTable::with_capacity(64);
+        for i in 0..64u64 {
+            t.insert(i, i);
+        }
+        let mut high_water = t.slot_capacity();
+        for round in 0..10_000u64 {
+            t.remove(round % 64 + (round / 64) * 64);
+            t.insert(round + 64, round);
+            high_water = high_water.max(t.slot_capacity());
+            assert_eq!(t.len(), 64);
+        }
+        assert!(
+            high_water <= 256,
+            "table grew to {high_water} slots under churn"
+        );
+        // The in-place rehashes along the way must not lose or corrupt
+        // entries: exactly keys 10_000..10_064 survive the churn.
+        for key in 10_000..10_064u64 {
+            assert!(t.contains_key(key), "lost key {key} across rehashes");
+        }
+        assert!(!t.contains_key(9_999));
+    }
+
+    #[test]
+    fn zero_and_max_ids_are_ordinary_keys() {
+        // 0 is also the scrubbed key of empty/tombstone slots — it must
+        // still work as a real key (state lives in the ctrl byte).
+        let mut t: ObjectTable<&str> = ObjectTable::new();
+        t.insert(0, "zero");
+        t.insert(u64::MAX, "max");
+        assert_eq!(t.get(0), Some(&"zero"));
+        assert_eq!(t.get(u64::MAX), Some(&"max"));
+        assert_eq!(t.remove(0), Some("zero"));
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(u64::MAX), Some(&"max"));
+    }
+
+    #[test]
+    fn iter_sees_exactly_the_live_entries() {
+        let mut t: ObjectTable<u64> = ObjectTable::new();
+        for i in 0..100u64 {
+            t.insert(i, i);
+        }
+        for i in 0..50u64 {
+            t.remove(i * 2);
+        }
+        let mut got: Vec<ObjectId> = t.iter().map(|(id, _)| id).collect();
+        got.sort_unstable();
+        let want: Vec<ObjectId> = (0..100).filter(|i| i % 2 == 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn clear_keeps_allocation() {
+        let mut t: ObjectTable<u64> = ObjectTable::with_capacity(100);
+        let cap = t.slot_capacity();
+        for i in 0..100u64 {
+            t.insert(i, i);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.slot_capacity(), cap.max(t.slot_capacity()));
+        assert_eq!(t.get(5), None);
+        t.insert(5, 5);
+        assert_eq!(t.len(), 1);
+    }
+}

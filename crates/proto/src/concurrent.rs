@@ -24,8 +24,8 @@
 use lhr_sim::shard::shard_of;
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Request};
+use lhr_util::hash::FastMap;
 use lhr_util::sync::Mutex;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A hash-sharded in-flight fetch table with leader election.
@@ -54,7 +54,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// assert_eq!(table.coalesced(), 1);
 /// ```
 pub struct FetchTable<V> {
-    shards: Vec<Mutex<HashMap<ObjectId, V>>>,
+    shards: Vec<Mutex<FastMap<ObjectId, V>>>,
     coalesced: AtomicU64,
 }
 
@@ -63,7 +63,9 @@ impl<V> FetchTable<V> {
     pub fn new(n_shards: usize) -> Self {
         assert!(n_shards > 0, "need at least one shard");
         FetchTable {
-            shards: (0..n_shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..n_shards)
+                .map(|_| Mutex::new(FastMap::default()))
+                .collect(),
             coalesced: AtomicU64::new(0),
         }
     }

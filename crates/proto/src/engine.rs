@@ -26,22 +26,25 @@
 //!   [`EngineReport::stable_json`] zeroes the fields that legitimately
 //!   depend on the machine (wall time, throughput, thread count).
 //!
-//! Origin-fetch coalescing goes through one [`FetchTable`] shared by all
-//! shards — the same leader-election primitive [`crate::ConcurrentCache`]
-//! uses — so a miss can join any in-flight fetch for its object no matter
-//! which worker claimed it. Because the table is sharded with the same
-//! hash and shard count as the engine, each table shard is only ever
-//! touched by the engine shard that owns those objects, which keeps the
-//! coalescing decisions deterministic too.
+//! Origin-fetch coalescing is per shard: the router partitions requests
+//! by the same `shard_of` hash every sharded component in the workspace
+//! uses, so a shard owns *all* requests for its objects and a miss can
+//! only ever join an in-flight fetch recorded by its own shard. That
+//! makes a plain shard-local map behaviorally identical to a shared
+//! locked table (the engine used a [`crate::FetchTable`] before PR 8) —
+//! minus the lock and second hash on every miss, which profiling put at
+//! ~35% of engine CPU. Deployments where one object can reach multiple
+//! workers still get leader election from [`crate::ConcurrentCache`]'s
+//! embedded [`crate::FetchTable`].
 
 use crate::fault::{CircuitBreaker, FaultPlan};
 use crate::server::{CdnServer, ServerConfig, ServerReport};
-use crate::FetchTable;
 use lhr_obs::series::{ReqSample, SeriesAcc};
 use lhr_obs::{Event, EventKind, LogHistogram, Obs};
 use lhr_sim::shard::{route, shard_seed, RouteConfig};
 use lhr_sim::CachePolicy;
-use lhr_trace::{Request, Time, Trace};
+use lhr_trace::{ObjectId, Request, Time, Trace};
+use lhr_util::hash::FastMap;
 use lhr_util::json::ToJson;
 use std::time::Instant;
 
@@ -94,6 +97,13 @@ pub struct EngineReport {
     pub requests_per_sec: f64,
     /// Requests each shard served (including warmup), in shard order.
     pub per_shard_requests: Vec<u64>,
+    /// Hottest-shard load over the mean shard load (1.0 = perfectly even).
+    /// Pure function of `per_shard_requests`, so deterministic.
+    pub shard_imbalance: f64,
+    /// Suggested `--shards` when the keyspace is skewed enough that one
+    /// shard dominates; equals `n_shards` when the split is even. See
+    /// [`shard_skew`] for the heuristic and its limits.
+    pub suggested_shards: u64,
 }
 
 lhr_util::impl_json!(struct EngineReport {
@@ -102,7 +112,38 @@ lhr_util::impl_json!(struct EngineReport {
     threads,
     requests_per_sec,
     per_shard_requests,
+    shard_imbalance,
+    suggested_shards,
 });
+
+/// A hottest-shard load above this multiple of the mean counts as skewed
+/// and triggers the shard-count hint.
+pub const SKEW_HINT_THRESHOLD: f64 = 1.25;
+
+/// Derives `(imbalance, suggested_shards)` from a per-shard request
+/// histogram. Imbalance is `max / mean`. When it exceeds
+/// [`SKEW_HINT_THRESHOLD`], the suggestion multiplies the shard count by
+/// roughly the imbalance (clamped to 2–8×, rounded up to a power of two) so
+/// the hot shard's keys spread over more peers. A single hot *object* can't
+/// be split by sharding at all — the clamp keeps the hint from chasing one.
+pub fn shard_skew(per_shard_requests: &[u64]) -> (f64, u64) {
+    let n = per_shard_requests.len() as u64;
+    if n == 0 {
+        return (1.0, 0);
+    }
+    let total: u64 = per_shard_requests.iter().sum();
+    let max = per_shard_requests.iter().copied().max().unwrap_or(0);
+    if total == 0 || max == 0 {
+        return (1.0, n);
+    }
+    let mean = total as f64 / n as f64;
+    let imbalance = max as f64 / mean;
+    if imbalance <= SKEW_HINT_THRESHOLD {
+        return (imbalance, n);
+    }
+    let factor = (imbalance.ceil() as u64).clamp(2, 8);
+    (imbalance, (n * factor).next_power_of_two())
+}
 
 impl EngineReport {
     /// JSON with every machine-dependent field zeroed — wall time,
@@ -121,10 +162,13 @@ impl EngineReport {
 /// One shard's replay state: a full serving path (server, fault plan,
 /// breaker) plus report accumulators, all owned by exactly one worker.
 struct EngineShard<P: CachePolicy> {
-    shard: usize,
     server: CdnServer<P>,
     plan: FaultPlan,
     breaker: CircuitBreaker,
+    /// In-flight origin fetches for this shard's objects. Shard-local by
+    /// construction: the router sends every request for an object to the
+    /// same shard, so no other shard can observe or record a fetch here.
+    in_flight: FastMap<ObjectId, (Time, bool)>,
     retries: u64,
     compute_ms: f64,
     latencies: Vec<f64>,
@@ -149,15 +193,15 @@ struct EngineShard<P: CachePolicy> {
 
 impl<P: CachePolicy> EngineShard<P> {
     /// Serves one request of this shard's subsequence; mirrors the
-    /// accounting of [`CdnServer::replay`], with the in-flight map replaced
-    /// by the shared fetch table.
-    fn step(&mut self, table: &FetchTable<(Time, bool)>, warmup: usize, i: usize, req: &Request) {
-        let mut in_flight = table;
+    /// accounting of [`CdnServer::replay`], including the shard-local
+    /// in-flight map (see the module docs for why local is equivalent to
+    /// shared here).
+    fn step(&mut self, warmup: usize, i: usize, req: &Request) {
         let served = self.server.serve(
             req,
             &mut self.plan,
             &mut self.breaker,
-            &mut in_flight,
+            &mut self.in_flight,
             &mut self.retries,
             &mut self.compute_ms,
         );
@@ -168,8 +212,9 @@ impl<P: CachePolicy> EngineShard<P> {
                 .peak_meta
                 .max(self.server.policy().metadata_overhead_bytes());
             self.server.prune_admitted();
-            // Each shard prunes only its own slice of the shared table.
-            table.retain_shard(self.shard, |_, &mut (done_at, _)| req.ts < done_at);
+            // Expired in-flight windows (the fetch has landed).
+            self.in_flight
+                .retain(|_, &mut (done_at, _)| req.ts < done_at);
         }
 
         let evict_delta = if self.acc.is_some() {
@@ -336,7 +381,6 @@ impl ShardedEngine {
     ) -> EngineReport {
         let n_shards = self.config.n_shards.max(1);
         let shard_capacity = (self.config.total_capacity / n_shards as u64).max(1);
-        let table: FetchTable<(Time, bool)> = FetchTable::new(n_shards);
 
         if let Some(obs) = &self.obs {
             for &(start, end) in &self.config.server.faults.outages {
@@ -344,6 +388,15 @@ impl ShardedEngine {
                 obs.emit(Event::new(end, EventKind::OutageEnd));
             }
         }
+
+        // Preallocate each shard's latency vector for its expected share of
+        // measured requests (plus slack for skew), so steady-state replay
+        // never reallocates mid-push.
+        let measured_total = trace
+            .len()
+            .saturating_sub(self.config.server.warmup_requests);
+        let per_shard_latency_cap =
+            measured_total / n_shards + measured_total / (n_shards * 4) + 16;
 
         let shards: Vec<EngineShard<P>> = (0..n_shards)
             .map(|s| {
@@ -358,16 +411,16 @@ impl ShardedEngine {
                     ..self.config.server.clone()
                 };
                 EngineShard {
-                    shard: s,
                     server: CdnServer::new(
                         build(s, shard_capacity, obs.as_ref()),
                         server_config.clone(),
                     ),
                     plan: FaultPlan::new(faults),
                     breaker: CircuitBreaker::new(server_config.resilience.breaker.clone()),
+                    in_flight: FastMap::default(),
                     retries: 0,
                     compute_ms: 0.0,
-                    latencies: Vec::new(),
+                    latencies: Vec::with_capacity(per_shard_latency_cap),
                     degraded_latencies: Vec::new(),
                     busy_ms: 0.0,
                     bytes_served: 0,
@@ -389,12 +442,24 @@ impl ShardedEngine {
             })
             .collect();
 
+        let name = shards
+            .first()
+            .map(|s| format!("engine({})x{}", s.server.policy().name(), n_shards))
+            .unwrap_or_default();
+        if let Some(master) = &self.obs {
+            // Run metadata is final before replay: a streaming sink writes
+            // its meta line when the first (shard-merged) window lands in
+            // `absorb_shards`, and the line must already carry these.
+            master.set_meta("policy", name.as_str());
+            master.set_meta("trace", trace.name.as_str());
+            master.set_meta("shards", n_shards as u64);
+        }
+
         let warmup = self.config.server.warmup_requests;
         let threads = self.config.route.resolve_threads().clamp(1, n_shards);
         let wall_start = Instant::now();
-        let table_ref = &table;
         let mut shards = route(trace, shards, &self.config.route, |state, _s, i, req| {
-            state.step(table_ref, warmup, i, req)
+            state.step(warmup, i, req)
         });
         let wall_secs = wall_start.elapsed().as_secs_f64();
 
@@ -437,33 +502,45 @@ impl ShardedEngine {
             breaker_closes += shard.breaker.closes();
             per_shard_requests.push(shard.seen);
         }
-        // Sorting makes the concatenation order irrelevant for the
-        // percentiles, but total_cmp keeps even NaN placement fixed.
-        latencies.sort_unstable_by(f64::total_cmp);
-        degraded_latencies.sort_unstable_by(f64::total_cmp);
-        let pct = |sorted: &[f64], p: f64| -> f64 {
-            if sorted.is_empty() {
-                return 0.0;
+        // Selecting the k-th order statistic yields exactly the value a
+        // full sort would index, at O(n) instead of O(n log n) — the sort
+        // dominated the merge path at engine line rates. total_cmp makes
+        // the statistic unique (even NaN placement is fixed), so the
+        // concatenation order stays irrelevant.
+        // Both percentiles in ~one linear pass: select p90, then select p99
+        // inside the ≥p90 tail the first selection already partitioned off.
+        let pct2 = |values: &mut [f64]| -> (f64, f64) {
+            if values.is_empty() {
+                return (0.0, 0.0);
             }
-            let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
-            sorted[idx - 1]
+            let n = values.len();
+            let i90 = ((n as f64 * 0.90).ceil() as usize).clamp(1, n) - 1;
+            let i99 = ((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1;
+            let (_, &mut p90, tail) = values.select_nth_unstable_by(i90, f64::total_cmp);
+            let p99 = if i99 > i90 {
+                *tail.select_nth_unstable_by(i99 - i90 - 1, f64::total_cmp).1
+            } else {
+                p90
+            };
+            (p90, p99)
         };
+        let (p90_latency_ms, p99_latency_ms) = pct2(&mut latencies);
+        let (degraded_p90_latency_ms, degraded_p99_latency_ms) = pct2(&mut degraded_latencies);
         let mean = if latencies.is_empty() {
             0.0
         } else {
             latencies.iter().sum::<f64>() / latencies.len() as f64
         };
         let duration = trace.duration().as_secs_f64().max(1e-9);
-        let name = shards
-            .first()
-            .map(|s| format!("engine({})x{}", s.server.policy().name(), n_shards))
-            .unwrap_or_default();
+        let (shard_imbalance, suggested_shards) = shard_skew(&per_shard_requests);
 
         if let Some(master) = &self.obs {
             master.absorb_shards(&shard_obs);
-            master.set_meta("policy", name.as_str());
-            master.set_meta("trace", trace.name.as_str());
-            master.set_meta("shards", n_shards as u64);
+            // Both are pure functions of the deterministic per-shard
+            // request counts, so they are safe in stable exports. The
+            // summarizer turns them into the skew hint line.
+            master.gauge_set("engine.shard_imbalance", shard_imbalance);
+            master.gauge_set("engine.suggested_shards", suggested_shards as f64);
             master.gauge_set(
                 "server.replay_wall_secs",
                 if master.deterministic() {
@@ -493,8 +570,8 @@ impl ShardedEngine {
                 (compute_ms / busy_ms * 100.0).min(100.0)
             },
             peak_mem_gb: peak_meta as f64 / 1e9,
-            p90_latency_ms: pct(&latencies, 0.90),
-            p99_latency_ms: pct(&latencies, 0.99),
+            p90_latency_ms,
+            p99_latency_ms,
             mean_latency_ms: mean,
             wan_gbps: wan_bytes as f64 * 8.0 / duration / 1e9,
             availability_pct: if measured == 0 {
@@ -508,8 +585,8 @@ impl ShardedEngine {
             coalesced_fetches: coalesced,
             breaker_opens,
             breaker_closes,
-            degraded_p90_latency_ms: pct(&degraded_latencies, 0.90),
-            degraded_p99_latency_ms: pct(&degraded_latencies, 0.99),
+            degraded_p90_latency_ms,
+            degraded_p99_latency_ms,
             series: Vec::new(),
             replay_wall_secs: wall_secs,
         };
@@ -523,6 +600,8 @@ impl ShardedEngine {
                 0.0
             },
             per_shard_requests,
+            shard_imbalance,
+            suggested_shards,
         }
     }
 }
@@ -617,6 +696,41 @@ mod tests {
             as u64
             + report.report.errors_served;
         assert!(hits_plus_misses <= measured);
+    }
+
+    #[test]
+    fn skew_heuristic_flags_hot_key_traces() {
+        // Even split: no suggestion beyond the current count.
+        let (imb, sug) = shard_skew(&[100, 100, 100, 100]);
+        assert!((imb - 1.0).abs() < 1e-12);
+        assert_eq!(sug, 4);
+        // Degenerate inputs stay sane.
+        assert_eq!(shard_skew(&[]), (1.0, 0));
+        assert_eq!(shard_skew(&[0, 0]).1, 2);
+
+        // A synthetic hot-key trace: one object takes half the requests,
+        // so its shard dwarfs the mean and the report should say so.
+        let mut t = Trace::new("hot-key");
+        for i in 0..8_000u64 {
+            let id = if i % 2 == 0 { 42 } else { i % 500 };
+            t.push(Request::new(Time::from_secs(i), id, 1 << 10));
+        }
+        let report = engine(2, 1 << 26).replay(&t, |_, cap, _| Lru::new(cap));
+        assert!(
+            report.shard_imbalance > SKEW_HINT_THRESHOLD,
+            "hot key must show up as imbalance, got {}",
+            report.shard_imbalance
+        );
+        assert!(
+            report.suggested_shards > report.n_shards,
+            "skewed replay should suggest more shards ({} vs {})",
+            report.suggested_shards,
+            report.n_shards
+        );
+        assert!(report.suggested_shards.is_power_of_two());
+        // And the suggestion survives the stable JSON round trip.
+        let json = report.stable_json();
+        assert!(json.contains("\"suggested_shards\""), "{json}");
     }
 
     #[test]

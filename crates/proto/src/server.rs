@@ -14,8 +14,8 @@ use lhr_obs::series::{ReqSample, SeriesAcc};
 use lhr_obs::{Event, EventKind, LogHistogram, Obs};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Time, Trace};
+use lhr_util::hash::FastMap;
 use lhr_util::json::ToJson;
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// Server configuration.
@@ -223,7 +223,7 @@ fn origin_fetch(
 
 /// The in-flight fetch window a serving path coalesces misses into:
 /// object → (fetch completion time, fetch succeeded). [`CdnServer::replay`]
-/// uses a request-local [`HashMap`]; the threaded engine shares one
+/// uses a request-local [`FastMap`]; the threaded engine shares one
 /// [`crate::FetchTable`] across shards so the same serve code coalesces
 /// against fetches no matter which shard claimed them.
 pub(crate) trait InFlight {
@@ -235,9 +235,9 @@ pub(crate) trait InFlight {
     fn clear(&mut self, id: ObjectId);
 }
 
-impl InFlight for HashMap<ObjectId, (Time, bool)> {
+impl InFlight for FastMap<ObjectId, (Time, bool)> {
     fn get(&self, id: ObjectId) -> Option<(Time, bool)> {
-        HashMap::get(self, &id).copied()
+        FastMap::get(self, &id).copied()
     }
     fn set(&mut self, id: ObjectId, done_at: Time, ok: bool) {
         self.insert(id, (done_at, ok));
@@ -264,7 +264,7 @@ pub struct CdnServer<P: CachePolicy> {
     policy: P,
     config: ServerConfig,
     /// Admission time of cached contents (for freshness).
-    admitted_at: HashMap<ObjectId, Time>,
+    admitted_at: FastMap<ObjectId, Time>,
     obs: Option<Obs>,
 }
 
@@ -286,7 +286,7 @@ impl<P: CachePolicy> CdnServer<P> {
         CdnServer {
             policy,
             config,
-            admitted_at: HashMap::new(),
+            admitted_at: FastMap::default(),
             obs: None,
         }
     }
@@ -333,7 +333,7 @@ impl<P: CachePolicy> CdnServer<P> {
         let mut breaker = CircuitBreaker::new(self.config.resilience.breaker.clone());
         // Object → (fetch completion time, fetch succeeded): the in-flight
         // window concurrent misses coalesce into.
-        let mut in_flight: HashMap<ObjectId, (Time, bool)> = HashMap::new();
+        let mut in_flight: FastMap<ObjectId, (Time, bool)> = FastMap::default();
 
         // Obs state stays local to the loop (no locking per request); the
         // injected outage schedule is emitted up front so the event stream
@@ -345,6 +345,11 @@ impl<P: CachePolicy> CdnServer<P> {
         let mut last_opens = 0u64;
         let mut last_closes = 0u64;
         if let Some(obs) = &self.obs {
+            // Run metadata goes on before the first request: a streaming
+            // sink ([`Obs::stream_to`]) writes its meta line when the first
+            // window closes, and the line must already be final.
+            obs.set_meta("policy", self.policy.name());
+            obs.set_meta("trace", trace.name.as_str());
             for &(start, end) in &self.config.faults.outages {
                 obs.emit(Event::new(start, EventKind::OutageStart).field("until_secs", end));
                 obs.emit(Event::new(end, EventKind::OutageEnd));
@@ -419,7 +424,7 @@ impl<P: CachePolicy> CdnServer<P> {
             }
             if let Some(acc) = acc.as_mut() {
                 let t = req.ts.as_secs_f64();
-                acc.on_request(ReqSample {
+                let closed = acc.on_request(ReqSample {
                     t_micros: req.ts.as_micros(),
                     bytes: req.size,
                     hit: served.hit,
@@ -434,6 +439,13 @@ impl<P: CachePolicy> CdnServer<P> {
                     lat_hist.record((served.latency_ms * 1e3) as u64);
                 }
                 let obs = self.obs.as_ref().expect("acc implies obs");
+                if closed {
+                    // Boundary-only: hand finished windows to the recorder
+                    // (and through it to any streaming sink) right away,
+                    // after the eviction credit that may still land on the
+                    // just-closed window.
+                    obs.push_windows(acc.take_done());
+                }
                 if served.stale {
                     obs.emit(Event::new(t, EventKind::StaleServe).field("id", req.id));
                 }
@@ -454,8 +466,6 @@ impl<P: CachePolicy> CdnServer<P> {
         peak_meta = peak_meta.max(self.policy.metadata_overhead_bytes());
         if let (Some(obs), Some(acc)) = (self.obs.as_ref(), acc) {
             obs.push_windows(acc.finish());
-            obs.set_meta("policy", self.policy.name());
-            obs.set_meta("trace", trace.name.as_str());
             obs.counter_add("server.requests", measured);
             obs.counter_add("server.hits", hits);
             obs.counter_add("server.errors", errors);
@@ -474,17 +484,29 @@ impl<P: CachePolicy> CdnServer<P> {
                 },
             );
         }
-        // NaN latencies (a degenerate latency model) sort last and degrade
-        // the percentile instead of panicking the whole replay.
-        latencies.sort_unstable_by(f64::total_cmp);
-        degraded_latencies.sort_unstable_by(f64::total_cmp);
-        let pct = |sorted: &[f64], p: f64| -> f64 {
-            if sorted.is_empty() {
-                return 0.0;
+        // Both percentiles via selection instead of a full sort — identical
+        // values (the k-th order statistic is unique under total_cmp), O(n):
+        // select p90, then select p99 inside the ≥p90 tail the first
+        // selection partitioned off. NaN latencies (a degenerate latency
+        // model) still order last and degrade the percentile instead of
+        // panicking the whole replay.
+        let pct2 = |values: &mut [f64]| -> (f64, f64) {
+            if values.is_empty() {
+                return (0.0, 0.0);
             }
-            let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
-            sorted[idx - 1]
+            let n = values.len();
+            let i90 = ((n as f64 * 0.90).ceil() as usize).clamp(1, n) - 1;
+            let i99 = ((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1;
+            let (_, &mut p90, tail) = values.select_nth_unstable_by(i90, f64::total_cmp);
+            let p99 = if i99 > i90 {
+                *tail.select_nth_unstable_by(i99 - i90 - 1, f64::total_cmp).1
+            } else {
+                p90
+            };
+            (p90, p99)
         };
+        let (p90_latency_ms, p99_latency_ms) = pct2(&mut latencies);
+        let (degraded_p90_latency_ms, degraded_p99_latency_ms) = pct2(&mut degraded_latencies);
         let mean = if latencies.is_empty() {
             0.0
         } else {
@@ -511,8 +533,8 @@ impl<P: CachePolicy> CdnServer<P> {
                 (compute_ms_total / busy_ms * 100.0).min(100.0)
             },
             peak_mem_gb: peak_meta as f64 / 1e9,
-            p90_latency_ms: pct(&latencies, 0.90),
-            p99_latency_ms: pct(&latencies, 0.99),
+            p90_latency_ms,
+            p99_latency_ms,
             mean_latency_ms: mean,
             wan_gbps: wan_bytes as f64 * 8.0 / duration / 1e9,
             availability_pct: if measured == 0 {
@@ -526,8 +548,8 @@ impl<P: CachePolicy> CdnServer<P> {
             coalesced_fetches: coalesced,
             breaker_opens: breaker.opens(),
             breaker_closes: breaker.closes(),
-            degraded_p90_latency_ms: pct(&degraded_latencies, 0.90),
-            degraded_p99_latency_ms: pct(&degraded_latencies, 0.99),
+            degraded_p90_latency_ms,
+            degraded_p99_latency_ms,
             series,
             replay_wall_secs: wall.elapsed().as_secs_f64(),
         }
@@ -540,15 +562,30 @@ impl<P: CachePolicy> CdnServer<P> {
         req: &lhr_trace::Request,
         compute_total: &mut f64,
     ) -> (Outcome, f64) {
-        let t0 = Instant::now();
+        // In deterministic mode the measurement is zeroed anyway, so skip
+        // the clock_gettime pair entirely — at engine line rates the vDSO
+        // calls alone were ~10% of the serve path.
+        let t0 = (!self.config.deterministic).then(Instant::now);
         let outcome = self.policy.handle(req);
-        let compute_ms = if self.config.deterministic {
-            0.0
-        } else {
-            t0.elapsed().as_secs_f64() * 1e3
-        };
+        let compute_ms = t0.map_or(0.0, |t0| t0.elapsed().as_secs_f64() * 1e3);
         *compute_total += compute_ms;
         (outcome, compute_ms)
+    }
+
+    /// [`CachePolicy::hit_check`] with the same timing contract as
+    /// [`Self::handle_timed`]. A `None` (object absent, policy not
+    /// consulted) costs one probe and is not timed — matching the old
+    /// untimed `contains` pre-check.
+    fn hit_check_timed(
+        &mut self,
+        req: &lhr_trace::Request,
+        compute_total: &mut f64,
+    ) -> Option<(Outcome, f64)> {
+        let t0 = (!self.config.deterministic).then(Instant::now);
+        let outcome = self.policy.hit_check(req)?;
+        let compute_ms = t0.map_or(0.0, |t0| t0.elapsed().as_secs_f64() * 1e3);
+        *compute_total += compute_ms;
+        Some((outcome, compute_ms))
     }
 
     /// Serves one request through the hardened path. Generic over the
@@ -567,14 +604,15 @@ impl<P: CachePolicy> CdnServer<P> {
         let res = self.config.resilience.clone();
         let now = req.ts;
 
-        if self.policy.contains(req.id) {
-            let (outcome, compute_ms) = self.handle_timed(req, compute_total);
+        // Fused present-check + hit processing: one table probe on the hot
+        // path instead of `contains` followed by `handle`.
+        if let Some((outcome, compute_ms)) = self.hit_check_timed(req, compute_total) {
             if outcome.is_hit() {
                 return self.serve_cached(req, compute_ms, &lat, &res, plan, breaker, retries);
             }
-            // Contract violation (contains() disagreed with handle()): fall
-            // through to the miss path; the policy has already decided
-            // admission, so only the origin side remains.
+            // Contract violation (the policy reported the object present but
+            // then missed): fall through to the miss path; the policy has
+            // already decided admission, so only the origin side remains.
             return self.serve_miss_fetch(
                 req, compute_ms, false, &lat, &res, plan, breaker, in_flight, retries,
             );

@@ -187,6 +187,10 @@ impl Simulator {
                 // The warmup-boundary sample never ran: everything was warmup.
                 warmup_evictions = policy.evictions();
             }
+            // Metadata before the windows: a streaming sink writes its
+            // meta line with the first window record.
+            obs.set_meta("policy", policy.name());
+            obs.set_meta("trace", trace.name.as_str());
             obs.push_windows(acc.finish_observed(Totals {
                 requests: metrics.requests,
                 hits: metrics.hits,
@@ -196,8 +200,6 @@ impl Simulator {
                 bytes_hit: metrics.bytes_hit,
                 evictions: policy.evictions(),
             }));
-            obs.set_meta("policy", policy.name());
-            obs.set_meta("trace", trace.name.as_str());
             obs.counter_add("sim.requests", metrics.requests);
             obs.counter_add("sim.hits", metrics.hits);
             obs.counter_add("sim.evictions", policy.evictions());

@@ -88,6 +88,20 @@ pub trait CachePolicy {
     /// Processes one request and reports what happened.
     fn handle(&mut self, req: &Request) -> Outcome;
 
+    /// Fused `contains` + `handle` for the cached case: if `req.id` is
+    /// present, processes the request and returns its outcome; if absent,
+    /// returns `None` **without consulting the policy** (no admission
+    /// bookkeeping happens), so the caller can run its miss protocol and
+    /// decide when — or whether — to call [`CachePolicy::handle`].
+    ///
+    /// The default is literally `contains` then `handle`; policies backed
+    /// by a single-probe table override this so the serving hot path pays
+    /// one lookup per hit instead of two. Overrides must behave
+    /// observably identically to the default.
+    fn hit_check(&mut self, req: &Request) -> Option<Outcome> {
+        self.contains(req.id).then(|| self.handle(req))
+    }
+
     /// Number of evictions performed so far (optional statistic).
     fn evictions(&self) -> u64 {
         0
@@ -118,6 +132,9 @@ impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
     }
     fn handle(&mut self, req: &Request) -> Outcome {
         (**self).handle(req)
+    }
+    fn hit_check(&mut self, req: &Request) -> Option<Outcome> {
+        (**self).hit_check(req)
     }
     fn evictions(&self) -> u64 {
         (**self).evictions()

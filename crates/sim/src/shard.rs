@@ -132,28 +132,41 @@ pub fn route<S: Send>(
     let finished: Vec<Vec<Option<S>>> = std::thread::scope(|scope| {
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
+        // Drained batch buffers flow back on a shared return channel, so
+        // steady-state routing recycles instead of allocating: the pool
+        // tops out at roughly `threads × queue` buffers.
+        let (ret_tx, ret_rx) = mpsc::channel::<Vec<u64>>();
         for mut states in per_worker {
             let (tx, rx) = mpsc::sync_channel::<Vec<u64>>(queue);
             senders.push(tx);
+            let ret_tx = ret_tx.clone();
             handles.push(scope.spawn(move || {
-                for indices in rx {
+                for mut indices in rx {
                     for &i in &indices {
                         let req = &trace.requests[i as usize];
                         let s = shard_of(req.id, n_shards);
                         let state = states[s].as_mut().expect("request routed to unowned shard");
                         step(state, s, i as usize, req);
                     }
+                    indices.clear();
+                    // The router may already be past routing — dropped
+                    // receiver just means the buffer is garbage now.
+                    let _ = ret_tx.send(indices);
                 }
                 states
             }));
         }
+        drop(ret_tx);
         let mut buffers: Vec<Vec<u64>> = (0..threads).map(|_| Vec::with_capacity(batch)).collect();
         for (i, req) in trace.iter().enumerate() {
             let w = shard_of(req.id, n_shards) % threads;
             let buf = &mut buffers[w];
             buf.push(i as u64);
             if buf.len() >= batch {
-                let full = std::mem::replace(buf, Vec::with_capacity(batch));
+                let fresh = ret_rx
+                    .try_recv()
+                    .unwrap_or_else(|_| Vec::with_capacity(batch));
+                let full = std::mem::replace(buf, fresh);
                 // Blocking send: backpressure when the worker lags.
                 senders[w].send(full).expect("worker hung up");
             }
@@ -372,6 +385,11 @@ impl ShardedSimulator {
             .unwrap_or_default();
 
         if let Some(master) = &self.obs {
+            // Metadata before the merge: a streaming sink writes its meta
+            // line when the merged windows land in `absorb_shards`.
+            master.set_meta("policy", policy_name.as_str());
+            master.set_meta("trace", trace.name.as_str());
+            master.set_meta("shards", n_shards as u64);
             // Finalize each shard's recorder, then merge them in shard
             // order; the merged export carries no trace of the thread count.
             let mut shard_obs = Vec::with_capacity(shards.len());
@@ -394,9 +412,6 @@ impl ShardedSimulator {
                 }
             }
             master.absorb_shards(&shard_obs);
-            master.set_meta("policy", policy_name.as_str());
-            master.set_meta("trace", trace.name.as_str());
-            master.set_meta("shards", n_shards as u64);
             if warmup_evictions > 0 {
                 master.counter_add("sim.warmup_evictions", warmup_evictions);
             }

@@ -17,6 +17,10 @@
 //!   guard API over `std::sync`) and a re-export of `std::sync::mpsc`.
 //! - [`buf`] — little-endian byte-buffer helpers (`bytes`-style `BytesMut`
 //!   and a `Buf` trait for slices) used by the binary trace format.
+//! - [`hash`] — a fixed-seed FxHash-style hasher with [`hash::FastMap`]/
+//!   [`hash::FastSet`] aliases. Replaces `rustc-hash`/`fxhash` for the
+//!   request hot path, where SipHash + `RandomState` costs throughput and
+//!   cross-process determinism.
 //! - [`prop`] — property-based testing: value generators with shrinking and
 //!   the [`prop_check!`] macro. Replaces `proptest` for this repo's needs.
 //! - [`bench`] — a wall-clock micro-benchmark harness with warmup, used by
@@ -38,6 +42,7 @@
 
 pub mod bench;
 pub mod buf;
+pub mod hash;
 pub mod json;
 pub mod prop;
 pub mod rng;

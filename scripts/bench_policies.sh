@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Records the per-policy handle() cost baseline into BENCH_policies.json
+# (one `policy_ns_per_op` JSON line: mean ns per request for every policy
+# in the crate plus LHR, on the fixed-seed small IRM trace). The summary
+# records `host_cpus` honestly, as in the other BENCH files — the loop is
+# single-threaded, so the figure is per-core cost.
+# Re-run after any change to a policy hot path (hashing, object tables,
+# eviction sampling) and commit the refreshed file.
+#
+# Usage: scripts/bench_policies.sh [output-file]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_policies.json}"
+
+cargo build --release --offline -p lhr-bench --bin policies
+
+: > "$out"
+echo "==> policies bench, scale=small"
+LHR_BENCH_JSON="$out" \
+  cargo run --release --offline -p lhr-bench --bin policies -- --scale small
+
+echo "wrote $out"

@@ -99,4 +99,11 @@ echo "==> engine scaling bench smoke (tiny scale)"
 LHR_BENCH_WARMUP_MS=20 LHR_BENCH_MEASURE_MS=100 \
   cargo run --release --offline -p lhr-bench --bin engine -- --scale tiny
 
+echo "==> per-policy hit-path bench smoke (tiny scale)"
+LHR_BENCH_WARMUP_MS=20 LHR_BENCH_MEASURE_MS=100 \
+  cargo run --release --offline -p lhr-bench --bin policies -- --scale tiny
+
+echo "==> two-process determinism test (fixed-seed hashing across OS processes)"
+cargo test -q --offline --test process_determinism
+
 echo "verify: OK"

@@ -177,6 +177,77 @@ fn every_obs_jsonl_line_round_trips_byte_identically() {
     }
 }
 
+fn stream_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lhr-obs-it-{tag}-{}.jsonl", std::process::id()))
+}
+
+/// The streaming sink end-to-end through the serving path: windows are
+/// written to the file as they close mid-replay, and the finished file is
+/// byte-for-byte the buffered export.
+#[test]
+fn streamed_server_recording_matches_buffered_bytes() {
+    let trace = zipf_trace(5);
+    let obs = deterministic_obs();
+    let path = stream_path("server");
+    obs.stream_to(&path).expect("open stream");
+    let mut config = presets::fault_preset("outage", 7, trace.duration().as_secs_f64()).unwrap();
+    config.deterministic = true;
+    CdnServer::new(Box::new(Lru::new(200_000)), config)
+        .with_obs(obs.clone())
+        .replay(&trace);
+    obs.close_stream().expect("close stream");
+    let streamed = std::fs::read_to_string(&path).expect("read streamed file");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(streamed, obs.to_jsonl());
+    // 20k requests at 2k-request windows: the incremental path really ran.
+    let windows = streamed
+        .lines()
+        .filter(|l| l.contains("\"record\":\"window\""))
+        .count();
+    assert!(windows >= 9, "expected ≥9 streamed windows, got {windows}");
+    // The lazily-written meta line leads and already carries run metadata.
+    let first = streamed.lines().next().expect("non-empty");
+    assert!(first.contains("\"record\":\"meta\""), "{first}");
+    assert!(first.contains("\"policy\":\"LRU\""), "{first}");
+}
+
+/// Same contract through the sharded engine: the shard-merged windows
+/// stream in `absorb_shards`, and a streamed multi-threaded run produces
+/// the same bytes as a buffered single-threaded one.
+#[test]
+fn streamed_engine_recording_matches_buffered_across_threads() {
+    use lhr_repro::proto::{EngineConfig, ShardedEngine};
+    use lhr_repro::sim::shard::RouteConfig;
+    let trace = zipf_trace(5);
+    let run = |threads: usize, stream: Option<&std::path::Path>| {
+        let obs = deterministic_obs();
+        if let Some(path) = stream {
+            obs.stream_to(path).expect("open stream");
+        }
+        let config = EngineConfig {
+            total_capacity: 2 << 20,
+            n_shards: 8,
+            route: RouteConfig {
+                threads,
+                ..RouteConfig::default()
+            },
+            ..EngineConfig::new(2 << 20)
+        };
+        ShardedEngine::new(config)
+            .with_obs(obs.clone())
+            .replay(&trace, |_shard, capacity, _obs| Lru::new(capacity));
+        obs.close_stream().expect("close stream");
+        obs.to_jsonl()
+    };
+    let path = stream_path("engine");
+    let buffered_t1 = run(1, None);
+    let jsonl_t2 = run(2, Some(&path));
+    let streamed_t2 = std::fs::read_to_string(&path).expect("read streamed file");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(streamed_t2, jsonl_t2, "streamed file == buffered export");
+    assert_eq!(streamed_t2, buffered_t1, "thread count leaks into stream");
+}
+
 #[test]
 fn sim_metrics_json_round_trips_byte_identically() {
     let trace = zipf_trace(2);

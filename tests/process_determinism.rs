@@ -1,0 +1,110 @@
+//! Cross-process determinism: the same replay in two separate OS
+//! processes must produce byte-identical reports and obs exports.
+//!
+//! This is the test that would have caught `std::collections::HashMap`'s
+//! per-process `RandomState`: within one process two replays share the
+//! seed, so only a fresh process exposes iteration-order dependence in a
+//! decision path. The workspace now hashes with the fixed-seed
+//! `lhr_util::hash::FastHasher` everywhere hot (see ARCHITECTURE.md,
+//! determinism contract), and this pins it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The `lhr-cache` CLI binary next to this test's own profile directory
+/// (`target/<profile>/lhr-cache`); `cargo test --workspace` builds it
+/// before any test runs.
+fn cli_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let profile_dir = exe.parent()?.parent()?;
+    let bin = profile_dir.join(format!("lhr-cache{}", std::env::consts::EXE_SUFFIX));
+    bin.exists().then_some(bin)
+}
+
+fn run(bin: &PathBuf, args: &[&str]) {
+    let output = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display()));
+    assert!(
+        output.status.success(),
+        "{} {:?} failed:\n{}",
+        bin.display(),
+        args,
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn two_processes_produce_byte_identical_reports() {
+    let Some(bin) = cli_binary() else {
+        // The CLI wasn't built alongside this test (e.g. `cargo test -p
+        // lhr-repro --test process_determinism` alone). verify.sh always
+        // builds the workspace first, so the real gate never skips.
+        eprintln!("skipping: lhr-cache binary not found next to test executable");
+        return;
+    };
+    let dir = std::env::temp_dir().join(format!("lhr-proc-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+    let trace = path("t.csv");
+    run(
+        &bin,
+        &[
+            "generate",
+            "--kind",
+            "zipf",
+            "--objects",
+            "300",
+            "--requests",
+            "20000",
+            "--seed",
+            "9",
+            "--out",
+            &trace,
+        ],
+    );
+
+    // Same replay, two fresh OS processes. LHR exercises the learned
+    // path (features, windows, retraining); `--threads 2` exercises the
+    // sharded engine merge as well.
+    for process in ["a", "b"] {
+        run(
+            &bin,
+            &[
+                "server",
+                "--policy",
+                "LHR",
+                "--capacity",
+                "1MB",
+                "--threads",
+                "2",
+                "--faults",
+                "flaky",
+                "--report",
+                &path(&format!("report-{process}.json")),
+                "--obs",
+                &path(&format!("obs-{process}.jsonl")),
+                "--obs-window",
+                "1000r",
+                "--obs-deterministic",
+                "true",
+                &trace,
+            ],
+        );
+    }
+
+    let read = |name: &str| std::fs::read(dir.join(name)).expect("run output exists");
+    assert_eq!(
+        read("report-a.json"),
+        read("report-b.json"),
+        "reports differ across OS processes"
+    );
+    assert_eq!(
+        read("obs-a.jsonl"),
+        read("obs-b.jsonl"),
+        "obs exports differ across OS processes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -372,3 +372,122 @@ fn obs_windows_partition_the_measured_request_stream() {
         }
     });
 }
+
+/// The fused open-addressing [`ObjectTable`] agrees with a model
+/// `HashMap` under arbitrary interleavings of insert / remove / overwrite
+/// over a small key universe — small on purpose, so remove-then-reinsert
+/// churn constantly recycles tombstones and (at the ⅞ load bound)
+/// triggers the in-place tombstone rehash.
+#[test]
+fn object_table_matches_model_hashmap() {
+    use lhr_repro::policies::util::ObjectTable;
+    use std::collections::HashMap;
+    prop_check!(cases: 64, (ops in range(1usize..2_000), seed in any_u64(), key_space in range(1u64..96)) => {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut table: ObjectTable<u64> = ObjectTable::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for step in 0..ops {
+            let key = next() % key_space;
+            match next() % 10 {
+                // Insert-heavy mix keeps the table near its load bound.
+                0..=4 => {
+                    let value = step as u64;
+                    prop_assert_eq!(table.insert(key, value), model.insert(key, value));
+                }
+                5..=7 => {
+                    prop_assert_eq!(table.remove(key), model.remove(&key));
+                }
+                8 => {
+                    prop_assert_eq!(table.get(key).copied(), model.get(&key).copied());
+                    prop_assert_eq!(table.contains_key(key), model.contains_key(&key));
+                }
+                _ => {
+                    if let Some(v) = table.get_mut(key) {
+                        *v += 1;
+                    }
+                    if let Some(v) = model.get_mut(&key) {
+                        *v += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        // Full contents agree (iteration order is arbitrary: sort first).
+        let mut got: Vec<(u64, u64)> = table.iter().map(|(k, &v)| (k, v)).collect();
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        for key in 0..key_space {
+            prop_assert_eq!(table.get(key).copied(), model.get(&key).copied());
+        }
+    });
+}
+
+/// Forces the default `contains → handle` path by hiding a policy's
+/// `hit_check` override; everything else forwards.
+struct DefaultHitCheck<P: CachePolicy>(P);
+
+impl<P: CachePolicy> CachePolicy for DefaultHitCheck<P> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn capacity(&self) -> u64 {
+        self.0.capacity()
+    }
+    fn used_bytes(&self) -> u64 {
+        self.0.used_bytes()
+    }
+    fn contains(&self, id: lhr_repro::trace::ObjectId) -> bool {
+        self.0.contains(id)
+    }
+    fn handle(&mut self, req: &Request) -> lhr_repro::sim::Outcome {
+        self.0.handle(req)
+    }
+    fn evictions(&self) -> u64 {
+        self.0.evictions()
+    }
+    fn metadata_overhead_bytes(&self) -> u64 {
+        self.0.metadata_overhead_bytes()
+    }
+}
+
+/// The single-probe `hit_check` overrides (LRU, SLRU/S4LRU, B-LRU) are
+/// observably identical to the default two-probe path: the full serving
+/// replay — fault injection, coalescing, breaker and all — produces a
+/// byte-identical stable report either way.
+#[test]
+fn hit_check_overrides_match_default_path_byte_identically() {
+    use lhr_repro::policies::{s4lru, slru, BLru};
+    use lhr_repro::proto::{presets, CdnServer};
+    prop_check!(cases: 12, (len in range(200usize..1_500), seed in any_u64(), cap_factor in range(2u64..24)) => {
+        let trace = build_trace(len, seed);
+        let capacity = cap_factor * 50;
+        let builders: Vec<(&str, Box<dyn Fn() -> Box<dyn CachePolicy>>)> = vec![
+            ("LRU", Box::new(move || Box::new(Lru::new(capacity)))),
+            ("SLRU", Box::new(move || Box::new(slru(capacity)))),
+            ("S4LRU", Box::new(move || Box::new(s4lru(capacity)))),
+            ("B-LRU", Box::new(move || Box::new(BLru::new(capacity, 1 << 12)))),
+        ];
+        for preset in ["none", "flaky"] {
+            let mut config =
+                presets::fault_preset(preset, 7, trace.duration().as_secs_f64()).unwrap();
+            config.deterministic = true;
+            for (name, build) in &builders {
+                let fused = CdnServer::new(build(), config.clone())
+                    .replay(&trace)
+                    .stable_json();
+                let default = CdnServer::new(Box::new(DefaultHitCheck(build())), config.clone())
+                    .replay(&trace)
+                    .stable_json();
+                prop_assert_eq!(&fused, &default, "{name} under {preset}: fused hit path diverged");
+            }
+        }
+    });
+}
