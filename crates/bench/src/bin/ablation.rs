@@ -12,4 +12,5 @@ fn main() {
         "{}",
         lhr_bench::experiments::ablation_hro_burstiness(&options)
     );
+    lhr_bench::harness::write_obs(&options);
 }

@@ -93,4 +93,5 @@ fn main() {
             eprintln!("warning: could not write {path}: {e}");
         }
     }
+    lhr_bench::harness::write_obs(&options);
 }

@@ -3,4 +3,5 @@ fn main() {
     let options = lhr_bench::harness::Options::from_args();
     let (fig13, _table4) = lhr_bench::experiments::prototype_vs_caffeine(&options);
     println!("{fig13}");
+    lhr_bench::harness::write_obs(&options);
 }

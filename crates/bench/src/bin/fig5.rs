@@ -2,4 +2,5 @@
 fn main() {
     let options = lhr_bench::harness::Options::from_args();
     println!("{}", lhr_bench::experiments::fig5(&options));
+    lhr_bench::harness::write_obs(&options);
 }

@@ -4,4 +4,5 @@ fn main() {
     let options = lhr_bench::harness::Options::from_args();
     let (fig7, _table2) = lhr_bench::experiments::prototype_vs_ats(&options);
     println!("{fig7}");
+    lhr_bench::harness::write_obs(&options);
 }

@@ -4,4 +4,5 @@ fn main() {
     let options = lhr_bench::harness::Options::from_args();
     let (fig8, _fig9) = lhr_bench::experiments::sota_comparison(&options);
     println!("{fig8}");
+    lhr_bench::harness::write_obs(&options);
 }

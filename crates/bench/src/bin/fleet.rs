@@ -1,0 +1,110 @@
+//! Edge-fleet scaling benchmark — replays the same trace through
+//! [`lhr_proto::FleetEngine`] at several node counts and reports
+//! requests/second and origin offload per count:
+//!
+//! ```text
+//! cargo run --release -p lhr-bench --bin fleet -- --scale medium
+//! ```
+//!
+//! Set `LHR_BENCH_JSON=<path>` to append machine-readable results plus a
+//! `fleet_scaling` summary line (the format committed as
+//! `BENCH_fleet.json`). Total edge capacity is held constant while the
+//! node count grows, so the offload column shows the consistent-hash
+//! fragmentation cost: the same bytes split into more, smaller caches.
+
+use lhr_policies::Lru;
+use lhr_proto::{FleetConfig, FleetEngine};
+use lhr_sim::shard::RouteConfig;
+use lhr_trace::synth::{IrmConfig, ProductionScale, SizeModel};
+use lhr_util::bench::{black_box, Bench};
+use lhr_util::json::{Json, ToJson};
+use std::io::Write;
+
+const NODE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let options = lhr_bench::harness::Options::from_args();
+    let requests = match options.scale {
+        ProductionScale::Tiny => 50_000,
+        ProductionScale::Small => 200_000,
+        ProductionScale::Medium => 800_000,
+        ProductionScale::Full => 3_000_000,
+    };
+    let trace = IrmConfig::new(10_000, requests)
+        .zipf_alpha(0.9)
+        .size_model(SizeModel::BoundedPareto {
+            alpha: 1.2,
+            min: 10_000,
+            max: 10_000_000,
+        })
+        .seed(options.seed)
+        .generate();
+    let capacity = 25_000_000u64;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let config = |n_nodes: usize| FleetConfig {
+        n_nodes,
+        route: RouteConfig {
+            threads: options.threads.min(8),
+            ..RouteConfig::default()
+        },
+        ..FleetConfig::new(capacity)
+    };
+
+    let mut group = Bench::new("fleet_replay");
+    group.throughput_elems(requests as u64);
+    for n_nodes in NODE_COUNTS {
+        group.bench(format!("{requests}_n{n_nodes}"), || {
+            let engine = FleetEngine::new(config(n_nodes));
+            engine
+                .replay(black_box(&trace), |_, _, cap, _| Lru::new(cap))
+                .errors_served
+        });
+    }
+    let results = group.finish();
+
+    // Offload is deterministic per node count; one extra replay reads it.
+    let offload: Vec<f64> = NODE_COUNTS
+        .iter()
+        .map(|&n_nodes| {
+            let engine = FleetEngine::new(config(n_nodes));
+            engine
+                .replay(&trace, |_, _, cap, _| Lru::new(cap))
+                .origin_offload_pct
+        })
+        .collect();
+
+    let rps: Vec<f64> = results
+        .iter()
+        .map(|r| requests as f64 / (r.mean_ns / 1e9))
+        .collect();
+    println!("fleet scaling on {host_cpus} host cpu(s):");
+    for ((n_nodes, rps), offload) in NODE_COUNTS.iter().zip(&rps).zip(&offload) {
+        println!("  n{n_nodes}: {rps:.0} req/s, origin offload {offload:.2}%");
+    }
+    if let Ok(path) = std::env::var("LHR_BENCH_JSON") {
+        let mut fields = vec![
+            ("group".to_string(), "fleet_scaling".to_json()),
+            ("requests".to_string(), (requests as u64).to_json()),
+            ("host_cpus".to_string(), (host_cpus as u64).to_json()),
+        ];
+        for (n_nodes, ((result, rps), offload)) in NODE_COUNTS
+            .iter()
+            .zip(results.iter().zip(&rps).zip(&offload))
+        {
+            fields.push((format!("n{n_nodes}_mean_ns"), result.mean_ns.to_json()));
+            fields.push((format!("n{n_nodes}_requests_per_sec"), rps.to_json()));
+            fields.push((format!("n{n_nodes}_origin_offload_pct"), offload.to_json()));
+        }
+        let record = Json::Object(fields);
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{record}"));
+        if let Err(e) = appended {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+    lhr_bench::harness::write_obs(&options);
+}

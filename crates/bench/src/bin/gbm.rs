@@ -158,4 +158,5 @@ fn main() {
             eprintln!("warning: could not write {path}: {e}");
         }
     }
+    lhr_bench::harness::write_obs(&options);
 }

@@ -88,4 +88,5 @@ fn main() {
             eprintln!("warning: could not write {path}: {e}");
         }
     }
+    lhr_bench::harness::write_obs(&options);
 }

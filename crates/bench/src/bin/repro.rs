@@ -14,4 +14,5 @@ fn main() {
         options.seed,
         start.elapsed().as_secs_f64()
     );
+    lhr_bench::harness::write_obs(&options);
 }

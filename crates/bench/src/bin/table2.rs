@@ -3,4 +3,5 @@ fn main() {
     let options = lhr_bench::harness::Options::from_args();
     let (_fig7, table2) = lhr_bench::experiments::prototype_vs_ats(&options);
     println!("{table2}");
+    lhr_bench::harness::write_obs(&options);
 }

@@ -3,4 +3,5 @@ fn main() {
     let options = lhr_bench::harness::Options::from_args();
     let (_fig13, table4) = lhr_bench::experiments::prototype_vs_caffeine(&options);
     println!("{table4}");
+    lhr_bench::harness::write_obs(&options);
 }

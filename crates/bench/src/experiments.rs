@@ -14,7 +14,7 @@ use lhr_policies::{Hawkeye, Lrb, Lru};
 use lhr_proto::presets::{ats_server, caffeine_server, lhr_caffeine_server, lhr_server};
 use lhr_proto::{CdnServer, ServerConfig, ServerReport};
 use lhr_sim::bound::OfflineBound;
-use lhr_sim::sweep::{run_grid, Cell};
+use lhr_sim::sweep::{run_grid_obs, Cell};
 use lhr_sim::{CachePolicy, SimConfig, Simulator};
 use lhr_trace::stats::{ccdf, inter_request_times, one_hit_wonder_ratio, rank_frequency};
 use lhr_trace::synth::{markov, ZipfSampler};
@@ -32,6 +32,7 @@ fn warmup_for(trace: &Trace) -> usize {
 
 /// Table 1: key characteristics of the (production-like) traces.
 pub fn table1(options: &Options) -> String {
+    let _span = options.obs.as_ref().map(|o| o.span("bench.table1"));
     let traces = production_traces(options);
     let rows: Vec<Vec<String>> = traces
         .iter()
@@ -75,6 +76,7 @@ pub fn table1(options: &Options) -> String {
 /// Figure 1: content popularity (rank-frequency) and inter-request time
 /// CCDF, a few representative points per trace.
 pub fn fig1(options: &Options) -> String {
+    let _span = options.obs.as_ref().map(|o| o.span("bench.fig1"));
     let traces = production_traces(options);
     let mut out = String::from("Figure 1 — popularity and inter-request times\n");
     let mut rows = Vec::new();
@@ -118,6 +120,7 @@ pub fn fig1(options: &Options) -> String {
 /// Figure 2: Belady-Size and PFOO (offline bounds), HRO (online bound), the
 /// best-performing SOTA, and LHR, per trace at the default cache size.
 pub fn fig2(options: &Options) -> String {
+    let _span = options.obs.as_ref().map(|o| o.span("bench.fig2"));
     let traces = production_traces(options);
     let mut rows = Vec::new();
     for trace in &traces {
@@ -135,7 +138,13 @@ pub fn fig2(options: &Options) -> String {
             })
             .collect();
         let config = SimConfig::default();
-        let results = run_grid(&factories, &cells, &config, options.threads);
+        let results = run_grid_obs(
+            &factories,
+            &cells,
+            &config,
+            options.threads,
+            options.obs.as_ref(),
+        );
         let lhr = &results[0];
         let best_sota = results[1..]
             .iter()
@@ -184,6 +193,7 @@ pub fn fig2(options: &Options) -> String {
 
 /// Figure 5: impact of the sliding-window size (unique bytes = k × cache).
 pub fn fig5(options: &Options) -> String {
+    let _span = options.obs.as_ref().map(|o| o.span("bench.fig5"));
     let traces = production_traces(options);
     let multipliers = [1.0, 2.0, 4.0, 8.0];
     let mut rows = Vec::new();
@@ -217,6 +227,7 @@ pub fn fig5(options: &Options) -> String {
 /// Figure 6: impact of the feature set — 10/20/30 IRTs (static features
 /// always included), improvement relative to 10 IRTs.
 pub fn fig6(options: &Options) -> String {
+    let _span = options.obs.as_ref().map(|o| o.span("bench.fig6"));
     let traces = production_traces(options);
     let irts = [10usize, 20, 30];
     let mut rows = Vec::new();
@@ -262,6 +273,10 @@ pub fn fig6(options: &Options) -> String {
 /// Runs the ATS-vs-LHR prototype comparison once; Figure 7 prints the hit
 /// series, Table 2 the resource rows.
 pub fn prototype_vs_ats(options: &Options) -> (String, String) {
+    let _span = options
+        .obs
+        .as_ref()
+        .map(|o| o.span("bench.prototype_vs_ats"));
     let traces = production_traces(options);
     let mut series_rows = Vec::new();
     let mut resource_rows = Vec::new();
@@ -355,6 +370,10 @@ pub fn prototype_vs_ats(options: &Options) -> (String, String) {
 /// Runs the LHR-vs-SOTAs grid once (4 traces × 2 cache sizes × 8 policies);
 /// Figure 8 prints hit/WAN, Figure 9 memory/time.
 pub fn sota_comparison(options: &Options) -> (String, String) {
+    let _span = options
+        .obs
+        .as_ref()
+        .map(|o| o.span("bench.sota_comparison"));
     let traces = production_traces(options);
     let mut fig8_rows = Vec::new();
     let mut fig9_rows = Vec::new();
@@ -376,7 +395,13 @@ pub fn sota_comparison(options: &Options) -> (String, String) {
                 })
             })
             .collect();
-        let results = run_grid(&factories, &cells, &config, options.threads);
+        let results = run_grid_obs(
+            &factories,
+            &cells,
+            &config,
+            options.threads,
+            options.obs.as_ref(),
+        );
 
         for (cell, result) in cells.iter().zip(results.iter()) {
             fig8_rows.push(vec![
@@ -423,6 +448,7 @@ pub fn sota_comparison(options: &Options) -> (String, String) {
 /// Table 3: estimated average latency (ms) and throughput (Gbps) on the
 /// §7.3 serving model.
 pub fn table3(options: &Options) -> String {
+    let _span = options.obs.as_ref().map(|o| o.span("bench.table3"));
     let traces = production_traces(options);
     let mut rows = Vec::new();
     for trace in &traces {
@@ -484,6 +510,7 @@ pub fn table3(options: &Options) -> String {
 /// Figure 10: hit probability, peak memory, and training time of LHR and
 /// its ablations.
 pub fn fig10(options: &Options) -> String {
+    let _span = options.obs.as_ref().map(|o| o.span("bench.fig10"));
     let traces = production_traces(options);
     let mut rows = Vec::new();
     for trace in &traces {
@@ -548,6 +575,7 @@ pub fn fig10(options: &Options) -> String {
 /// Figure 11: hit probability and WAN traffic on "Syn One" and "Syn Two"
 /// (N = 1 000 contents, 1 M requests, r = 200 000 at full scale).
 pub fn fig11(options: &Options) -> String {
+    let _span = options.obs.as_ref().map(|o| o.span("bench.fig11"));
     let div = options.scale.divisor();
     let n_requests = 1_000_000 / div;
     let r = 200_000 / div;
@@ -570,7 +598,13 @@ pub fn fig11(options: &Options) -> String {
                 capacity,
             })
             .collect();
-        let results = run_grid(&factories, &cells, &config, options.threads);
+        let results = run_grid_obs(
+            &factories,
+            &cells,
+            &config,
+            options.threads,
+            options.obs.as_ref(),
+        );
         for result in &results {
             rows.push(vec![
                 trace.name.clone(),
@@ -593,6 +627,7 @@ pub fn fig11(options: &Options) -> String {
 /// Figure 12: accuracy of the LSM detection mechanism on a synthetic
 /// workload whose Zipf α shifts between segments.
 pub fn fig12(options: &Options) -> String {
+    let _span = options.obs.as_ref().map(|o| o.span("bench.fig12"));
     use lhr_util::rng::rngs::StdRng;
     use lhr_util::rng::SeedableRng;
 
@@ -664,6 +699,10 @@ pub fn fig12(options: &Options) -> String {
 /// the resources. Caffeine experiments use the appendix's smaller caches
 /// (64 / 128 / 16 / 128 GB at full scale).
 pub fn prototype_vs_caffeine(options: &Options) -> (String, String) {
+    let _span = options
+        .obs
+        .as_ref()
+        .map(|o| o.span("bench.prototype_vs_caffeine"));
     let traces = production_traces(options);
     let mut series_rows = Vec::new();
     let mut resource_rows = Vec::new();
@@ -752,6 +791,10 @@ pub fn prototype_vs_caffeine(options: &Options) -> (String, String) {
 /// Eviction-rule ablation (§5.2.5 discusses both rules): the paper's full
 /// `q = p/(s·IRT₁)` rule vs the straightforward min-`p` rule.
 pub fn ablation_eviction_rule(options: &Options) -> String {
+    let _span = options
+        .obs
+        .as_ref()
+        .map(|o| o.span("bench.ablation_eviction_rule"));
     use lhr::cache::EvictionRule;
     let traces = production_traces(options);
     let mut rows = Vec::new();
@@ -790,6 +833,7 @@ pub fn ablation_eviction_rule(options: &Options) -> String {
 /// Loss-function ablation (§5.2.4: the paper reports MSE beat the other
 /// losses it explored): LHR trained with squared error vs logistic loss.
 pub fn ablation_loss(options: &Options) -> String {
+    let _span = options.obs.as_ref().map(|o| o.span("bench.ablation_loss"));
     use lhr_gbm::{GbmParams, Loss};
     let traces = production_traces(options);
     let mut rows = Vec::new();
@@ -836,6 +880,10 @@ pub fn ablation_loss(options: &Options) -> String {
 /// approximation … under the assumption that the number of requests in
 /// each sliding window is large").
 pub fn ablation_hro_burstiness(options: &Options) -> String {
+    let _span = options
+        .obs
+        .as_ref()
+        .map(|o| o.span("bench.ablation_hro_burstiness"));
     use lhr_trace::synth::renewal::bursty_trace;
     use lhr_trace::synth::{IrmConfig, SizeModel};
 
@@ -884,6 +932,10 @@ pub fn ablation_hro_burstiness(options: &Options) -> String {
 /// HRO tightness vs window multiplier: how the online bound's window size
 /// trades estimation quality against adaptivity.
 pub fn ablation_hro_window(options: &Options) -> String {
+    let _span = options
+        .obs
+        .as_ref()
+        .map(|o| o.span("bench.ablation_hro_window"));
     let traces = production_traces(options);
     let multipliers = [1.0, 2.0, 4.0, 8.0];
     let mut rows = Vec::new();
@@ -912,6 +964,7 @@ pub fn ablation_hro_window(options: &Options) -> String {
 
 /// Runs every experiment, returning the concatenated report.
 pub fn run_all(options: &Options) -> String {
+    let _span = options.obs.as_ref().map(|o| o.span("bench.run_all"));
     let mut out = String::new();
     let mut add = |s: String| {
         out.push_str(&s);
@@ -951,6 +1004,7 @@ mod tests {
             scale: lhr_trace::synth::ProductionScale::Tiny,
             seed: 1,
             threads: 2,
+            ..Options::default()
         }
     }
 

@@ -2,6 +2,7 @@
 //! policy registry, and table formatting.
 
 use lhr::cache::{LhrCache, LhrConfig};
+use lhr_obs::{Obs, ObsConfig};
 use lhr_policies::{AdaptSize, BLru, Hawkeye, LfuDa, Lrb, Lru, LruK};
 use lhr_sim::sweep::PolicyFactory;
 use lhr_trace::synth::{production, ProductionScale};
@@ -16,6 +17,12 @@ pub struct Options {
     pub seed: u64,
     /// Worker threads for sweeps.
     pub threads: usize,
+    /// Observability recorder, present when `--obs PATH` was given. The
+    /// experiment functions wrap their phases in spans on it; sweeps feed
+    /// it per-worker shard recorders (see `lhr_sim::sweep::run_grid_obs`).
+    pub obs: Option<Obs>,
+    /// Where [`write_obs`] exports the JSONL recording.
+    pub obs_path: Option<String>,
 }
 
 impl Default for Options {
@@ -26,14 +33,16 @@ impl Default for Options {
             threads: std::thread::available_parallelism()
                 .map_or(4, |n| n.get())
                 .min(16),
+            obs: None,
+            obs_path: None,
         }
     }
 }
 
 impl Options {
     /// Parses `--scale {tiny|small|medium|full}`, `--seed N`,
-    /// `--threads N` from the process arguments. Unknown arguments abort
-    /// with a usage message.
+    /// `--threads N`, `--obs PATH` from the process arguments. Unknown
+    /// arguments abort with a usage message.
     pub fn from_args() -> Options {
         let mut options = Options::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,16 +64,43 @@ impl Options {
                 }
                 "--seed" => options.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
                 "--threads" => options.threads = value(&mut i).parse().unwrap_or_else(|_| usage()),
+                "--obs" => options.obs_path = Some(value(&mut i)),
                 _ => usage(),
             }
             i += 1;
+        }
+        if options.obs_path.is_some() {
+            // Deterministic mode: span counts are recorded but wall-clock
+            // readings are zeroed, so a fixed-seed export is byte-identical
+            // across runs and thread counts.
+            let obs = Obs::new(ObsConfig {
+                deterministic: true,
+                ..ObsConfig::default()
+            });
+            obs.set_meta("bench.seed", options.seed);
+            options.obs = Some(obs);
         }
         options
     }
 }
 
+/// Writes the `--obs` recording (if one was requested) to its path; a
+/// no-op otherwise. Experiment binaries call this once, after printing.
+pub fn write_obs(options: &Options) {
+    let (Some(obs), Some(path)) = (&options.obs, &options.obs_path) else {
+        return;
+    };
+    if let Err(e) = std::fs::write(path, obs.to_jsonl()) {
+        eprintln!("obs export to {path} failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("obs export written to {path}");
+}
+
 fn usage() -> ! {
-    eprintln!("usage: <bin> [--scale tiny|small|medium|full] [--seed N] [--threads N]");
+    eprintln!(
+        "usage: <bin> [--scale tiny|small|medium|full] [--seed N] [--threads N] [--obs PATH]"
+    );
     std::process::exit(2)
 }
 

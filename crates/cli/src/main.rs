@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         "bound" => cmd_bound(&args),
         "mrc" => cmd_mrc(&args),
         "server" => cmd_server(&args),
+        "fleet" => cmd_fleet(&args),
         "obs" => cmd_obs(&args),
         "--help" | "-h" | "help" => return usage(),
         other => Err(format!("unknown command `{other}`")),
@@ -76,21 +77,33 @@ USAGE:
                                                    injects origin faults:
                                                    none | flaky | brownout |
                                                    outage | recovery
+  lhr-cache fleet --policy NAME --capacity SIZE [--nodes N] [--vnodes V]
+                  [--shield-mb M] [--faults PRESET] [--origin-faults PRESET]
+                  [--report PATH] PATH             replay across an N-node
+                                                   consistent-hash edge fleet
+                                                   over an origin shield;
+                                                   --faults takes node presets
+                                                   (none | node-flaky |
+                                                   node-brownout | node-churn)
+                                                   or an origin preset; origin
+                                                   faults can also be injected
+                                                   separately via
+                                                   --origin-faults
   lhr-cache obs summarize PATH                     render an --obs recording
                                                    as a text report (series
                                                    sparklines, events, spans)
 
-  simulate and server also accept the sharded-engine flags:
+  simulate, server, and fleet also accept the sharded-engine flags:
     --threads N               replay with N worker threads (0 = one per
                               core); reports and --obs exports are
                               byte-identical at any thread count
     --shards N                shard the keyspace (and capacity) across N
                               independent policy instances (default 16
                               when --threads is given)
-  server --report PATH writes the engine's stable JSON report (wall-clock
+  server/fleet --report PATH writes the stable JSON report (wall-clock
   and thread-count fields zeroed) for determinism diffing.
 
-  simulate, compare, and server also accept:
+  simulate, compare, server, and fleet also accept:
     --obs PATH                record windowed metric series, structured
                               events, and profiling spans; PATH ending in
                               .csv writes the window series as CSV, any
@@ -602,6 +615,143 @@ fn cmd_server(args: &Args) -> Result<(), String> {
         );
     }
     println!("replay wall:     {:.2} s", r.replay_wall_secs);
+    if let Some((o, path)) = &obs {
+        finish_obs(o, path)?;
+    }
+    Ok(())
+}
+
+fn cmd_fleet(args: &Args) -> Result<(), String> {
+    use lhr_proto::fleet::{FleetConfig, FleetEngine, NodeFaultConfig, MAX_NODES};
+    use lhr_proto::{presets, FaultConfig, ServerConfig};
+    use lhr_sim::shard::{shard_seed, RouteConfig};
+    let trace = load_trace(args)?;
+    let name = args.get("policy").ok_or("--policy is required")?;
+    let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
+    let seed = args.get_parse("seed")?.unwrap_or(42u64);
+    let n_nodes: usize = args.get_parse("nodes")?.unwrap_or(4);
+    if !(1..=MAX_NODES).contains(&n_nodes) {
+        return Err(format!("--nodes must be in 1..={MAX_NODES}, got {n_nodes}"));
+    }
+    let vnodes: usize = args.get_parse("vnodes")?.unwrap_or(64);
+    let shield_capacity = match args.get_parse::<u64>("shield-mb")? {
+        Some(mb) => mb * 1_000_000,
+        None => capacity / 4,
+    };
+    registry::build(name, capacity, seed, &trace)
+        .ok_or_else(|| format!("unknown policy `{name}`"))?;
+    let duration = trace.duration().as_secs_f64();
+
+    // `--faults` takes a node-level preset; an origin preset is accepted
+    // too (routed to the shield's origin). `--origin-faults` composes an
+    // origin preset with node faults.
+    let fault_arg = args.get("faults").map(String::as_str).unwrap_or("none");
+    let (node_faults, mut server) =
+        match NodeFaultConfig::preset(fault_arg, seed, n_nodes, duration) {
+            Some(node_faults) => (node_faults, ServerConfig::default()),
+            None => {
+                let server = presets::fault_preset(fault_arg, seed, duration).ok_or_else(|| {
+                    format!(
+                        "unknown fault preset `{fault_arg}` (node: {}; origin: {})",
+                        NodeFaultConfig::preset_names().join(", "),
+                        FaultConfig::preset_names().join(", ")
+                    )
+                })?;
+                (NodeFaultConfig::default(), server)
+            }
+        };
+    if let Some(preset) = args.get("origin-faults") {
+        server = presets::fault_preset(preset, seed, duration).ok_or_else(|| {
+            format!(
+                "unknown origin fault preset `{preset}` (try: {})",
+                FaultConfig::preset_names().join(", ")
+            )
+        })?;
+    }
+
+    let obs = obs_from_args(args)?;
+    if let Some((o, path)) = &obs {
+        start_obs(o, path)?;
+    }
+    let (threads, n_shards) = shard_args(args)?.unwrap_or((1, 8));
+    let mut config = FleetConfig::new(capacity);
+    config.n_nodes = n_nodes;
+    config.vnodes = vnodes;
+    config.shield_capacity = shield_capacity;
+    config.n_shards = n_shards;
+    config.route = RouteConfig {
+        threads,
+        ..RouteConfig::default()
+    };
+    config.server = server;
+    config.node_faults = node_faults;
+    if let Some(ttl) = args.get_parse("hint-ttl")? {
+        config.hint_ttl_secs = ttl;
+    }
+    if let Some(peer_hints) = args.get_parse("peer-hints")? {
+        config.peer_hints = peer_hints;
+    }
+    let mut engine = FleetEngine::new(config);
+    if let Some((o, _)) = &obs {
+        engine = engine.with_obs(o.clone());
+    }
+    // Per-slice seeds derive as shard_seed(node_seed, shard) with
+    // node_seed = shard_seed(seed, node) — the ARCHITECTURE.md clause.
+    let r = engine.replay(&trace, |node, shard, slice_capacity, shard_obs| {
+        registry::build_for_shard(
+            name,
+            slice_capacity,
+            shard_seed(seed, node),
+            &trace,
+            shard,
+            shard_obs,
+        )
+        .expect("name validated above")
+    });
+
+    println!("fleet:           {}", r.name);
+    println!(
+        "topology:        {} nodes x {} vnodes, {} shards, {} threads, {:.0} req/s",
+        r.n_nodes, r.vnodes, r.n_shards, r.threads, r.requests_per_sec
+    );
+    println!("edge hit:        {:.2} %", r.edge_hit_pct);
+    println!("byte hit:        {:.2} %", r.byte_hit_pct);
+    println!("shield hit:      {:.2} %", r.shield_hit_pct);
+    println!("peer hits:       {}", r.peer_hits);
+    println!("origin offload:  {:.2} %", r.origin_offload_pct);
+    println!("availability:    {:.2} %", r.availability_pct);
+    println!(
+        "errors served:   {} (+{} unrouted)",
+        r.errors_served, r.unrouted
+    );
+    println!("failovers:       {}", r.failovers);
+    println!(
+        "stale served:    {}  retries: {}  coalesced: {}",
+        r.stale_served, r.retries, r.coalesced_fetches
+    );
+    println!(
+        "breaker:         {} open / {} close",
+        r.breaker_opens, r.breaker_closes
+    );
+    println!("mean latency:    {:.1} ms", r.mean_latency_ms);
+    println!(
+        "P90/P99 latency: {:.1} / {:.1} ms",
+        r.p90_latency_ms, r.p99_latency_ms
+    );
+    println!("WAN traffic:     {:.3} Gbps", r.wan_gbps);
+    println!("node imbalance:  {:.2}", r.node_imbalance);
+    for node in 0..r.per_node_requests.len() {
+        println!(
+            "  node {node}:        {} reqs, {:.2} % hit, {} errors",
+            r.per_node_requests[node], r.per_node_hit_pct[node], r.per_node_errors[node]
+        );
+    }
+    println!("replay wall:     {:.2} s", r.replay_wall_secs);
+    if let Some(path) = args.get("report") {
+        let body = r.stable_json();
+        std::fs::write(path, &body).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("report: wrote {} bytes to {path}", body.len());
+    }
     if let Some((o, path)) = &obs {
         finish_obs(o, path)?;
     }

@@ -42,6 +42,14 @@ pub enum EventKind {
     ErrorServe,
     /// A miss joined an already in-flight origin fetch (fields: `id`).
     Coalesce,
+    /// An injected node-level fault took a fleet node down
+    /// (fields: `node`, `until_secs`).
+    NodeDown,
+    /// A downed fleet node rejoined the ring (fields: `node`).
+    NodeUp,
+    /// An edge miss was served from a ring peer via the peer-hint
+    /// protocol instead of going to the origin (fields: `id`, `peer`).
+    PeerHint,
 }
 
 lhr_util::impl_json!(
@@ -57,6 +65,9 @@ lhr_util::impl_json!(
         StaleServe,
         ErrorServe,
         Coalesce,
+        NodeDown,
+        NodeUp,
+        PeerHint,
     }
 );
 
@@ -149,6 +160,9 @@ mod tests {
             EventKind::StaleServe,
             EventKind::ErrorServe,
             EventKind::Coalesce,
+            EventKind::NodeDown,
+            EventKind::NodeUp,
+            EventKind::PeerHint,
         ] {
             let text = kind.to_json().to_string();
             assert_eq!(

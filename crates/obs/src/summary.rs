@@ -31,6 +31,9 @@ fn sparkline(values: &[f64]) -> String {
         let lo = c * values.len() / chunks;
         let hi = ((c + 1) * values.len() / chunks).max(lo + 1);
         let mean = values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        // A NaN/∞ sample (degenerate window, hand-edited export) renders as
+        // the lowest bar instead of poisoning the cast.
+        let mean = if mean.is_finite() { mean } else { 0.0 };
         let level = (mean.clamp(0.0, 1.0) * (SPARK.len() - 1) as f64).round() as usize;
         out.push(SPARK[level]);
     }
@@ -74,11 +77,16 @@ fn render_windows(out: &mut String, windows: &[WindowRecord]) {
     if evictions > 0 {
         let _ = writeln!(out, "  evictions       {evictions}");
     }
-    let ratios: Vec<f64> = windows.iter().map(|w| w.hit_ratio()).collect();
-    let _ = writeln!(out, "  hit ratio/win   {}", sparkline(&ratios));
+    // A one-character sparkline carries no trend information; skip it.
+    if windows.len() > 1 {
+        let ratios: Vec<f64> = windows.iter().map(|w| w.hit_ratio()).collect();
+        let _ = writeln!(out, "  hit ratio/win   {}", sparkline(&ratios));
+    }
     if errors > 0 {
-        let avail: Vec<f64> = windows.iter().map(|w| w.availability()).collect();
-        let _ = writeln!(out, "  availability    {}", sparkline(&avail));
+        if windows.len() > 1 {
+            let avail: Vec<f64> = windows.iter().map(|w| w.availability()).collect();
+            let _ = writeln!(out, "  availability    {}", sparkline(&avail));
+        }
         let _ = writeln!(out, "  errors          {errors}");
     }
 }
@@ -220,10 +228,17 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
         let rendered: Vec<String> = meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
         let _ = writeln!(out, "meta: {}", rendered.join(" "));
     }
-    if !windows.is_empty() {
+    // Degenerate exports (a crashed run, a meta-only stream, a recorder
+    // that never completed a window) say so explicitly rather than
+    // rendering an empty report that reads like truncated output.
+    if windows.is_empty() {
+        let _ = writeln!(out, "windows: none (no completed metric windows)");
+    } else {
         render_windows(&mut out, &windows);
     }
-    if !events.is_empty() {
+    if events.is_empty() {
+        let _ = writeln!(out, "events: none");
+    } else {
         render_events(&mut out, &events);
     }
     if !counters.is_empty() {
@@ -333,5 +348,69 @@ mod tests {
     fn summarize_rejects_garbage() {
         assert!(summarize("{\"record\":\"window\"").is_err());
         assert!(summarize("").unwrap().contains("obs summary"));
+    }
+
+    #[test]
+    fn sparkline_survives_non_finite_values() {
+        let s = sparkline(&[f64::NAN, 0.5, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(s.chars().count(), 4, "{s}");
+        assert_eq!(s.chars().next(), Some(SPARK[0]));
+    }
+
+    /// A meta-only export (e.g. a run that crashed before its first window
+    /// closed, with an empty event bus) must render an explicit report, not
+    /// a bare header that reads like truncated output.
+    #[test]
+    fn summarize_handles_meta_only_export() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.set_meta("policy", "lru");
+        let report = summarize(&obs.to_jsonl()).unwrap();
+        assert!(report.contains("policy=\"lru\""), "{report}");
+        assert!(
+            report.contains("windows: none (no completed metric windows)"),
+            "{report}"
+        );
+        assert!(report.contains("events: none"), "{report}");
+    }
+
+    /// A single completed window renders its aggregates but skips the
+    /// one-character sparklines, which carry no trend information.
+    #[test]
+    fn summarize_handles_single_window_without_sparkline() {
+        let obs = Obs::new(ObsConfig {
+            window: ObsWindow::Requests(4),
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        let mut acc = SeriesAcc::new(obs.window());
+        for i in 0..4u64 {
+            acc.on_request(ReqSample::hit(i, 100));
+        }
+        obs.push_windows(acc.finish());
+        let report = summarize(&obs.to_jsonl()).unwrap();
+        assert!(
+            report.contains("windows: 1 (4 measured requests)"),
+            "{report}"
+        );
+        assert!(report.contains("hit ratio       1.0000"), "{report}");
+        assert!(!report.contains("hit ratio/win"), "{report}");
+    }
+
+    /// Windows that measured nothing (all warmup, or an idle tail) must not
+    /// divide by zero anywhere in the report.
+    #[test]
+    fn summarize_handles_zero_request_windows() {
+        let zero = WindowRecord {
+            index: 0,
+            ..WindowRecord::default()
+        };
+        let jsonl = format!("{}\n", ObsRecord::Window(zero).to_line());
+        let report = summarize(&jsonl).unwrap();
+        assert!(
+            report.contains("windows: 1 (0 measured requests)"),
+            "{report}"
+        );
+        assert!(!report.contains("hit ratio "), "{report}");
+        assert!(!report.contains("NaN"), "{report}");
     }
 }

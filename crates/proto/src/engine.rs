@@ -38,7 +38,7 @@
 //! embedded [`crate::FetchTable`].
 
 use crate::fault::{CircuitBreaker, FaultPlan};
-use crate::server::{CdnServer, ServerConfig, ServerReport};
+use crate::server::{pct2, CdnServer, ServerConfig, ServerReport};
 use lhr_obs::series::{ReqSample, SeriesAcc};
 use lhr_obs::{Event, EventKind, LogHistogram, Obs};
 use lhr_sim::shard::{route, shard_seed, RouteConfig};
@@ -502,28 +502,11 @@ impl ShardedEngine {
             breaker_closes += shard.breaker.closes();
             per_shard_requests.push(shard.seen);
         }
-        // Selecting the k-th order statistic yields exactly the value a
-        // full sort would index, at O(n) instead of O(n log n) — the sort
-        // dominated the merge path at engine line rates. total_cmp makes
-        // the statistic unique (even NaN placement is fixed), so the
+        // Selecting the k-th order statistic (see `server::pct2`) yields
+        // exactly the value a full sort would index, at O(n) instead of
+        // O(n log n) — the sort dominated the merge path at engine line
+        // rates, and total_cmp makes the statistic unique, so the
         // concatenation order stays irrelevant.
-        // Both percentiles in ~one linear pass: select p90, then select p99
-        // inside the ≥p90 tail the first selection already partitioned off.
-        let pct2 = |values: &mut [f64]| -> (f64, f64) {
-            if values.is_empty() {
-                return (0.0, 0.0);
-            }
-            let n = values.len();
-            let i90 = ((n as f64 * 0.90).ceil() as usize).clamp(1, n) - 1;
-            let i99 = ((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1;
-            let (_, &mut p90, tail) = values.select_nth_unstable_by(i90, f64::total_cmp);
-            let p99 = if i99 > i90 {
-                *tail.select_nth_unstable_by(i99 - i90 - 1, f64::total_cmp).1
-            } else {
-                p90
-            };
-            (p90, p99)
-        };
         let (p90_latency_ms, p99_latency_ms) = pct2(&mut latencies);
         let (degraded_p90_latency_ms, degraded_p99_latency_ms) = pct2(&mut degraded_latencies);
         let mean = if latencies.is_empty() {

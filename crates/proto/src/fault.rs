@@ -30,7 +30,9 @@ const STREAM_JITTER: u64 = 0x31_77_E5;
 
 /// One uniform draw in `[0, 1)` keyed on `(seed, stream, n)` — stateless,
 /// so outcome number `n` is the same no matter what was drawn before it.
-fn keyed_uniform(seed: u64, stream: u64, n: u64) -> f64 {
+/// Crate-visible so [`crate::fleet`] can compile node-fault presets from
+/// the same deterministic draw sequence.
+pub(crate) fn keyed_uniform(seed: u64, stream: u64, n: u64) -> f64 {
     let mut rng = SplitMix64::seed_from_u64(
         seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
             .wrapping_add(n.wrapping_mul(0xD1B5_4A32_D192_ED03)),

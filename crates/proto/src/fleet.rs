@@ -1,0 +1,1306 @@
+//! The fault-tolerant edge fleet: N consistent-hashed nodes over an
+//! origin shield.
+//!
+//! [`crate::ShardedEngine`] scales *one* cache across cores. This module
+//! models what a CDN actually deploys: a **fleet** of N edge nodes, each
+//! an independent cache, with requests routed by a consistent-hash ring
+//! ([`HashRing`]), a shared origin-shield tier (a [`CdnServer`] wrapping
+//! an LRU) that edge misses funnel through before touching the fallible
+//! origin, and node-level fault injection ([`NodeFaultConfig`]) that
+//! takes whole nodes down and up on trace time. When a node is down the
+//! ring fails over to its successors; when it rejoins, only its
+//! ring-adjacent key range moves back (bounded rehash). A peer-hint
+//! protocol lets a node that misses fetch from a ring peer that recently
+//! completed an origin fetch, instead of re-asking the shield or origin.
+//!
+//! # Determinism contract
+//!
+//! [`FleetReport::stable_json`] and `--obs` exports are byte-identical at
+//! any `--threads` setting because the fleet reuses the engine's sharding
+//! discipline wholesale (see `ARCHITECTURE.md`):
+//!
+//! - the keyspace is split into `n_shards` shards with
+//!   [`lhr_sim::shard::shard_of`]; a shard owns a slice of **every**
+//!   node's cache, the shield slice, and the peer-hint table for its
+//!   objects, so all cross-node interaction for one object (failover,
+//!   hints, shield coalescing) happens inside one shard, replayed in
+//!   trace order by exactly one worker;
+//! - which node serves a request is a pure function of (object id, trace
+//!   time): the ring is static and node liveness is a precompiled
+//!   schedule of down windows, so routing never depends on thread timing;
+//! - node-fault presets derive per-node randomness from
+//!   `node_seed = shard_seed(seed, node_index)` — a pure function, the
+//!   `node_seed` derivation documented in `ARCHITECTURE.md`;
+//! - per-shard shield fault plans are seeded with
+//!   [`lhr_sim::shard::shard_seed`], and the merge runs in fixed shard
+//!   order, then fixed node order.
+
+use crate::fault::{keyed_uniform, CircuitBreaker, FaultPlan};
+use crate::latency::LatencyModel;
+use crate::server::{pct2, CdnServer, ServeOutcome, ServerConfig};
+use lhr_obs::series::{ReqSample, SeriesAcc};
+use lhr_obs::{Event, EventKind, LogHistogram, Obs};
+use lhr_policies::Lru;
+use lhr_sim::shard::{route, shard_seed, RouteConfig};
+use lhr_sim::CachePolicy;
+use lhr_trace::{ObjectId, Request, Time, Trace};
+use lhr_util::hash::{FastHasher, FastMap};
+use lhr_util::json::ToJson;
+use std::hash::Hasher;
+use std::time::Instant;
+
+/// Draw-stream constant separating node-fault draws from the origin
+/// fault plan's streams.
+const STREAM_NODE: u64 = 0x4E_0D_E5;
+
+/// The most nodes a fleet supports (failover walks track visited nodes
+/// in a u64 bitmask).
+pub const MAX_NODES: usize = 64;
+
+/// SplitMix64's avalanche finalizer. [`FastHasher`] is multiplicative —
+/// plenty for bucketing map keys, but its raw output of small dense
+/// inputs is lattice-structured, which makes consecutive ring points
+/// cluster and hands one node most of the keyspace (measured 67% for
+/// node 0 of 4 without this). The finalizer restores uniform arcs:
+/// max/mean keyspace share stays under ~1.2 at 64 vnodes.
+fn finalize(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Domain tags separating the two ring hash streams. They must be
+/// distinct and nonzero: hashing a leading zero word is an identity on
+/// [`FastHasher`]'s state, so without tags node 0's vnode points would
+/// *equal* the key hashes of ids `0..vnodes` and capture every small id.
+const RING_POINT_TAG: u64 = 0x52_49_4E_47; // "RING"
+const RING_KEY_TAG: u64 = 0x4B_45_59; // "KEY"
+
+/// Hashes one ring point `(node, replica)` with the workspace's
+/// fixed-seed [`FastHasher`] plus the avalanche finalizer —
+/// deterministic across processes.
+fn ring_point(node: u64, replica: u64) -> u64 {
+    let mut h = FastHasher::default();
+    h.write_u64(RING_POINT_TAG);
+    h.write_u64(node);
+    h.write_u64(replica);
+    finalize(h.finish())
+}
+
+/// Hashes an object id onto the ring.
+fn ring_key(id: ObjectId) -> u64 {
+    let mut h = FastHasher::default();
+    h.write_u64(RING_KEY_TAG);
+    h.write_u64(id);
+    finalize(h.finish())
+}
+
+/// A consistent-hash ring: `vnodes` points per node, sorted by hash.
+/// Lookup walks clockwise from the key's hash to the first point; with a
+/// liveness predicate, [`Self::node_for`] keeps walking to ring
+/// successors, so removing node X only remaps keys whose primary is X
+/// (bounded rehash — asserted by `tests/fleet.rs`).
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point hash, node)` sorted by hash.
+    points: Vec<(u64, u16)>,
+    n_nodes: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for `n_nodes` with `vnodes` points per node
+    /// (64 is a good default; more points even out the key ranges).
+    pub fn new(n_nodes: usize, vnodes: usize) -> Self {
+        assert!(
+            (1..=MAX_NODES).contains(&n_nodes),
+            "fleet supports 1..={MAX_NODES} nodes, got {n_nodes}"
+        );
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(n_nodes * vnodes);
+        for node in 0..n_nodes {
+            for replica in 0..vnodes {
+                points.push((ring_point(node as u64, replica as u64), node as u16));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, n_nodes }
+    }
+
+    /// Number of nodes on the ring.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Index of the first ring point at or clockwise-after hash `h`.
+    fn successor(&self, h: u64) -> usize {
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        if i == self.points.len() {
+            0
+        } else {
+            i
+        }
+    }
+
+    /// The node that owns `id` when every node is live.
+    pub fn primary(&self, id: ObjectId) -> usize {
+        self.points[self.successor(ring_key(id))].1 as usize
+    }
+
+    /// The first *live* node clockwise from `id`'s primary, or `None`
+    /// when every node is down. Keys whose primary is live never move —
+    /// this is the bounded-rehash property.
+    pub fn node_for(&self, id: ObjectId, live: impl Fn(usize) -> bool) -> Option<usize> {
+        let start = self.successor(ring_key(id));
+        let mut tried = 0u64;
+        for k in 0..self.points.len() {
+            let node = self.points[(start + k) % self.points.len()].1 as usize;
+            if tried & (1 << node) != 0 {
+                continue;
+            }
+            tried |= 1 << node;
+            if live(node) {
+                return Some(node);
+            }
+            if tried.count_ones() as usize == self.n_nodes {
+                break;
+            }
+        }
+        None
+    }
+}
+
+/// A deterministic node-level fault schedule: explicit down windows on
+/// trace time, compiled once from a preset (or written by hand). Unlike
+/// [`crate::FaultConfig`] — which makes the *origin* fallible — this
+/// takes whole edge nodes off the ring.
+#[derive(Debug, Clone, Default)]
+pub struct NodeFaultConfig {
+    /// Base seed. Presets derive per-node draws from
+    /// `node_seed = shard_seed(seed, node_index)`, so the schedule is a
+    /// pure function of `(seed, n_nodes, duration)`.
+    pub seed: u64,
+    /// Down windows as `(node, start_secs, end_secs)`; a node is down
+    /// for `start <= t < end`.
+    pub windows: Vec<(usize, f64, f64)>,
+    /// Whether a node that completes a down window rejoins with an
+    /// *empty* cache (process restart) instead of its pre-fault contents
+    /// (network partition).
+    pub cold_restart: bool,
+}
+
+impl NodeFaultConfig {
+    /// The node-fault preset vocabulary, in CLI order.
+    pub fn preset_names() -> &'static [&'static str] {
+        &["none", "node-flaky", "node-brownout", "node-churn"]
+    }
+
+    /// Compiles a named preset for a fleet of `n_nodes` over a trace of
+    /// `duration_secs`:
+    ///
+    /// - `none` — every node stays up.
+    /// - `node-flaky` — each node blips out for four ~1.2% windows at
+    ///   seeded times (transient network partitions; caches survive).
+    /// - `node-brownout` — one seeded node is hard-down for the middle
+    ///   30% of the trace (the availability-floor scenario).
+    /// - `node-churn` — a rolling restart: each node in turn is down for
+    ///   8% of the trace and rejoins **cold**.
+    pub fn preset(name: &str, seed: u64, n_nodes: usize, duration_secs: f64) -> Option<Self> {
+        let d = duration_secs.max(0.0);
+        let mut config = NodeFaultConfig {
+            seed,
+            windows: Vec::new(),
+            cold_restart: false,
+        };
+        match name {
+            "none" => {}
+            "node-flaky" => {
+                for node in 0..n_nodes {
+                    let node_seed = shard_seed(seed, node);
+                    for w in 0..4u64 {
+                        let start = keyed_uniform(node_seed, STREAM_NODE, w) * d * 0.95;
+                        config.windows.push((node, start, start + d * 0.012));
+                    }
+                }
+            }
+            "node-brownout" => {
+                let node = (seed % n_nodes.max(1) as u64) as usize;
+                config.windows.push((node, 0.35 * d, 0.65 * d));
+            }
+            "node-churn" => {
+                config.cold_restart = true;
+                for node in 0..n_nodes {
+                    let start = d * (node as f64 + 1.0) / (n_nodes as f64 + 2.0);
+                    config.windows.push((node, start, start + 0.08 * d));
+                }
+            }
+            _ => return None,
+        }
+        Some(config)
+    }
+
+    /// Whether `node` is down at trace time `t` (seconds).
+    pub fn down(&self, node: usize, t: f64) -> bool {
+        self.windows
+            .iter()
+            .any(|&(n, start, end)| n == node && t >= start && t < end)
+    }
+
+    /// How many of `node`'s down windows have *completed* by `t` — the
+    /// node's restart epoch. A change in epoch is what triggers the cold
+    /// rejoin flush under [`Self::cold_restart`].
+    pub fn epoch(&self, node: usize, t: f64) -> u64 {
+        self.windows
+            .iter()
+            .filter(|&&(n, _, end)| n == node && t >= end)
+            .count() as u64
+    }
+
+    /// Total down-seconds scheduled for `node` — the analytic input to
+    /// the availability floor asserted in `tests/fleet.rs`.
+    pub fn down_secs(&self, node: usize) -> f64 {
+        self.windows
+            .iter()
+            .filter(|&&(n, _, _)| n == node)
+            .map(|&(_, start, end)| (end - start).max(0.0))
+            .sum()
+    }
+}
+
+/// Configuration of the edge fleet.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Aggregate edge capacity in bytes, split evenly across nodes (and
+    /// within each node across shards).
+    pub total_capacity: u64,
+    /// Edge nodes on the ring (1..=[`MAX_NODES`]).
+    pub n_nodes: usize,
+    /// Virtual-node points per node on the hash ring.
+    pub vnodes: usize,
+    /// Origin-shield capacity in bytes. `0` keeps the shield tier as a
+    /// pass-through that still coalesces concurrent misses and runs the
+    /// hardened origin path (retries, breaker, stale serving).
+    pub shield_capacity: u64,
+    /// Fixed shard count — part of the deterministic configuration,
+    /// never derived from the thread count.
+    pub n_shards: usize,
+    /// Worker threads and channel sizing.
+    pub route: RouteConfig,
+    /// The shield's serving path: latency model, freshness, **origin**
+    /// faults and resilience. `deterministic` is forced on and
+    /// `series_every` off, as in the engine.
+    pub server: ServerConfig,
+    /// Node-level down/up schedule.
+    pub node_faults: NodeFaultConfig,
+    /// How long a peer hint stays trustworthy, seconds.
+    pub hint_ttl_secs: f64,
+    /// Whether the peer-hint protocol is enabled.
+    pub peer_hints: bool,
+}
+
+impl FleetConfig {
+    /// A 4-node, 8-shard fleet with 64 vnodes per node, a shield sized
+    /// at a quarter of the edge capacity, and peer hints on.
+    pub fn new(total_capacity: u64) -> Self {
+        FleetConfig {
+            total_capacity,
+            n_nodes: 4,
+            vnodes: 64,
+            shield_capacity: total_capacity / 4,
+            n_shards: 8,
+            route: RouteConfig::default(),
+            server: ServerConfig::default(),
+            node_faults: NodeFaultConfig::default(),
+            hint_ttl_secs: 3600.0,
+            peer_hints: true,
+        }
+    }
+}
+
+/// What a fleet replay reports: fleet-wide serving figures plus per-node
+/// vectors merged in fixed node order.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// `fleet({policy})x{n_nodes}`.
+    pub name: String,
+    /// Trace name.
+    pub trace: String,
+    /// Nodes on the ring.
+    pub n_nodes: u64,
+    /// Virtual-node points per node.
+    pub vnodes: u64,
+    /// Shards the keyspace was split across.
+    pub n_shards: u64,
+    /// Worker threads (machine-dependent when `threads = 0` was
+    /// configured; zeroed by [`Self::stable_json`]).
+    pub threads: u64,
+    /// Replayed requests per wall-clock second; zeroed by
+    /// [`Self::stable_json`].
+    pub requests_per_sec: f64,
+    /// Measured (post-warmup) requests.
+    pub requests: u64,
+    /// Requests served out of the routed node's own cache, %.
+    pub edge_hit_pct: f64,
+    /// Bytes served from fleet RAM (edge hits + peer fetches) over bytes
+    /// requested, %.
+    pub byte_hit_pct: f64,
+    /// Shield lookups (edge misses that reached the shield) answered
+    /// from the shield cache, %.
+    pub shield_hit_pct: f64,
+    /// Edge misses served from a ring peer via the hint protocol.
+    pub peer_hits: u64,
+    /// Bytes *not* fetched from the origin over bytes requested, % —
+    /// the figure a shield tier exists to maximize.
+    pub origin_offload_pct: f64,
+    /// Measured requests that were served successfully, %.
+    pub availability_pct: f64,
+    /// Requests answered with an error after resilience was exhausted
+    /// (excludes `unrouted`).
+    pub errors_served: u64,
+    /// Requests dropped because every node was down at once.
+    pub unrouted: u64,
+    /// Requests re-routed to a ring successor because their primary node
+    /// was down.
+    pub failovers: u64,
+    /// Requests served from an expired copy (RFC 5861 paths).
+    pub stale_served: u64,
+    /// Origin fetch retries.
+    pub retries: u64,
+    /// Misses that joined an in-flight shield fetch.
+    pub coalesced_fetches: u64,
+    /// Circuit-breaker trips across shield shards.
+    pub breaker_opens: u64,
+    /// Breaker recoveries.
+    pub breaker_closes: u64,
+    /// Mean user-perceived latency, ms.
+    pub mean_latency_ms: f64,
+    /// P90 latency, ms.
+    pub p90_latency_ms: f64,
+    /// P99 latency, ms.
+    pub p99_latency_ms: f64,
+    /// Origin-side traffic, Gbps over the trace duration.
+    pub wan_gbps: f64,
+    /// Peak metadata overhead across node caches and shield, GB.
+    pub peak_mem_gb: f64,
+    /// Requests routed to each node (including warmup), node order.
+    pub per_node_requests: Vec<u64>,
+    /// Each node's local hit ratio over its measured requests, %.
+    pub per_node_hit_pct: Vec<f64>,
+    /// Error responses attributed to each node, node order.
+    pub per_node_errors: Vec<u64>,
+    /// Hottest-node load over the mean node load (1.0 = perfectly even);
+    /// pure function of `per_node_requests`.
+    pub node_imbalance: f64,
+    /// Wall time of the whole replay; zeroed by [`Self::stable_json`].
+    pub replay_wall_secs: f64,
+}
+
+lhr_util::impl_json!(struct FleetReport {
+    name,
+    trace,
+    n_nodes,
+    vnodes,
+    n_shards,
+    threads,
+    requests_per_sec,
+    requests,
+    edge_hit_pct,
+    byte_hit_pct,
+    shield_hit_pct,
+    peer_hits,
+    origin_offload_pct,
+    availability_pct,
+    errors_served,
+    unrouted,
+    failovers,
+    stale_served,
+    retries,
+    coalesced_fetches,
+    breaker_opens,
+    breaker_closes,
+    mean_latency_ms,
+    p90_latency_ms,
+    p99_latency_ms,
+    wan_gbps,
+    peak_mem_gb,
+    per_node_requests,
+    per_node_hit_pct,
+    per_node_errors,
+    node_imbalance,
+    replay_wall_secs,
+});
+
+impl FleetReport {
+    /// JSON with every machine-dependent field zeroed (wall time,
+    /// requests/sec, thread count). Byte-identical at any `--threads`
+    /// setting; `scripts/verify.sh` diffs exactly this.
+    pub fn stable_json(&self) -> String {
+        let mut stable = self.clone();
+        stable.replay_wall_secs = 0.0;
+        stable.threads = 0;
+        stable.requests_per_sec = 0.0;
+        stable.to_json().to_string()
+    }
+}
+
+/// How one request was ultimately served.
+enum Served {
+    /// Out of the routed node's own cache.
+    EdgeHit,
+    /// From ring peer `n` via the hint protocol.
+    Peer(usize),
+    /// Through the shield tier (hit, origin fetch, or error — the
+    /// [`ServeOutcome`] flags say which).
+    Shield,
+    /// Dropped: every node was down.
+    Unrouted,
+}
+
+/// Read-only per-replay context shared by every worker.
+struct FleetCtx<'a, B> {
+    ring: &'a HashRing,
+    faults: &'a NodeFaultConfig,
+    lat: LatencyModel,
+    hint_ttl_secs: f64,
+    peer_hints: bool,
+    node_capacity: u64,
+    build: &'a B,
+}
+
+/// One node's slice of one shard: its cache slice plus per-node
+/// accounting.
+struct NodeSlice<P> {
+    policy: P,
+    /// Restart epoch last observed for this node (cold-restart flushes
+    /// fire on change).
+    epoch: u64,
+    /// Requests routed here, including warmup.
+    seen: u64,
+    /// Measured requests routed here.
+    measured: u64,
+    /// Measured requests served out of this node's own cache.
+    hits: u64,
+    /// Measured error responses attributed to this node.
+    errors: u64,
+}
+
+/// One shard of the whole fleet: a slice of every node's cache, the
+/// shield slice, the peer-hint table, and the accumulators — all owned
+/// by exactly one worker (see the module docs).
+struct FleetShard<P: CachePolicy> {
+    nodes: Vec<NodeSlice<P>>,
+    shield: CdnServer<Lru>,
+    plan: FaultPlan,
+    breaker: CircuitBreaker,
+    in_flight: FastMap<ObjectId, (Time, bool)>,
+    /// `id → (node that last filled it, publish time)`.
+    hints: FastMap<ObjectId, (u32, f64)>,
+    retries: u64,
+    compute_ms: f64,
+    latencies: Vec<f64>,
+    bytes_served: u128,
+    bytes_hit: u128,
+    wan_bytes: u128,
+    edge_hits: u64,
+    peer_hits: u64,
+    shield_hits: u64,
+    shield_lookups: u64,
+    errors: u64,
+    unrouted: u64,
+    failovers: u64,
+    stale_served: u64,
+    coalesced: u64,
+    measured: u64,
+    seen: u64,
+    peak_meta: u64,
+    obs: Option<Obs>,
+    acc: Option<SeriesAcc>,
+    lat_hist: LogHistogram,
+    last_opens: u64,
+    last_closes: u64,
+}
+
+impl<P: CachePolicy> FleetShard<P> {
+    fn meta_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.policy.metadata_overhead_bytes())
+            .sum::<u64>()
+            + self.shield.policy().metadata_overhead_bytes()
+    }
+
+    /// Serves one request at live node `n`: edge cache, then peer hint,
+    /// then the shield's hardened origin path.
+    fn serve_at<B>(
+        &mut self,
+        ctx: &FleetCtx<'_, B>,
+        s: usize,
+        n: usize,
+        t: f64,
+        req: &Request,
+    ) -> (ServeOutcome, Served)
+    where
+        B: Fn(usize, usize, u64, Option<&Obs>) -> P + Sync,
+    {
+        // A node that completed a down window since we last routed to it
+        // rejoins here; under cold restart its slice is rebuilt empty.
+        let epoch = ctx.faults.epoch(n, t);
+        if self.nodes[n].epoch != epoch {
+            self.nodes[n].epoch = epoch;
+            if ctx.faults.cold_restart {
+                let fresh = (ctx.build)(n, s, ctx.node_capacity, self.obs.as_ref());
+                self.nodes[n].policy = fresh;
+            }
+        }
+        self.nodes[n].seen += 1;
+
+        // Fused present-check + hit processing; on a miss, `handle`
+        // makes the admission decision regardless of where the fill
+        // comes from (peer or shield).
+        let hit = match self.nodes[n].policy.hit_check(req) {
+            Some(outcome) => outcome.is_hit(),
+            None => self.nodes[n].policy.handle(req).is_hit(),
+        };
+        if hit {
+            return (
+                ServeOutcome {
+                    latency_ms: ctx.lat.hit_latency_ms(req.size, 0.0),
+                    service_ms: ctx.lat.service_ms(req.size, true, 0.0),
+                    wan: 0,
+                    hit: true,
+                    stale: false,
+                    error: false,
+                    coalesced: false,
+                    degraded: false,
+                },
+                Served::EdgeHit,
+            );
+        }
+
+        // Peer hint: a ring peer recently filled this object — fetch it
+        // intra-PoP (one extra edge RTT) instead of asking the shield.
+        if ctx.peer_hints {
+            if let Some(&(owner, published)) = self.hints.get(&req.id) {
+                let owner = owner as usize;
+                if owner != n
+                    && t - published <= ctx.hint_ttl_secs
+                    && !ctx.faults.down(owner, t)
+                    && self.nodes[owner].policy.contains(req.id)
+                {
+                    return (
+                        ServeOutcome {
+                            latency_ms: ctx.lat.hit_latency_ms(req.size, 0.0) + ctx.lat.edge_rtt_ms,
+                            service_ms: ctx.lat.service_ms(req.size, true, 0.0),
+                            wan: 0,
+                            hit: true,
+                            stale: false,
+                            error: false,
+                            coalesced: false,
+                            degraded: false,
+                        },
+                        Served::Peer(owner),
+                    );
+                }
+                // Stale hint (expired, peer down, or evicted): drop it
+                // so the next miss doesn't re-probe.
+                self.hints.remove(&req.id);
+            }
+        }
+
+        // Shield tier: the full hardened origin path (freshness, stale
+        // serving, retries, breaker, coalescing), plus the edge→shield
+        // hop on top of whatever the shield charged.
+        let mut so = self.shield.serve(
+            req,
+            &mut self.plan,
+            &mut self.breaker,
+            &mut self.in_flight,
+            &mut self.retries,
+            &mut self.compute_ms,
+        );
+        so.latency_ms += ctx.lat.edge_rtt_ms;
+        if !so.error {
+            // Publish: node `n` now holds the object, so ring peers can
+            // shield-fetch from it instead of origin-fetching.
+            self.hints.insert(req.id, (n as u32, t));
+        }
+        (so, Served::Shield)
+    }
+
+    /// Serves one request of this shard's subsequence.
+    fn step<B>(&mut self, ctx: &FleetCtx<'_, B>, warmup: usize, s: usize, i: usize, req: &Request)
+    where
+        B: Fn(usize, usize, u64, Option<&Obs>) -> P + Sync,
+    {
+        let t = req.ts.as_secs_f64();
+        self.seen += 1;
+        if self.seen % 512 == 1 {
+            self.peak_meta = self.peak_meta.max(self.meta_bytes());
+            self.shield.prune_admitted();
+            self.in_flight
+                .retain(|_, &mut (done_at, _)| req.ts < done_at);
+            let ttl = ctx.hint_ttl_secs;
+            self.hints
+                .retain(|_, &mut (_, published)| t - published <= ttl);
+        }
+
+        // Routing is a pure function of (id, trace time): static ring,
+        // precompiled liveness schedule.
+        let primary = ctx.ring.primary(req.id);
+        let chosen = ctx.ring.node_for(req.id, |node| !ctx.faults.down(node, t));
+
+        let (mut served, kind) = match chosen {
+            None => (
+                // Whole fleet down: the request fails at the client
+                // after one edge round trip.
+                ServeOutcome {
+                    latency_ms: ctx.lat.error_latency_ms(0.0),
+                    service_ms: 0.0,
+                    wan: 0,
+                    hit: false,
+                    stale: false,
+                    error: true,
+                    coalesced: false,
+                    degraded: true,
+                },
+                Served::Unrouted,
+            ),
+            Some(n) => self.serve_at(ctx, s, n, t, req),
+        };
+        if chosen.is_some() && chosen != Some(primary) {
+            served.degraded = true;
+        }
+
+        // Breaker flap events are trace-ordered and warmup-independent,
+        // as in the engine.
+        if let Some(obs) = &self.obs {
+            let opens = self.breaker.opens();
+            if opens > self.last_opens {
+                obs.emit(Event::new(t, EventKind::BreakerOpen).field("opens", opens));
+                self.last_opens = opens;
+            }
+            let closes = self.breaker.closes();
+            if closes > self.last_closes {
+                obs.emit(Event::new(t, EventKind::BreakerClose).field("closes", closes));
+                self.last_closes = closes;
+            }
+        }
+
+        // Warmup is by global trace index, identical at any thread count.
+        if i < warmup {
+            return;
+        }
+        self.measured += 1;
+        self.bytes_served += req.size as u128;
+        self.wan_bytes += served.wan as u128;
+
+        let fleet_hit = matches!(kind, Served::EdgeHit | Served::Peer(_));
+        if fleet_hit {
+            self.bytes_hit += req.size as u128;
+        }
+        match kind {
+            Served::EdgeHit => {
+                self.edge_hits += 1;
+                if let Some(n) = chosen {
+                    self.nodes[n].hits += 1;
+                }
+            }
+            Served::Peer(_) => self.peer_hits += 1,
+            Served::Shield => {
+                self.shield_lookups += 1;
+                if served.hit {
+                    self.shield_hits += 1;
+                }
+            }
+            Served::Unrouted => self.unrouted += 1,
+        }
+        if let Some(n) = chosen {
+            self.nodes[n].measured += 1;
+            if served.error {
+                self.nodes[n].errors += 1;
+                self.errors += 1;
+            }
+            if n != primary {
+                self.failovers += 1;
+            }
+        }
+        if served.stale {
+            self.stale_served += 1;
+        }
+        if served.coalesced {
+            self.coalesced += 1;
+        }
+        self.latencies.push(served.latency_ms);
+
+        if let Some(acc) = self.acc.as_mut() {
+            acc.on_request(ReqSample {
+                t_micros: req.ts.as_micros(),
+                bytes: req.size,
+                hit: fleet_hit,
+                admitted: false,
+                bypassed: false,
+                error: served.error,
+                stale: served.stale,
+                coalesced: served.coalesced,
+            });
+            if served.latency_ms.is_finite() && served.latency_ms >= 0.0 {
+                self.lat_hist.record((served.latency_ms * 1e3) as u64);
+            }
+            let obs = self.obs.as_ref().expect("acc implies obs");
+            if served.stale {
+                obs.emit(Event::new(t, EventKind::StaleServe).field("id", req.id));
+            }
+            if served.error {
+                obs.emit(Event::new(t, EventKind::ErrorServe).field("id", req.id));
+            }
+            if served.coalesced {
+                obs.emit(Event::new(t, EventKind::Coalesce).field("id", req.id));
+            }
+            if let Served::Peer(peer) = kind {
+                obs.emit(
+                    Event::new(t, EventKind::PeerHint)
+                        .field("id", req.id)
+                        .field("peer", peer as u64),
+                );
+            }
+        }
+    }
+
+    /// Flushes the shard recorder (windows, counters, histogram) once the
+    /// shard's subsequence is exhausted.
+    fn finalize(&mut self) -> Option<Obs> {
+        self.peak_meta = self.peak_meta.max(self.meta_bytes());
+        let obs = self.obs.take()?;
+        if let Some(acc) = self.acc.take() {
+            obs.push_windows(acc.finish());
+        }
+        obs.counter_add("fleet.requests", self.measured);
+        obs.counter_add("fleet.edge_hits", self.edge_hits);
+        obs.counter_add("fleet.peer_hits", self.peer_hits);
+        obs.counter_add("fleet.shield_hits", self.shield_hits);
+        obs.counter_add("fleet.errors", self.errors);
+        obs.counter_add("fleet.unrouted", self.unrouted);
+        obs.counter_add("fleet.failovers", self.failovers);
+        obs.counter_add("fleet.stale_served", self.stale_served);
+        obs.counter_add("fleet.coalesced", self.coalesced);
+        obs.counter_add("fleet.retries", self.retries);
+        if self.lat_hist.total() > 0 {
+            obs.hist_merge("fleet.latency_us", &self.lat_hist);
+        }
+        Some(obs)
+    }
+}
+
+/// The fleet engine: replays a trace across N consistent-hashed edge
+/// nodes over an origin shield, with node-level fault injection, and
+/// merges per-shard, per-node results in fixed order.
+///
+/// ```
+/// use lhr_policies::Lru;
+/// use lhr_proto::fleet::{FleetConfig, FleetEngine, NodeFaultConfig};
+/// use lhr_sim::shard::RouteConfig;
+/// use lhr_trace::{Request, Time, Trace};
+///
+/// let mut trace = Trace::new("t");
+/// for i in 0..4_000u64 {
+///     trace.push(Request::new(Time::from_secs(i), (i * 7) % 100, 1 << 10));
+/// }
+/// let run = |threads: usize| {
+///     let mut config = FleetConfig::new(64 << 10);
+///     config.n_shards = 4;
+///     config.route = RouteConfig { threads, ..RouteConfig::default() };
+///     config.node_faults =
+///         NodeFaultConfig::preset("node-churn", 7, config.n_nodes, 4_000.0).unwrap();
+///     FleetEngine::new(config).replay(&trace, |_node, _shard, cap, _obs| Lru::new(cap))
+/// };
+/// // The determinism contract: byte-identical stable reports at any
+/// // thread count, faults and all.
+/// assert_eq!(run(1).stable_json(), run(3).stable_json());
+/// ```
+pub struct FleetEngine {
+    config: FleetConfig,
+    obs: Option<Obs>,
+}
+
+impl FleetEngine {
+    /// Creates a fleet engine; the shield's `deterministic` is forced on
+    /// and per-request series off, as in [`crate::ShardedEngine`].
+    pub fn new(mut config: FleetConfig) -> Self {
+        config.server.deterministic = true;
+        config.server.series_every = None;
+        FleetEngine { config, obs: None }
+    }
+
+    /// Attaches a master observability recorder; per-shard recorders are
+    /// merged into it in fixed shard order ([`Obs::absorb_shards`]).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Replays `trace` across the fleet. `build(node, shard, capacity,
+    /// shard_obs)` constructs one node's cache slice for one shard; it
+    /// must be `Fn + Sync` because churn presets rebuild slices
+    /// mid-replay from worker threads (derive per-slice seeds as
+    /// `shard_seed(shard_seed(base, node), shard)`).
+    pub fn replay<P, B>(&self, trace: &Trace, build: B) -> FleetReport
+    where
+        P: CachePolicy + Send,
+        B: Fn(usize, usize, u64, Option<&Obs>) -> P + Sync,
+    {
+        let n_shards = self.config.n_shards.max(1);
+        let n_nodes = self.config.n_nodes.clamp(1, MAX_NODES);
+        let node_capacity =
+            (self.config.total_capacity / (n_nodes as u64 * n_shards as u64)).max(1);
+        let shield_capacity = self.config.shield_capacity / n_shards as u64;
+        let ring = HashRing::new(n_nodes, self.config.vnodes);
+
+        if let Some(obs) = &self.obs {
+            for &(start, end) in &self.config.server.faults.outages {
+                obs.emit(Event::new(start, EventKind::OutageStart).field("until_secs", end));
+                obs.emit(Event::new(end, EventKind::OutageEnd));
+            }
+            for &(node, start, end) in &self.config.node_faults.windows {
+                obs.emit(
+                    Event::new(start, EventKind::NodeDown)
+                        .field("node", node as u64)
+                        .field("until_secs", end),
+                );
+                obs.emit(Event::new(end, EventKind::NodeUp).field("node", node as u64));
+            }
+        }
+
+        let measured_total = trace
+            .len()
+            .saturating_sub(self.config.server.warmup_requests);
+        let per_shard_latency_cap =
+            measured_total / n_shards + measured_total / (n_shards * 4) + 16;
+
+        let shards: Vec<FleetShard<P>> = (0..n_shards)
+            .map(|s| {
+                let obs = self
+                    .obs
+                    .as_ref()
+                    .map(|master| Obs::new(master.config().clone()));
+                let mut faults = self.config.server.faults.clone();
+                faults.seed = shard_seed(faults.seed, s);
+                let server_config = ServerConfig {
+                    faults: faults.clone(),
+                    ..self.config.server.clone()
+                };
+                FleetShard {
+                    nodes: (0..n_nodes)
+                        .map(|node| NodeSlice {
+                            policy: build(node, s, node_capacity, obs.as_ref()),
+                            epoch: 0,
+                            seen: 0,
+                            measured: 0,
+                            hits: 0,
+                            errors: 0,
+                        })
+                        .collect(),
+                    shield: CdnServer::new(Lru::new(shield_capacity), server_config.clone()),
+                    plan: FaultPlan::new(faults),
+                    breaker: CircuitBreaker::new(server_config.resilience.breaker.clone()),
+                    in_flight: FastMap::default(),
+                    hints: FastMap::default(),
+                    retries: 0,
+                    compute_ms: 0.0,
+                    latencies: Vec::with_capacity(per_shard_latency_cap),
+                    bytes_served: 0,
+                    bytes_hit: 0,
+                    wan_bytes: 0,
+                    edge_hits: 0,
+                    peer_hits: 0,
+                    shield_hits: 0,
+                    shield_lookups: 0,
+                    errors: 0,
+                    unrouted: 0,
+                    failovers: 0,
+                    stale_served: 0,
+                    coalesced: 0,
+                    measured: 0,
+                    seen: 0,
+                    peak_meta: 0,
+                    acc: obs.as_ref().map(|o| SeriesAcc::new(o.window())),
+                    obs,
+                    lat_hist: LogHistogram::new(),
+                    last_opens: 0,
+                    last_closes: 0,
+                }
+            })
+            .collect();
+
+        let name = shards
+            .first()
+            .and_then(|s| s.nodes.first())
+            .map(|slice| format!("fleet({})x{}", slice.policy.name(), n_nodes))
+            .unwrap_or_default();
+        if let Some(master) = &self.obs {
+            master.set_meta("policy", name.as_str());
+            master.set_meta("trace", trace.name.as_str());
+            master.set_meta("nodes", n_nodes as u64);
+            master.set_meta("shards", n_shards as u64);
+        }
+
+        let ctx = FleetCtx {
+            ring: &ring,
+            faults: &self.config.node_faults,
+            lat: self.config.server.latency.clone(),
+            hint_ttl_secs: self.config.hint_ttl_secs,
+            peer_hints: self.config.peer_hints,
+            node_capacity,
+            build: &build,
+        };
+        let warmup = self.config.server.warmup_requests;
+        let threads = self.config.route.resolve_threads().clamp(1, n_shards);
+        let wall_start = Instant::now();
+        let mut shards = route(trace, shards, &self.config.route, |state, s, i, req| {
+            state.step(&ctx, warmup, s, i, req)
+        });
+        let wall_secs = wall_start.elapsed().as_secs_f64();
+
+        // Merge in fixed shard order, then fixed node order.
+        let mut latencies = Vec::with_capacity(trace.len());
+        let mut shard_obs = Vec::new();
+        let mut bytes_served = 0u128;
+        let mut bytes_hit = 0u128;
+        let mut wan_bytes = 0u128;
+        let mut edge_hits = 0u64;
+        let mut peer_hits = 0u64;
+        let mut shield_hits = 0u64;
+        let mut shield_lookups = 0u64;
+        let mut errors = 0u64;
+        let mut unrouted = 0u64;
+        let mut failovers = 0u64;
+        let mut stale_served = 0u64;
+        let mut coalesced = 0u64;
+        let mut retries = 0u64;
+        let mut measured = 0u64;
+        let mut peak_meta = 0u64;
+        let mut breaker_opens = 0u64;
+        let mut breaker_closes = 0u64;
+        let mut node_seen = vec![0u64; n_nodes];
+        let mut node_measured = vec![0u64; n_nodes];
+        let mut node_hits = vec![0u64; n_nodes];
+        let mut node_errors = vec![0u64; n_nodes];
+        for shard in &mut shards {
+            if let Some(obs) = shard.finalize() {
+                shard_obs.push(obs);
+            }
+            latencies.append(&mut shard.latencies);
+            bytes_served += shard.bytes_served;
+            bytes_hit += shard.bytes_hit;
+            wan_bytes += shard.wan_bytes;
+            edge_hits += shard.edge_hits;
+            peer_hits += shard.peer_hits;
+            shield_hits += shard.shield_hits;
+            shield_lookups += shard.shield_lookups;
+            errors += shard.errors;
+            unrouted += shard.unrouted;
+            failovers += shard.failovers;
+            stale_served += shard.stale_served;
+            coalesced += shard.coalesced;
+            retries += shard.retries;
+            measured += shard.measured;
+            peak_meta += shard.peak_meta;
+            breaker_opens += shard.breaker.opens();
+            breaker_closes += shard.breaker.closes();
+            for (node, slice) in shard.nodes.iter().enumerate() {
+                node_seen[node] += slice.seen;
+                node_measured[node] += slice.measured;
+                node_hits[node] += slice.hits;
+                node_errors[node] += slice.errors;
+            }
+        }
+        let (p90_latency_ms, p99_latency_ms) = pct2(&mut latencies);
+        let mean = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        let duration = trace.duration().as_secs_f64().max(1e-9);
+        let pct = |part: f64, whole: f64| {
+            if whole <= 0.0 {
+                0.0
+            } else {
+                part / whole * 100.0
+            }
+        };
+        let origin_offload_pct = if bytes_served == 0 {
+            100.0
+        } else {
+            (1.0 - wan_bytes as f64 / bytes_served as f64) * 100.0
+        };
+        let availability_pct = if measured == 0 {
+            100.0
+        } else {
+            (measured - errors - unrouted) as f64 / measured as f64 * 100.0
+        };
+        let node_imbalance = crate::engine::shard_skew(&node_seen).0;
+        let per_node_hit_pct: Vec<f64> = node_hits
+            .iter()
+            .zip(&node_measured)
+            .map(|(&h, &m)| pct(h as f64, m as f64))
+            .collect();
+
+        if let Some(master) = &self.obs {
+            master.absorb_shards(&shard_obs);
+            master.gauge_set("fleet.node_imbalance", node_imbalance);
+            master.gauge_set("fleet.origin_offload_pct", origin_offload_pct);
+            master.gauge_set(
+                "server.replay_wall_secs",
+                if master.deterministic() {
+                    0.0
+                } else {
+                    wall_secs
+                },
+            );
+        }
+
+        FleetReport {
+            name,
+            trace: trace.name.clone(),
+            n_nodes: n_nodes as u64,
+            vnodes: self.config.vnodes.max(1) as u64,
+            n_shards: n_shards as u64,
+            threads: threads as u64,
+            requests_per_sec: if wall_secs > 0.0 {
+                trace.len() as f64 / wall_secs
+            } else {
+                0.0
+            },
+            requests: measured,
+            edge_hit_pct: pct(edge_hits as f64, measured as f64),
+            byte_hit_pct: pct(bytes_hit as f64, bytes_served as f64),
+            shield_hit_pct: pct(shield_hits as f64, shield_lookups as f64),
+            peer_hits,
+            origin_offload_pct,
+            availability_pct,
+            errors_served: errors,
+            unrouted,
+            failovers,
+            stale_served,
+            retries,
+            coalesced_fetches: coalesced,
+            breaker_opens,
+            breaker_closes,
+            mean_latency_ms: mean,
+            p90_latency_ms,
+            p99_latency_ms,
+            wan_gbps: wan_bytes as f64 * 8.0 / duration / 1e9,
+            peak_mem_gb: peak_meta as f64 / 1e9,
+            per_node_requests: node_seen,
+            per_node_hit_pct,
+            per_node_errors: node_errors,
+            node_imbalance,
+            replay_wall_secs: wall_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_util::json::{FromJson, Json};
+
+    fn trace(n: usize, objects: u64, size: u64) -> Trace {
+        let mut t = Trace::new("fleet-test");
+        for i in 0..n {
+            t.push(Request::new(
+                Time::from_secs(i as u64),
+                (i as u64 * 7) % objects,
+                size,
+            ));
+        }
+        t
+    }
+
+    fn config(threads: usize, total_capacity: u64) -> FleetConfig {
+        let mut c = FleetConfig::new(total_capacity);
+        c.n_shards = 4;
+        c.route = RouteConfig {
+            threads,
+            ..RouteConfig::default()
+        };
+        c
+    }
+
+    #[test]
+    fn ring_covers_every_node_and_is_stable() {
+        let ring = HashRing::new(5, 64);
+        let mut seen = [0u64; 5];
+        for id in 0..10_000u64 {
+            let n = ring.primary(id);
+            assert_eq!(n, ring.primary(id), "primary is a pure function");
+            assert_eq!(
+                ring.node_for(id, |_| true),
+                Some(n),
+                "all-live routing equals the primary"
+            );
+            seen[n] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 0), "{seen:?}");
+    }
+
+    #[test]
+    fn ring_keyspace_is_balanced() {
+        // Regression: without the avalanche finalizer and domain tags,
+        // node 0 owned two thirds of the keyspace *and* captured every
+        // id below `vnodes` (its points equalled those ids' key hashes).
+        let ring = HashRing::new(4, 64);
+        let mut counts = [0u64; 4];
+        for id in 0..40_000u64 {
+            counts[ring.primary(id)] += 1;
+        }
+        for (node, &c) in counts.iter().enumerate() {
+            assert!(
+                (5_500..=14_500).contains(&c),
+                "node {node} owns {c} of 40k uniform ids: {counts:?}"
+            );
+        }
+        let mut small = [0u64; 4];
+        for id in 0..64u64 {
+            small[ring.primary(id)] += 1;
+        }
+        assert!(small.iter().all(|&c| c > 0), "dense ids cluster: {small:?}");
+    }
+
+    #[test]
+    fn ring_failover_is_bounded_rehash() {
+        let ring = HashRing::new(4, 64);
+        let down = 2usize;
+        for id in 0..5_000u64 {
+            let primary = ring.primary(id);
+            let rerouted = ring.node_for(id, |n| n != down);
+            if primary != down {
+                assert_eq!(rerouted, Some(primary), "live primaries never move");
+            } else {
+                let got = rerouted.expect("three nodes are still live");
+                assert_ne!(got, down);
+            }
+        }
+        assert_eq!(ring.node_for(7, |_| false), None, "all-down is unrouted");
+    }
+
+    #[test]
+    fn presets_compile_to_deterministic_schedules() {
+        assert!(NodeFaultConfig::preset("nope", 1, 4, 100.0).is_none());
+        let none = NodeFaultConfig::preset("none", 1, 4, 100.0).unwrap();
+        assert!(none.windows.is_empty());
+
+        let brown = NodeFaultConfig::preset("node-brownout", 6, 4, 1000.0).unwrap();
+        assert_eq!(brown.windows, vec![(2, 350.0, 650.0)]);
+        assert!(brown.down(2, 400.0) && !brown.down(2, 700.0) && !brown.down(1, 400.0));
+        assert_eq!(brown.epoch(2, 400.0), 0);
+        assert_eq!(brown.epoch(2, 650.0), 1);
+        assert!((brown.down_secs(2) - 300.0).abs() < 1e-9);
+
+        let churn = NodeFaultConfig::preset("node-churn", 9, 4, 1000.0).unwrap();
+        assert!(churn.cold_restart);
+        assert_eq!(churn.windows.len(), 4);
+        let flaky_a = NodeFaultConfig::preset("node-flaky", 3, 2, 1000.0).unwrap();
+        let flaky_b = NodeFaultConfig::preset("node-flaky", 3, 2, 1000.0).unwrap();
+        assert_eq!(flaky_a.windows, flaky_b.windows, "pure function of seed");
+        assert_eq!(flaky_a.windows.len(), 8);
+    }
+
+    #[test]
+    fn replay_is_identical_across_thread_counts_under_churn() {
+        let t = trace(12_000, 200, 1 << 14);
+        let run = |threads: usize| {
+            let mut c = config(threads, 64 << 14);
+            c.node_faults =
+                NodeFaultConfig::preset("node-churn", 5, c.n_nodes, t.duration().as_secs_f64())
+                    .unwrap();
+            FleetEngine::new(c)
+                .replay(&t, |_, _, cap, _| Lru::new(cap))
+                .stable_json()
+        };
+        let baseline = run(1);
+        assert_eq!(baseline, run(2));
+        assert_eq!(baseline, run(8));
+    }
+
+    #[test]
+    fn brownout_fails_over_and_stays_available() {
+        let t = trace(16_000, 300, 1 << 14);
+        let run = |preset: &str| {
+            let mut c = config(2, 128 << 14);
+            c.node_faults =
+                NodeFaultConfig::preset(preset, 6, c.n_nodes, t.duration().as_secs_f64()).unwrap();
+            FleetEngine::new(c).replay(&t, |_, _, cap, _| Lru::new(cap))
+        };
+        let calm = run("none");
+        let brown = run("node-brownout");
+        assert_eq!(calm.failovers, 0);
+        assert_eq!(calm.unrouted, 0);
+        assert!(brown.failovers > 0, "down node must re-route");
+        assert_eq!(brown.unrouted, 0, "three live nodes remain");
+        // The origin is infallible here, so failover keeps every request
+        // served: availability stays at 100%, far above the no-failover
+        // analytic floor of ~92.5% (30% downtime × 1/4 of the keyspace).
+        assert!(brown.availability_pct > 99.99, "{}", brown.availability_pct);
+        assert!(
+            brown.origin_offload_pct <= calm.origin_offload_pct + 1e-9,
+            "offload can only degrade under faults: {} vs {}",
+            brown.origin_offload_pct,
+            calm.origin_offload_pct
+        );
+    }
+
+    #[test]
+    fn peer_hints_reduce_origin_traffic() {
+        // Churn makes nodes rejoin *cold*: a rejoined node misses keys
+        // its ring successor absorbed (and published hints for) during
+        // the window, so the hint path serves them intra-fleet. Capacity
+        // is ample so the peers still hold those keys.
+        let t = trace(16_000, 300, 1 << 14);
+        let run = |peer_hints: bool| {
+            let mut c = config(1, 1 << 26);
+            c.peer_hints = peer_hints;
+            c.shield_capacity = 0;
+            c.node_faults =
+                NodeFaultConfig::preset("node-churn", 6, c.n_nodes, t.duration().as_secs_f64())
+                    .unwrap();
+            FleetEngine::new(c).replay(&t, |_, _, cap, _| Lru::new(cap))
+        };
+        let with = run(true);
+        let without = run(false);
+        assert!(
+            with.peer_hits > 0,
+            "cold rejoins must exercise the hint path"
+        );
+        assert_eq!(without.peer_hits, 0);
+        assert!(
+            with.origin_offload_pct >= without.origin_offload_pct,
+            "{} vs {}",
+            with.origin_offload_pct,
+            without.origin_offload_pct
+        );
+    }
+
+    #[test]
+    fn zero_capacity_shield_still_serves() {
+        let t = trace(4_000, 100, 1 << 10);
+        let mut c = config(1, 32 << 10);
+        c.shield_capacity = 0;
+        let report = FleetEngine::new(c).replay(&t, |_, _, cap, _| Lru::new(cap));
+        assert_eq!(report.shield_hit_pct, 0.0);
+        assert!(report.availability_pct > 99.99);
+        assert!(report.requests > 0);
+    }
+
+    #[test]
+    fn report_json_roundtrips() {
+        let t = trace(3_000, 80, 1 << 10);
+        let report = FleetEngine::new(config(1, 64 << 10)).replay(&t, |_, _, cap, _| Lru::new(cap));
+        let json = report.to_json().to_string();
+        let back = FleetReport::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.to_json().to_string(), json);
+        assert_eq!(back.n_nodes, 4);
+        assert_eq!(back.per_node_requests.len(), 4);
+    }
+}

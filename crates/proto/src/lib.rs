@@ -31,6 +31,12 @@
 //! replay the trace over bounded channels, and the per-shard results merge
 //! in fixed shard order, so reports and obs exports are byte-identical at
 //! any thread count (the determinism contract in `ARCHITECTURE.md`).
+//!
+//! [`fleet::FleetEngine`] turns the single cache into a CDN: N edge
+//! nodes on a consistent-hash ring over a shared origin-shield tier,
+//! with node-level fault injection (down/up windows, churn with cold
+//! restarts), ring-successor failover, and a peer-hint protocol — under
+//! the same determinism contract.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -38,6 +44,7 @@
 pub mod concurrent;
 pub mod engine;
 pub mod fault;
+pub mod fleet;
 pub mod latency;
 pub mod presets;
 pub mod server;
@@ -49,6 +56,7 @@ pub use fault::{
     BreakerConfig, BreakerState, CircuitBreaker, FaultConfig, FaultPlan, OriginOutcome,
     ResilienceConfig, RetryPolicy,
 };
+pub use fleet::{FleetConfig, FleetEngine, FleetReport, HashRing, NodeFaultConfig};
 pub use latency::LatencyModel;
 pub use server::{CdnServer, ServerConfig, ServerReport};
 pub use tiered::{Tier, TieredCache};

@@ -226,6 +226,29 @@ fn origin_fetch(
 /// uses a request-local [`FastMap`]; the threaded engine shares one
 /// [`crate::FetchTable`] across shards so the same serve code coalesces
 /// against fetches no matter which shard claimed them.
+/// Both latency percentiles via selection instead of a full sort —
+/// identical values (the k-th order statistic is unique under
+/// `total_cmp`), O(n): select p90, then select p99 inside the ≥p90 tail
+/// the first selection partitioned off. NaN latencies (a degenerate
+/// latency model) still order last and degrade the percentile instead of
+/// panicking the whole replay. Shared by the single server, the sharded
+/// engine, and the fleet merge paths.
+pub(crate) fn pct2(values: &mut [f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len();
+    let i90 = ((n as f64 * 0.90).ceil() as usize).clamp(1, n) - 1;
+    let i99 = ((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1;
+    let (_, &mut p90, tail) = values.select_nth_unstable_by(i90, f64::total_cmp);
+    let p99 = if i99 > i90 {
+        *tail.select_nth_unstable_by(i99 - i90 - 1, f64::total_cmp).1
+    } else {
+        p90
+    };
+    (p90, p99)
+}
+
 pub(crate) trait InFlight {
     /// The in-flight window for `id`, if one exists.
     fn get(&self, id: ObjectId) -> Option<(Time, bool)>;
@@ -484,27 +507,6 @@ impl<P: CachePolicy> CdnServer<P> {
                 },
             );
         }
-        // Both percentiles via selection instead of a full sort — identical
-        // values (the k-th order statistic is unique under total_cmp), O(n):
-        // select p90, then select p99 inside the ≥p90 tail the first
-        // selection partitioned off. NaN latencies (a degenerate latency
-        // model) still order last and degrade the percentile instead of
-        // panicking the whole replay.
-        let pct2 = |values: &mut [f64]| -> (f64, f64) {
-            if values.is_empty() {
-                return (0.0, 0.0);
-            }
-            let n = values.len();
-            let i90 = ((n as f64 * 0.90).ceil() as usize).clamp(1, n) - 1;
-            let i99 = ((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1;
-            let (_, &mut p90, tail) = values.select_nth_unstable_by(i90, f64::total_cmp);
-            let p99 = if i99 > i90 {
-                *tail.select_nth_unstable_by(i99 - i90 - 1, f64::total_cmp).1
-            } else {
-                p90
-            };
-            (p90, p99)
-        };
         let (p90_latency_ms, p99_latency_ms) = pct2(&mut latencies);
         let (degraded_p90_latency_ms, degraded_p99_latency_ms) = pct2(&mut degraded_latencies);
         let mean = if latencies.is_empty() {

@@ -7,6 +7,7 @@
 
 use crate::engine::{SimConfig, SimResult, Simulator};
 use crate::policy::CachePolicy;
+use lhr_obs::Obs;
 use lhr_trace::Trace;
 
 /// A named policy constructor: given a capacity in bytes, builds a fresh
@@ -50,7 +51,32 @@ pub fn run_grid(
     config: &SimConfig,
     threads: usize,
 ) -> Vec<SimResult> {
+    run_grid_obs(factories, cells, config, threads, None)
+}
+
+/// [`run_grid`] with an optional observability recorder. Each worker gets a
+/// private shard recorder (the [`crate::shard`] pattern — a `SpanTree`
+/// assumes one thread per recorder) and wraps every cell it claims in a
+/// `sweep.cell` span; the shards are absorbed into `obs` in worker order
+/// once the scope ends. All workers share the single span path, so the
+/// merged span count is exactly `cells.len()` and — in deterministic mode —
+/// the export is byte-identical at any thread count even though *which*
+/// worker ran a given cell is a race.
+pub fn run_grid_obs(
+    factories: &[PolicyFactory],
+    cells: &[Cell<'_>],
+    config: &SimConfig,
+    threads: usize,
+    obs: Option<&Obs>,
+) -> Vec<SimResult> {
     assert!(threads > 0, "need at least one worker");
+    let workers = threads.min(cells.len().max(1));
+    let worker_obs: Vec<Obs> = match obs {
+        Some(master) => (0..workers)
+            .map(|_| Obs::new(master.config().clone()))
+            .collect(),
+        None => Vec::new(),
+    };
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Option<SimResult>> = (0..cells.len()).map(|_| None).collect();
     // Workers claim cells off a shared counter and send `(index, result)`
@@ -59,12 +85,14 @@ pub fn run_grid(
     let (tx, rx) = std::sync::mpsc::channel::<(usize, SimResult)>();
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(cells.len().max(1)) {
+        for w in 0..workers {
             let tx = tx.clone();
             let next = &next;
+            let wo = worker_obs.get(w);
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
+                let _cell_span = wo.map(|o| o.span("sweep.cell"));
                 let factory = &factories[cell.policy];
                 let mut policy = (factory.build)(cell.capacity);
                 let result = Simulator::new(config.clone()).run(&mut policy, cell.trace);
@@ -76,6 +104,11 @@ pub fn run_grid(
             results[i] = Some(result);
         }
     });
+
+    if let Some(master) = obs {
+        master.absorb_shards(&worker_obs);
+        master.counter_add("sweep.cells", cells.len() as u64);
+    }
 
     results
         .into_iter()
@@ -207,5 +240,41 @@ mod tests {
     fn empty_cells_is_fine() {
         let results = run_grid(&[], &[], &SimConfig::default(), 2);
         assert!(results.is_empty());
+    }
+
+    /// One `sweep.cell` span per cell, and a deterministic-mode export that
+    /// is byte-identical regardless of how many workers raced for cells.
+    #[test]
+    fn grid_obs_is_thread_count_invariant() {
+        use lhr_obs::{Obs, ObsConfig};
+        let t = trace();
+        let factories = vec![factory(), factory()];
+        let cells: Vec<Cell<'_>> = (0..6)
+            .map(|i| Cell {
+                policy: i % 2,
+                trace: &t,
+                capacity: 100 + 50 * i as u64,
+            })
+            .collect();
+        let config = ObsConfig {
+            deterministic: true,
+            ..ObsConfig::default()
+        };
+        let export = |threads: usize| {
+            let obs = Obs::new(config.clone());
+            run_grid_obs(
+                &factories,
+                &cells,
+                &SimConfig::default(),
+                threads,
+                Some(&obs),
+            );
+            obs.to_jsonl()
+        };
+        let one = export(1);
+        assert!(one.contains("sweep.cell"), "{one}");
+        assert!(one.contains("sweep.cells"), "{one}");
+        assert_eq!(one, export(4));
+        assert_eq!(one, export(8));
     }
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Records the edge-fleet scaling baseline into BENCH_fleet.json (one
+# `fleet_scaling` JSON line for the medium trace: requests/sec and origin
+# offload at 1, 2, 4, and 8 nodes, total edge capacity held constant).
+# The offload column shows the consistent-hash fragmentation cost as the
+# same bytes split into more, smaller caches. The summary also records
+# `host_cpus` — judge throughput against it on small containers. Re-run
+# after any change to the fleet or serving hot path and commit the
+# refreshed file.
+#
+# Usage: scripts/bench_fleet.sh [output-file]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_fleet.json}"
+
+cargo build --release --offline -p lhr-bench --bin fleet
+
+: > "$out"
+echo "==> fleet bench, scale=medium"
+LHR_BENCH_JSON="$out" \
+  cargo run --release --offline -p lhr-bench --bin fleet -- --scale medium
+
+echo "wrote $out"

@@ -106,4 +106,41 @@ LHR_BENCH_WARMUP_MS=20 LHR_BENCH_MEASURE_MS=100 \
 echo "==> two-process determinism test (fixed-seed hashing across OS processes)"
 cargo test -q --offline --test process_determinism
 
+echo "==> fleet chaos suite (node churn, availability floor, bounded rehash)"
+cargo test -q --offline --test fleet
+
+echo "==> CLI fleet smoke (--faults node-brownout)"
+cargo run --release --offline -p lhr-cli -- fleet \
+  --policy LRU --capacity 50MB --nodes 4 --faults node-brownout \
+  "$smoke_dir/t.csv" > "$smoke_dir/fleet.out"
+grep -q "availability:" "$smoke_dir/fleet.out"
+grep -q "failovers:" "$smoke_dir/fleet.out"
+
+echo "==> fleet determinism smoke (--threads 1 vs 4 under node-churn)"
+# The fleet clause of the determinism contract (ARCHITECTURE.md): stable
+# reports and deterministic --obs exports are byte-identical at any
+# thread count, even while nodes leave and rejoin cold.
+for t in 1 4; do
+  cargo run --release --offline -p lhr-cli -- fleet \
+    --policy LHR --capacity 1MB --nodes 4 --faults node-churn --threads "$t" \
+    --report "$smoke_dir/f$t.json" \
+    --obs "$smoke_dir/fo$t.jsonl" --obs-window 1000r --obs-deterministic true \
+    "$smoke_dir/t.csv" > /dev/null
+done
+cmp "$smoke_dir/f1.json" "$smoke_dir/f4.json"
+cmp "$smoke_dir/fo1.jsonl" "$smoke_dir/fo4.jsonl"
+
+echo "==> fleet scaling bench smoke (tiny scale)"
+LHR_BENCH_WARMUP_MS=20 LHR_BENCH_MEASURE_MS=100 \
+  cargo run --release --offline -p lhr-bench --bin fleet -- --scale tiny
+
+echo "==> bench --obs determinism smoke (fig2, threads 1 vs 4)"
+# Sweep workers record per-cell spans into private shard recorders; the
+# merged deterministic export must not depend on which worker won a cell.
+for t in 1 4; do
+  cargo run --release --offline -q -p lhr-bench --bin fig2 -- \
+    --scale tiny --threads "$t" --obs "$smoke_dir/bench-obs$t.jsonl" > /dev/null
+done
+cmp "$smoke_dir/bench-obs1.jsonl" "$smoke_dir/bench-obs4.jsonl"
+
 echo "verify: OK"
