@@ -17,9 +17,11 @@ pub mod belady;
 pub mod exact;
 pub mod future;
 pub mod infinite;
+pub mod observed;
 pub mod pfoo;
 
 pub use belady::{Belady, BeladySize};
 pub use exact::ExactOpt;
 pub use infinite::InfiniteCap;
+pub use observed::ObservedBound;
 pub use pfoo::{PfooLower, PfooUpper};

@@ -1,0 +1,122 @@
+//! Observability for the offline-bound experiment path: wraps any
+//! [`OfflineBound`] so each evaluation records a profiling span, result
+//! counters, and a gauge into an [`Obs`] recorder — the same `--obs`
+//! export format the serving paths produce, so `obs summarize` renders a
+//! bound sweep exactly like a replay.
+//!
+//! Bounds classify the whole trace at once (no per-request loop to hook),
+//! so the instrumentation is evaluation-level: one
+//! `bound.evaluate/<name>` span per call plus `bound.<name>.*` counters.
+//! In deterministic mode the spans carry zeroed durations and the export
+//! is byte-identical across runs.
+
+use lhr_obs::Obs;
+use lhr_sim::{OfflineBound, SimMetrics};
+use lhr_trace::Trace;
+
+/// An [`OfflineBound`] that reports each evaluation to an [`Obs`] recorder.
+pub struct ObservedBound<B> {
+    inner: B,
+    obs: Obs,
+}
+
+impl<B: OfflineBound> ObservedBound<B> {
+    /// Wraps `inner` so evaluations record into `obs`.
+    pub fn new(inner: B, obs: Obs) -> Self {
+        ObservedBound { inner, obs }
+    }
+
+    /// The wrapped bound.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: OfflineBound> OfflineBound for ObservedBound<B> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn evaluate(&self, trace: &Trace, capacity: u64) -> SimMetrics {
+        let name = self.inner.name().to_string();
+        let metrics = {
+            let _span = self.obs.span(&format!("bound.evaluate/{name}"));
+            self.inner.evaluate(trace, capacity)
+        };
+        self.obs
+            .counter_add(&format!("bound.{name}.requests"), metrics.requests);
+        self.obs
+            .counter_add(&format!("bound.{name}.hits"), metrics.hits);
+        self.obs.gauge_set(
+            &format!("bound.{name}.hit_ratio"),
+            metrics.object_hit_ratio(),
+        );
+        metrics
+    }
+}
+
+/// Boxed-erased convenience used by the CLI: wraps an already boxed bound
+/// (the `Box<dyn OfflineBound>` delegation impl lives in `lhr_sim`).
+impl ObservedBound<Box<dyn OfflineBound>> {
+    /// Wraps a boxed bound (the CLI's bound table is heterogenous).
+    pub fn boxed(inner: Box<dyn OfflineBound>, obs: Obs) -> Box<dyn OfflineBound> {
+        Box::new(ObservedBound { inner, obs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InfiniteCap;
+    use lhr_obs::ObsConfig;
+    use lhr_trace::{Request, Time};
+
+    fn trace() -> Trace {
+        let mut t = Trace::new("t");
+        for i in 0..10u64 {
+            t.push(Request::new(Time::from_secs(i), i % 3, 100));
+        }
+        t
+    }
+
+    #[test]
+    fn observed_bound_matches_inner_and_records() {
+        let obs = Obs::new(ObsConfig {
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        let wrapped = ObservedBound::new(InfiniteCap, obs.clone());
+        let t = trace();
+        let direct = InfiniteCap.evaluate(&t, 1 << 20);
+        let via = wrapped.evaluate(&t, 1 << 20);
+        assert_eq!(via.hits, direct.hits);
+        assert_eq!(wrapped.name(), "InfiniteCap");
+        let jsonl = obs.to_jsonl();
+        assert!(
+            jsonl.contains("\"path\":\"bound.evaluate/InfiniteCap\""),
+            "{jsonl}"
+        );
+        assert!(
+            jsonl.contains("\"name\":\"bound.InfiniteCap.hits\""),
+            "{jsonl}"
+        );
+        assert!(
+            jsonl.contains("\"name\":\"bound.InfiniteCap.hit_ratio\""),
+            "{jsonl}"
+        );
+    }
+
+    #[test]
+    fn deterministic_export_is_repeatable() {
+        let run = || {
+            let obs = Obs::new(ObsConfig {
+                deterministic: true,
+                ..ObsConfig::default()
+            });
+            let t = trace();
+            ObservedBound::boxed(Box::new(InfiniteCap), obs.clone()).evaluate(&t, 1 << 20);
+            obs.to_jsonl()
+        };
+        assert_eq!(run(), run());
+    }
+}

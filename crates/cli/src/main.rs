@@ -91,7 +91,17 @@ USAGE:
                                                    --origin-faults
   lhr-cache obs summarize PATH                     render an --obs recording
                                                    as a text report (series
-                                                   sparklines, events, spans)
+                                                   sparklines, events, spans,
+                                                   exemplar traces)
+  lhr-cache obs trace PATH [--id N | --slowest K]  render sampled request-path
+                                                   traces as step waterfalls
+                                                   (default: the per-window
+                                                   worst-latency exemplars)
+  lhr-cache obs slo PATH [--objective LIST]        evaluate burn-rate SLOs
+                                                   over the export's window
+                                                   series (exit 1 on breach);
+                                                   defaults to the --slo list
+                                                   the run was recorded with
 
   simulate, server, and fleet also accept the sharded-engine flags:
     --threads N               replay with N worker threads (0 = one per
@@ -114,6 +124,16 @@ USAGE:
                               or a bare integer (requests); default 10000r
     --obs-deterministic true  zero wall-clock readings so fixed-seed
                               recordings are byte-identical
+    --trace-sample 1/N        record a request-path trace (edge lookup,
+                              failover, peer hint, shield, origin attempts)
+                              for a deterministic 1-in-N sample of requests;
+                              sampling is a pure function of (object, trace
+                              time), so exports stay byte-identical at any
+                              --threads setting
+    --slo LIST                declare burn-rate objectives evaluated at
+                              export, e.g. avail:99.9,hitratio:80,p99:250;
+                              breaches become SloBreach/SloRecover events
+  bound also accepts --obs PATH (per-bound evaluation spans + counters).
 
   SIZE accepts raw bytes or suffixes KB/MB/GB/TB (powers of 10).
   Trace-reading commands accept --lossy true to skip malformed CSV lines
@@ -234,20 +254,35 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
 /// `--obs PATH` turns recording on, `--obs-window SPEC` sets the series
 /// windowing (`300s`, `5000r`, or a bare request count),
 /// `--obs-deterministic true` zeroes wall-clock readings so fixed-seed
-/// recordings are byte-identical. `compare` builds one recorder per policy
-/// from this configuration; the other commands build exactly one.
+/// recordings are byte-identical, `--trace-sample 1/N` records a
+/// deterministic request-path trace for one request in N, and
+/// `--slo LIST` declares burn-rate objectives (`avail:99.9,p99:50`)
+/// evaluated at export. `compare` builds one recorder per policy from
+/// this configuration; the other commands build exactly one.
 fn obs_config_from_args(args: &Args) -> Result<Option<(ObsConfig, String)>, String> {
     let Some(path) = args.get("obs") else {
-        if args.get("obs-window").is_some() || args.get("obs-deterministic").is_some() {
-            return Err("--obs-window/--obs-deterministic require --obs PATH".to_string());
+        for flag in ["obs-window", "obs-deterministic", "trace-sample", "slo"] {
+            if args.get(flag).is_some() {
+                return Err(format!("--{flag} requires --obs PATH"));
+            }
         }
         return Ok(None);
     };
     let window: ObsWindow = args.get_parse("obs-window")?.unwrap_or_default();
     let deterministic = args.get_parse("obs-deterministic")?.unwrap_or(false);
+    let trace_sample = match args.get("trace-sample") {
+        Some(raw) => lhr_obs::trace::parse_sample(raw)?,
+        None => 0,
+    };
+    let slos = match args.get("slo") {
+        Some(raw) => lhr_obs::slo::parse_objectives(raw)?,
+        None => Vec::new(),
+    };
     let config = ObsConfig {
         window,
         deterministic,
+        trace_sample,
+        slos,
         ..ObsConfig::default()
     };
     Ok(Some((config, path.clone())))
@@ -322,9 +357,189 @@ fn cmd_obs(args: &Args) -> Result<(), String> {
             }
             Ok(())
         }
-        Some(other) => Err(format!("unknown obs action `{other}` (try: summarize)")),
-        None => Err("obs expects an action: summarize PATH".to_string()),
+        Some("trace") => cmd_obs_trace(args),
+        Some("slo") => cmd_obs_slo(args),
+        Some(other) => Err(format!(
+            "unknown obs action `{other}` (try: summarize, trace, slo)"
+        )),
+        None => Err("obs expects an action: summarize | trace | slo PATH".to_string()),
     }
+}
+
+/// Parses every line of an `--obs` JSONL export back into records.
+fn read_obs_export(path: &str) -> Result<Vec<lhr_obs::ObsRecord>, String> {
+    let jsonl = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    jsonl
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| {
+            lhr_obs::ObsRecord::parse_line(l).map_err(|e| format!("{path}:{}: {e}", i + 1))
+        })
+        .collect()
+}
+
+/// Renders one sampled trace as a step waterfall.
+fn print_trace_waterfall(t: &lhr_obs::TraceRecord) {
+    println!(
+        "trace {} object {} t={:.3}s {} B window {} latency {:.3} ms{}",
+        t.id,
+        t.object,
+        t.t,
+        t.bytes,
+        t.window,
+        t.latency_ms,
+        if t.exemplar { " [exemplar]" } else { "" }
+    );
+    for s in &t.steps {
+        let detail: Vec<String> = s.detail.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!(
+            "  +{:>10.3} ms  {:<14} {:>12} B  {}",
+            s.dt_ms,
+            s.step,
+            s.bytes,
+            detail.join(" ")
+        );
+    }
+}
+
+/// `obs trace EXPORT [--id N | --slowest K]`: renders sampled request
+/// paths. Default shows the per-window exemplars (worst sampled latency).
+fn cmd_obs_trace(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("obs trace expects a recording path")?;
+    let records = read_obs_export(path)?;
+    let traces: Vec<lhr_obs::TraceRecord> = records
+        .into_iter()
+        .filter_map(|r| match r {
+            lhr_obs::ObsRecord::Trace(t) => Some(t),
+            _ => None,
+        })
+        .collect();
+    if traces.is_empty() {
+        return Err(format!(
+            "{path}: no sampled traces (was the run recorded with --trace-sample?)"
+        ));
+    }
+    if let Some(id) = args.get_parse::<u64>("id")? {
+        let t = traces
+            .iter()
+            .find(|t| t.id == id)
+            .ok_or_else(|| format!("{path}: no sampled trace with id {id}"))?;
+        print_trace_waterfall(t);
+        return Ok(());
+    }
+    let picked: Vec<&lhr_obs::TraceRecord> = if let Some(k) = args.get_parse::<usize>("slowest")? {
+        let mut by_latency: Vec<&lhr_obs::TraceRecord> = traces.iter().collect();
+        // Worst first; ties break toward the smaller id so the listing is
+        // stable across reruns.
+        by_latency.sort_by(|a, b| b.latency_ms.total_cmp(&a.latency_ms).then(a.id.cmp(&b.id)));
+        by_latency.into_iter().take(k.max(1)).collect()
+    } else {
+        traces.iter().filter(|t| t.exemplar).collect()
+    };
+    println!("{} sampled trace(s) in {path}", traces.len());
+    for (i, t) in picked.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        print_trace_waterfall(t);
+    }
+    Ok(())
+}
+
+/// `obs slo EXPORT [--objective LIST]`: evaluates burn-rate objectives
+/// over the export's window series. Defaults to the objectives the run
+/// was recorded with (the meta line's `slos` key).
+fn cmd_obs_slo(args: &Args) -> Result<(), String> {
+    use lhr_obs::ObsRecord;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("obs slo expects a recording path")?;
+    let records = read_obs_export(path)?;
+    let mut windows = Vec::new();
+    let mut hists: std::collections::BTreeMap<String, lhr_obs::LogHistogram> = Default::default();
+    let mut recorded_slos: Option<String> = None;
+    for r in records {
+        match r {
+            ObsRecord::Window(w) => windows.push(w),
+            ObsRecord::Hist { name, hist } => {
+                hists.insert(name, hist);
+            }
+            ObsRecord::Meta(fields) => {
+                for (k, v) in fields {
+                    if k == "slos" {
+                        if let lhr_util::json::Json::Str(s) = v {
+                            recorded_slos = Some(s);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let raw = match (args.get("objective"), recorded_slos) {
+        (Some(flag), _) => flag.clone(),
+        (None, Some(meta)) => meta,
+        (None, None) => {
+            return Err(format!(
+                "{path}: no objectives — pass --objective (e.g. avail:99.9,p99:250) \
+                 or record the run with --slo"
+            ))
+        }
+    };
+    let objectives = lhr_obs::slo::parse_objectives(&raw)?;
+    if objectives.is_empty() {
+        return Err("empty objective list".to_string());
+    }
+    let verdicts = lhr_obs::slo::evaluate(
+        &objectives,
+        &windows,
+        lhr_obs::slo::pick_latency_hist(&hists),
+    );
+    let mut breached = false;
+    println!(
+        "{:<16} {:>9} {:>12} {:>10}  breached windows",
+        "objective", "verdict", "observed", "events"
+    );
+    for v in &verdicts {
+        breached |= !v.met;
+        let shown: Vec<String> = v
+            .breached_windows
+            .iter()
+            .take(8)
+            .map(u64::to_string)
+            .collect();
+        let more = v.breached_windows.len().saturating_sub(8);
+        let mut tail = shown.join(",");
+        if more > 0 {
+            tail.push_str(&format!(",… +{more}"));
+        }
+        if tail.is_empty() {
+            tail.push('-');
+        }
+        println!(
+            "{:<16} {:>9} {:>12.4} {:>10}  {}",
+            v.objective.to_string(),
+            if v.met { "MET" } else { "BREACHED" },
+            v.observed,
+            v.events.len(),
+            tail
+        );
+    }
+    for v in &verdicts {
+        for e in &v.events {
+            let fields: Vec<String> = e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!("  t={:<12} {:?} {}", e.t, e.kind, fields.join(" "));
+        }
+    }
+    if breached {
+        return Err("one or more objectives breached".to_string());
+    }
+    Ok(())
 }
 
 fn sim_config(args: &Args) -> Result<SimConfig, String> {
@@ -761,6 +976,14 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
 fn cmd_bound(args: &Args) -> Result<(), String> {
     let trace = load_trace(args)?;
     let capacity = parse_size(args.get("capacity").ok_or("--capacity is required")?)?;
+    // `--obs PATH` wraps every bound so each evaluation records a
+    // profiling span and result counters into one shared export.
+    let obs = obs_from_args(args)?;
+    if let Some((o, _)) = &obs {
+        o.set_meta("command", "bound");
+        o.set_meta("trace", trace.name.as_str());
+        o.set_meta("capacity", capacity);
+    }
     let bounds: Vec<Box<dyn OfflineBound>> = vec![
         Box::new(lhr_bounds::InfiniteCap),
         Box::new(lhr_bounds::Belady),
@@ -771,6 +994,10 @@ fn cmd_bound(args: &Args) -> Result<(), String> {
     ];
     println!("{:<12} {:>8} {:>10}", "bound", "hit%", "byte-hit%");
     for bound in bounds {
+        let bound = match &obs {
+            Some((o, _)) => lhr_bounds::ObservedBound::boxed(bound, o.clone()),
+            None => bound,
+        };
         let m = bound.evaluate(&trace, capacity);
         println!(
             "{:<12} {:>8.2} {:>10.2}",
@@ -778,6 +1005,11 @@ fn cmd_bound(args: &Args) -> Result<(), String> {
             m.object_hit_ratio() * 100.0,
             m.byte_hit_ratio() * 100.0
         );
+    }
+    if let Some((o, path)) = &obs {
+        let jsonl = o.to_jsonl();
+        std::fs::write(path, &jsonl).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("obs: wrote {} bytes to {path}", jsonl.len());
     }
     Ok(())
 }

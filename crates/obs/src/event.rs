@@ -50,6 +50,14 @@ pub enum EventKind {
     /// An edge miss was served from a ring peer via the peer-hint
     /// protocol instead of going to the origin (fields: `id`, `peer`).
     PeerHint,
+    /// A service-level objective entered breach: both the fast and slow
+    /// burn rates exceeded 1.0 (fields: `objective`, `window`,
+    /// `fast_burn`, `slow_burn` — or `p99_ms` for run-level latency
+    /// objectives).
+    SloBreach,
+    /// A breached objective's burn rates dropped back under 1.0
+    /// (fields: `objective`, `window`, `fast_burn`, `slow_burn`).
+    SloRecover,
 }
 
 lhr_util::impl_json!(
@@ -68,6 +76,8 @@ lhr_util::impl_json!(
         NodeDown,
         NodeUp,
         PeerHint,
+        SloBreach,
+        SloRecover,
     }
 );
 
@@ -163,6 +173,8 @@ mod tests {
             EventKind::NodeDown,
             EventKind::NodeUp,
             EventKind::PeerHint,
+            EventKind::SloBreach,
+            EventKind::SloRecover,
         ] {
             let text = kind.to_json().to_string();
             assert_eq!(

@@ -22,6 +22,16 @@
 //!   fixed-seed reports stay byte-identical.
 //! - [`hist`] — log-bucketed histograms (powers of two) for latency and
 //!   size distributions.
+//! - [`trace`] — **deterministic request-path tracing**: a `1/N` sample
+//!   of requests (sampling is a pure function of `(object_id, trace
+//!   time)`) each recorded as an ordered step list — edge lookup,
+//!   failover, peer hint, shield lookup, origin attempts, breaker state
+//!   — with simulated-time deltas, plus per-window worst-latency
+//!   exemplar marks.
+//! - [`slo`] — a **burn-rate SLO engine**: declarative objectives
+//!   (availability, hit ratio, P99) evaluated over the windowed series
+//!   with fast/slow multi-window burn rules, emitting deterministic
+//!   breach/recovery events.
 //! - [`record`] — the JSONL line model tying it all together, parseable
 //!   back for offline analysis (`lhr-cache obs summarize`).
 //! - [`summary`] — the text report renderer (sparklines, event taxonomy,
@@ -68,12 +78,16 @@ pub mod hist;
 pub mod record;
 mod recorder;
 pub mod series;
+pub mod slo;
 pub mod span;
 pub mod summary;
+pub mod trace;
 
 pub use event::{Event, EventKind};
 pub use hist::LogHistogram;
 pub use record::ObsRecord;
 pub use recorder::{Obs, ObsConfig};
 pub use series::{ObsWindow, WindowRecord};
+pub use slo::{SloObjective, SloVerdict};
 pub use span::SpanRecord;
+pub use trace::{TraceBuilder, TraceRecord, TraceRecorder, TraceStep};

@@ -12,12 +12,14 @@
 //! {"record":"gauge","name":"lhr.threshold","value":0.37}
 //! {"record":"hist","name":"server.latency_us","total":...,"buckets":[[...]]}
 //! {"record":"span","path":"sim.run","count":1,"total_secs":0,"self_secs":0}
+//! {"record":"trace","id":1234,"object":...,"steps":[{...}]}
 //! ```
 
 use crate::event::Event;
 use crate::hist::LogHistogram;
 use crate::series::WindowRecord;
 use crate::span::SpanRecord;
+use crate::trace::TraceRecord;
 use lhr_util::json::{FromJson, Json, JsonError, ToJson};
 
 /// One line of an obs JSONL stream.
@@ -52,6 +54,8 @@ pub enum ObsRecord {
     },
     /// One node of the profiling span tree.
     Span(SpanRecord),
+    /// One sampled request's path trace.
+    Trace(TraceRecord),
 }
 
 impl ObsRecord {
@@ -65,6 +69,7 @@ impl ObsRecord {
             ObsRecord::Gauge { .. } => "gauge",
             ObsRecord::Hist { .. } => "hist",
             ObsRecord::Span(_) => "span",
+            ObsRecord::Trace(_) => "trace",
         }
     }
 
@@ -112,6 +117,7 @@ impl ToJson for ObsRecord {
                 Json::Object(fields)
             }
             ObsRecord::Span(s) => s.to_json(),
+            ObsRecord::Trace(t) => t.to_json(),
         };
         tagged(self.tag(), payload)
     }
@@ -149,6 +155,7 @@ impl FromJson for ObsRecord {
                 hist: LogHistogram::from_json(v)?,
             }),
             "span" => Ok(ObsRecord::Span(SpanRecord::from_json(v)?)),
+            "trace" => Ok(ObsRecord::Trace(TraceRecord::from_json(v)?)),
             other => Err(JsonError::new(format!("unknown obs record tag `{other}`"))),
         }
     }
@@ -192,6 +199,24 @@ mod tests {
                 count: 1,
                 total_secs: 0.0,
                 self_secs: 0.0,
+            }),
+            ObsRecord::Trace(crate::trace::TraceRecord {
+                id: 9,
+                object: 0xFEED,
+                t: 1.5,
+                bytes: 4096,
+                window: 0,
+                latency_ms: 42.5,
+                exemplar: true,
+                steps: vec![crate::trace::TraceStep {
+                    step: "edge_lookup".to_string(),
+                    dt_ms: 0.0,
+                    bytes: 4096,
+                    detail: vec![
+                        ("node".to_string(), 1u64.to_json()),
+                        ("hit".to_string(), true.to_json()),
+                    ],
+                }],
             }),
         ];
         for r in records {

@@ -12,7 +12,9 @@ use crate::event::Event;
 use crate::hist::LogHistogram;
 use crate::record::ObsRecord;
 use crate::series::{ObsWindow, WindowRecord};
+use crate::slo::{self, SloObjective};
 use crate::span::{SpanRecord, SpanTree};
+use crate::trace::{self, TraceRecord};
 use lhr_util::json::{Json, ToJson};
 use lhr_util::sync::Mutex;
 use std::collections::BTreeMap;
@@ -34,6 +36,16 @@ pub struct ObsConfig {
     /// Cap on buffered events; past it events are counted as dropped (the
     /// `obs.events_dropped` counter) instead of growing without bound.
     pub max_events: usize,
+    /// Request-path trace sampling: record a [`TraceRecord`] for one
+    /// request in `trace_sample` (0 disables tracing). The sampling
+    /// decision is a pure function of `(object_id, trace_time)` — see
+    /// [`crate::trace::sampled`].
+    pub trace_sample: u64,
+    /// Service-level objectives evaluated over the merged window series
+    /// at export time; breaches/recoveries are appended to the event
+    /// section as [`crate::EventKind::SloBreach`] /
+    /// [`crate::EventKind::SloRecover`].
+    pub slos: Vec<SloObjective>,
 }
 
 impl Default for ObsConfig {
@@ -42,6 +54,8 @@ impl Default for ObsConfig {
             window: ObsWindow::default(),
             deterministic: false,
             max_events: 1_000_000,
+            trace_sample: 0,
+            slos: Vec::new(),
         }
     }
 }
@@ -78,6 +92,8 @@ struct Inner {
     windows: Vec<WindowRecord>,
     events: Vec<Event>,
     events_dropped: u64,
+    traces: Vec<TraceRecord>,
+    traces_dropped: u64,
     spans: SpanTree,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
@@ -118,16 +134,36 @@ fn meta_record(config: &ObsConfig, meta: &[(String, Json)]) -> ObsRecord {
         ("window".to_string(), config.window.to_json()),
         ("deterministic".to_string(), config.deterministic.to_json()),
     ];
+    if config.trace_sample > 0 {
+        m.push(("trace_sample".to_string(), config.trace_sample.to_json()));
+    }
+    if !config.slos.is_empty() {
+        let joined: Vec<String> = config.slos.iter().map(|o| o.to_string()).collect();
+        m.push(("slos".to_string(), joined.join(",").to_json()));
+    }
     m.extend(meta.iter().cloned());
     ObsRecord::Meta(m)
 }
 
 /// Every section that follows the windows, in the fixed export order:
-/// events, counters (plus `obs.events_dropped`), gauges, histograms,
-/// spans. Shared by [`Obs::records`] and [`Obs::close_stream`].
-fn post_window_records(inner: &Inner) -> Vec<ObsRecord> {
+/// events (recorded, then SLO verdict events synthesized from the merged
+/// windows), traces (exemplar-marked), counters (plus
+/// `obs.events_dropped` / `obs.traces_dropped`), gauges, histograms,
+/// spans. Shared by [`Obs::records`] and [`Obs::close_stream`]. Taking
+/// the complete `Inner` is what makes the trace/SLO sections pure
+/// functions of the *merged* run — never of the thread count that
+/// produced it.
+fn post_window_records(config: &ObsConfig, inner: &Inner) -> Vec<ObsRecord> {
     let mut out = Vec::new();
     out.extend(inner.events.iter().cloned().map(ObsRecord::Event));
+    if !config.slos.is_empty() {
+        let latency = slo::pick_latency_hist(&inner.hists);
+        let verdicts = slo::evaluate(&config.slos, &inner.windows, latency);
+        out.extend(slo::events(&verdicts).into_iter().map(ObsRecord::Event));
+    }
+    let mut traces = inner.traces.clone();
+    trace::mark_exemplars(&mut traces);
+    out.extend(traces.into_iter().map(ObsRecord::Trace));
     for (name, &value) in &inner.counters {
         out.push(ObsRecord::Counter {
             name: name.clone(),
@@ -138,6 +174,12 @@ fn post_window_records(inner: &Inner) -> Vec<ObsRecord> {
         out.push(ObsRecord::Counter {
             name: "obs.events_dropped".to_string(),
             value: inner.events_dropped,
+        });
+    }
+    if inner.traces_dropped > 0 {
+        out.push(ObsRecord::Counter {
+            name: "obs.traces_dropped".to_string(),
+            value: inner.traces_dropped,
         });
     }
     for (name, &value) in &inner.gauges {
@@ -219,6 +261,30 @@ impl Obs {
         }
     }
 
+    /// Appends one sampled request trace (dropped and counted past
+    /// [`ObsConfig::max_events`], like events). Exemplar marks are
+    /// applied at export time over the complete set.
+    pub fn push_trace(&self, trace: TraceRecord) {
+        let mut inner = self.inner.lock();
+        if inner.traces.len() < self.config.max_events {
+            inner.traces.push(trace);
+        } else {
+            inner.traces_dropped += 1;
+        }
+    }
+
+    /// The configured trace-sampling rate as a [`trace::TraceRecorder`]
+    /// for an instrumented replay loop.
+    pub fn trace_recorder(&self) -> trace::TraceRecorder {
+        trace::TraceRecorder::new(self.config.trace_sample)
+    }
+
+    /// Sampled traces recorded so far (without exemplar marks — those
+    /// are computed at export).
+    pub fn traces(&self) -> Vec<TraceRecord> {
+        self.inner.lock().traces.clone()
+    }
+
     /// Adds `n` to a named counter.
     pub fn counter_add(&self, name: &str, n: u64) {
         let mut inner = self.inner.lock();
@@ -275,7 +341,7 @@ impl Obs {
     pub fn close_stream(&self) -> io::Result<()> {
         let mut inner = self.inner.lock();
         inner.stream_pending(&self.config);
-        let post = post_window_records(&inner);
+        let post = post_window_records(&self.config, &inner);
         let Some(mut sink) = inner.sink.take() else {
             return Ok(());
         };
@@ -300,6 +366,9 @@ impl Obs {
     /// - windows merge by index via [`crate::series::merge_windows`];
     /// - events concatenate in shard order, then stable-sort by trace time,
     ///   so equal-timestamp events keep shard order;
+    /// - traces concatenate in shard order, then sort by trace id (the
+    ///   global request index — unique across shards, so the order is
+    ///   total and independent of the shard layout);
     /// - counters sum; gauges take the last shard's value; histograms and
     ///   span trees merge by name/path; metadata upserts in shard order.
     ///
@@ -311,6 +380,8 @@ impl Obs {
         let mut windows_per: Vec<Vec<WindowRecord>> = Vec::with_capacity(shards.len());
         let mut events: Vec<Event> = Vec::new();
         let mut dropped = 0u64;
+        let mut traces: Vec<TraceRecord> = Vec::new();
+        let mut traces_dropped = 0u64;
         let mut counters: Vec<(String, u64)> = Vec::new();
         let mut gauges: Vec<(String, f64)> = Vec::new();
         let mut hists: Vec<(String, LogHistogram)> = Vec::new();
@@ -321,6 +392,8 @@ impl Obs {
             windows_per.push(inner.windows.clone());
             events.extend(inner.events.iter().cloned());
             dropped += inner.events_dropped;
+            traces.extend(inner.traces.iter().cloned());
+            traces_dropped += inner.traces_dropped;
             for (k, &v) in &inner.counters {
                 counters.push((k.clone(), v));
             }
@@ -334,6 +407,7 @@ impl Obs {
             span_records.extend(inner.spans.records());
         }
         events.sort_by(|a, b| a.t.total_cmp(&b.t));
+        traces.sort_by_key(|t| t.id);
         let merged_windows = crate::series::merge_windows(&windows_per);
 
         let mut inner = self.inner.lock();
@@ -356,6 +430,14 @@ impl Obs {
             }
         }
         inner.events_dropped += dropped;
+        for t in traces {
+            if inner.traces.len() < self.config.max_events {
+                inner.traces.push(t);
+            } else {
+                traces_dropped += 1;
+            }
+        }
+        inner.traces_dropped += traces_dropped;
         for (k, v) in counters {
             *inner.counters.entry(k).or_insert(0) += v;
         }
@@ -399,12 +481,13 @@ impl Obs {
     }
 
     /// Everything recorded, in the fixed export order: meta, windows,
-    /// events, counters, gauges, histograms, spans.
+    /// events (recorded then SLO-synthesized), traces, counters, gauges,
+    /// histograms, spans.
     pub fn records(&self) -> Vec<ObsRecord> {
         let inner = self.inner.lock();
         let mut out = vec![meta_record(&self.config, &inner.meta)];
         out.extend(inner.windows.iter().cloned().map(ObsRecord::Window));
-        out.extend(post_window_records(&inner));
+        out.extend(post_window_records(&self.config, &inner));
         out
     }
 
@@ -469,6 +552,7 @@ mod tests {
             hits: 3,
             ..WindowRecord::default()
         }]);
+        obs.push_trace(crate::trace::TraceBuilder::new(3, 42, 500_000, 64).finish(1.5, 0));
         {
             let _outer = obs.span("run");
             let _inner = obs.span("fit");
@@ -481,10 +565,18 @@ mod tests {
         let tags: Vec<&str> = records.iter().map(|r| r.tag()).collect();
         assert_eq!(
             tags,
-            ["meta", "window", "event", "counter", "gauge", "hist", "span", "span"]
+            ["meta", "window", "event", "trace", "counter", "gauge", "hist", "span", "span"]
         );
+        // The lone trace of its window carries the exemplar mark.
+        match &records[3] {
+            ObsRecord::Trace(t) => {
+                assert_eq!(t.id, 3);
+                assert!(t.exemplar);
+            }
+            other => panic!("expected trace, got {other:?}"),
+        }
         // Deterministic mode: spans exist with counts but zero time.
-        match &records[6] {
+        match &records[7] {
             ObsRecord::Span(s) => {
                 assert_eq!(s.path, "run");
                 assert_eq!(s.count, 1);
@@ -588,6 +680,81 @@ mod tests {
         assert!(jsonl.contains("\"path\":\"replay\",\"count\":2"), "{jsonl}");
     }
 
+    #[test]
+    fn absorb_shards_sorts_traces_by_global_id() {
+        let config = ObsConfig {
+            deterministic: true,
+            trace_sample: 1,
+            ..ObsConfig::default()
+        };
+        let master = Obs::new(config.clone());
+        let a = Obs::new(config.clone());
+        let b = Obs::new(config);
+        // Shard order a,b but ids interleave: merged export sorts by id.
+        a.push_trace(crate::trace::TraceBuilder::new(4, 1, 4_000_000, 10).finish(9.0, 0));
+        b.push_trace(crate::trace::TraceBuilder::new(1, 2, 1_000_000, 10).finish(3.0, 0));
+        b.push_trace(crate::trace::TraceBuilder::new(7, 3, 7_000_000, 10).finish(1.0, 1));
+        master.absorb_shards(&[a, b]);
+        let ids: Vec<u64> = master.traces().iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![1, 4, 7]);
+        // Exemplars per window over the merged set: id 4 (9ms) beats
+        // id 1 (3ms) in window 0; id 7 is alone in window 1.
+        let jsonl = master.to_jsonl();
+        let marked: Vec<u64> = jsonl
+            .lines()
+            .filter_map(|l| match ObsRecord::parse_line(l) {
+                Ok(ObsRecord::Trace(t)) if t.exemplar => Some(t.id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(marked, vec![4, 7]);
+    }
+
+    #[test]
+    fn trace_cap_counts_drops() {
+        let obs = Obs::new(ObsConfig {
+            max_events: 1,
+            deterministic: true,
+            ..ObsConfig::default()
+        });
+        for i in 0..3u64 {
+            obs.push_trace(crate::trace::TraceBuilder::new(i, i, i, 1).finish(0.0, 0));
+        }
+        assert_eq!(obs.traces().len(), 1);
+        let jsonl = obs.to_jsonl();
+        assert!(
+            jsonl.contains("{\"record\":\"counter\",\"name\":\"obs.traces_dropped\",\"value\":2}"),
+            "{jsonl}"
+        );
+    }
+
+    #[test]
+    fn slo_events_are_synthesized_at_export_from_merged_windows() {
+        let config = ObsConfig {
+            deterministic: true,
+            slos: vec![crate::slo::SloObjective::Availability(99.0)],
+            ..ObsConfig::default()
+        };
+        let obs = Obs::new(config);
+        // Every window runs at 50% errors: burns immediately.
+        for i in 0..3u64 {
+            obs.push_windows(vec![WindowRecord {
+                index: i,
+                requests: 100,
+                errors: 50,
+                hits: 40,
+                first_secs: i as f64,
+                last_secs: i as f64 + 0.9,
+                ..WindowRecord::default()
+            }]);
+        }
+        let jsonl = obs.to_jsonl();
+        assert!(jsonl.contains("\"kind\":\"SloBreach\""), "{jsonl}");
+        assert!(jsonl.contains("\"slos\":\"avail:99\""), "{jsonl}");
+        // Export twice: synthesis must not mutate state.
+        assert_eq!(jsonl, obs.to_jsonl());
+    }
+
     fn stream_path(tag: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("lhr-obs-stream-{tag}-{}.jsonl", std::process::id()))
     }
@@ -620,6 +787,7 @@ mod tests {
         h.record(12);
         obs.hist_merge("server.latency_us", &h);
         obs.emit(Event::new(1.5, EventKind::Coalesce).field("id", 7u64));
+        obs.push_trace(crate::trace::TraceBuilder::new(11, 5, 1_500_000, 12).finish(2.0, 1));
         {
             let _g = obs.span("server.replay");
         }

@@ -590,6 +590,20 @@ impl SeriesAcc {
         self.cur_open = false;
     }
 
+    /// The window index the most recent request was credited to. Call
+    /// right after [`on_request`](Self::on_request) /
+    /// [`observe`](Self::observe) and before
+    /// [`take_done`](Self::take_done) — request tracing stamps each
+    /// sampled trace with this so exemplars can link back to windows.
+    #[inline]
+    pub fn last_index(&self) -> u64 {
+        if self.cur_open {
+            self.cur.index
+        } else {
+            self.done.last().map(|w| w.index).unwrap_or(self.cur.index)
+        }
+    }
+
     /// Completed windows so far (drains the internal buffer).
     pub fn take_done(&mut self) -> Vec<WindowRecord> {
         std::mem::take(&mut self.done)

@@ -12,6 +12,7 @@ use crate::hist::LogHistogram;
 use crate::record::ObsRecord;
 use crate::series::WindowRecord;
 use crate::span::SpanRecord;
+use crate::trace::TraceRecord;
 use lhr_util::json::ToJson;
 use std::fmt::Write as _;
 
@@ -137,6 +138,43 @@ fn render_events(out: &mut String, events: &[Event]) {
     }
 }
 
+/// The per-window story: each window with a sampled exemplar gets one
+/// line linking its aggregate hit ratio (and errors) to the concrete
+/// worst-latency trace id `obs trace --id` can pull up.
+fn render_traces(out: &mut String, windows: &[WindowRecord], traces: &[TraceRecord]) {
+    let _ = writeln!(out, "traces: {} sampled", traces.len());
+    let exemplars: Vec<&TraceRecord> = traces.iter().filter(|t| t.exemplar).collect();
+    if exemplars.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "  per-window exemplars (worst sampled latency):");
+    let shown = exemplars.len().min(EVENT_DETAIL_LIMIT);
+    for t in &exemplars[..shown] {
+        let window = windows.iter().find(|w| w.index == t.window);
+        let story = match window {
+            Some(w) => {
+                let mut s = format!("hit {:.2}", w.hit_ratio());
+                if w.errors > 0 {
+                    let _ = write!(s, ", {} errors", w.errors);
+                }
+                s
+            }
+            None => "no window record".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "    window {:<4} {story:<24} exemplar trace {} ({:.1} ms, {} steps)",
+            t.window,
+            t.id,
+            t.latency_ms,
+            t.steps.len()
+        );
+    }
+    if exemplars.len() > shown {
+        let _ = writeln!(out, "    … {} more", exemplars.len() - shown);
+    }
+}
+
 fn render_spans(out: &mut String, spans: &[SpanRecord]) {
     let _ = writeln!(out, "spans:");
     let _ = writeln!(
@@ -204,6 +242,8 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
     let mut gauges: Vec<(String, f64)> = Vec::new();
     let mut hists: Vec<(String, LogHistogram)> = Vec::new();
     let mut spans: Vec<SpanRecord> = Vec::new();
+    let mut traces: Vec<TraceRecord> = Vec::new();
+    let mut tracing_enabled = false;
     for (i, line) in jsonl.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -211,6 +251,7 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
         let record = ObsRecord::parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
         match record {
             ObsRecord::Meta(fields) => {
+                tracing_enabled |= fields.iter().any(|(k, _)| k == "trace_sample");
                 meta.extend(fields.into_iter().map(|(k, v)| (k, v.to_string())))
             }
             ObsRecord::Window(w) => windows.push(w),
@@ -219,6 +260,7 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
             ObsRecord::Gauge { name, value } => gauges.push((name, value)),
             ObsRecord::Hist { name, hist } => hists.push((name, hist)),
             ObsRecord::Span(s) => spans.push(s),
+            ObsRecord::Trace(t) => traces.push(t),
         }
     }
 
@@ -240,6 +282,14 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
         let _ = writeln!(out, "events: none");
     } else {
         render_events(&mut out, &events);
+    }
+    // Only say "traces: none" when tracing was actually on for the run
+    // (the meta line carries `trace_sample`) — an untraced export just
+    // omits the section, a degenerate traced one says so explicitly.
+    if !traces.is_empty() {
+        render_traces(&mut out, &windows, &traces);
+    } else if tracing_enabled {
+        let _ = writeln!(out, "traces: none (sampling enabled, nothing sampled)");
     }
     if !counters.is_empty() {
         let _ = writeln!(out, "counters:");
@@ -412,5 +462,49 @@ mod tests {
         );
         assert!(!report.contains("hit ratio "), "{report}");
         assert!(!report.contains("NaN"), "{report}");
+    }
+
+    /// Sampled traces surface in the report: a count line plus one
+    /// per-window exemplar line naming the trace id `obs trace --id` takes.
+    #[test]
+    fn summarize_surfaces_exemplar_trace_ids() {
+        let obs = Obs::new(ObsConfig {
+            window: ObsWindow::Requests(2),
+            deterministic: true,
+            trace_sample: 1,
+            ..ObsConfig::default()
+        });
+        let mut acc = SeriesAcc::new(obs.window());
+        for i in 0..4u64 {
+            acc.on_request(ReqSample::hit(i, 100));
+            let w = acc.last_index();
+            let b = crate::trace::TraceBuilder::new(i, i * 10, (i as u64) * 1_000_000, 100);
+            obs.push_trace(b.finish(1.0 + i as f64, w));
+        }
+        obs.push_windows(acc.finish());
+        let report = summarize(&obs.to_jsonl()).unwrap();
+        assert!(report.contains("traces: 4 sampled"), "{report}");
+        // Worst latency in window 0 is trace 1 (2.0 ms), in window 1 trace 3.
+        assert!(report.contains("exemplar trace 1 (2.0 ms"), "{report}");
+        assert!(report.contains("exemplar trace 3 (4.0 ms"), "{report}");
+    }
+
+    /// A traced run that sampled nothing says so explicitly; an untraced
+    /// export keeps its old byte-for-byte report (no traces section).
+    #[test]
+    fn summarize_renders_traces_none_only_when_tracing_was_on() {
+        let traced = Obs::new(ObsConfig {
+            trace_sample: 1_000_000,
+            ..ObsConfig::default()
+        });
+        let report = summarize(&traced.to_jsonl()).unwrap();
+        assert!(
+            report.contains("traces: none (sampling enabled, nothing sampled)"),
+            "{report}"
+        );
+
+        let untraced = Obs::new(ObsConfig::default());
+        let report = summarize(&untraced.to_jsonl()).unwrap();
+        assert!(!report.contains("traces"), "{report}");
     }
 }

@@ -197,6 +197,16 @@ impl<P: CachePolicy> EngineShard<P> {
     /// in-flight map (see the module docs for why local is equivalent to
     /// shared here).
     fn step(&mut self, warmup: usize, i: usize, req: &Request) {
+        // Sampling is a pure function of `(object, trace time)`, so the
+        // sampled set — keyed by global request index `i` — is identical no
+        // matter how the requests were sharded.
+        let mut tb = match &self.obs {
+            Some(obs) if i >= warmup => {
+                obs.trace_recorder()
+                    .begin(i as u64, req.id, req.ts.as_micros(), req.size)
+            }
+            _ => None,
+        };
         let served = self.server.serve(
             req,
             &mut self.plan,
@@ -204,6 +214,7 @@ impl<P: CachePolicy> EngineShard<P> {
             &mut self.in_flight,
             &mut self.retries,
             &mut self.compute_ms,
+            tb.as_mut(),
         );
 
         self.seen += 1;
@@ -288,6 +299,9 @@ impl<P: CachePolicy> EngineShard<P> {
             }
             if served.coalesced {
                 obs.emit(Event::new(t, EventKind::Coalesce).field("id", req.id));
+            }
+            if let Some(tb) = tb.take() {
+                obs.push_trace(tb.finish(served.latency_ms, acc.last_index()));
             }
         }
     }

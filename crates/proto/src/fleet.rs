@@ -37,8 +37,9 @@
 
 use crate::fault::{keyed_uniform, CircuitBreaker, FaultPlan};
 use crate::latency::LatencyModel;
-use crate::server::{pct2, CdnServer, ServeOutcome, ServerConfig};
+use crate::server::{kv, pct2, CdnServer, ServeOutcome, ServerConfig};
 use lhr_obs::series::{ReqSample, SeriesAcc};
+use lhr_obs::trace::TraceBuilder;
 use lhr_obs::{Event, EventKind, LogHistogram, Obs};
 use lhr_policies::Lru;
 use lhr_sim::shard::{route, shard_seed, RouteConfig};
@@ -540,6 +541,7 @@ impl<P: CachePolicy> FleetShard<P> {
         n: usize,
         t: f64,
         req: &Request,
+        mut tb: Option<&mut TraceBuilder>,
     ) -> (ServeOutcome, Served)
     where
         B: Fn(usize, usize, u64, Option<&Obs>) -> P + Sync,
@@ -563,6 +565,13 @@ impl<P: CachePolicy> FleetShard<P> {
             Some(outcome) => outcome.is_hit(),
             None => self.nodes[n].policy.handle(req).is_hit(),
         };
+        if let Some(tb) = tb.as_deref_mut() {
+            tb.push(
+                "edge_lookup",
+                req.size,
+                vec![kv("node", n as u64), kv("hit", hit)],
+            );
+        }
         if hit {
             return (
                 ServeOutcome {
@@ -584,11 +593,21 @@ impl<P: CachePolicy> FleetShard<P> {
         if ctx.peer_hints {
             if let Some(&(owner, published)) = self.hints.get(&req.id) {
                 let owner = owner as usize;
-                if owner != n
+                let usable = owner != n
                     && t - published <= ctx.hint_ttl_secs
                     && !ctx.faults.down(owner, t)
-                    && self.nodes[owner].policy.contains(req.id)
-                {
+                    && self.nodes[owner].policy.contains(req.id);
+                if let Some(tb) = tb.as_deref_mut() {
+                    if usable {
+                        tb.advance(ctx.lat.edge_rtt_ms);
+                    }
+                    tb.push(
+                        "peer_hint",
+                        req.size,
+                        vec![kv("owner", owner as u64), kv("hit", usable)],
+                    );
+                }
+                if usable {
                     return (
                         ServeOutcome {
                             latency_ms: ctx.lat.hit_latency_ms(req.size, 0.0) + ctx.lat.edge_rtt_ms,
@@ -611,7 +630,13 @@ impl<P: CachePolicy> FleetShard<P> {
 
         // Shield tier: the full hardened origin path (freshness, stale
         // serving, retries, breaker, coalescing), plus the edge→shield
-        // hop on top of whatever the shield charged.
+        // hop on top of whatever the shield charged. The shield's own
+        // `edge_lookup` step that follows carries the shield-cache hit
+        // flag for this `shield_lookup` hop.
+        if let Some(tb) = tb.as_deref_mut() {
+            tb.advance(ctx.lat.edge_rtt_ms);
+            tb.push("shield_lookup", req.size, vec![kv("node", n as u64)]);
+        }
         let mut so = self.shield.serve(
             req,
             &mut self.plan,
@@ -619,6 +644,7 @@ impl<P: CachePolicy> FleetShard<P> {
             &mut self.in_flight,
             &mut self.retries,
             &mut self.compute_ms,
+            tb,
         );
         so.latency_ms += ctx.lat.edge_rtt_ms;
         if !so.error {
@@ -651,6 +677,28 @@ impl<P: CachePolicy> FleetShard<P> {
         let primary = ctx.ring.primary(req.id);
         let chosen = ctx.ring.node_for(req.id, |node| !ctx.faults.down(node, t));
 
+        // Sampling is pure in `(object, trace time)` and keyed on the
+        // global request index, so the sampled set is shard-layout- and
+        // thread-count-invariant.
+        let mut tb = match &self.obs {
+            Some(obs) if i >= warmup => {
+                obs.trace_recorder()
+                    .begin(i as u64, req.id, req.ts.as_micros(), req.size)
+            }
+            _ => None,
+        };
+        if let Some(tb) = tb.as_mut() {
+            if let Some(n) = chosen {
+                if n != primary {
+                    tb.push(
+                        "failover",
+                        0,
+                        vec![kv("from", primary as u64), kv("to", n as u64)],
+                    );
+                }
+            }
+        }
+
         let (mut served, kind) = match chosen {
             None => (
                 // Whole fleet down: the request fails at the client
@@ -667,7 +715,7 @@ impl<P: CachePolicy> FleetShard<P> {
                 },
                 Served::Unrouted,
             ),
-            Some(n) => self.serve_at(ctx, s, n, t, req),
+            Some(n) => self.serve_at(ctx, s, n, t, req, tb.as_mut()),
         };
         if chosen.is_some() && chosen != Some(primary) {
             served.degraded = true;
@@ -764,6 +812,9 @@ impl<P: CachePolicy> FleetShard<P> {
                         .field("id", req.id)
                         .field("peer", peer as u64),
                 );
+            }
+            if let Some(tb) = tb.take() {
+                obs.push_trace(tb.finish(served.latency_ms, acc.last_index()));
             }
         }
     }

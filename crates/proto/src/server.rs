@@ -11,12 +11,19 @@ use crate::fault::FaultConfig;
 use crate::fault::{CircuitBreaker, FaultPlan, OriginOutcome, ResilienceConfig, RetryPolicy};
 use crate::latency::{transfer_ms, LatencyModel};
 use lhr_obs::series::{ReqSample, SeriesAcc};
+use lhr_obs::trace::TraceBuilder;
 use lhr_obs::{Event, EventKind, LogHistogram, Obs};
 use lhr_sim::{CachePolicy, Outcome};
 use lhr_trace::{ObjectId, Time, Trace};
 use lhr_util::hash::FastMap;
-use lhr_util::json::ToJson;
+use lhr_util::json::{Json, ToJson};
 use std::time::Instant;
+
+/// One trace detail pair (keeps the hook-point call sites short).
+#[inline]
+pub(crate) fn kv(key: &str, value: impl ToJson) -> (String, Json) {
+    (key.to_string(), value.to_json())
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -164,7 +171,11 @@ struct FetchResult {
     attempted: bool,
 }
 
-/// Runs one fetch through the breaker and the retry chain.
+/// Runs one fetch through the breaker and the retry chain. When the
+/// request is sampled (`tb`), each attempt becomes an `origin_fetch` trace
+/// step and a breaker fast-fail a `breaker{state:open}` step; the trace
+/// clock advances by the same error-RTT / timeout / backoff components
+/// that build `delay_ms`.
 fn origin_fetch(
     lat: &LatencyModel,
     retry: &RetryPolicy,
@@ -172,8 +183,12 @@ fn origin_fetch(
     breaker: &mut CircuitBreaker,
     now: Time,
     retries: &mut u64,
+    mut tb: Option<&mut TraceBuilder>,
 ) -> FetchResult {
     if !breaker.allow(now) {
+        if let Some(tb) = tb.as_deref_mut() {
+            tb.push("breaker", 0, vec![kv("state", "open")]);
+        }
         return FetchResult {
             ok: false,
             delay_ms: 0.0,
@@ -184,29 +199,39 @@ fn origin_fetch(
     let mut delay_ms = 0.0;
     let mut attempt = 0u32;
     loop {
-        match plan.outcome(now) {
-            OriginOutcome::Success => {
-                breaker.record_success();
-                return FetchResult {
-                    ok: true,
-                    delay_ms,
-                    rate_scale: 1.0,
-                    attempted: true,
-                };
+        // (outcome name, Some(rate_scale) on success, ms this attempt cost)
+        let (name, done, step_ms) = match plan.outcome(now) {
+            OriginOutcome::Success => ("success", Some(1.0), 0.0),
+            OriginOutcome::Slow { rate_scale } => ("slow", Some(rate_scale), 0.0),
+            OriginOutcome::Error => ("error", None, lat.origin_rtt_ms),
+            OriginOutcome::Timeout => ("timeout", None, retry.timeout_ms),
+        };
+        delay_ms += step_ms;
+        let give_up = done.is_none() && attempt >= retry.max_retries;
+        let backoff_ms = if done.is_none() && !give_up {
+            retry.backoff_ms(attempt, plan.jitter())
+        } else {
+            0.0
+        };
+        if let Some(tb) = tb.as_deref_mut() {
+            tb.advance(step_ms);
+            let mut detail = vec![kv("attempt", attempt as u64 + 1), kv("outcome", name)];
+            if backoff_ms > 0.0 {
+                detail.push(kv("backoff_ms", backoff_ms));
             }
-            OriginOutcome::Slow { rate_scale } => {
-                breaker.record_success();
-                return FetchResult {
-                    ok: true,
-                    delay_ms,
-                    rate_scale,
-                    attempted: true,
-                };
-            }
-            OriginOutcome::Error => delay_ms += lat.origin_rtt_ms,
-            OriginOutcome::Timeout => delay_ms += retry.timeout_ms,
+            tb.push("origin_fetch", 0, detail);
+            tb.advance(backoff_ms);
         }
-        if attempt >= retry.max_retries {
+        if let Some(rate_scale) = done {
+            breaker.record_success();
+            return FetchResult {
+                ok: true,
+                delay_ms,
+                rate_scale,
+                attempted: true,
+            };
+        }
+        if give_up {
             breaker.record_failure(now);
             return FetchResult {
                 ok: false,
@@ -215,7 +240,7 @@ fn origin_fetch(
                 attempted: true,
             };
         }
-        delay_ms += retry.backoff_ms(attempt, plan.jitter());
+        delay_ms += backoff_ms;
         *retries += 1;
         attempt += 1;
     }
@@ -363,6 +388,7 @@ impl<P: CachePolicy> CdnServer<P> {
         // explains any availability dip that follows.
         let _replay_span = self.obs.as_ref().map(|o| o.span("server.replay"));
         let mut acc = self.obs.as_ref().map(|o| SeriesAcc::new(o.window()));
+        let tracer = self.obs.as_ref().map(|o| o.trace_recorder());
         let mut lat_hist = LogHistogram::new();
         let mut last_evictions = 0u64;
         let mut last_opens = 0u64;
@@ -381,6 +407,15 @@ impl<P: CachePolicy> CdnServer<P> {
         let wall = Instant::now();
 
         for (i, req) in trace.iter().enumerate() {
+            // Sampling is decided before the serve so the builder can ride
+            // along the whole path; warmup requests are never sampled (they
+            // have no metric window to anchor an exemplar to).
+            let mut tb = match &tracer {
+                Some(t) if i >= self.config.warmup_requests => {
+                    t.begin(i as u64, req.id, req.ts.as_micros(), req.size)
+                }
+                _ => None,
+            };
             let served = self.serve(
                 req,
                 &mut plan,
@@ -388,6 +423,7 @@ impl<P: CachePolicy> CdnServer<P> {
                 &mut in_flight,
                 &mut retries,
                 &mut compute_ms_total,
+                tb.as_mut(),
             );
 
             if i % 512 == 0 {
@@ -477,6 +513,9 @@ impl<P: CachePolicy> CdnServer<P> {
                 }
                 if served.coalesced {
                     obs.emit(Event::new(t, EventKind::Coalesce).field("id", req.id));
+                }
+                if let Some(tb) = tb.take() {
+                    obs.push_trace(tb.finish(served.latency_ms, acc.last_index()));
                 }
             }
             if let Some(every) = self.config.series_every {
@@ -593,6 +632,7 @@ impl<P: CachePolicy> CdnServer<P> {
     /// Serves one request through the hardened path. Generic over the
     /// in-flight table so the same code runs against [`CdnServer::replay`]'s
     /// local map and the engine's shared [`crate::FetchTable`].
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn serve(
         &mut self,
         req: &lhr_trace::Request,
@@ -601,6 +641,7 @@ impl<P: CachePolicy> CdnServer<P> {
         in_flight: &mut impl InFlight,
         retries: &mut u64,
         compute_total: &mut f64,
+        mut tb: Option<&mut TraceBuilder>,
     ) -> ServeOutcome {
         let lat = self.config.latency.clone();
         let res = self.config.resilience.clone();
@@ -610,14 +651,23 @@ impl<P: CachePolicy> CdnServer<P> {
         // path instead of `contains` followed by `handle`.
         if let Some((outcome, compute_ms)) = self.hit_check_timed(req, compute_total) {
             if outcome.is_hit() {
-                return self.serve_cached(req, compute_ms, &lat, &res, plan, breaker, retries);
+                if let Some(tb) = tb.as_deref_mut() {
+                    tb.push("edge_lookup", req.size, vec![kv("hit", true)]);
+                }
+                return self.serve_cached(req, compute_ms, &lat, &res, plan, breaker, retries, tb);
             }
             // Contract violation (the policy reported the object present but
             // then missed): fall through to the miss path; the policy has
             // already decided admission, so only the origin side remains.
+            if let Some(tb) = tb.as_deref_mut() {
+                tb.push("edge_lookup", req.size, vec![kv("hit", false)]);
+            }
             return self.serve_miss_fetch(
-                req, compute_ms, false, &lat, &res, plan, breaker, in_flight, retries,
+                req, compute_ms, false, &lat, &res, plan, breaker, in_flight, retries, tb,
             );
+        }
+        if let Some(tb) = tb.as_deref_mut() {
+            tb.push("edge_lookup", req.size, vec![kv("hit", false)]);
         }
 
         // Miss. A fetch for this object may already be in flight.
@@ -625,6 +675,14 @@ impl<P: CachePolicy> CdnServer<P> {
             if let Some((done_at, ok)) = in_flight.get(req.id) {
                 if now < done_at {
                     let remaining_ms = (done_at - now).as_secs_f64() * 1e3;
+                    if let Some(tb) = tb.as_deref_mut() {
+                        tb.advance(remaining_ms);
+                        tb.push(
+                            "coalesce",
+                            req.size,
+                            vec![kv("leader", false), kv("ok", ok)],
+                        );
+                    }
                     if ok {
                         // Join the leader's fetch: the body arrives when the
                         // fetch completes, then is served over the edge link.
@@ -663,7 +721,7 @@ impl<P: CachePolicy> CdnServer<P> {
         }
 
         self.serve_miss_fetch(
-            req, 0.0, true, &lat, &res, plan, breaker, in_flight, retries,
+            req, 0.0, true, &lat, &res, plan, breaker, in_flight, retries, tb,
         )
     }
 
@@ -679,6 +737,7 @@ impl<P: CachePolicy> CdnServer<P> {
         plan: &mut FaultPlan,
         breaker: &mut CircuitBreaker,
         retries: &mut u64,
+        mut tb: Option<&mut TraceBuilder>,
     ) -> ServeOutcome {
         let fresh_limit = self.config.freshness_secs;
         let now = req.ts;
@@ -723,7 +782,17 @@ impl<P: CachePolicy> CdnServer<P> {
         if res.stale_while_revalidate_secs > 0.0
             && age_past_fresh <= res.stale_while_revalidate_secs
         {
-            let fetch = origin_fetch(lat, &res.retry, plan, breaker, now, retries);
+            if let Some(tb) = tb.as_deref_mut() {
+                tb.push(
+                    "stale_serve",
+                    req.size,
+                    vec![kv("reason", "while_revalidate")],
+                );
+            }
+            // The revalidation is off the user path — its origin_fetch steps
+            // still land on the trace (they explain WAN traffic), but the
+            // trace clock has already credited the user-visible hit latency.
+            let fetch = origin_fetch(lat, &res.retry, plan, breaker, now, retries, tb);
             let mut wan = 0u64;
             if fetch.ok {
                 let changed = !self.revalidation_fresh(req.id, now);
@@ -744,7 +813,15 @@ impl<P: CachePolicy> CdnServer<P> {
         }
 
         // Synchronous revalidation with the origin.
-        let fetch = origin_fetch(lat, &res.retry, plan, breaker, now, retries);
+        let fetch = origin_fetch(
+            lat,
+            &res.retry,
+            plan,
+            breaker,
+            now,
+            retries,
+            tb.as_deref_mut(),
+        );
         if fetch.ok {
             let still_fresh = self.revalidation_fresh(req.id, now);
             self.admitted_at.insert(req.id, now);
@@ -771,6 +848,9 @@ impl<P: CachePolicy> CdnServer<P> {
         // Revalidation failed: stale-if-error if the copy is still within
         // its stale window, otherwise an error response.
         if res.stale_if_error_secs > 0.0 && age_past_fresh <= res.stale_if_error_secs {
+            if let Some(tb) = tb.as_deref_mut() {
+                tb.push("stale_serve", req.size, vec![kv("reason", "if_error")]);
+            }
             return ok_hit(
                 lat.hit_latency_ms(req.size, compute_ms) + fetch.delay_ms,
                 lat.service_ms(req.size, true, compute_ms),
@@ -806,10 +886,19 @@ impl<P: CachePolicy> CdnServer<P> {
         breaker: &mut CircuitBreaker,
         in_flight: &mut impl InFlight,
         retries: &mut u64,
+        mut tb: Option<&mut TraceBuilder>,
     ) -> ServeOutcome {
         let now = req.ts;
         let mut compute_total_local = 0.0;
-        let fetch = origin_fetch(lat, &res.retry, plan, breaker, now, retries);
+        let fetch = origin_fetch(
+            lat,
+            &res.retry,
+            plan,
+            breaker,
+            now,
+            retries,
+            tb.as_deref_mut(),
+        );
         if fetch.ok {
             let compute_ms = if run_policy {
                 let (outcome, compute_ms) = self.handle_timed(req, &mut compute_total_local);
@@ -824,6 +913,9 @@ impl<P: CachePolicy> CdnServer<P> {
             if res.coalesce {
                 let fetch_ms = fetch.delay_ms + lat.origin_fetch_ms(req.size, fetch.rate_scale);
                 in_flight.set(req.id, now + Time::from_secs_f64(fetch_ms / 1e3), true);
+                if let Some(tb) = tb.as_deref_mut() {
+                    tb.push("coalesce", req.size, vec![kv("leader", true)]);
+                }
             }
             return ServeOutcome {
                 latency_ms: lat.miss_latency_scaled_ms(req.size, compute_ms, fetch.rate_scale)

@@ -130,6 +130,35 @@ done
 cmp "$smoke_dir/f1.json" "$smoke_dir/f4.json"
 cmp "$smoke_dir/fo1.jsonl" "$smoke_dir/fo4.jsonl"
 
+echo "==> trace-determinism smoke (fleet node-brownout, --trace-sample, threads 1 vs 4)"
+# The seventh clause of the determinism contract (ARCHITECTURE.md):
+# request-path trace sampling, exemplar marks, and SLO events are pure
+# functions of the replayed trace, so traced exports stay byte-identical
+# across thread counts even under node-level faults.
+for t in 1 4; do
+  cargo run --release --offline -p lhr-cli -- fleet \
+    --policy LRU --capacity 1MB --nodes 4 --faults node-brownout --threads "$t" \
+    --obs "$smoke_dir/tr$t.jsonl" --obs-window 1000r --obs-deterministic true \
+    --trace-sample 1/64 "$smoke_dir/t.csv" > /dev/null
+done
+cmp "$smoke_dir/tr1.jsonl" "$smoke_dir/tr4.jsonl"
+grep -q '"record":"trace"' "$smoke_dir/tr1.jsonl"
+cargo run --release --offline -p lhr-cli -- obs trace "$smoke_dir/tr1.jsonl" \
+  --slowest 3 > "$smoke_dir/trace.out"
+grep -q "origin_fetch\|edge_lookup" "$smoke_dir/trace.out"
+
+echo "==> SLO engine smoke (obs slo on a fault-free export)"
+# A fault-free replay must meet a tight availability objective: obs slo
+# exits 0 and prints a met verdict. (Breaches exit 1 — covered by the
+# trace_determinism integration test.)
+cargo run --release --offline -p lhr-cli -- server \
+  --policy LRU --capacity 1MB --threads 2 \
+  --obs "$smoke_dir/slo.jsonl" --obs-window 1000r --obs-deterministic true \
+  --slo avail:99.9 "$smoke_dir/t.csv" > /dev/null
+cargo run --release --offline -p lhr-cli -- obs slo "$smoke_dir/slo.jsonl" \
+  > "$smoke_dir/slo.out"
+grep -q "MET" "$smoke_dir/slo.out"
+
 echo "==> fleet scaling bench smoke (tiny scale)"
 LHR_BENCH_WARMUP_MS=20 LHR_BENCH_MEASURE_MS=100 \
   cargo run --release --offline -p lhr-bench --bin fleet -- --scale tiny

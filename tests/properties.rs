@@ -491,3 +491,111 @@ fn hit_check_overrides_match_default_path_byte_identically() {
         }
     });
 }
+
+/// A synthesized [`TraceRecord`] survives the JSONL tagged-line format
+/// bitwise: serialize → parse → serialize is a fixpoint, and the parsed
+/// record equals the original. Details are drawn from the integral /
+/// boolean / string values the instrumentation actually emits.
+#[test]
+fn trace_records_roundtrip_bitwise() {
+    use lhr_repro::obs::trace::{TraceRecord, TraceStep};
+    use lhr_repro::obs::ObsRecord;
+    use lhr_util::json::ToJson;
+    prop_check!(cases: 64, (id in any_u64(), object in any_u64(), n_steps in range(0usize..12), seed in any_u64()) => {
+        let steps: Vec<TraceStep> = (0..n_steps)
+            .map(|k| {
+                let r = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(k as u64);
+                let names = ["edge_lookup", "failover", "peer_hint", "shield_lookup",
+                             "origin_fetch", "breaker", "stale_serve", "coalesce"];
+                TraceStep {
+                    step: names[(r % 8) as usize].to_string(),
+                    dt_ms: (r % 4_000) as f64 * 0.25,
+                    bytes: r % 1_000_000,
+                    detail: vec![
+                        ("attempt".to_string(), (r % 5).to_json()),
+                        ("hit".to_string(), (r % 2 == 0).to_json()),
+                        ("outcome".to_string(), "timeout".to_json()),
+                    ],
+                }
+            })
+            .collect();
+        let record = TraceRecord {
+            id,
+            object,
+            t: (id % 100_000) as f64 * 0.5,
+            bytes: object % 1_000_000,
+            window: id % 64,
+            latency_ms: (object % 10_000) as f64 * 0.25,
+            exemplar: id % 3 == 0,
+            steps,
+        };
+        let line = ObsRecord::Trace(record.clone()).to_line();
+        let parsed = ObsRecord::parse_line(&line).expect("valid trace line parses");
+        let ObsRecord::Trace(back) = &parsed else {
+            panic!("tag preserved");
+        };
+        prop_assert_eq!(back, &record);
+        prop_assert_eq!(parsed.to_line(), line);
+    });
+}
+
+/// SLO breach / recovery events — like every event kind — round-trip
+/// bitwise through the export line format.
+#[test]
+fn slo_event_records_roundtrip_bitwise() {
+    use lhr_repro::obs::{Event, EventKind, ObsRecord};
+    prop_check!(cases: 64, (t in range(0u64..1_000_000), window in any_u64(), pick in range(0u64..2)) => {
+        let kind = if pick == 0 { EventKind::SloBreach } else { EventKind::SloRecover };
+        let event = Event::new(t as f64 * 0.5, kind)
+            .field("objective", "avail:99.9")
+            .field("window", window)
+            .field("fast_burn", (window % 40) * 25)
+            .field("slow_burn", (window % 10) * 25);
+        let line = ObsRecord::Event(event.clone()).to_line();
+        let parsed = ObsRecord::parse_line(&line).expect("valid event line parses");
+        let ObsRecord::Event(back) = &parsed else {
+            panic!("tag preserved");
+        };
+        prop_assert_eq!(back.kind, kind);
+        prop_assert_eq!(back.fields.len(), event.fields.len());
+        prop_assert_eq!(parsed.to_line(), line);
+    });
+}
+
+/// Mangled export lines — truncated anywhere, or with a byte flipped —
+/// must make [`ObsRecord::parse_line`] return an error (or, for lucky
+/// flips, another valid record), never panic.
+#[test]
+fn malformed_trace_lines_never_panic() {
+    use lhr_repro::obs::trace::{TraceRecord, TraceStep};
+    use lhr_repro::obs::ObsRecord;
+    prop_check!(cases: 128, (seed in any_u64(), cut in range(0usize..300), flip in range(0usize..300), bit in range(0u64..8)) => {
+        let record = TraceRecord {
+            id: seed,
+            object: seed.rotate_left(17),
+            t: (seed % 1_000) as f64 * 0.5,
+            bytes: seed % 1_000_000,
+            window: seed % 32,
+            latency_ms: 1.25,
+            exemplar: seed % 2 == 0,
+            steps: vec![TraceStep {
+                step: "origin_fetch".to_string(),
+                dt_ms: 2.5,
+                bytes: seed % 4_096,
+                detail: vec![("outcome".to_string(), lhr_util::json::Json::Str("error".into()))],
+            }],
+        };
+        let line = ObsRecord::Trace(record).to_line();
+        // Truncation strictly inside the line.
+        let cut = 1 + cut % (line.len() - 1);
+        let _ = ObsRecord::parse_line(&line[..cut]);
+        // A single flipped bit anywhere (skip if it breaks UTF-8).
+        let mut bytes = line.clone().into_bytes();
+        let at = flip % bytes.len();
+        bytes[at] ^= 1 << bit;
+        if let Ok(mangled) = String::from_utf8(bytes) {
+            let _ = ObsRecord::parse_line(&mangled);
+        }
+        prop_assert!(true);
+    });
+}
